@@ -1,0 +1,291 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one Benchmark per artifact), plus throughput benchmarks of the scheduler,
+// simulator and CME solver. Reported metrics carry the figures' headline
+// numbers so `go test -bench=.` doubles as the reproduction run; the ASCII
+// charts themselves come from cmd/mvpexperiments.
+package multivliw_test
+
+import (
+	"testing"
+
+	"multivliw"
+)
+
+// BenchmarkTable1Configs regenerates Table 1 (machine configurations and
+// operation latencies).
+func BenchmarkTable1Configs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(multivliw.Table1()) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure3Motivating regenerates the §3 worked example and reports
+// the Baseline/RMCA speedup next to the paper's closed-form 1.5x.
+func BenchmarkFigure3Motivating(b *testing.B) {
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		res, err := multivliw.Figure3(100)
+		if err != nil {
+			b.Fatal(err)
+		}
+		speedup = res.Speedup
+	}
+	b.ReportMetric(speedup, "speedup")
+	b.ReportMetric(1.497, "paper-speedup")
+}
+
+func figureRunner() *multivliw.ExperimentRunner {
+	r := multivliw.NewExperimentRunner()
+	r.SimCap = 768
+	return r
+}
+
+// gapAt returns the average RMCA advantage over Baseline at one threshold.
+func gapAt(bars []multivliw.FigureBar, thr float64) float64 {
+	byLabel := map[string][2]float64{}
+	for _, bar := range bars {
+		if bar.Threshold != thr {
+			continue
+		}
+		cell := byLabel[bar.Label]
+		if bar.Scheduler == "Baseline" {
+			cell[0] = bar.Total()
+		} else {
+			cell[1] = bar.Total()
+		}
+		byLabel[bar.Label] = cell
+	}
+	sum, n := 0.0, 0
+	for _, cell := range byLabel {
+		if cell[0] > 0 {
+			sum += (cell[0] - cell[1]) / cell[0]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// benchFigure5 regenerates one cluster count of the unbounded-bus study.
+func benchFigure5(b *testing.B, clusters int) {
+	b.Helper()
+	r := figureRunner()
+	var bars []multivliw.FigureBar
+	for i := 0; i < b.N; i++ {
+		var err error
+		bars, err = r.Figure5(clusters)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(bars)), "bars")
+	b.ReportMetric(gapAt(bars, 0.0)*100, "rmca-gap-thr0-%")
+}
+
+// BenchmarkFigure5Unbounded2Cluster regenerates Figure 5(a).
+func BenchmarkFigure5Unbounded2Cluster(b *testing.B) { benchFigure5(b, 2) }
+
+// BenchmarkFigure5Unbounded4Cluster regenerates Figure 5(b).
+func BenchmarkFigure5Unbounded4Cluster(b *testing.B) { benchFigure5(b, 4) }
+
+// benchFigure6 regenerates one cluster count of the realistic-bus study and
+// reports the paper's headline metric: RMCA's advantage at threshold 0.00.
+func benchFigure6(b *testing.B, clusters int) {
+	b.Helper()
+	r := figureRunner()
+	var bars []multivliw.FigureBar
+	for i := 0; i < b.N; i++ {
+		var err error
+		bars, err = r.Figure6(clusters)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(gapAt(bars, 0.0)*100, "rmca-gap-thr0-%")
+}
+
+// BenchmarkFigure6Realistic2Cluster regenerates Figure 6(a); the paper
+// reports RMCA ~5% ahead at threshold 0.00.
+func BenchmarkFigure6Realistic2Cluster(b *testing.B) { benchFigure6(b, 2) }
+
+// BenchmarkFigure6Realistic4Cluster regenerates Figure 6(b); the paper
+// reports RMCA ~20% ahead at threshold 0.00.
+func BenchmarkFigure6Realistic4Cluster(b *testing.B) { benchFigure6(b, 4) }
+
+// BenchmarkVerdicts regenerates everything and checks every claim.
+func BenchmarkVerdicts(b *testing.B) {
+	r := figureRunner()
+	passes := 0.0
+	for i := 0; i < b.N; i++ {
+		uni, err := r.UnifiedBars()
+		if err != nil {
+			b.Fatal(err)
+		}
+		f52, err := r.Figure5(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f54, err := r.Figure5(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f62, err := r.Figure6(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		f64, err := r.Figure6(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		passes = 0
+		vs := multivliw.CheckClaims(uni, f52, f54, f62, f64)
+		for _, v := range vs {
+			if v.Pass {
+				passes++
+			}
+		}
+		if passes < float64(len(vs)) {
+			b.Logf("claims:\n%s", multivliw.RenderClaims(vs))
+		}
+	}
+	b.ReportMetric(passes, "claims-pass")
+}
+
+// BenchmarkCommunicationsTable regenerates the supplementary comms table.
+func BenchmarkCommunicationsTable(b *testing.B) {
+	r := figureRunner()
+	var worst float64
+	for i := 0; i < b.N; i++ {
+		rows, err := r.CommTable(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		worst = 0
+		for _, row := range rows {
+			if row.Scheduler == "RMCA" && row.CommsIter > worst {
+				worst = row.CommsIter
+			}
+		}
+	}
+	b.ReportMetric(worst, "worst-rmca-comms/iter")
+}
+
+// BenchmarkAblationOrdering compares the SMS ordering to a topological one
+// (design decision 1 of DESIGN.md).
+func BenchmarkAblationOrdering(b *testing.B) {
+	r := figureRunner()
+	var sms, topo float64
+	for i := 0; i < b.N; i++ {
+		rows, err := r.OrderingAblation(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Variant == "SMS" {
+				sms = row.AvgBoth
+			} else {
+				topo = row.AvgBoth
+			}
+		}
+	}
+	b.ReportMetric(sms, "sms-bothnb")
+	b.ReportMetric(topo, "topo-bothnb")
+}
+
+// BenchmarkAblationCommReuse compares per-(producer,cluster) transfer reuse
+// to one transfer per edge (design decision 2 of DESIGN.md).
+func BenchmarkAblationCommReuse(b *testing.B) {
+	r := figureRunner()
+	var reuse, perEdge float64
+	for i := 0; i < b.N; i++ {
+		rows, err := r.CommReuseAblation(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rows {
+			if row.Variant == "reuse" {
+				reuse = row.AvgComm
+			} else {
+				perEdge = row.AvgComm
+			}
+		}
+	}
+	b.ReportMetric(reuse, "reuse-comms")
+	b.ReportMetric(perEdge, "per-edge-comms")
+}
+
+// BenchmarkAblationUnroll runs the §4.3 unrolling study on the motivating
+// loop and reports how much of the full-prefetch benefit selective binding
+// on the 4x-unrolled body recovers.
+func BenchmarkAblationUnroll(b *testing.B) {
+	var recovered float64
+	for i := 0; i < b.N; i++ {
+		rows, err := multivliw.UnrollStudy(512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sel, full, ur int64
+		for _, r := range rows {
+			switch r.Variant {
+			case "no-unroll thr=0.75":
+				sel = r.Total
+			case "no-unroll thr=0.00":
+				full = r.Total
+			case "unroll=4 thr=0.75":
+				ur = r.Total
+			}
+		}
+		recovered = float64(sel-ur) / float64(sel-full)
+	}
+	b.ReportMetric(recovered*100, "gap-recovered-%")
+}
+
+// BenchmarkSchedulerRMCA measures scheduling throughput on a representative
+// kernel (mgrid.resid: 13 nodes, 7 memory references, 4 clusters).
+func BenchmarkSchedulerRMCA(b *testing.B) {
+	k := multivliw.Suite()[4].Kernels[0]
+	cfg := multivliw.FourCluster(2, 1, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multivliw.Compile(k, cfg, multivliw.Options{Policy: multivliw.RMCA, Threshold: 0.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulator measures simulated iterations per second on the
+// motivating kernel.
+func BenchmarkSimulator(b *testing.B) {
+	k := multivliw.MotivatingKernel(512)
+	s, err := multivliw.Compile(k, multivliw.MotivatingMachine(), multivliw.Options{Policy: multivliw.RMCA, Threshold: 0.0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := multivliw.Simulate(s, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCMESolver measures the sampled Cache Miss Equations solver.
+func BenchmarkCMESolver(b *testing.B) {
+	k := multivliw.Suite()[1].Kernels[0] // swim.calc1
+	cfg := multivliw.TwoCluster(2, 1, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an := multivliw.AnalyzeLocality(k, cfg)
+		refs := make([]int, len(k.Refs))
+		for r := range refs {
+			refs[r] = r
+		}
+		if an.Misses(refs) < 0 {
+			b.Fatal("negative misses")
+		}
+	}
+}

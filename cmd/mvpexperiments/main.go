@@ -1,0 +1,179 @@
+// Command mvpexperiments regenerates the paper's evaluation: Table 1, the
+// architecture sketch, the §3 motivating example (Figure 3), the
+// unbounded-bus study (Figure 5), the realistic-bus study (Figure 6), the
+// claim verdicts, and the supplementary communication and ablation tables.
+//
+// Usage:
+//
+//	mvpexperiments -all
+//	mvpexperiments -fig5 -clusters 4
+//	mvpexperiments -fig3 -n 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multivliw/internal/harness"
+	"multivliw/internal/machine"
+	"multivliw/internal/vliw"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		table1   = flag.Bool("table1", false, "print Table 1")
+		arch     = flag.Bool("arch", false, "print the Figure 1 architecture sketch")
+		fig3     = flag.Bool("fig3", false, "reproduce the motivating example (Figure 3)")
+		fig5     = flag.Bool("fig5", false, "reproduce the unbounded-bus study (Figure 5)")
+		fig6     = flag.Bool("fig6", false, "reproduce the realistic-bus study (Figure 6)")
+		verdict  = flag.Bool("verdict", false, "check the paper's claims on regenerated figures")
+		comms    = flag.Bool("comms", false, "print the communications table")
+		perbench = flag.Bool("perbench", false, "print the per-benchmark breakdown")
+		ablate   = flag.Bool("ablate", false, "run the design-choice ablations")
+		n        = flag.Int("n", 100, "motivating-example iteration count")
+		simCap   = flag.Int("simcap", 1024, "simulated innermost iterations per kernel (0 = full)")
+	)
+	flag.Parse()
+	if !(*all || *table1 || *arch || *fig3 || *fig5 || *fig6 || *verdict || *comms || *perbench || *ablate) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	r := harness.NewRunner()
+	r.SimCap = *simCap
+
+	if *all || *table1 {
+		fmt.Println(machine.Table1())
+	}
+	if *all || *arch {
+		for _, cfg := range []machine.Config{machine.Unified(), machine.TwoCluster(2, 1, 1, 1), machine.FourCluster(2, 1, 1, 1)} {
+			fmt.Println(machine.ArchitectureDiagram(cfg))
+		}
+	}
+	if *all || *fig3 {
+		runFig3(*n)
+	}
+
+	var uni, f52, f54, f62, f64 []harness.Bar
+	need5 := *all || *fig5 || *verdict
+	need6 := *all || *fig6 || *verdict
+	if need5 || need6 {
+		uni = must(r.UnifiedBars())
+	}
+	if need5 {
+		f52 = must(r.Figure5(2))
+		f54 = must(r.Figure5(4))
+		if *all || *fig5 {
+			fmt.Println(harness.RenderBars("Figure 5(a): 2 clusters, unbounded buses, normalized cycles", uni, f52))
+			fmt.Println(harness.RenderBars("Figure 5(b): 4 clusters, unbounded buses, normalized cycles", uni, f54))
+		}
+	}
+	if need6 {
+		f62 = must(r.Figure6(2))
+		f64 = must(r.Figure6(4))
+		if *all || *fig6 {
+			fmt.Println(harness.RenderBars("Figure 6(a): 2 clusters, 2 register buses @1, limited memory buses", uni, f62))
+			fmt.Println(harness.RenderBars("Figure 6(b): 4 clusters, 2 register buses @1, limited memory buses", uni, f64))
+		}
+	}
+	if *all || *verdict {
+		fmt.Println("Paper-claim verdicts")
+		fmt.Println("--------------------")
+		fmt.Println(harness.RenderVerdicts(harness.Verdicts(uni, f52, f54, f62, f64)))
+	}
+	if *all || *perbench {
+		for _, cl := range []int{2, 4} {
+			cfg := clusterCfg(cl)
+			rows := must(r.PerBenchmark(cfg, 0.0))
+			fmt.Printf("Per-benchmark normalized totals (%d clusters, 2 reg buses @1, 1 mem bus @4, thr 0.00)\n", cl)
+			fmt.Printf("%-10s %10s %10s %8s\n", "bench", "baseline", "rmca", "gap")
+			for _, row := range rows {
+				fmt.Printf("%-10s %10.3f %10.3f %7.1f%%\n", row.Benchmark, row.Baseline, row.RMCA, row.Gap*100)
+			}
+			fmt.Println()
+		}
+	}
+	if *all || *comms {
+		for _, cl := range []int{2, 4} {
+			rows := must(r.CommTable(cl))
+			fmt.Printf("Communications per iteration and bus-traffic miss ratio (%d clusters, thr 0.00)\n", cl)
+			fmt.Printf("%-10s %-9s %12s %10s\n", "bench", "sched", "comms/iter", "missratio")
+			for _, row := range rows {
+				fmt.Printf("%-10s %-9s %12.2f %10.3f\n", row.Benchmark, row.Scheduler, row.CommsIter, row.MissRatio)
+			}
+			fmt.Println()
+		}
+	}
+	if *all || *ablate {
+		fmt.Println("Design-choice ablations (RMCA, thr 0.00, 2 clusters)")
+		fmt.Printf("%-12s %-12s %7s %7s %7s %7s\n", "study", "variant", "avgII", "avgSC", "comms", "bothNb")
+		for _, rows := range [][]harness.AblationRow{
+			must(r.OrderingAblation(2)),
+			must(r.CommReuseAblation(2)),
+		} {
+			for _, row := range rows {
+				fmt.Printf("%-12s %-12s %7.2f %7.2f %7.2f %7.2f\n",
+					row.Study, row.Variant, row.AvgII, row.AvgSC, row.AvgComm, row.AvgBoth)
+			}
+		}
+		fmt.Println("\nAssociativity ablation (thr 0.00, 1 memory bus @4): how the miss")
+		fmt.Println("traffic and the scheduler gap respond when the cache absorbs conflicts")
+		fmt.Printf("%-6s %10s %10s %7s %10s %10s\n", "assoc", "baseline", "rmca", "gap", "base-miss", "rmca-miss")
+		for _, row := range must(r.AssocAblation(2)) {
+			fmt.Printf("%-6d %10.3f %10.3f %6.1f%% %10.3f %10.3f\n",
+				row.Assoc, row.BaselineTot, row.RMCATot, row.Gap*100, row.BaselineMiss, row.RMCAMiss)
+		}
+
+		fmt.Println("\nLoop unrolling study (§4.3 deferred optimization, motivating loop N=512)")
+		ratios := must(harness.UnrolledRatios(512))
+		fmt.Printf("  4x-unrolled B-load CME miss ratios: %v\n", ratios)
+		fmt.Printf("%-22s %4s %4s %11s %10s %10s %10s\n", "variant", "II", "SC", "miss-bound", "compute", "stall", "total")
+		for _, row := range must(harness.UnrollStudy(512)) {
+			fmt.Printf("%-22s %4d %4d %5d/%-5d %10d %10d %10d\n",
+				row.Variant, row.II, row.SC, row.MissSched, row.Loads, row.Compute, row.Stall, row.Total)
+		}
+	}
+}
+
+// clusterCfg is the per-benchmark table's configuration: 2 register buses
+// of 1-cycle latency and one 4-cycle memory bus (a bandwidth-bound Figure 6
+// cell).
+func clusterCfg(clusters int) machine.Config {
+	if clusters == 4 {
+		return machine.FourCluster(2, 1, 1, 4)
+	}
+	return machine.TwoCluster(2, 1, 1, 4)
+}
+
+func runFig3(n int) {
+	res, err := harness.Figure3(n)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("Figure 3 / §3 motivating example, N=%d\n", n)
+	fmt.Printf("  register-optimal (Baseline): II=%d SC=%d comms/iter=%d total=%d cycles\n",
+		res.BaselineII, res.BaselineSC, res.BaselineComms, res.BaselineTotal)
+	fmt.Printf("  memory-aware (RMCA):         II=%d SC=%d comms/iter=%d total=%d cycles\n",
+		res.RMCAII, res.RMCASC, res.RMCAComms, res.RMCATotal)
+	fmt.Printf("  speedup %.3fx  (paper's closed forms (15N+9)/(10N+8) = %.3fx)\n\n", res.Speedup, res.PaperSpeedup)
+	fmt.Println("Baseline modulo reservation table:")
+	fmt.Println(res.BaselineSchedule.Render())
+	fmt.Println("RMCA modulo reservation table:")
+	fmt.Println(res.RMCASchedule.Render())
+	prog := vliw.Emit(res.RMCASchedule)
+	fmt.Println(vliw.Render(res.RMCASchedule, prog.Kernel, "RMCA steady-state kernel (Figure 2 format)"))
+}
+
+func must[T any](v T, err error) T {
+	if err != nil {
+		fail(err)
+	}
+	return v
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mvpexperiments:", err)
+	os.Exit(1)
+}

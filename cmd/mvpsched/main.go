@@ -1,0 +1,101 @@
+// Command mvpsched modulo-schedules one kernel of the benchmark suite and
+// prints the schedule: summary, modulo reservation table and the emitted
+// VLIW kernel.
+//
+// Usage:
+//
+//	mvpsched -kernel swim.calc1 -clusters 2 -policy rmca -threshold 0
+//	mvpsched -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/vliw"
+	"multivliw/internal/workloads"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list available kernels")
+		name      = flag.String("kernel", "motivating", "kernel name (or 'motivating')")
+		clusters  = flag.Int("clusters", 2, "1, 2 or 4 clusters")
+		policy    = flag.String("policy", "rmca", "baseline or rmca")
+		threshold = flag.Float64("threshold", 0.0, "cache-miss threshold in [0,1]")
+		nrb       = flag.Int("nrb", 2, "register buses (-1 = unbounded)")
+		lrb       = flag.Int("lrb", 1, "register bus latency")
+		nmb       = flag.Int("nmb", 1, "memory buses (-1 = unbounded)")
+		lmb       = flag.Int("lmb", 1, "memory bus latency")
+		emit      = flag.Bool("emit", true, "print the emitted VLIW kernel")
+		dot       = flag.Bool("dot", false, "print the dependence graph in DOT form")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range workloads.Suite() {
+			for _, k := range b.Kernels {
+				fmt.Printf("%-20s %2d ops, %d refs, NITER=%d NTIMES=%d\n",
+					k.Name, k.Graph.NumNodes(), len(k.Refs), k.NIter(), k.NTimes())
+			}
+		}
+		fmt.Println("motivating           the paper's §3 example loop")
+		return
+	}
+
+	k := findKernel(*name)
+	if k == nil {
+		fmt.Fprintf(os.Stderr, "mvpsched: unknown kernel %q (try -list)\n", *name)
+		os.Exit(2)
+	}
+	var cfg machine.Config
+	switch *clusters {
+	case 1:
+		cfg = machine.Unified()
+	case 2:
+		cfg = machine.TwoCluster(*nrb, *lrb, *nmb, *lmb)
+	case 4:
+		cfg = machine.FourCluster(*nrb, *lrb, *nmb, *lmb)
+	default:
+		fmt.Fprintln(os.Stderr, "mvpsched: -clusters must be 1, 2 or 4")
+		os.Exit(2)
+	}
+	pol := sched.RMCA
+	if strings.EqualFold(*policy, "baseline") {
+		pol = sched.Baseline
+	}
+
+	if *dot {
+		fmt.Println(k.Graph.Dot(k.Name))
+	}
+	s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: *threshold})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvpsched:", err)
+		os.Exit(1)
+	}
+	fmt.Println(s.Summary())
+	fmt.Println(s.Render())
+	if *emit {
+		p := vliw.Emit(s)
+		fmt.Println(vliw.Render(s, p.Kernel, "steady-state kernel"))
+	}
+}
+
+func findKernel(name string) *loop.Kernel {
+	if name == "motivating" {
+		return workloads.Motivating(100)
+	}
+	for _, b := range workloads.Suite() {
+		for _, k := range b.Kernels {
+			if k.Name == name {
+				return k
+			}
+		}
+	}
+	return nil
+}

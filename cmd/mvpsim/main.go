@@ -1,0 +1,127 @@
+// Command mvpsim schedules and simulates one kernel on a configuration,
+// printing the paper-style cycle accounting (compute vs stall) plus the
+// memory-system statistics.
+//
+// Usage:
+//
+//	mvpsim -kernel mgrid.resid -clusters 4 -policy rmca -threshold 0
+//	mvpsim -kernel motivating -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/sim"
+	"multivliw/internal/workloads"
+)
+
+func main() {
+	var (
+		name      = flag.String("kernel", "motivating", "kernel name (see mvpsched -list)")
+		clusters  = flag.Int("clusters", 2, "1, 2 or 4 clusters")
+		policy    = flag.String("policy", "rmca", "baseline or rmca")
+		threshold = flag.Float64("threshold", 0.0, "cache-miss threshold in [0,1]")
+		nrb       = flag.Int("nrb", 2, "register buses (-1 = unbounded)")
+		lrb       = flag.Int("lrb", 1, "register bus latency")
+		nmb       = flag.Int("nmb", 1, "memory buses (-1 = unbounded)")
+		lmb       = flag.Int("lmb", 1, "memory bus latency")
+		cap       = flag.Int("simcap", 0, "innermost-iteration cap (0 = full space)")
+		compare   = flag.Bool("compare", false, "run both schedulers at all four thresholds")
+		trace     = flag.Int("trace", 0, "print the first N simulated events")
+	)
+	flag.Parse()
+
+	k := findKernel(*name)
+	if k == nil {
+		fmt.Fprintf(os.Stderr, "mvpsim: unknown kernel %q\n", *name)
+		os.Exit(2)
+	}
+	var cfg machine.Config
+	switch *clusters {
+	case 1:
+		cfg = machine.Unified()
+	case 2:
+		cfg = machine.TwoCluster(*nrb, *lrb, *nmb, *lmb)
+	case 4:
+		cfg = machine.FourCluster(*nrb, *lrb, *nmb, *lmb)
+	default:
+		fmt.Fprintln(os.Stderr, "mvpsim: -clusters must be 1, 2 or 4")
+		os.Exit(2)
+	}
+	fmt.Println(cfg)
+
+	if *compare {
+		fmt.Printf("%-9s %5s %4s %3s %6s %10s %10s %10s %9s\n",
+			"sched", "thr", "II", "SC", "comms", "compute", "stall", "total", "missratio")
+		for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+			for _, thr := range []float64{1.0, 0.75, 0.25, 0.0} {
+				run(k, cfg, pol, thr, *cap, true)
+			}
+		}
+		return
+	}
+	pol := sched.RMCA
+	if strings.EqualFold(*policy, "baseline") {
+		pol = sched.Baseline
+	}
+	run(k, cfg, pol, *threshold, *cap, false)
+	if *trace > 0 {
+		s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: *threshold})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mvpsim:", err)
+			os.Exit(1)
+		}
+		out, err := sim.Trace(s, *trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mvpsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}
+
+func run(k *loop.Kernel, cfg machine.Config, pol sched.Policy, thr float64, cap int, row bool) {
+	s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: thr})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvpsim:", err)
+		os.Exit(1)
+	}
+	r, err := sim.Run(s, sim.Options{MaxInnermostIters: cap})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvpsim:", err)
+		os.Exit(1)
+	}
+	if row {
+		fmt.Printf("%-9s %5.2f %4d %3d %6d %10d %10d %10d %9.3f\n",
+			pol, thr, s.II, s.SC, len(s.Comms), r.Compute, r.Stall, r.Total, r.Mem.LocalMissRatio())
+		return
+	}
+	fmt.Printf("kernel %s: II=%d SC=%d comms/iter=%d miss-scheduled=%d\n",
+		k.Name, s.II, s.SC, len(s.Comms), s.Stats.MissScheduled)
+	fmt.Printf("NCYCLE_compute=%d NCYCLE_stall=%d total=%d (%.2f cycles/iter)\n",
+		r.Compute, r.Stall, r.Total, r.CyclesPerIter())
+	fmt.Printf("  stall at operands=%d, at bus transfers=%d\n", r.StallOperand, r.StallComm)
+	fmt.Printf("memory: %+v\n", r.Mem)
+	fmt.Printf("  bus-traffic miss ratio=%.3f, memory-bus tx=%d busy=%d wait=%d\n",
+		r.Mem.LocalMissRatio(), r.BusTx, r.BusBusy, r.BusWait)
+}
+
+func findKernel(name string) *loop.Kernel {
+	if name == "motivating" {
+		return workloads.Motivating(512)
+	}
+	for _, b := range workloads.Suite() {
+		for _, k := range b.Kernels {
+			if k.Name == name {
+				return k
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+// Busdesign walks the inter-cluster interconnect design space for an
+// embedded 4-cluster part, the way §5.3 of the paper does: how many memory
+// buses does a workload need, and how much does their latency matter, once
+// the scheduler hides miss latency? The example sweeps bus counts and
+// latencies over a representative kernel set and prints the cycles each
+// design costs relative to the best.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multivliw"
+)
+
+func main() {
+	suite := multivliw.Suite()
+	var kernels []*multivliw.Kernel
+	for _, b := range suite {
+		kernels = append(kernels, b.Kernels[0]) // one representative per benchmark
+	}
+
+	type design struct{ nmb, lmb int }
+	designs := []design{
+		{1, 4}, {1, 2}, {1, 1},
+		{2, 4}, {2, 2}, {2, 1},
+		{4, 1},
+		{multivliw.Unbounded, 1},
+	}
+	totals := make([]int64, len(designs))
+	for di, d := range designs {
+		cfg := multivliw.FourCluster(2, 1, d.nmb, d.lmb)
+		for _, k := range kernels {
+			s, err := multivliw.Compile(k, cfg, multivliw.Options{Policy: multivliw.RMCA, Threshold: 0.0})
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := multivliw.Simulate(s, 2048)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totals[di] += res.Total
+		}
+	}
+	best := totals[0]
+	for _, t := range totals {
+		if t < best {
+			best = t
+		}
+	}
+	fmt.Println("4-cluster RMCA thr 0.00, 8 representative kernels")
+	fmt.Printf("%-22s %14s %9s\n", "memory buses", "total cycles", "overhead")
+	for di, d := range designs {
+		name := fmt.Sprintf("%d bus(es) @ %d cyc", d.nmb, d.lmb)
+		if d.nmb == multivliw.Unbounded {
+			name = fmt.Sprintf("unbounded @ %d cyc", d.lmb)
+		}
+		fmt.Printf("%-22s %14d %8.1f%%\n", name, totals[di], 100*(float64(totals[di])/float64(best)-1))
+	}
+	fmt.Println("\nReading: once binding prefetching hides miss latency, bus *count*")
+	fmt.Println("matters mainly through queueing; the knee tells you the cheapest")
+	fmt.Println("interconnect that does not throttle the modulo-scheduled loops.")
+}

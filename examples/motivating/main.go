@@ -1,0 +1,45 @@
+// Motivating reproduces §3 of the paper: the loop
+//
+//	DO I = 1, N, 2
+//	  A(I) = B(I)*C(I) + B(I+1)*C(I+1)
+//	ENDDO
+//
+// on a 2-cluster machine where arrays B and C sit a multiple of the local
+// cache size apart. A register-communication-only schedule reaches the
+// minimum II but thrashes both local caches; the memory-aware schedule
+// spends one extra II cycle to keep each array's loads in one cluster and
+// runs ~1.5x faster overall.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multivliw"
+)
+
+func main() {
+	const n = 1000
+	res, err := multivliw.Figure3(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(multivliw.ArchitectureDiagram(multivliw.MotivatingMachine()))
+	fmt.Printf("Loop: DO I=1,%d,2: A(I) = B(I)*C(I) + B(I+1)*C(I+1)\n", 2*n)
+	fmt.Println("B and C collide in every local cache (capacity-multiple distance).")
+	fmt.Println()
+
+	fmt.Printf("Register-optimal schedule (Baseline of [22]): II=%d, SC=%d, %d comm/iter\n",
+		res.BaselineII, res.BaselineSC, res.BaselineComms)
+	fmt.Println(res.BaselineSchedule.Render())
+	fmt.Printf("  => %d cycles; the loads ping-pong and the multiplies stall every iteration\n\n", res.BaselineTotal)
+
+	fmt.Printf("Memory-aware schedule (RMCA): II=%d, SC=%d, %d comms/iter\n",
+		res.RMCAII, res.RMCASC, res.RMCAComms)
+	fmt.Println(res.RMCASchedule.Render())
+	fmt.Printf("  => %d cycles; B-loads share one cache, C-loads the other\n\n", res.RMCATotal)
+
+	fmt.Printf("Measured speedup: %.3fx\n", res.Speedup)
+	fmt.Printf("Paper's closed forms (15N+9)/(10N+8): %.3fx\n", res.PaperSpeedup)
+}

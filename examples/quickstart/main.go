@@ -1,0 +1,47 @@
+// Quickstart: build a small streaming kernel with the public API, schedule
+// it with both of the paper's schedulers on the 2-cluster machine, and
+// simulate the resulting cycle counts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multivliw"
+)
+
+func main() {
+	// A virtual address space; arrays are 8-byte doubles.
+	space := multivliw.NewAddressSpace(0x1000, 64, 0)
+	a := space.Alloc("A", 8, 1<<14)
+	c := space.Alloc("C", 8, 1<<14)
+
+	// for t in 0..16:  for i in 0..2048:  C[i] = A[i] * C[i+1]
+	b := multivliw.NewKernel("quickstart", 16, 2048)
+	x := b.Load(a, multivliw.Aff(0, 0, 1))
+	y := b.Load(c, multivliw.Aff(1, 0, 1))
+	b.Store(c, b.FMul("m", x, y), multivliw.Aff(0, 0, 1))
+	k := b.MustBuild()
+
+	cfg := multivliw.TwoCluster(2, 1, 1, 1)
+	fmt.Println(cfg)
+	fmt.Println()
+
+	for _, opt := range []multivliw.Options{
+		{Policy: multivliw.Baseline, Threshold: 1.0},
+		{Policy: multivliw.RMCA, Threshold: 0.0},
+	} {
+		s, err := multivliw.Compile(k, cfg, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := multivliw.Simulate(s, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s thr %.2f: II=%d SC=%d comms/iter=%d\n",
+			opt.Policy, opt.Threshold, s.II, s.SC, len(s.Comms))
+		fmt.Printf("  compute=%d stall=%d total=%d cycles (%.2f cycles/iter)\n\n",
+			res.Compute, res.Stall, res.Total, res.CyclesPerIter())
+	}
+}

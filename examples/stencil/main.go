@@ -1,0 +1,60 @@
+// Stencil explores the swim-style conflict scenario the paper's evaluation
+// leans on: a 512x512 grid has 4KB rows, so vertically-adjacent references
+// of the same array collide in every direct-mapped local cache. The example
+// builds the kernel, asks the Cache Miss Equations for the miss ratio of
+// each reference under both cluster assignments, and then measures what the
+// assignments cost on the machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"multivliw"
+)
+
+func main() {
+	space := multivliw.NewAddressSpace(0x400000, 64, 320)
+	p := space.Alloc("P", 8, 512, 512)
+	u := space.Alloc("U", 8, 512, 512)
+	cu := space.Alloc("CU", 8, 512, 512)
+
+	// CU(i,j) = (P(i,j) + P(i+1,j)) * U(i+1,j) — the calc1 loop of swim.
+	b := multivliw.NewKernel("stencil", 8, 384)
+	p0 := b.Load(p, multivliw.Aff(0, 1), multivliw.Aff(0, 0, 1))
+	p1 := b.Load(p, multivliw.Aff(1, 1), multivliw.Aff(0, 0, 1))
+	u1 := b.Load(u, multivliw.Aff(1, 1), multivliw.Aff(0, 0, 1))
+	sum := b.FAdd("sum", p0, p1)
+	b.Store(cu, b.FMul("cu", sum, u1), multivliw.Aff(0, 1), multivliw.Aff(0, 0, 1))
+	k := b.MustBuild()
+
+	cfg := multivliw.TwoCluster(2, 1, 1, 4)
+	an := multivliw.AnalyzeLocality(k, cfg)
+
+	fmt.Println("CME miss ratios on one 4KB local cache:")
+	fmt.Printf("  P(i,j) alone:                 %.3f\n", an.MissRatio(0, []int{0}))
+	fmt.Printf("  P(i,j) with P(i+1,j):         %.3f  <- row alias: 4KB apart, same set\n", an.MissRatio(0, []int{0, 1}))
+	fmt.Printf("  P(i,j) with U(i+1,j):         %.3f  <- distinct arrays, distinct phases\n", an.MissRatio(0, []int{0, 2}))
+	fmt.Println()
+
+	for _, opt := range []multivliw.Options{
+		{Policy: multivliw.Baseline, Threshold: 0.0},
+		{Policy: multivliw.RMCA, Threshold: 0.0},
+	} {
+		s, err := multivliw.Compile(k, cfg, opt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := multivliw.Simulate(s, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: II=%d comms/iter=%d\n", opt.Policy, s.II, len(s.Comms))
+		for _, id := range k.MemOps() {
+			node := k.Graph.Node(id)
+			fmt.Printf("  %-28s -> cluster %d\n", k.Refs[node.Ref], s.Cluster[id])
+		}
+		fmt.Printf("  total=%d cycles, stall=%d, bus-traffic miss ratio=%.3f\n\n",
+			res.Total, res.Stall, res.Mem.LocalMissRatio())
+	}
+}

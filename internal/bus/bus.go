@@ -1,0 +1,70 @@
+// Package bus models the hardware-arbitrated memory buses of the
+// multiVLIWprocessor: a pool of identical buses on which each transaction
+// occupies one bus for a fixed number of cycles. Arbitration grants the
+// earliest-free bus; a requester that finds every bus busy waits (the
+// paper's NC_waitingbus term).
+package bus
+
+import "multivliw/internal/machine"
+
+// Timeline tracks the busy horizon of a bus pool through simulated time.
+type Timeline struct {
+	freeAt []int64 // per bus; nil for an unbounded pool
+
+	// Stats
+	transactions int64
+	busyCycles   int64
+	waitCycles   int64
+}
+
+// New returns a pool of n buses; n == machine.Unbounded models infinite
+// bandwidth (requests are granted immediately).
+func New(n int) *Timeline {
+	if n == machine.Unbounded {
+		return &Timeline{}
+	}
+	if n < 1 {
+		panic("bus: pool needs at least one bus (or machine.Unbounded)")
+	}
+	return &Timeline{freeAt: make([]int64, n)}
+}
+
+// Acquire requests a bus at time now for dur cycles and returns the grant
+// time (>= now). The chosen bus is the one that frees earliest.
+func (t *Timeline) Acquire(now, dur int64) int64 {
+	t.transactions++
+	t.busyCycles += dur
+	if t.freeAt == nil {
+		return now
+	}
+	best := 0
+	for i, f := range t.freeAt {
+		if f < t.freeAt[best] {
+			best = i
+		}
+	}
+	start := now
+	if t.freeAt[best] > start {
+		start = t.freeAt[best]
+	}
+	t.waitCycles += start - now
+	t.freeAt[best] = start + dur
+	return start
+}
+
+// Transactions returns the number of Acquire calls.
+func (t *Timeline) Transactions() int64 { return t.transactions }
+
+// BusyCycles returns total bus occupancy granted.
+func (t *Timeline) BusyCycles() int64 { return t.busyCycles }
+
+// WaitCycles returns total cycles requesters spent waiting for a grant.
+func (t *Timeline) WaitCycles() int64 { return t.waitCycles }
+
+// Reset clears state and statistics (a new loop execution).
+func (t *Timeline) Reset() {
+	for i := range t.freeAt {
+		t.freeAt[i] = 0
+	}
+	t.transactions, t.busyCycles, t.waitCycles = 0, 0, 0
+}

@@ -1,0 +1,72 @@
+package bus
+
+import (
+	"testing"
+
+	"multivliw/internal/machine"
+)
+
+func TestUnboundedNeverWaits(t *testing.T) {
+	b := New(machine.Unbounded)
+	for i := int64(0); i < 10; i++ {
+		if got := b.Acquire(5, 4); got != 5 {
+			t.Fatalf("unbounded Acquire = %d, want 5", got)
+		}
+	}
+	if b.WaitCycles() != 0 {
+		t.Errorf("unbounded wait = %d", b.WaitCycles())
+	}
+	if b.Transactions() != 10 || b.BusyCycles() != 40 {
+		t.Errorf("stats = %d tx, %d busy", b.Transactions(), b.BusyCycles())
+	}
+}
+
+func TestSingleBusSerializes(t *testing.T) {
+	b := New(1)
+	if got := b.Acquire(0, 4); got != 0 {
+		t.Fatalf("first grant = %d", got)
+	}
+	if got := b.Acquire(0, 4); got != 4 {
+		t.Fatalf("second grant = %d, want 4", got)
+	}
+	if got := b.Acquire(10, 4); got != 10 {
+		t.Fatalf("idle grant = %d, want 10", got)
+	}
+	if b.WaitCycles() != 4 {
+		t.Errorf("wait = %d, want 4", b.WaitCycles())
+	}
+}
+
+func TestTwoBusesOverlap(t *testing.T) {
+	b := New(2)
+	if got := b.Acquire(0, 4); got != 0 {
+		t.Fatalf("grant 1 = %d", got)
+	}
+	if got := b.Acquire(0, 4); got != 0 {
+		t.Fatalf("grant 2 = %d, want 0 (second bus)", got)
+	}
+	if got := b.Acquire(0, 4); got != 4 {
+		t.Fatalf("grant 3 = %d, want 4", got)
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := New(1)
+	b.Acquire(0, 10)
+	b.Reset()
+	if got := b.Acquire(0, 1); got != 0 {
+		t.Errorf("grant after reset = %d, want 0", got)
+	}
+	if b.Transactions() != 1 {
+		t.Errorf("stats not reset: %d tx", b.Transactions())
+	}
+}
+
+func TestZeroBusesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for 0 buses")
+		}
+	}()
+	New(0)
+}

@@ -1,0 +1,78 @@
+package cache
+
+import "testing"
+
+func TestAssocAbsorbsPingPong(t *testing.T) {
+	// Two lines mapping to the same set thrash a direct-mapped cache but
+	// coexist in a 2-way one.
+	dm := NewAssoc(256, 64, 1)
+	dm.Install(0, Shared)
+	dm.Install(256, Shared) // same set
+	if st := dm.Probe(0); st != Invalid {
+		t.Errorf("DM kept both conflicting lines")
+	}
+
+	w2 := NewAssoc(256, 64, 2) // 2 sets x 2 ways
+	w2.Install(0, Shared)
+	w2.Install(256, Shared)
+	if w2.Probe(0) != Shared || w2.Probe(256) != Shared {
+		t.Error("2-way did not keep both lines")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := NewAssoc(256, 64, 2) // 2 sets, lines 0,128,256,... alternate sets
+	c.Install(0, Shared)      // set 0
+	c.Install(256, Shared)    // set 0: ways full [256, 0]
+	c.Touch(0)                // LRU order now [0, 256]
+	victim, dirty, ok := c.Install(512, Modified)
+	if !ok || victim != 256 || dirty {
+		t.Errorf("victim = %#x dirty=%v ok=%v, want 0x100 clean", victim, dirty, ok)
+	}
+	if c.Probe(0) != Shared {
+		t.Error("recently-touched line evicted")
+	}
+}
+
+func TestProbeDoesNotDisturbLRU(t *testing.T) {
+	c := NewAssoc(256, 64, 2)
+	c.Install(0, Shared)
+	c.Install(256, Shared) // MRU: 256
+	// A snoop probe of 0 must NOT promote it.
+	_ = c.Probe(0)
+	victim, _, _ := c.Install(512, Shared)
+	if victim != 0 {
+		t.Errorf("victim = %#x, want 0x0 (probe must not touch LRU)", victim)
+	}
+}
+
+func TestInvalidWayPreferredOverEviction(t *testing.T) {
+	c := NewAssoc(256, 64, 2)
+	c.Install(0, Modified)
+	c.Install(256, Shared)
+	c.SetState(0, Invalid)
+	if _, _, ok := c.Install(512, Shared); ok {
+		t.Error("Install evicted despite an invalid way")
+	}
+	if c.Probe(256) != Shared {
+		t.Error("valid line lost")
+	}
+}
+
+func TestWays(t *testing.T) {
+	if NewAssoc(1024, 64, 4).Ways() != 4 {
+		t.Error("Ways() wrong")
+	}
+	if NewAssoc(1024, 64, 4).Sets() != 4 {
+		t.Error("Sets() wrong")
+	}
+}
+
+func TestBadAssocPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for ways not dividing lines")
+		}
+	}()
+	NewAssoc(256, 64, 3)
+}

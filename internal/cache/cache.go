@@ -1,0 +1,250 @@
+// Package cache models one cluster-local L1 data cache of the
+// multiVLIWprocessor: direct-mapped, write-back, with MSI coherence state
+// per line and a non-blocking miss path through a fixed-capacity MSHR
+// (Kroft's lockup-free organization, 10 entries in the paper).
+//
+// The cache is a passive state container; timing and coherence decisions
+// live in package memsys, which owns one Cache and one MSHR per cluster.
+package cache
+
+import "fmt"
+
+// State is the MSI coherence state of a line.
+type State uint8
+
+const (
+	// Invalid: the line is not present.
+	Invalid State = iota
+	// Shared: present, clean, possibly also in other caches.
+	Shared
+	// Modified: present, dirty, exclusive to this cache.
+	Modified
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Modified:
+		return "M"
+	default:
+		return fmt.Sprintf("State(%d)", uint8(s))
+	}
+}
+
+type line struct {
+	tag   uint64
+	state State
+}
+
+// Cache is a set-associative, LRU-replacement cache indexed by line
+// address. The paper's machines are direct-mapped (1-way); higher
+// associativity is supported for the ablations.
+type Cache struct {
+	sets      [][]line // sets[i] is ordered MRU-first
+	lineBytes uint64
+	ways      int
+}
+
+// New returns an empty direct-mapped cache of the given capacity and line
+// size (the paper's configuration).
+func New(capacityBytes, lineBytes int) *Cache {
+	return NewAssoc(capacityBytes, lineBytes, 1)
+}
+
+// NewAssoc returns an empty ways-associative cache.
+func NewAssoc(capacityBytes, lineBytes, ways int) *Cache {
+	if capacityBytes <= 0 || lineBytes <= 0 || ways < 1 ||
+		capacityBytes%lineBytes != 0 || (capacityBytes/lineBytes)%ways != 0 {
+		panic(fmt.Sprintf("cache: bad geometry %d/%d/%d", capacityBytes, lineBytes, ways))
+	}
+	nsets := capacityBytes / lineBytes / ways
+	sets := make([][]line, nsets)
+	for i := range sets {
+		sets[i] = make([]line, ways)
+	}
+	return &Cache{sets: sets, lineBytes: uint64(lineBytes), ways: ways}
+}
+
+// LineAddr returns the line-aligned address containing addr.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr / c.lineBytes * c.lineBytes
+}
+
+// set returns the set index of a line address.
+func (c *Cache) set(lineAddr uint64) int {
+	return int(lineAddr / c.lineBytes % uint64(len(c.sets)))
+}
+
+// find returns the way holding lineAddr, or -1.
+func (c *Cache) find(set []line, lineAddr uint64) int {
+	for w := range set {
+		if set[w].state != Invalid && set[w].tag == lineAddr {
+			return w
+		}
+	}
+	return -1
+}
+
+// moveToFront makes way w the MRU entry of the set.
+func moveToFront(set []line, w int) {
+	if w == 0 {
+		return
+	}
+	l := set[w]
+	copy(set[1:w+1], set[:w])
+	set[0] = l
+}
+
+// Probe returns the state of the line containing addr (Invalid if absent).
+// Probe does not disturb the LRU order — it is what a snoop does; local
+// accesses use Touch or Install.
+func (c *Cache) Probe(addr uint64) State {
+	la := c.LineAddr(addr)
+	set := c.sets[c.set(la)]
+	if w := c.find(set, la); w >= 0 {
+		return set[w].state
+	}
+	return Invalid
+}
+
+// Touch marks the line containing addr as most recently used (a local hit).
+func (c *Cache) Touch(addr uint64) {
+	la := c.LineAddr(addr)
+	set := c.sets[c.set(la)]
+	if w := c.find(set, la); w >= 0 {
+		moveToFront(set, w)
+	}
+}
+
+// Install places the line containing addr in the given state at MRU
+// position. It returns the address of the victim line and whether the
+// victim was dirty (Modified); ok is false when no valid line was displaced.
+func (c *Cache) Install(addr uint64, st State) (victim uint64, dirty, ok bool) {
+	la := c.LineAddr(addr)
+	set := c.sets[c.set(la)]
+	if w := c.find(set, la); w >= 0 {
+		set[w].state = st
+		moveToFront(set, w)
+		return 0, false, false
+	}
+	// Prefer an invalid way, else evict LRU (the last way).
+	w := len(set) - 1
+	for i := range set {
+		if set[i].state == Invalid {
+			w = i
+			break
+		}
+	}
+	old := set[w]
+	set[w] = line{tag: la, state: st}
+	moveToFront(set, w)
+	if old.state != Invalid {
+		return old.tag, old.state == Modified, true
+	}
+	return 0, false, false
+}
+
+// SetState changes the state of a resident line; it is a no-op if the line
+// is not present (e.g. an invalidation raced with an eviction).
+func (c *Cache) SetState(addr uint64, st State) {
+	la := c.LineAddr(addr)
+	set := c.sets[c.set(la)]
+	if w := c.find(set, la); w >= 0 {
+		if st == Invalid {
+			set[w] = line{}
+		} else {
+			set[w].state = st
+		}
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// MSHR is a miss status holding register file: at most Entries outstanding
+// line fills. Entries retire implicitly when simulated time passes their
+// fill completion.
+type MSHR struct {
+	entries int
+	pending []pendingFill
+}
+
+type pendingFill struct {
+	line    uint64
+	readyAt int64
+}
+
+// NewMSHR returns an MSHR with the given number of entries.
+func NewMSHR(entries int) *MSHR {
+	if entries < 1 {
+		panic("cache: MSHR needs at least one entry")
+	}
+	return &MSHR{entries: entries}
+}
+
+// compact drops entries whose fills completed at or before now.
+func (m *MSHR) compact(now int64) {
+	live := m.pending[:0]
+	for _, p := range m.pending {
+		if p.readyAt > now {
+			live = append(live, p)
+		}
+	}
+	m.pending = live
+}
+
+// Lookup reports whether a fill of the given line is already outstanding at
+// time now, returning its completion time (secondary-miss merging: the
+// paper's "an earlier miss has already started loading the relevant cache
+// line").
+func (m *MSHR) Lookup(lineAddr uint64, now int64) (int64, bool) {
+	m.compact(now)
+	for _, p := range m.pending {
+		if p.line == lineAddr {
+			return p.readyAt, true
+		}
+	}
+	return 0, false
+}
+
+// NextFree returns the earliest time at or after now at which an entry is
+// available (now itself if the MSHR is not full).
+func (m *MSHR) NextFree(now int64) int64 {
+	m.compact(now)
+	if len(m.pending) < m.entries {
+		return now
+	}
+	earliest := m.pending[0].readyAt
+	for _, p := range m.pending[1:] {
+		if p.readyAt < earliest {
+			earliest = p.readyAt
+		}
+	}
+	return earliest
+}
+
+// Allocate records a new outstanding fill completing at readyAt. The caller
+// must have ensured capacity via NextFree.
+func (m *MSHR) Allocate(lineAddr uint64, now, readyAt int64) {
+	m.compact(now)
+	if len(m.pending) >= m.entries {
+		panic("cache: MSHR overflow (caller skipped NextFree)")
+	}
+	m.pending = append(m.pending, pendingFill{line: lineAddr, readyAt: readyAt})
+}
+
+// Outstanding returns the number of live entries at time now.
+func (m *MSHR) Outstanding(now int64) int {
+	m.compact(now)
+	return len(m.pending)
+}
+
+// Entries returns the MSHR capacity.
+func (m *MSHR) Entries() int { return m.entries }

@@ -1,0 +1,123 @@
+package cache
+
+import (
+	"testing"
+)
+
+func TestProbeInstallEvict(t *testing.T) {
+	c := New(256, 64) // 4 sets
+	if st := c.Probe(0); st != Invalid {
+		t.Fatalf("empty cache probe = %v", st)
+	}
+	c.Install(0, Shared)
+	if st := c.Probe(32); st != Shared { // same line
+		t.Fatalf("probe within line = %v, want S", st)
+	}
+	// 256 maps to set 0 too: evicts line 0.
+	victim, dirty, ok := c.Install(256, Modified)
+	if !ok || victim != 0 || dirty {
+		t.Fatalf("Install(256) victim=%#x dirty=%v ok=%v, want 0x0/clean/true", victim, dirty, ok)
+	}
+	if st := c.Probe(0); st != Invalid {
+		t.Fatalf("evicted line still present: %v", st)
+	}
+	// Dirty eviction.
+	victim, dirty, ok = c.Install(512, Shared)
+	if !ok || victim != 256 || !dirty {
+		t.Fatalf("dirty eviction: victim=%#x dirty=%v ok=%v", victim, dirty, ok)
+	}
+}
+
+func TestInstallSameLineNoVictim(t *testing.T) {
+	c := New(256, 64)
+	c.Install(64, Shared)
+	if _, _, ok := c.Install(64, Modified); ok {
+		t.Error("re-installing the same line reported a victim")
+	}
+	if st := c.Probe(64); st != Modified {
+		t.Errorf("state after reinstall = %v, want M", st)
+	}
+}
+
+func TestSetState(t *testing.T) {
+	c := New(256, 64)
+	c.Install(128, Shared)
+	c.SetState(128, Modified)
+	if st := c.Probe(128); st != Modified {
+		t.Errorf("SetState to M: %v", st)
+	}
+	c.SetState(128, Invalid)
+	if st := c.Probe(128); st != Invalid {
+		t.Errorf("SetState to I: %v", st)
+	}
+	// SetState on absent line is a no-op.
+	c.SetState(64, Modified)
+	if st := c.Probe(64); st != Invalid {
+		t.Errorf("SetState on absent line created it: %v", st)
+	}
+}
+
+func TestLineAddr(t *testing.T) {
+	c := New(256, 64)
+	if la := c.LineAddr(130); la != 128 {
+		t.Errorf("LineAddr(130) = %d, want 128", la)
+	}
+}
+
+func TestMSHRMergeAndRetire(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(0x100, 0, 20)
+	if ready, ok := m.Lookup(0x100, 5); !ok || ready != 20 {
+		t.Errorf("Lookup = %v,%v, want 20,true", ready, ok)
+	}
+	if _, ok := m.Lookup(0x200, 5); ok {
+		t.Error("Lookup matched a different line")
+	}
+	// After the fill completes the entry is gone.
+	if _, ok := m.Lookup(0x100, 20); ok {
+		t.Error("entry survived past its fill time")
+	}
+}
+
+func TestMSHRNextFree(t *testing.T) {
+	m := NewMSHR(2)
+	m.Allocate(0x100, 0, 30)
+	m.Allocate(0x200, 0, 10)
+	// Full: next free is the earliest completion.
+	if at := m.NextFree(0); at != 10 {
+		t.Errorf("NextFree = %d, want 10", at)
+	}
+	// At time 10 the second entry has retired.
+	if at := m.NextFree(10); at != 10 {
+		t.Errorf("NextFree(10) = %d, want 10", at)
+	}
+	if n := m.Outstanding(10); n != 1 {
+		t.Errorf("Outstanding(10) = %d, want 1", n)
+	}
+}
+
+func TestMSHROverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on MSHR overflow")
+		}
+	}()
+	m := NewMSHR(1)
+	m.Allocate(0x100, 0, 50)
+	m.Allocate(0x200, 0, 50)
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on non-divisible geometry")
+		}
+	}()
+	New(100, 64)
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" || Modified.String() != "M" {
+		t.Error("state names wrong")
+	}
+}

@@ -1,0 +1,431 @@
+// Package cme implements the Cache Miss Equations locality framework the
+// RMCA scheduler consults (Ghosh, Martonosi & Malik). For affine references
+// in a loop nest, CME describe exactly which iteration points miss in a
+// direct-mapped cache: an access misses if it is the first touch of its
+// memory line (cold miss equations) or if, since the previous touch of the
+// line along its reuse vector, some access of the analyzed set fell into the
+// same cache set with a different line (replacement miss equations).
+//
+// Directly counting the integer points of the resulting polyhedra is NP-hard;
+// as the paper does, we adopt the sampling estimator of Vera et al.: the
+// equations are decided pointwise at sampled iteration windows, which for a
+// direct-mapped cache reduces to tracking, per cache set, the line most
+// recently mapped there while walking the sampled window in program order.
+// The estimator converges on the two statistics the scheduler consumes:
+//
+//   - the number of misses incurred by a set of references on a cache
+//     configuration, and
+//   - the miss ratio of one reference within that set.
+package cme
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multivliw/internal/loop"
+)
+
+// Geometry describes one cluster-local cache. Assoc 0 or 1 is the paper's
+// direct-mapped configuration; higher values model set-associative LRU
+// caches (CME handles associativity; Ghosh et al. §5).
+type Geometry struct {
+	CapacityBytes int
+	LineBytes     int
+	Assoc         int
+}
+
+// Ways returns the associativity (at least 1).
+func (g Geometry) Ways() int {
+	if g.Assoc < 1 {
+		return 1
+	}
+	return g.Assoc
+}
+
+// Sets returns the number of cache sets.
+func (g Geometry) Sets() int { return g.CapacityBytes / g.LineBytes / g.Ways() }
+
+// Params tunes the sampling estimator.
+type Params struct {
+	// ExactLimit is the iteration-space size (innermost iterations summed
+	// over the whole nest) up to which the solver enumerates every point.
+	ExactLimit int
+	// Windows is the number of sample windows used above ExactLimit.
+	Windows int
+	// WindowIters is the length, in innermost iterations, of each window.
+	WindowIters int
+	// WarmupIters precede each window to populate cache state; their
+	// accesses are replayed but not counted.
+	WarmupIters int
+	// MaxAlignedSpan bounds a fidelity upgrade for short innermost loops:
+	// when two executions fit within this many iterations, each window is
+	// aligned to an execution boundary and spans two whole executions, so
+	// temporal reuse carried by the outer loop (and its destruction by
+	// interfering references) is visible to the equations.
+	MaxAlignedSpan int
+}
+
+// DefaultParams balances accuracy against the scheduler's many queries.
+func DefaultParams() Params {
+	return Params{ExactLimit: 2048, Windows: 4, WindowIters: 96, WarmupIters: 32, MaxAlignedSpan: 768}
+}
+
+// RefStats accumulates per-reference counts within one analyzed set.
+type RefStats struct {
+	Accesses int
+	Misses   int
+}
+
+// Ratio returns misses/accesses (0 for an unaccessed reference).
+func (s RefStats) Ratio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Result is the solved equations for one reference set: estimated totals
+// scaled to the full iteration space.
+type Result struct {
+	// Misses is the estimated total miss count of the set over the whole
+	// iteration space.
+	Misses float64
+	// PerRef maps reference ID to its sampled statistics.
+	PerRef map[int]RefStats
+	// Sampled is the number of innermost iterations actually replayed.
+	Sampled int
+}
+
+// MissRatio returns the miss ratio of one reference in the set.
+func (r Result) MissRatio(ref int) float64 { return r.PerRef[ref].Ratio() }
+
+// Analysis solves the miss equations of one kernel on one cache geometry.
+// Results are memoized per reference set, so the scheduler's repeated
+// incremental queries are cheap.
+type Analysis struct {
+	k      *loop.Kernel
+	geom   Geometry
+	params Params
+	memo   map[string]Result
+}
+
+// New returns an analysis for kernel k on geometry g.
+func New(k *loop.Kernel, g Geometry, p Params) *Analysis {
+	if p.Windows < 1 {
+		p = DefaultParams()
+	}
+	return &Analysis{k: k, geom: g, params: p, memo: make(map[string]Result)}
+}
+
+// Kernel returns the analyzed kernel.
+func (a *Analysis) Kernel() *loop.Kernel { return a.k }
+
+func setKey(refs []int) string {
+	s := append([]int(nil), refs...)
+	sort.Ints(s)
+	var b strings.Builder
+	for _, r := range s {
+		fmt.Fprintf(&b, "%d,", r)
+	}
+	return b.String()
+}
+
+// Analyze solves the equations for the given set of reference IDs.
+func (a *Analysis) Analyze(refs []int) Result {
+	if len(refs) == 0 {
+		return Result{PerRef: map[int]RefStats{}}
+	}
+	key := setKey(refs)
+	if r, ok := a.memo[key]; ok {
+		return r
+	}
+	r := a.solve(refs)
+	a.memo[key] = r
+	return r
+}
+
+// Misses returns the estimated total misses of the reference set.
+func (a *Analysis) Misses(refs []int) float64 { return a.Analyze(refs).Misses }
+
+// MissRatio returns the miss ratio of reference ref when the references in
+// refs (which should include ref) share the cache.
+func (a *Analysis) MissRatio(ref int, refs []int) float64 {
+	return a.Analyze(refs).MissRatio(ref)
+}
+
+// solve replays the sampled access trace of the reference set, in program
+// order (reference ID order within an iteration, iterations in lexicographic
+// nest order), through the direct-mapped set-mapping that the replacement
+// equations describe.
+func (a *Analysis) solve(refs []int) Result {
+	ordered := append([]int(nil), refs...)
+	sort.Ints(ordered)
+
+	total := a.k.NTimes() * a.k.NIter()
+	exact := total <= a.params.ExactLimit
+
+	// Sample windows as [start, end) over the flattened innermost
+	// iteration index 0..total.
+	type window struct{ start, count, warmup int }
+	var windows []window
+	niterInner := a.k.NIter()
+	switch {
+	case exact:
+		windows = []window{{0, total, 0}}
+	case 2*niterInner <= a.params.MaxAlignedSpan && a.k.NTimes() >= 2:
+		// Short innermost loops: align windows to execution boundaries
+		// and span two executions, so outer-loop temporal reuse is
+		// visible (see Params.MaxAlignedSpan).
+		w := 2 * niterInner
+		warm := a.params.WarmupIters
+		for i := 0; i < a.params.Windows; i++ {
+			start := i * total / a.params.Windows / niterInner * niterInner
+			if start+w > total {
+				start = (total - w) / niterInner * niterInner
+			}
+			warmEff := warm
+			if warmEff > start {
+				warmEff = start
+			}
+			windows = append(windows, window{start - warmEff, w + warmEff, warmEff})
+		}
+	default:
+		w := a.params.WindowIters
+		warm := a.params.WarmupIters
+		for i := 0; i < a.params.Windows; i++ {
+			start := i * total / a.params.Windows
+			if start < warm {
+				start = warm
+			}
+			if start+w > total {
+				start = total - w
+			}
+			windows = append(windows, window{start - warm, w + warm, warm})
+		}
+	}
+
+	sets := a.geom.Sets()
+	ways := a.geom.Ways()
+	lineBytes := uint64(a.geom.LineBytes)
+	perRef := make(map[int]RefStats, len(ordered))
+	sampledMisses := 0
+	sampledIters := 0
+
+	iv := make([]int, a.k.Depth())
+	niter := a.k.NIter()
+	for _, w := range windows {
+		// lru[s] holds the lines resident in cache set s, MRU first;
+		// the replacement equations reduce to "miss iff at least
+		// `ways` distinct lines mapped to the set since the last
+		// touch", which an LRU stack decides pointwise.
+		lru := make([][]uint64, sets)
+		for i := range lru {
+			lru[i] = make([]uint64, 0, ways)
+		}
+		for off := 0; off < w.count; off++ {
+			flat := w.start + off
+			outer := flat / niter
+			a.k.OuterIter(outer, iv)
+			iv[len(iv)-1] = flat % niter
+			counting := off >= w.warmup
+			for _, refID := range ordered {
+				ref := a.k.Refs[refID]
+				line := ref.Address(iv) / lineBytes
+				set := int(line % uint64(sets))
+				miss := touchLRU(&lru[set], line, ways)
+				if counting {
+					st := perRef[refID]
+					st.Accesses++
+					if miss {
+						st.Misses++
+						sampledMisses++
+					}
+					perRef[refID] = st
+				}
+			}
+			if counting {
+				sampledIters++
+			}
+		}
+	}
+
+	scale := 1.0
+	if sampledIters > 0 {
+		scale = float64(total) / float64(sampledIters)
+	}
+	return Result{
+		Misses:  float64(sampledMisses) * scale,
+		PerRef:  perRef,
+		Sampled: sampledIters,
+	}
+}
+
+// touchLRU records an access to line in the MRU-first stack of one cache
+// set, bounded at ways entries, and reports whether the access missed.
+func touchLRU(stack *[]uint64, line uint64, ways int) bool {
+	s := *stack
+	for i, l := range s {
+		if l == line {
+			copy(s[1:i+1], s[:i])
+			s[0] = line
+			return false
+		}
+	}
+	if len(s) < ways {
+		s = append(s, 0)
+		*stack = s
+	}
+	copy(s[1:], s[:len(s)-1])
+	s[0] = line
+	return true
+}
+
+// ReuseKind classifies a reuse vector.
+type ReuseKind int
+
+const (
+	// SelfTemporal reuse: the reference touches the same element across
+	// innermost iterations.
+	SelfTemporal ReuseKind = iota
+	// SelfSpatial reuse: consecutive innermost iterations stay within one
+	// memory line.
+	SelfSpatial
+	// GroupTemporal reuse: another reference touches the same element.
+	GroupTemporal
+	// GroupSpatial reuse: another reference touches the same line.
+	GroupSpatial
+)
+
+// String names the reuse kind.
+func (k ReuseKind) String() string {
+	switch k {
+	case SelfTemporal:
+		return "self-temporal"
+	case SelfSpatial:
+		return "self-spatial"
+	case GroupTemporal:
+		return "group-temporal"
+	case GroupSpatial:
+		return "group-spatial"
+	default:
+		return fmt.Sprintf("ReuseKind(%d)", int(k))
+	}
+}
+
+// Reuse records one reuse relation between references of the kernel.
+// From == To for self reuse. DeltaBytes is the address distance for group
+// reuse at equal iteration points.
+type Reuse struct {
+	From, To   int
+	Kind       ReuseKind
+	DeltaBytes int64
+}
+
+// innermostStrideBytes returns the byte distance between the addresses of
+// consecutive innermost iterations of ref (holding outer levels fixed).
+func innermostStrideBytes(k *loop.Kernel, ref *loop.Ref) int64 {
+	depth := k.Depth()
+	lin := 0
+	for d, ix := range ref.Index {
+		c := 0
+		if depth-1 < len(ix.Coef) {
+			c = ix.Coef[depth-1]
+		}
+		lin = lin*ref.Array.Dims[d] + c
+	}
+	// The loop above multiplies earlier-dimension strides by the extents
+	// of later dimensions, which is exactly the row-major linearization
+	// of the per-dimension innermost coefficients.
+	return int64(lin * ref.Array.ElemBytes)
+}
+
+// uniformlyGenerated reports whether two references share an array and
+// identical coefficient matrices (they differ only in constant offsets).
+func uniformlyGenerated(a, b *loop.Ref) bool {
+	if a.Array != b.Array || len(a.Index) != len(b.Index) {
+		return false
+	}
+	for d := range a.Index {
+		ca, cb := a.Index[d].Coef, b.Index[d].Coef
+		maxLen := len(ca)
+		if len(cb) > maxLen {
+			maxLen = len(cb)
+		}
+		for l := 0; l < maxLen; l++ {
+			va, vb := 0, 0
+			if l < len(ca) {
+				va = ca[l]
+			}
+			if l < len(cb) {
+				vb = cb[l]
+			}
+			if va != vb {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ReuseVectors enumerates the reuse relations among the given references:
+// the structural half of the CME framework (the equations' reuse vectors),
+// useful for reports and tests.
+func (a *Analysis) ReuseVectors(refs []int) []Reuse {
+	var out []Reuse
+	iv := make([]int, a.k.Depth())
+	for _, id := range refs {
+		r := a.k.Refs[id]
+		stride := innermostStrideBytes(a.k, r)
+		switch {
+		case stride == 0:
+			out = append(out, Reuse{From: id, To: id, Kind: SelfTemporal})
+		case abs64(stride) < int64(a.geom.LineBytes):
+			out = append(out, Reuse{From: id, To: id, Kind: SelfSpatial, DeltaBytes: stride})
+		}
+	}
+	for i, idA := range refs {
+		for _, idB := range refs[i+1:] {
+			ra, rb := a.k.Refs[idA], a.k.Refs[idB]
+			if !uniformlyGenerated(ra, rb) {
+				continue
+			}
+			delta := int64(rb.Address(iv)) - int64(ra.Address(iv))
+			kind := GroupSpatial
+			if delta == 0 {
+				kind = GroupTemporal
+			}
+			if abs64(delta) < int64(a.geom.LineBytes) || kind == GroupTemporal {
+				out = append(out, Reuse{From: idA, To: idB, Kind: kind, DeltaBytes: delta})
+			}
+		}
+	}
+	return out
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// ConflictRatio estimates how much of the set's miss traffic is caused by
+// interference rather than cold/capacity behaviour: the relative increase in
+// misses of the combined set over the sum of each reference analyzed alone.
+// The scheduler does not need this number, but reports use it to show
+// ping-pong interference (the paper's §3 scenario).
+func (a *Analysis) ConflictRatio(refs []int) float64 {
+	if len(refs) < 2 {
+		return 0
+	}
+	together := a.Misses(refs)
+	alone := 0.0
+	for _, r := range refs {
+		alone += a.Misses([]int{r})
+	}
+	if alone == 0 {
+		return 0
+	}
+	return (together - alone) / alone
+}

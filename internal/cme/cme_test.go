@@ -1,0 +1,196 @@
+package cme
+
+import (
+	"math"
+	"testing"
+
+	"multivliw/internal/loop"
+)
+
+// geom4k is a 4KB direct-mapped cache with 64B lines (the 2-cluster local
+// cache of Table 1).
+func geom4k() Geometry { return Geometry{CapacityBytes: 4096, LineBytes: 64} }
+
+// kernel1D builds `for i in [0,trip): use refs` over the given arrays. Each
+// spec is (array, Aff index); even specs load, a final store is not needed
+// for miss analysis.
+func kernel1D(trip int, arrs []*loop.Array, idx []loop.Aff1) *loop.Kernel {
+	b := loop.NewBuilder("t", trip)
+	var last loop.Value
+	for i, a := range arrs {
+		last = b.Load(a, idx[i])
+	}
+	_ = last
+	return b.MustBuild()
+}
+
+func TestSelfSpatialStreamMissRatio(t *testing.T) {
+	// A stride-1 stream of 8-byte elements on 64B lines misses once per
+	// line: ratio 1/8. Array is much larger than the cache.
+	s := loop.NewAddressSpace(0, 64, 0)
+	a := s.Alloc("A", 8, 1<<16)
+	k := kernel1D(1024, []*loop.Array{a}, []loop.Aff1{loop.Aff(0, 1)})
+	an := New(k, geom4k(), DefaultParams())
+	refs := []int{0}
+	got := an.MissRatio(0, refs)
+	if math.Abs(got-0.125) > 0.02 {
+		t.Errorf("stride-1 miss ratio = %v, want ~0.125", got)
+	}
+}
+
+func TestSelfTemporalSingleMiss(t *testing.T) {
+	// A[0] every iteration: one cold miss over the whole space.
+	s := loop.NewAddressSpace(0, 64, 0)
+	a := s.Alloc("A", 8, 1024)
+	k := kernel1D(512, []*loop.Array{a}, []loop.Aff1{loop.Aff(0)})
+	an := New(k, geom4k(), DefaultParams())
+	if got := an.Misses([]int{0}); got > 1.01 {
+		t.Errorf("self-temporal misses = %v, want <= 1", got)
+	}
+	if ratio := an.MissRatio(0, []int{0}); ratio > 0.01 {
+		t.Errorf("self-temporal ratio = %v, want ~0", ratio)
+	}
+}
+
+func TestPingPongConflict(t *testing.T) {
+	// B and C at a cache-capacity multiple apart: alternating B[i], C[i]
+	// thrash the same set every iteration (the paper's §3 scenario).
+	s := loop.NewAddressSpace(0, 1, 0)
+	b := s.AllocAt("B", 0, 8, 4096)
+	// C starts at a multiple of the cache capacity beyond B's extent, so
+	// B[i] and C[i] always collide in the same set.
+	c := s.AllocAt("C", 16*4096, 8, 4096)
+	k := kernel1D(1024, []*loop.Array{b, c}, []loop.Aff1{loop.Aff(0, 1), loop.Aff(0, 1)})
+	an := New(k, geom4k(), DefaultParams())
+	both := []int{0, 1}
+	r0 := an.MissRatio(0, both)
+	r1 := an.MissRatio(1, both)
+	if r0 < 0.95 || r1 < 0.95 {
+		t.Errorf("ping-pong ratios = %v, %v, want ~1.0 each", r0, r1)
+	}
+	// Analyzed apart, each is a well-behaved stream.
+	if r := an.MissRatio(0, []int{0}); r > 0.2 {
+		t.Errorf("B alone ratio = %v, want ~0.125", r)
+	}
+	if cr := an.ConflictRatio(both); cr < 1 {
+		t.Errorf("ConflictRatio = %v, want >> 0 for ping-pong", cr)
+	}
+}
+
+func TestGroupReuse(t *testing.T) {
+	// B[i] and B[i+1] share lines: the combined set misses like a single
+	// stream, the trailing reference almost never misses.
+	s := loop.NewAddressSpace(0, 64, 0)
+	b := s.Alloc("B", 8, 1<<16)
+	k := kernel1D(1024, []*loop.Array{b, b}, []loop.Aff1{loop.Aff(0, 1), loop.Aff(1, 1)})
+	an := New(k, geom4k(), DefaultParams())
+	both := []int{0, 1}
+	alone := an.Misses([]int{0})
+	together := an.Misses(both)
+	if together > alone*1.3 {
+		t.Errorf("group reuse: together=%v alone=%v, want near-equal", together, alone)
+	}
+}
+
+func TestStridedPlusOnePattern(t *testing.T) {
+	// The motivating example's per-cluster pattern: B(I), B(I+1) with
+	// I = 1, 3, 5, ... (offset 1, coefficient 2, as in DO I=1,N,2). A new
+	// 8-element line starts every 4 iterations and the +1 reference
+	// touches it first: its ratio is ~25%, the base reference's ~0%.
+	s := loop.NewAddressSpace(0, 64, 0)
+	b := s.Alloc("B", 8, 1<<16)
+	k := kernel1D(1024, []*loop.Array{b, b}, []loop.Aff1{loop.Aff(1, 2), loop.Aff(2, 2)})
+	an := New(k, geom4k(), DefaultParams())
+	both := []int{0, 1}
+	rBase := an.MissRatio(0, both)
+	rPlus := an.MissRatio(1, both)
+	if math.Abs(rPlus-0.25) > 0.05 {
+		t.Errorf("B(I+1) ratio = %v, want ~0.25", rPlus)
+	}
+	if rBase > 0.05 {
+		t.Errorf("B(I) ratio = %v, want ~0", rBase)
+	}
+}
+
+func TestSamplingTracksExact(t *testing.T) {
+	// The sampled estimate on a large space must be close to the exact
+	// ratio computed with a huge ExactLimit.
+	s := loop.NewAddressSpace(0, 64, 0)
+	a := s.Alloc("A", 8, 1<<18)
+	k := kernel1D(20000, []*loop.Array{a}, []loop.Aff1{loop.Aff(0, 1)})
+	sampled := New(k, geom4k(), DefaultParams())
+	exact := New(k, geom4k(), Params{ExactLimit: 1 << 20, Windows: 1, WindowIters: 1, WarmupIters: 0})
+	rs := sampled.MissRatio(0, []int{0})
+	re := exact.MissRatio(0, []int{0})
+	if math.Abs(rs-re) > 0.03 {
+		t.Errorf("sampled ratio %v vs exact %v", rs, re)
+	}
+	if sampled.Analyze([]int{0}).Sampled >= 20000 {
+		t.Error("sampling did not reduce the replayed space")
+	}
+}
+
+func TestMemoization(t *testing.T) {
+	s := loop.NewAddressSpace(0, 64, 0)
+	a := s.Alloc("A", 8, 1<<14)
+	k := kernel1D(512, []*loop.Array{a, a}, []loop.Aff1{loop.Aff(0, 1), loop.Aff(3, 1)})
+	an := New(k, geom4k(), DefaultParams())
+	r1 := an.Analyze([]int{1, 0})
+	r2 := an.Analyze([]int{0, 1}) // same set, different order
+	if r1.Misses != r2.Misses {
+		t.Errorf("memoized results differ: %v vs %v", r1.Misses, r2.Misses)
+	}
+	if len(an.memo) != 1 {
+		t.Errorf("memo entries = %d, want 1", len(an.memo))
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	s := loop.NewAddressSpace(0, 64, 0)
+	a := s.Alloc("A", 8, 128)
+	k := kernel1D(64, []*loop.Array{a}, []loop.Aff1{loop.Aff(0, 1)})
+	an := New(k, geom4k(), DefaultParams())
+	if got := an.Misses(nil); got != 0 {
+		t.Errorf("Misses(empty) = %v, want 0", got)
+	}
+}
+
+func TestReuseVectors(t *testing.T) {
+	s := loop.NewAddressSpace(0, 64, 0)
+	a := s.Alloc("A", 8, 4096)
+	bArr := s.Alloc("B", 8, 4096)
+	b := loop.NewBuilder("t", 256)
+	b.Load(a, loop.Aff(0, 1))    // ref 0: self-spatial
+	b.Load(a, loop.Aff(1, 1))    // ref 1: group with ref 0
+	b.Load(bArr, loop.Aff(0))    // ref 2: self-temporal
+	b.Load(bArr, loop.Aff(0, 9)) // ref 3: stride 72B > line: no self reuse
+	k := b.MustBuild()
+	an := New(k, geom4k(), DefaultParams())
+	vecs := an.ReuseVectors([]int{0, 1, 2, 3})
+	kinds := map[ReuseKind]int{}
+	for _, v := range vecs {
+		kinds[v.Kind]++
+	}
+	if kinds[SelfSpatial] != 2 { // refs 0 and 1
+		t.Errorf("self-spatial count = %d, want 2 (%v)", kinds[SelfSpatial], vecs)
+	}
+	if kinds[SelfTemporal] != 1 {
+		t.Errorf("self-temporal count = %d, want 1 (%v)", kinds[SelfTemporal], vecs)
+	}
+	if kinds[GroupSpatial] != 1 { // refs 0->1, 8 bytes apart
+		t.Errorf("group-spatial count = %d, want 1 (%v)", kinds[GroupSpatial], vecs)
+	}
+}
+
+func TestMissesMonotoneUnderSetGrowth(t *testing.T) {
+	// Adding a conflicting reference to a set must not decrease total
+	// misses (it can only add its own accesses and interference).
+	s := loop.NewAddressSpace(0, 1, 0)
+	b := s.AllocAt("B", 0, 8, 4096)
+	c := s.AllocAt("C", 4096, 8, 4096)
+	k := kernel1D(512, []*loop.Array{b, c}, []loop.Aff1{loop.Aff(0, 1), loop.Aff(0, 1)})
+	an := New(k, geom4k(), DefaultParams())
+	if an.Misses([]int{0, 1}) < an.Misses([]int{0}) {
+		t.Error("misses decreased when adding a reference")
+	}
+}

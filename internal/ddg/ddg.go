@@ -1,0 +1,551 @@
+// Package ddg implements the data dependence graph that modulo scheduling
+// consumes: typed operation nodes connected by register and memory dependence
+// edges annotated with an iteration distance.
+//
+// The package also provides the standard modulo-scheduling analyses: strongly
+// connected components (recurrences), the recurrence-constrained minimum
+// initiation interval (RecMII), the resource-constrained minimum initiation
+// interval (ResMII) and ASAP/ALAP/mobility tables for a candidate II.
+package ddg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multivliw/internal/machine"
+)
+
+// OpClass is the operation class of a node; it determines which functional
+// unit kind executes the node and the node's default latency.
+type OpClass int
+
+const (
+	// IntALU is integer add/sub/logic/compare (induction updates, address
+	// arithmetic).
+	IntALU OpClass = iota
+	// IntMul is integer multiply.
+	IntMul
+	// FPAdd is floating-point add/subtract.
+	FPAdd
+	// FPMul is floating-point multiply.
+	FPMul
+	// FPDiv is floating-point divide or square root.
+	FPDiv
+	// Load reads memory through the cluster-local L1.
+	Load
+	// Store writes memory through the cluster-local L1; it produces no
+	// register value.
+	Store
+
+	numOpClasses
+)
+
+// String returns the mnemonic of the class.
+func (c OpClass) String() string {
+	switch c {
+	case IntALU:
+		return "iadd"
+	case IntMul:
+		return "imul"
+	case FPAdd:
+		return "fadd"
+	case FPMul:
+		return "fmul"
+	case FPDiv:
+		return "fdiv"
+	case Load:
+		return "ld"
+	case Store:
+		return "st"
+	default:
+		return fmt.Sprintf("OpClass(%d)", int(c))
+	}
+}
+
+// FUKind maps the class to the functional-unit kind that executes it.
+func (c OpClass) FUKind() machine.FUKind {
+	switch c {
+	case IntALU, IntMul:
+		return machine.FUInt
+	case FPAdd, FPMul, FPDiv:
+		return machine.FUFloat
+	case Load, Store:
+		return machine.FUMem
+	default:
+		panic("ddg: unknown op class")
+	}
+}
+
+// IsMemory reports whether the class accesses memory.
+func (c OpClass) IsMemory() bool { return c == Load || c == Store }
+
+// HasResult reports whether the class produces a register value.
+func (c OpClass) HasResult() bool { return c != Store }
+
+// Latency returns the class's default latency under the given table (a load
+// is assumed to hit in the local cache; the scheduler may override this per
+// node for binding prefetching).
+func (c OpClass) Latency(l machine.Latencies) int {
+	switch c {
+	case IntALU:
+		return l.IntALU
+	case IntMul:
+		return l.IntMul
+	case FPAdd:
+		return l.FPAdd
+	case FPMul:
+		return l.FPMul
+	case FPDiv:
+		return l.FPDiv
+	case Load:
+		return l.Load
+	case Store:
+		return l.Store
+	default:
+		panic("ddg: unknown op class")
+	}
+}
+
+// NoRef marks a node that carries no memory reference.
+const NoRef = -1
+
+// Node is one operation of the loop body.
+type Node struct {
+	ID    int
+	Class OpClass
+	Name  string
+	// Ref indexes the kernel's affine-reference table for Load/Store
+	// nodes and is NoRef otherwise.
+	Ref int
+}
+
+// EdgeKind distinguishes register dataflow from memory ordering.
+type EdgeKind int
+
+const (
+	// RegDep is a register flow dependence: the consumer reads the value
+	// the producer writes; its latency is the producer's latency (plus
+	// inter-cluster communication if the endpoints land in different
+	// clusters).
+	RegDep EdgeKind = iota
+	// MemDep is a memory ordering dependence (store→load, store→store);
+	// its latency is one cycle: the dependent access must issue strictly
+	// later, and the hardware checks the addresses dynamically.
+	MemDep
+)
+
+// String names the edge kind.
+func (k EdgeKind) String() string {
+	if k == MemDep {
+		return "mem"
+	}
+	return "reg"
+}
+
+// Edge is a dependence from From to To carried across Distance iterations
+// (0 = intra-iteration).
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+	Distance int
+}
+
+// Graph is a data dependence graph. The zero value is an empty graph ready
+// to use.
+type Graph struct {
+	nodes []Node
+	out   [][]Edge
+	in    [][]Edge
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// AddNode appends a node of the given class and returns its ID.
+func (g *Graph) AddNode(c OpClass, name string, ref int) int {
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, Node{ID: id, Class: c, Name: name, Ref: ref})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return id
+}
+
+// AddEdge records a dependence. It panics on out-of-range node IDs or a
+// negative distance, which are programming errors in kernel construction.
+func (g *Graph) AddEdge(from, to int, kind EdgeKind, distance int) {
+	if from < 0 || from >= len(g.nodes) || to < 0 || to >= len(g.nodes) {
+		panic(fmt.Sprintf("ddg: edge %d->%d out of range (n=%d)", from, to, len(g.nodes)))
+	}
+	if distance < 0 {
+		panic(fmt.Sprintf("ddg: edge %d->%d with negative distance %d", from, to, distance))
+	}
+	e := Edge{From: from, To: to, Kind: kind, Distance: distance}
+	g.out[from] = append(g.out[from], e)
+	g.in[to] = append(g.in[to], e)
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id int) Node { return g.nodes[id] }
+
+// Nodes returns the node slice (callers must not mutate it).
+func (g *Graph) Nodes() []Node { return g.nodes }
+
+// Out returns the outgoing edges of id.
+func (g *Graph) Out(id int) []Edge { return g.out[id] }
+
+// In returns the incoming edges of id.
+func (g *Graph) In(id int) []Edge { return g.in[id] }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int {
+	n := 0
+	for _, es := range g.out {
+		n += len(es)
+	}
+	return n
+}
+
+// Validate checks that the graph is schedulable: every dependence cycle must
+// carry a positive total iteration distance (a zero-distance cycle would mean
+// an operation depends on itself within one iteration).
+func (g *Graph) Validate() error {
+	// DFS for a cycle in the distance-0 subgraph.
+	const (
+		white = iota
+		grey
+		black
+	)
+	color := make([]int, len(g.nodes))
+	var visit func(v int) error
+	visit = func(v int) error {
+		color[v] = grey
+		for _, e := range g.out[v] {
+			if e.Distance != 0 {
+				continue
+			}
+			switch color[e.To] {
+			case grey:
+				return fmt.Errorf("ddg: zero-distance dependence cycle through %q and %q", g.nodes[v].Name, g.nodes[e.To].Name)
+			case white:
+				if err := visit(e.To); err != nil {
+					return err
+				}
+			}
+		}
+		color[v] = black
+		return nil
+	}
+	for v := range g.nodes {
+		if color[v] == white {
+			if err := visit(v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultLatencies returns the per-node latency vector implied by the node
+// classes and the machine latency table. The scheduler mutates a copy of this
+// vector when it binds loads to the cache-miss latency.
+func DefaultLatencies(g *Graph, l machine.Latencies) []int {
+	lat := make([]int, g.NumNodes())
+	for i, n := range g.nodes {
+		lat[i] = n.Class.Latency(l)
+	}
+	return lat
+}
+
+// EdgeLatency returns the scheduling latency of edge e given the per-node
+// latency vector: producer latency for register dependences, one cycle for
+// memory ordering.
+func EdgeLatency(e Edge, lat []int) int {
+	if e.Kind == MemDep {
+		return 1
+	}
+	return lat[e.From]
+}
+
+// SCCs returns the strongly connected components of the graph in reverse
+// topological order, each as a sorted slice of node IDs. Tarjan, iterative.
+func (g *Graph) SCCs() [][]int {
+	n := len(g.nodes)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var (
+		stack  []int
+		result [][]int
+		next   = 1
+	)
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		work := []frame{{root, 0}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.ei < len(g.out[v]) {
+				e := g.out[v][f.ei]
+				f.ei++
+				if index[e.To] == -1 {
+					work = append(work, frame{e.To, 0})
+					advanced = true
+					break
+				}
+				if onStack[e.To] && index[e.To] < low[v] {
+					low[v] = index[e.To]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// Post-order: pop and propagate lowlink.
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sort.Ints(comp)
+				result = append(result, comp)
+			}
+		}
+	}
+	return result
+}
+
+// InRecurrence returns, per node, whether the node belongs to a dependence
+// cycle (an SCC with more than one node, or a self-edge).
+func (g *Graph) InRecurrence() []bool {
+	in := make([]bool, g.NumNodes())
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			for _, v := range comp {
+				in[v] = true
+			}
+		}
+	}
+	for v := range g.nodes {
+		for _, e := range g.out[v] {
+			if e.To == v {
+				in[v] = true
+			}
+		}
+	}
+	return in
+}
+
+// hasPositiveCycle reports whether the constraint graph with edge weights
+// lat(e) − ii·distance(e) contains a positive-weight cycle, i.e. whether ii
+// is infeasible for the recurrences.
+func (g *Graph) hasPositiveCycle(lat []int, ii int) bool {
+	n := g.NumNodes()
+	dist := make([]int64, n)
+	// Bellman-Ford longest-path relaxation from all sources at once;
+	// if anything still relaxes after n rounds there is a positive cycle.
+	for round := 0; round < n; round++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			dv := dist[v]
+			for _, e := range g.out[v] {
+				w := int64(EdgeLatency(e, lat)) - int64(ii)*int64(e.Distance)
+				if dv+w > dist[e.To] {
+					dist[e.To] = dv + w
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	return true
+}
+
+// RecMII returns the recurrence-constrained minimum initiation interval for
+// the given per-node latency vector: the smallest II such that every
+// dependence cycle C satisfies sum(lat) ≤ II · sum(distance). Returns 1 for
+// acyclic graphs.
+func (g *Graph) RecMII(lat []int) int {
+	hi := 1
+	for _, l := range lat {
+		hi += l
+	}
+	lo := 1
+	// Feasibility is monotone in II: more slack per distance unit.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if g.hasPositiveCycle(lat, mid) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// ResMII returns the resource-constrained minimum initiation interval on the
+// given machine: for each functional-unit kind, the ceiling of operation
+// count over machine-wide unit count.
+func (g *Graph) ResMII(cfg machine.Config) int {
+	var count [machine.NumFUKinds]int
+	for _, n := range g.nodes {
+		count[n.Class.FUKind()]++
+	}
+	mii := 1
+	for k, c := range count {
+		units := cfg.TotalFUs(machine.FUKind(k))
+		if c == 0 {
+			continue
+		}
+		if units == 0 {
+			// Unschedulable on this machine; report a huge MII so the
+			// caller fails loudly rather than looping.
+			return 1 << 20
+		}
+		if m := (c + units - 1) / units; m > mii {
+			mii = m
+		}
+	}
+	return mii
+}
+
+// MII returns max(RecMII, ResMII).
+func (g *Graph) MII(lat []int, cfg machine.Config) int {
+	r := g.RecMII(lat)
+	if s := g.ResMII(cfg); s > r {
+		return s
+	}
+	return r
+}
+
+// Times holds the ASAP/ALAP tables of the graph for one candidate II.
+type Times struct {
+	II     int
+	ASAP   []int // earliest start honoring dependences (resources ignored)
+	ALAP   []int // latest start
+	Length int   // critical-path length: max(ASAP+lat) over nodes
+}
+
+// Mobility returns ALAP−ASAP for node v: its scheduling freedom.
+func (t *Times) Mobility(v int) int { return t.ALAP[v] - t.ASAP[v] }
+
+// Depth returns the ASAP time (distance from the graph's sources).
+func (t *Times) Depth(v int) int { return t.ASAP[v] }
+
+// Height returns the distance to the graph's sinks: Length − ALAP.
+func (t *Times) Height(v int) int { return t.Length - t.ALAP[v] }
+
+// ComputeTimes computes ASAP and ALAP tables for the given II, which must be
+// at least RecMII (otherwise the relaxation would not converge; the function
+// panics after n rounds in that case).
+func (g *Graph) ComputeTimes(lat []int, ii int) *Times {
+	n := g.NumNodes()
+	asap := make([]int, n)
+	for round := 0; ; round++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			for _, e := range g.out[v] {
+				t := asap[v] + EdgeLatency(e, lat) - ii*e.Distance
+				if t > asap[e.To] {
+					asap[e.To] = t
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > n+2 {
+			panic(fmt.Sprintf("ddg: ComputeTimes with ii=%d below RecMII", ii))
+		}
+	}
+	length := 0
+	for v := 0; v < n; v++ {
+		if t := asap[v] + lat[v]; t > length {
+			length = t
+		}
+	}
+	alap := make([]int, n)
+	for v := range alap {
+		alap[v] = length - lat[v]
+	}
+	for round := 0; ; round++ {
+		changed := false
+		for v := 0; v < n; v++ {
+			for _, e := range g.out[v] {
+				t := alap[e.To] - EdgeLatency(e, lat) + ii*e.Distance
+				if t < alap[v] {
+					alap[v] = t
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > n+2 {
+			panic(fmt.Sprintf("ddg: ComputeTimes/ALAP with ii=%d below RecMII", ii))
+		}
+	}
+	return &Times{II: ii, ASAP: asap, ALAP: alap, Length: length}
+}
+
+// Dot renders the graph in Graphviz DOT form (debugging, documentation).
+func (g *Graph) Dot(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for _, n := range g.nodes {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", n.ID, fmt.Sprintf("%s:%s", n.Name, n.Class))
+	}
+	for v := range g.nodes {
+		for _, e := range g.out[v] {
+			attr := ""
+			if e.Distance > 0 {
+				attr = fmt.Sprintf(" [label=\"d=%d\"]", e.Distance)
+			}
+			if e.Kind == MemDep {
+				if attr == "" {
+					attr = " [style=dashed]"
+				} else {
+					attr = fmt.Sprintf(" [label=\"d=%d\",style=dashed]", e.Distance)
+				}
+			}
+			fmt.Fprintf(&b, "  n%d -> n%d%s;\n", e.From, e.To, attr)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

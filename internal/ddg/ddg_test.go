@@ -1,0 +1,324 @@
+package ddg
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"multivliw/internal/machine"
+)
+
+// chain builds a0 -> a1 -> ... -> a(n-1) with unit latency edges.
+func chain(n int) *Graph {
+	g := New()
+	for i := 0; i < n; i++ {
+		g.AddNode(IntALU, "n", NoRef)
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, RegDep, 0)
+	}
+	return g
+}
+
+func unitLat(g *Graph) []int {
+	lat := make([]int, g.NumNodes())
+	for i := range lat {
+		lat[i] = 1
+	}
+	return lat
+}
+
+func TestRecMIIAcyclic(t *testing.T) {
+	g := chain(5)
+	if got := g.RecMII(unitLat(g)); got != 1 {
+		t.Errorf("RecMII(chain) = %d, want 1", got)
+	}
+}
+
+func TestRecMIIAccumulator(t *testing.T) {
+	// A floating-point accumulator s += x with a 2-cycle adder forces
+	// RecMII = 2; with a distance-2 carry (unrolled by 2) it halves back to 1.
+	g := New()
+	add := g.AddNode(FPAdd, "acc", NoRef)
+	g.AddEdge(add, add, RegDep, 1)
+	lat := []int{2}
+	if got := g.RecMII(lat); got != 2 {
+		t.Errorf("RecMII(acc dist 1) = %d, want 2", got)
+	}
+
+	g2 := New()
+	add2 := g2.AddNode(FPAdd, "acc", NoRef)
+	g2.AddEdge(add2, add2, RegDep, 2)
+	if got := g2.RecMII(lat); got != 1 {
+		t.Errorf("RecMII(acc dist 2) = %d, want 1", got)
+	}
+}
+
+func TestRecMIIMultiNodeCycle(t *testing.T) {
+	// a -> b -> a (dist 1 on the back edge), latencies 2 and 3: the cycle
+	// carries 5 cycles of latency over distance 1 => RecMII 5.
+	g := New()
+	a := g.AddNode(FPAdd, "a", NoRef)
+	b := g.AddNode(FPMul, "b", NoRef)
+	g.AddEdge(a, b, RegDep, 0)
+	g.AddEdge(b, a, RegDep, 1)
+	if got := g.RecMII([]int{2, 3}); got != 5 {
+		t.Errorf("RecMII = %d, want 5", got)
+	}
+}
+
+func TestRecMIIMonotoneInLatency(t *testing.T) {
+	// Property: raising any latency never lowers RecMII.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddNode(FPAdd, "n", NoRef)
+		}
+		for i := 0; i < n*2; i++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			dist := 0
+			if to <= from {
+				dist = 1 + rng.Intn(2)
+			}
+			g.AddEdge(from, to, RegDep, dist)
+		}
+		lat := make([]int, n)
+		for i := range lat {
+			lat[i] = 1 + rng.Intn(4)
+		}
+		before := g.RecMII(lat)
+		lat[rng.Intn(n)] += 1 + rng.Intn(3)
+		after := g.RecMII(lat)
+		return after >= before
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResMII(t *testing.T) {
+	g := New()
+	for i := 0; i < 5; i++ {
+		g.AddNode(Load, "ld", i)
+	}
+	g.AddNode(FPAdd, "f", NoRef)
+	// 5 memory ops on 4 machine-wide MEM units => ceil(5/4) = 2.
+	if got := g.ResMII(machine.Unified()); got != 2 {
+		t.Errorf("ResMII = %d, want 2", got)
+	}
+	// 1 unit per cluster x 4 clusters is still 4 units machine-wide.
+	if got := g.ResMII(machine.FourCluster(2, 1, 1, 1)); got != 2 {
+		t.Errorf("ResMII(4cl) = %d, want 2", got)
+	}
+}
+
+func TestMII(t *testing.T) {
+	g := New()
+	a := g.AddNode(FPAdd, "a", NoRef)
+	g.AddEdge(a, a, RegDep, 1)
+	lat := []int{7}
+	if got := g.MII(lat, machine.Unified()); got != 7 {
+		t.Errorf("MII = %d, want 7 (recurrence-bound)", got)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	// Two 2-cycles and one isolated node.
+	g := New()
+	for i := 0; i < 5; i++ {
+		g.AddNode(IntALU, "n", NoRef)
+	}
+	g.AddEdge(0, 1, RegDep, 0)
+	g.AddEdge(1, 0, RegDep, 1)
+	g.AddEdge(2, 3, RegDep, 0)
+	g.AddEdge(3, 2, RegDep, 1)
+	comps := g.SCCs()
+	sizes := map[int]int{}
+	for _, c := range comps {
+		sizes[len(c)]++
+	}
+	if sizes[2] != 2 || sizes[1] != 1 {
+		t.Errorf("SCC sizes = %v, want two 2-components and one singleton", sizes)
+	}
+}
+
+func TestSCCsCoverAllNodesOnce(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddNode(IntALU, "n", NoRef)
+		}
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n), RegDep, rng.Intn(2))
+		}
+		seen := make([]int, n)
+		for _, comp := range g.SCCs() {
+			for _, v := range comp {
+				seen[v]++
+			}
+		}
+		for _, s := range seen {
+			if s != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInRecurrence(t *testing.T) {
+	g := New()
+	a := g.AddNode(FPAdd, "a", NoRef)
+	b := g.AddNode(FPAdd, "b", NoRef)
+	c := g.AddNode(FPAdd, "c", NoRef)
+	g.AddEdge(a, b, RegDep, 0)
+	g.AddEdge(b, a, RegDep, 1)
+	g.AddEdge(b, c, RegDep, 0)
+	in := g.InRecurrence()
+	if !in[a] || !in[b] || in[c] {
+		t.Errorf("InRecurrence = %v, want [true true false]", in)
+	}
+}
+
+func TestValidateZeroDistanceCycle(t *testing.T) {
+	g := New()
+	a := g.AddNode(IntALU, "a", NoRef)
+	b := g.AddNode(IntALU, "b", NoRef)
+	g.AddEdge(a, b, RegDep, 0)
+	g.AddEdge(b, a, RegDep, 0)
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted a zero-distance cycle")
+	}
+	// The same cycle with distance on the back edge is fine.
+	g2 := New()
+	a2 := g2.AddNode(IntALU, "a", NoRef)
+	b2 := g2.AddNode(IntALU, "b", NoRef)
+	g2.AddEdge(a2, b2, RegDep, 0)
+	g2.AddEdge(b2, a2, RegDep, 1)
+	if err := g2.Validate(); err != nil {
+		t.Errorf("Validate rejected a legal carried cycle: %v", err)
+	}
+}
+
+func TestComputeTimes(t *testing.T) {
+	g := chain(4)
+	lat := []int{2, 2, 2, 2}
+	tm := g.ComputeTimes(lat, 1)
+	wantASAP := []int{0, 2, 4, 6}
+	for i, w := range wantASAP {
+		if tm.ASAP[i] != w {
+			t.Errorf("ASAP[%d] = %d, want %d", i, tm.ASAP[i], w)
+		}
+		if tm.ALAP[i] != w {
+			t.Errorf("ALAP[%d] = %d, want %d (chain has no slack)", i, tm.ALAP[i], w)
+		}
+		if tm.Mobility(i) != 0 {
+			t.Errorf("Mobility[%d] = %d, want 0", i, tm.Mobility(i))
+		}
+	}
+	if tm.Length != 8 {
+		t.Errorf("Length = %d, want 8", tm.Length)
+	}
+}
+
+func TestComputeTimesASAPNeverExceedsALAP(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		g := New()
+		for i := 0; i < n; i++ {
+			g.AddNode(FPAdd, "n", NoRef)
+		}
+		for i := 0; i < n; i++ {
+			from, to := rng.Intn(n), rng.Intn(n)
+			dist := 0
+			if to <= from {
+				dist = 1
+			}
+			g.AddEdge(from, to, RegDep, dist)
+		}
+		lat := make([]int, n)
+		for i := range lat {
+			lat[i] = 1 + rng.Intn(3)
+		}
+		tm := g.ComputeTimes(lat, g.RecMII(lat))
+		for v := 0; v < n; v++ {
+			if tm.ASAP[v] > tm.ALAP[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeLatency(t *testing.T) {
+	g := New()
+	ld := g.AddNode(Load, "ld", 0)
+	st := g.AddNode(Store, "st", 1)
+	g.AddEdge(st, ld, MemDep, 1)
+	lat := []int{12, 1}
+	if got := EdgeLatency(g.Out(st)[0], lat); got != 1 {
+		t.Errorf("mem-dep latency = %d, want 1", got)
+	}
+	if got := EdgeLatency(Edge{From: ld, To: st, Kind: RegDep}, lat); got != 12 {
+		t.Errorf("reg-dep latency = %d, want producer latency 12", got)
+	}
+}
+
+func TestOpClassProperties(t *testing.T) {
+	l := machine.DefaultLatencies()
+	cases := []struct {
+		c      OpClass
+		kind   machine.FUKind
+		mem    bool
+		result bool
+		lat    int
+	}{
+		{IntALU, machine.FUInt, false, true, 1},
+		{IntMul, machine.FUInt, false, true, 2},
+		{FPAdd, machine.FUFloat, false, true, 2},
+		{FPMul, machine.FUFloat, false, true, 2},
+		{FPDiv, machine.FUFloat, false, true, 6},
+		{Load, machine.FUMem, true, true, 2},
+		{Store, machine.FUMem, true, false, 1},
+	}
+	for _, tc := range cases {
+		if tc.c.FUKind() != tc.kind {
+			t.Errorf("%v.FUKind() = %v, want %v", tc.c, tc.c.FUKind(), tc.kind)
+		}
+		if tc.c.IsMemory() != tc.mem {
+			t.Errorf("%v.IsMemory() = %v", tc.c, tc.c.IsMemory())
+		}
+		if tc.c.HasResult() != tc.result {
+			t.Errorf("%v.HasResult() = %v", tc.c, tc.c.HasResult())
+		}
+		if got := tc.c.Latency(l); got != tc.lat {
+			t.Errorf("%v.Latency = %d, want %d", tc.c, got, tc.lat)
+		}
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	g := New()
+	a := g.AddNode(Load, "x", 0)
+	b := g.AddNode(FPAdd, "y", NoRef)
+	g.AddEdge(a, b, RegDep, 0)
+	g.AddEdge(b, b, RegDep, 1)
+	dot := g.Dot("t")
+	for _, want := range []string{"digraph", "n0 -> n1", "d=1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q:\n%s", want, dot)
+		}
+	}
+}

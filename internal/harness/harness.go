@@ -1,0 +1,392 @@
+// Package harness regenerates the paper's evaluation: every table and
+// figure of §5, on the synthetic SPECfp95 suite of package workloads.
+//
+// The metric is the paper's: number of cycles executing modulo-scheduled
+// loops, split into compute (NCYCLE_compute) and stall (NCYCLE_stall)
+// components, normalized per benchmark to the Unified configuration with the
+// traditional hit-latency scheme (threshold 1.00) and averaged over the
+// eight benchmarks.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multivliw/internal/cme"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/sim"
+	"multivliw/internal/workloads"
+)
+
+// Thresholds are the cache-miss thresholds of the figures, from the
+// traditional scheme (1.00) to the most aggressive prefetching (0.00).
+var Thresholds = []float64{1.00, 0.75, 0.25, 0.00}
+
+// Bar is one bar of a figure: a (configuration, scheduler, threshold) cell
+// with its normalized compute and stall components.
+type Bar struct {
+	Label     string
+	Clusters  int
+	Scheduler string
+	Threshold float64
+	LRB, LMB  int // bus latencies
+	NRB, NMB  int // bus counts (machine.Unbounded allowed)
+
+	Compute float64 // normalized to Unified @ threshold 1.00
+	Stall   float64
+}
+
+// Total returns the normalized total cycles of the bar.
+func (b Bar) Total() float64 { return b.Compute + b.Stall }
+
+// Runner evaluates configurations over the suite, sharing CME analyses and
+// per-kernel reference results across cells.
+type Runner struct {
+	Suite  []workloads.Benchmark
+	SimCap int // innermost-iteration cap per kernel simulation (0 = full)
+
+	cme  map[*loop.Kernel]map[cme.Geometry]*cme.Analysis
+	base map[*loop.Kernel]baseRef
+}
+
+type baseRef struct {
+	total int64
+}
+
+// NewRunner builds a runner over the full suite with a simulation cap that
+// keeps sweeps fast while past the warm-up transient.
+func NewRunner() *Runner {
+	return &Runner{Suite: workloads.Suite(), SimCap: 1024}
+}
+
+// NewRunnerWith builds a runner over a custom suite (tests use subsets).
+func NewRunnerWith(suite []workloads.Benchmark, simCap int) *Runner {
+	return &Runner{Suite: suite, SimCap: simCap}
+}
+
+// analysis returns the shared CME analysis for kernel k on a machine with
+// the given per-cluster cache capacity.
+func (r *Runner) analysis(k *loop.Kernel, cfg machine.Config) *cme.Analysis {
+	if r.cme == nil {
+		r.cme = make(map[*loop.Kernel]map[cme.Geometry]*cme.Analysis)
+	}
+	per := r.cme[k]
+	if per == nil {
+		per = make(map[cme.Geometry]*cme.Analysis)
+		r.cme[k] = per
+	}
+	geom := cme.Geometry{CapacityBytes: cfg.CacheBytesPerCluster(), LineBytes: cfg.LineBytes, Assoc: cfg.Assoc}
+	an := per[geom]
+	if an == nil {
+		an = cme.New(k, geom, cme.DefaultParams())
+		per[geom] = an
+	}
+	return an
+}
+
+// runKernel schedules and simulates one kernel, returning raw cycle counts.
+func (r *Runner) runKernel(k *loop.Kernel, cfg machine.Config, pol sched.Policy, thr float64) (compute, stall int64, s *sched.Schedule, res *sim.Result, err error) {
+	s, err = sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: r.analysis(k, cfg)})
+	if err != nil {
+		return 0, 0, nil, nil, fmt.Errorf("%s on %s: %w", k.Name, cfg.Name, err)
+	}
+	res, err = sim.Run(s, sim.Options{MaxInnermostIters: r.SimCap})
+	if err != nil {
+		return 0, 0, nil, nil, fmt.Errorf("%s on %s: %w", k.Name, cfg.Name, err)
+	}
+	return res.Compute, res.Stall, s, res, nil
+}
+
+// unifiedReference returns the per-kernel total of the Unified machine at
+// threshold 1.00 (the normalization denominator), computed lazily.
+func (r *Runner) unifiedReference(k *loop.Kernel) (int64, error) {
+	if r.base == nil {
+		r.base = make(map[*loop.Kernel]baseRef)
+	}
+	if ref, ok := r.base[k]; ok {
+		return ref.total, nil
+	}
+	c, st, _, _, err := r.runKernel(k, machine.Unified(), sched.Baseline, 1.0)
+	if err != nil {
+		return 0, err
+	}
+	r.base[k] = baseRef{total: c + st}
+	return c + st, nil
+}
+
+// Eval runs the whole suite on one (config, scheduler, threshold) cell and
+// returns the benchmark-averaged normalized compute and stall components.
+func (r *Runner) Eval(cfg machine.Config, pol sched.Policy, thr float64) (compute, stall float64, err error) {
+	var sumC, sumS float64
+	for _, b := range r.Suite {
+		var benchC, benchS, benchRef int64
+		for _, k := range b.Kernels {
+			ref, err := r.unifiedReference(k)
+			if err != nil {
+				return 0, 0, err
+			}
+			c, st, _, _, err := r.runKernel(k, cfg, pol, thr)
+			if err != nil {
+				return 0, 0, err
+			}
+			benchC += c
+			benchS += st
+			benchRef += ref
+		}
+		sumC += float64(benchC) / float64(benchRef)
+		sumS += float64(benchS) / float64(benchRef)
+	}
+	n := float64(len(r.Suite))
+	return sumC / n, sumS / n, nil
+}
+
+func clusterConfig(clusters, nrb, lrb, nmb, lmb int) machine.Config {
+	if clusters == 4 {
+		return machine.FourCluster(nrb, lrb, nmb, lmb)
+	}
+	return machine.TwoCluster(nrb, lrb, nmb, lmb)
+}
+
+func (r *Runner) bars(cfg machine.Config, clusters int, label string, lrb, lmb, nrb, nmb int) ([]Bar, error) {
+	var out []Bar
+	for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+		for _, thr := range Thresholds {
+			c, s, err := r.Eval(cfg, pol, thr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Bar{
+				Label: label, Clusters: clusters, Scheduler: pol.String(),
+				Threshold: thr, LRB: lrb, LMB: lmb, NRB: nrb, NMB: nmb,
+				Compute: c, Stall: s,
+			})
+		}
+	}
+	return out, nil
+}
+
+// UnifiedBars returns the reference set: the Unified machine at the four
+// thresholds (the leftmost group of every figure).
+func (r *Runner) UnifiedBars() ([]Bar, error) {
+	var out []Bar
+	for _, thr := range Thresholds {
+		c, s, err := r.Eval(machine.Unified(), sched.Baseline, thr)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Bar{
+			Label: "Unified", Clusters: 1, Scheduler: "Unified", Threshold: thr,
+			Compute: c, Stall: s,
+		})
+	}
+	return out, nil
+}
+
+// Figure5 reproduces the unbounded-bus study for the given cluster count:
+// register and memory bus latencies swept over {1,2,4} with unlimited bus
+// counts, Baseline vs RMCA at the four thresholds.
+func (r *Runner) Figure5(clusters int) ([]Bar, error) {
+	var out []Bar
+	for _, lrb := range []int{1, 2, 4} {
+		for _, lmb := range []int{1, 2, 4} {
+			cfg := clusterConfig(clusters, machine.Unbounded, lrb, machine.Unbounded, lmb)
+			label := fmt.Sprintf("LRB=%d LMB=%d", lrb, lmb)
+			bars, err := r.bars(cfg, clusters, label, lrb, lmb, machine.Unbounded, machine.Unbounded)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bars...)
+		}
+	}
+	return out, nil
+}
+
+// Figure6 reproduces the realistic-bus study: 2 register buses of 1-cycle
+// latency, memory buses swept over counts {1,2} and latencies {1,4}.
+func (r *Runner) Figure6(clusters int) ([]Bar, error) {
+	var out []Bar
+	for _, nmb := range []int{1, 2} {
+		for _, lmb := range []int{1, 4} {
+			cfg := clusterConfig(clusters, 2, 1, nmb, lmb)
+			label := fmt.Sprintf("NMB=%d LMB=%d", nmb, lmb)
+			bars, err := r.bars(cfg, clusters, label, 1, lmb, 2, nmb)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, bars...)
+		}
+	}
+	return out, nil
+}
+
+// RenderBars draws a figure as an ASCII stacked-bar chart: '#' is compute,
+// '.' is stall, scaled so the largest bar spans the full width.
+func RenderBars(title string, unified, bars []Bar) string {
+	const width = 56
+	all := append(append([]Bar(nil), unified...), bars...)
+	maxTotal := 0.0
+	for _, b := range all {
+		if b.Total() > maxTotal {
+			maxTotal = b.Total()
+		}
+	}
+	if maxTotal == 0 {
+		maxTotal = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	prev := ""
+	for _, b := range all {
+		group := fmt.Sprintf("%s %s", b.Label, b.Scheduler)
+		if group != prev {
+			fmt.Fprintf(&sb, "%s\n", group)
+			prev = group
+		}
+		nC := int(b.Compute / maxTotal * width)
+		nS := int(b.Stall / maxTotal * width)
+		fmt.Fprintf(&sb, "  thr %.2f |%s%s| %.3f (c=%.3f s=%.3f)\n",
+			b.Threshold, strings.Repeat("#", nC), strings.Repeat(".", nS),
+			b.Total(), b.Compute, b.Stall)
+	}
+	return sb.String()
+}
+
+// MotivatingResult is the Figure 3 / §3 reproduction: the register-optimal
+// schedule vs the memory-aware one on the paper's 2-cluster example machine.
+type MotivatingResult struct {
+	N int
+
+	BaselineII, RMCAII       int
+	BaselineSC, RMCASC       int
+	BaselineComms, RMCAComms int
+	BaselineTotal, RMCATotal int64
+	BaselineSchedule         *sched.Schedule
+	RMCASchedule             *sched.Schedule
+
+	// Speedup is Baseline cycles over RMCA cycles; the paper derives
+	// 15N+9 vs 10N+8, i.e. 1.5x for large N.
+	Speedup float64
+	// PaperSpeedup evaluates the paper's closed forms at this N.
+	PaperSpeedup float64
+}
+
+// Figure3 reproduces the motivating example for an N-iteration loop.
+func Figure3(n int) (*MotivatingResult, error) {
+	k := workloads.Motivating(n)
+	cfg := workloads.MotivatingConfig()
+	res := &MotivatingResult{N: n}
+	base, err := sched.Run(k, cfg, sched.Options{Policy: sched.Baseline, Threshold: 1.0})
+	if err != nil {
+		return nil, err
+	}
+	rmca, err := sched.Run(k, cfg, sched.Options{Policy: sched.RMCA, Threshold: 1.0})
+	if err != nil {
+		return nil, err
+	}
+	rb, err := sim.Run(base, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	rr, err := sim.Run(rmca, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineII, res.RMCAII = base.II, rmca.II
+	res.BaselineSC, res.RMCASC = base.SC, rmca.SC
+	res.BaselineComms, res.RMCAComms = len(base.Comms), len(rmca.Comms)
+	res.BaselineTotal, res.RMCATotal = rb.Total, rr.Total
+	res.BaselineSchedule, res.RMCASchedule = base, rmca
+	res.Speedup = float64(rb.Total) / float64(rr.Total)
+	res.PaperSpeedup = float64(15*n+9) / float64(10*n+8)
+	return res, nil
+}
+
+// BenchRow is the per-benchmark breakdown of one configuration cell (the
+// paper publishes suite averages; the breakdown shows which codes carry the
+// average).
+type BenchRow struct {
+	Benchmark string
+	Baseline  float64 // normalized total
+	RMCA      float64
+	Gap       float64 // (Baseline-RMCA)/Baseline
+}
+
+// PerBenchmark evaluates one configuration at one threshold per benchmark.
+func (r *Runner) PerBenchmark(cfg machine.Config, thr float64) ([]BenchRow, error) {
+	var rows []BenchRow
+	for _, b := range r.Suite {
+		row := BenchRow{Benchmark: b.Name}
+		for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+			var tot, ref int64
+			for _, k := range b.Kernels {
+				den, err := r.unifiedReference(k)
+				if err != nil {
+					return nil, err
+				}
+				c, st, _, _, err := r.runKernel(k, cfg, pol, thr)
+				if err != nil {
+					return nil, err
+				}
+				tot += c + st
+				ref += den
+			}
+			norm := float64(tot) / float64(ref)
+			if pol == sched.Baseline {
+				row.Baseline = norm
+			} else {
+				row.RMCA = norm
+			}
+		}
+		row.Gap = (row.Baseline - row.RMCA) / row.Baseline
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Benchmark < rows[j].Benchmark })
+	return rows, nil
+}
+
+// CommRow is one row of the supplementary communications table.
+type CommRow struct {
+	Benchmark string
+	Scheduler string
+	Clusters  int
+	CommsIter float64 // register-bus transfers per iteration, kernel-averaged
+	MissRatio float64 // bus-traffic local miss ratio, access-weighted
+}
+
+// CommTable measures inter-cluster communication requirements per benchmark
+// (the paper's conclusion claims "schedules with very low communication
+// requirements").
+func (r *Runner) CommTable(clusters int) ([]CommRow, error) {
+	cfg := clusterConfig(clusters, 2, 1, 2, 1)
+	var rows []CommRow
+	for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+		for _, b := range r.Suite {
+			var comms float64
+			var misses, accesses int64
+			for _, k := range b.Kernels {
+				_, _, s, res, err := r.runKernel(k, cfg, pol, 0.0)
+				if err != nil {
+					return nil, err
+				}
+				comms += float64(len(s.Comms))
+				misses += res.Mem.RemoteHits + res.Mem.MemoryServed
+				accesses += res.Mem.Accesses
+			}
+			rows = append(rows, CommRow{
+				Benchmark: b.Name, Scheduler: pol.String(), Clusters: clusters,
+				CommsIter: comms / float64(len(b.Kernels)),
+				MissRatio: float64(misses) / float64(accesses),
+			})
+		}
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Benchmark != rows[j].Benchmark {
+			return rows[i].Benchmark < rows[j].Benchmark
+		}
+		return rows[i].Scheduler < rows[j].Scheduler
+	})
+	return rows, nil
+}

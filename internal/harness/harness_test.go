@@ -1,0 +1,287 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/workloads"
+)
+
+// smallRunner uses a two-benchmark subset so tests stay fast.
+func smallRunner() *Runner {
+	suite := workloads.Suite()
+	return NewRunnerWith([]workloads.Benchmark{suite[0], suite[5]}, 512)
+}
+
+func TestFigure3ReproducesPaper(t *testing.T) {
+	res, err := Figure3(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's memory-aware schedule: II=4, two communications.
+	if res.RMCAII != 4 {
+		t.Errorf("RMCA II = %d, want 4", res.RMCAII)
+	}
+	if res.RMCAComms != 2 {
+		t.Errorf("RMCA comms = %d, want 2", res.RMCAComms)
+	}
+	// Closed forms: (15N+9)/(10N+8) -> 1.497 at N=100.
+	if math.Abs(res.PaperSpeedup-1.4970) > 0.001 {
+		t.Errorf("paper speedup = %v", res.PaperSpeedup)
+	}
+	// Measured speedup must reproduce the shape: RMCA wins by ~1.5x.
+	if res.Speedup < 1.25 || res.Speedup > 1.85 {
+		t.Errorf("measured speedup %.3f outside [1.25, 1.85] (paper: 1.5)", res.Speedup)
+	}
+	if res.BaselineTotal <= res.RMCATotal {
+		t.Error("baseline did not lose on the motivating example")
+	}
+}
+
+func TestEvalNormalizationIdentity(t *testing.T) {
+	r := smallRunner()
+	c, s, err := r.Eval(machine.Unified(), sched.Baseline, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c+s-1.0) > 1e-9 {
+		t.Errorf("unified @ thr 1.00 normalizes to %v, want exactly 1.0", c+s)
+	}
+}
+
+func TestUnifiedBarsThresholdShape(t *testing.T) {
+	r := smallRunner()
+	bars, err := r.UnifiedBars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 4 {
+		t.Fatalf("unified bars = %d, want 4", len(bars))
+	}
+	// Lower threshold: compute grows, stall shrinks.
+	for i := 1; i < len(bars); i++ {
+		if bars[i].Compute < bars[i-1].Compute-1e-9 {
+			t.Errorf("compute not monotone: %v", bars)
+		}
+		if bars[i].Stall > bars[i-1].Stall+0.02 {
+			t.Errorf("stall not shrinking: %v", bars)
+		}
+	}
+}
+
+func TestFigure5Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := smallRunner()
+	bars, err := r.Figure5(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 latency cells x 2 schedulers x 4 thresholds.
+	if len(bars) != 72 {
+		t.Fatalf("figure 5 bars = %d, want 72", len(bars))
+	}
+	for _, b := range bars {
+		if b.Total() <= 0 {
+			t.Errorf("bar %+v has non-positive total", b)
+		}
+		if b.NRB != machine.Unbounded || b.NMB != machine.Unbounded {
+			t.Errorf("figure 5 must use unbounded buses: %+v", b)
+		}
+	}
+}
+
+func TestFigure6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := smallRunner()
+	bars, err := r.Figure6(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) != 32 {
+		t.Fatalf("figure 6 bars = %d, want 32", len(bars))
+	}
+	for _, b := range bars {
+		if b.NRB != 2 || b.LRB != 1 {
+			t.Errorf("figure 6 register buses must be 2@1: %+v", b)
+		}
+	}
+}
+
+func TestVerdictLogic(t *testing.T) {
+	mk := func(sched string, thr, c, s float64) Bar {
+		return Bar{Label: "X", Clusters: 2, Scheduler: sched, Threshold: thr, Compute: c, Stall: s}
+	}
+	// RMCA strictly better, stall vanishing at low thresholds.
+	good := []Bar{
+		mk("Baseline", 1.0, 0.3, 0.7), mk("Baseline", 0.75, 0.32, 0.5),
+		mk("Baseline", 0.25, 0.34, 0.3), mk("Baseline", 0.0, 0.36, 0.06),
+		mk("RMCA", 1.0, 0.3, 0.6), mk("RMCA", 0.75, 0.32, 0.4),
+		mk("RMCA", 0.25, 0.34, 0.2), mk("RMCA", 0.0, 0.36, 0.01),
+	}
+	uni := []Bar{
+		{Label: "Unified", Scheduler: "Unified", Threshold: 1.0, Compute: 0.3, Stall: 0.7},
+		{Label: "Unified", Scheduler: "Unified", Threshold: 0.0, Compute: 0.32, Stall: 0.05},
+	}
+	// A 4-cluster variant where RMCA's advantage is larger (the gap must
+	// grow with the cluster count for claim 5).
+	good4 := append([]Bar(nil), good...)
+	for i := range good4 {
+		good4[i].Clusters = 4
+		if good4[i].Scheduler == "Baseline" {
+			good4[i].Stall *= 1.5
+		}
+	}
+	vs := Verdicts(uni, good, good4, good, good4)
+	for _, v := range vs {
+		if !v.Pass {
+			t.Errorf("verdict %q failed on a synthetic-good figure: %s", v.Name, v.Detail)
+		}
+	}
+	// Flip RMCA to be worse: claim 1 must fail.
+	bad := append([]Bar(nil), good...)
+	for i := range bad {
+		if bad[i].Scheduler == "RMCA" {
+			bad[i].Stall += 1.0
+		}
+	}
+	vs = Verdicts(uni, bad, nil, nil, nil)
+	sawFail := false
+	for _, v := range vs {
+		if strings.Contains(v.Name, "RMCA <= Baseline") && !v.Pass {
+			sawFail = true
+		}
+	}
+	if !sawFail {
+		t.Error("verdicts passed a figure where RMCA loses")
+	}
+}
+
+func TestRenderBars(t *testing.T) {
+	bars := []Bar{{Label: "LRB=1 LMB=1", Scheduler: "RMCA", Threshold: 0.5, Compute: 0.4, Stall: 0.2}}
+	out := RenderBars("Figure X", nil, bars)
+	for _, want := range []string{"Figure X", "LRB=1 LMB=1 RMCA", "thr 0.50", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderVerdicts(t *testing.T) {
+	out := RenderVerdicts([]Verdict{{Name: "a", Pass: true, Detail: "d"}, {Name: "b", Pass: false, Detail: "e"}})
+	if !strings.Contains(out, "[PASS] a") || !strings.Contains(out, "[FAIL] b") {
+		t.Errorf("verdict rendering wrong:\n%s", out)
+	}
+}
+
+func TestCommTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := smallRunner()
+	rows, err := r.CommTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2*len(r.Suite) {
+		t.Fatalf("rows = %d, want %d", len(rows), 2*len(r.Suite))
+	}
+	// RMCA's bus-traffic miss ratio must not exceed Baseline's on any
+	// benchmark of the subset (it optimizes exactly this).
+	byBench := map[string]map[string]float64{}
+	for _, row := range rows {
+		if byBench[row.Benchmark] == nil {
+			byBench[row.Benchmark] = map[string]float64{}
+		}
+		byBench[row.Benchmark][row.Scheduler] = row.MissRatio
+	}
+	for bench, m := range byBench {
+		if m["RMCA"] > m["Baseline"]+0.02 {
+			t.Errorf("%s: RMCA miss ratio %.3f above Baseline %.3f", bench, m["RMCA"], m["Baseline"])
+		}
+	}
+}
+
+func TestOrderingAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := smallRunner()
+	rows, err := r.OrderingAblation(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var sms, topo AblationRow
+	for _, row := range rows {
+		if row.Variant == "SMS" {
+			sms = row
+		} else {
+			topo = row
+		}
+	}
+	// The SMS ordering must not lose to the naive order on the metric it
+	// is designed for.
+	if sms.AvgBoth > topo.AvgBoth+1e-9 {
+		t.Errorf("SMS both-neighbors %.2f worse than topological %.2f", sms.AvgBoth, topo.AvgBoth)
+	}
+}
+
+func TestAssocAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := smallRunner()
+	rows, err := r.AssocAblation(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// The robust effect: two ways absorb the pairwise ping-pong that
+	// dominates a direct-mapped cache, for both schedulers. (Beyond
+	// 2-way, LRU streaming pathologies make miss ratios non-monotone in
+	// general, so nothing stronger is asserted.)
+	if rows[1].BaselineMiss > rows[0].BaselineMiss+0.02 {
+		t.Errorf("baseline miss ratio did not drop from DM to 2-way: %+v", rows)
+	}
+	if rows[1].RMCAMiss > rows[0].RMCAMiss+0.02 {
+		t.Errorf("RMCA miss ratio did not drop from DM to 2-way: %+v", rows)
+	}
+	for _, row := range rows {
+		if row.BaselineTot <= 0 || row.RMCATot <= 0 {
+			t.Errorf("non-positive totals: %+v", row)
+		}
+	}
+}
+
+func TestCommReuseAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	r := smallRunner()
+	rows, err := r.CommReuseAblation(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reuse, perEdge AblationRow
+	for _, row := range rows {
+		if row.Variant == "reuse" {
+			reuse = row
+		} else {
+			perEdge = row
+		}
+	}
+	if perEdge.AvgComm < reuse.AvgComm-1e-9 {
+		t.Errorf("per-edge comms %.2f below reuse %.2f", perEdge.AvgComm, reuse.AvgComm)
+	}
+}

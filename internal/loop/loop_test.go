@@ -1,0 +1,180 @@
+package loop
+
+import (
+	"testing"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/machine"
+)
+
+func latTable() machine.Latencies { return machine.DefaultLatencies() }
+
+func TestAddressSpaceAlignment(t *testing.T) {
+	s := NewAddressSpace(0x1000, 0x2000, 0)
+	a := s.Alloc("A", 8, 100)
+	b := s.Alloc("B", 8, 100)
+	if a.Base%0x2000 != 0 || b.Base%0x2000 != 0 {
+		t.Errorf("bases not aligned: A=%#x B=%#x", a.Base, b.Base)
+	}
+	if b.Base <= a.Base {
+		t.Errorf("B not after A: A=%#x B=%#x", a.Base, b.Base)
+	}
+}
+
+func TestAllocAtTracksHighWater(t *testing.T) {
+	s := NewAddressSpace(0, 1, 0)
+	s.AllocAt("X", 0x5000, 8, 10)
+	y := s.Alloc("Y", 8, 10)
+	if y.Base < 0x5000+80 {
+		t.Errorf("Y overlaps X: base %#x", y.Base)
+	}
+}
+
+func TestRowMajorAddress(t *testing.T) {
+	s := NewAddressSpace(0, 1, 0)
+	a := s.Alloc("A", 8, 4, 5) // 4x5 doubles
+	// A[i][j] with i=2, j=3 -> linear 2*5+3 = 13 -> byte 104.
+	r := &Ref{Array: a, Index: []Aff1{Aff(0, 1), Aff(0, 0, 1)}}
+	if got := r.Address([]int{2, 3}); got != 104 {
+		t.Errorf("Address = %d, want 104", got)
+	}
+}
+
+func TestAddressAffineOffsets(t *testing.T) {
+	s := NewAddressSpace(0, 1, 0)
+	a := s.Alloc("A", 8, 10, 10)
+	// A[i+1][2*j] at (i=3, j=2): (4*10 + 4) * 8 = 352.
+	r := &Ref{Array: a, Index: []Aff1{Aff(1, 1), Aff(0, 0, 2)}}
+	if got := r.Address([]int{3, 2}); got != 352 {
+		t.Errorf("Address = %d, want 352", got)
+	}
+}
+
+func TestAddressWrapsAtBounds(t *testing.T) {
+	s := NewAddressSpace(0, 1, 0)
+	a := s.Alloc("A", 8, 4)
+	r := &Ref{Array: a, Index: []Aff1{Aff(1, 1)}}
+	// i=3 -> index 4 wraps to 0.
+	if got := r.Address([]int{3}); got != 0 {
+		t.Errorf("Address = %d, want 0 (wrapped)", got)
+	}
+	// Negative offsets wrap from the top.
+	r2 := &Ref{Array: a, Index: []Aff1{Aff(-1, 1)}}
+	if got := r2.Address([]int{0}); got != 24 {
+		t.Errorf("Address = %d, want 24 (wrapped negative)", got)
+	}
+}
+
+func TestAffEvalAndString(t *testing.T) {
+	a := Aff(2, 1, 3)
+	if got := a.Eval([]int{4, 5}); got != 2+4+15 {
+		t.Errorf("Eval = %d, want 21", got)
+	}
+	if s := a.String(); s != "i0+3*i1+2" {
+		t.Errorf("String = %q", s)
+	}
+	if s := Aff(0).String(); s != "0" {
+		t.Errorf("zero Aff String = %q", s)
+	}
+}
+
+func TestBuilderLowering(t *testing.T) {
+	s := NewAddressSpace(0, 1, 0)
+	arrA := s.Alloc("A", 8, 1000)
+	arrB := s.Alloc("B", 8, 1000)
+	b := NewBuilder("axpy", 10, 100)
+	x := b.Load(arrB, Aff(0, 0, 1))
+	y := b.Load(arrA, Aff(0, 0, 1))
+	sum := b.FAdd("sum", x, y)
+	b.Store(arrA, sum, Aff(0, 0, 1))
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Depth() != 2 || k.NIter() != 100 || k.NTimes() != 10 {
+		t.Errorf("shape: depth=%d niter=%d ntimes=%d", k.Depth(), k.NIter(), k.NTimes())
+	}
+	// Nodes: induction + 2 loads + add + store.
+	if k.Graph.NumNodes() != 5 {
+		t.Errorf("nodes = %d, want 5", k.Graph.NumNodes())
+	}
+	if got := len(k.MemOps()); got != 3 {
+		t.Errorf("mem ops = %d, want 3", got)
+	}
+	if len(k.Refs) != 3 {
+		t.Errorf("refs = %d, want 3", len(k.Refs))
+	}
+	// The store's reference is marked as a store.
+	if !k.Refs[2].Store {
+		t.Error("store ref not marked Store")
+	}
+}
+
+func TestBuilderRecurrence(t *testing.T) {
+	s := NewAddressSpace(0, 1, 0)
+	arr := s.Alloc("A", 8, 1000)
+	b := NewBuilder("reduce", 100)
+	x := b.Load(arr, Aff(0, 1))
+	acc := b.FAdd("acc", x)
+	b.Carried(acc, acc, 1) // s += a[i]
+	k := b.MustBuild()
+	in := k.Graph.InRecurrence()
+	if !in[int(acc)] {
+		t.Error("accumulator not detected as recurrence")
+	}
+	// RecMII must reflect the 2-cycle adder.
+	lat := ddg.DefaultLatencies(k.Graph, latTable())
+	if got := k.Graph.RecMII(lat); got != 2 {
+		t.Errorf("RecMII = %d, want 2", got)
+	}
+}
+
+func TestBuilderCarriedRejectsZeroDistance(t *testing.T) {
+	s := NewAddressSpace(0, 1, 0)
+	arr := s.Alloc("A", 8, 100)
+	b := NewBuilder("bad", 10)
+	x := b.Load(arr, Aff(0, 1))
+	b.Carried(x, x, 0)
+	if _, err := b.Build(); err == nil {
+		t.Error("Build accepted Carried distance 0")
+	}
+}
+
+func TestOuterIterEnumerates(t *testing.T) {
+	b := NewBuilder("nest", 2, 3, 50)
+	s := NewAddressSpace(0, 1, 0)
+	arr := s.Alloc("A", 8, 100)
+	v := b.Load(arr, Aff(0, 0, 0, 1))
+	b.Store(arr, v, Aff(0, 0, 0, 1))
+	k := b.MustBuild()
+	if k.NTimes() != 6 {
+		t.Fatalf("NTimes = %d, want 6", k.NTimes())
+	}
+	seen := map[[2]int]bool{}
+	iv := make([]int, 3)
+	for t2 := 0; t2 < k.NTimes(); t2++ {
+		k.OuterIter(t2, iv)
+		seen[[2]int{iv[0], iv[1]}] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("outer iterations = %d distinct, want 6", len(seen))
+	}
+}
+
+func TestValidateCatchesBadRef(t *testing.T) {
+	g := ddg.New()
+	g.AddNode(ddg.Load, "ld", 5) // out-of-range ref
+	k := &Kernel{Name: "bad", Trip: []int{10}, Graph: g}
+	if err := k.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range reference")
+	}
+}
+
+func TestRefString(t *testing.T) {
+	s := NewAddressSpace(0, 1, 0)
+	a := s.Alloc("B", 8, 10, 10)
+	r := &Ref{Array: a, Index: []Aff1{Aff(0, 1), Aff(1, 0, 1)}}
+	if got := r.String(); got != "ld B[i0][i1+1]" {
+		t.Errorf("String = %q", got)
+	}
+}

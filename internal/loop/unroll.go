@@ -1,0 +1,109 @@
+package loop
+
+import (
+	"fmt"
+
+	"multivliw/internal/ddg"
+)
+
+// Unroll returns a new kernel whose innermost loop is unrolled by factor:
+// the body is replicated factor times, affine references are rewritten so
+// copy u touches the addresses of original iteration factor·i+u, and
+// loop-carried dependences are re-expressed between copies.
+//
+// The paper's §4.3 defers exactly this transformation: "loop unrolling
+// could be used to generate multiple instances of the same instruction such
+// that one of them always miss and the other always hit". With eight
+// elements per line and a unit-stride reference, unrolling by the line
+// length turns one 12.5%-miss-ratio instruction into seven always-hit
+// instances plus one always-miss instance, which binding prefetching can
+// then target precisely with a high threshold.
+//
+// The innermost trip count must be divisible by factor.
+func Unroll(k *Kernel, factor int) (*Kernel, error) {
+	if factor < 1 {
+		return nil, fmt.Errorf("loop: unroll factor %d", factor)
+	}
+	if factor == 1 {
+		return k, nil
+	}
+	depth := k.Depth()
+	inner := k.Trip[depth-1]
+	if inner%factor != 0 {
+		return nil, fmt.Errorf("loop: kernel %q trip %d not divisible by unroll factor %d", k.Name, inner, factor)
+	}
+
+	g := k.Graph
+	ng := ddg.New()
+	nRefs := make([]*Ref, 0, len(k.Refs)*factor)
+	// id maps (copy, old node) to the new node ID.
+	id := make([][]int, factor)
+	for u := 0; u < factor; u++ {
+		id[u] = make([]int, g.NumNodes())
+		for _, n := range g.Nodes() {
+			ref := ddg.NoRef
+			if n.Class.IsMemory() {
+				old := k.Refs[n.Ref]
+				nr := &Ref{
+					ID:    len(nRefs),
+					Array: old.Array,
+					Index: rewriteIndex(old.Index, depth, factor, u),
+					Store: old.Store,
+				}
+				nRefs = append(nRefs, nr)
+				ref = nr.ID
+			}
+			id[u][n.ID] = ng.AddNode(n.Class, fmt.Sprintf("%s#%d", n.Name, u), ref)
+		}
+	}
+	// Re-express every dependence. The consumer copy u at new iteration j
+	// stands for original iteration factor·j+u; its producer across
+	// original distance d is original iteration factor·j+u−d, i.e. copy
+	// (u−d) mod factor at new distance −floor((u−d)/factor).
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.Out(v) {
+			for u := 0; u < factor; u++ {
+				q := floorDiv(u-e.Distance, factor)
+				uSrc := u - e.Distance - q*factor
+				ng.AddEdge(id[uSrc][e.From], id[u][e.To], e.Kind, -q)
+			}
+		}
+	}
+	trip := append([]int(nil), k.Trip...)
+	trip[depth-1] = inner / factor
+	nk := &Kernel{
+		Name:  fmt.Sprintf("%s.u%d", k.Name, factor),
+		Trip:  trip,
+		Graph: ng,
+		Refs:  nRefs,
+	}
+	if err := nk.Validate(); err != nil {
+		return nil, fmt.Errorf("loop: unroll %q: %w", k.Name, err)
+	}
+	return nk, nil
+}
+
+// rewriteIndex substitutes i_inner = factor·i' + u into every dimension's
+// affine expression.
+func rewriteIndex(index []Aff1, depth, factor, u int) []Aff1 {
+	out := make([]Aff1, len(index))
+	for d, ix := range index {
+		coef := append([]int(nil), ix.Coef...)
+		off := ix.Off
+		if depth-1 < len(coef) {
+			c := coef[depth-1]
+			coef[depth-1] = c * factor
+			off += c * u
+		}
+		out[d] = Aff1{Off: off, Coef: coef}
+	}
+	return out
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

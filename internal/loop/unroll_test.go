@@ -1,0 +1,144 @@
+package loop
+
+import (
+	"testing"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/machine"
+)
+
+// streamKernel: for i in [0,trip): C[i] = A[i] * s, with s += A[i] carried.
+func streamKernel(trip int) *Kernel {
+	s := NewAddressSpace(0, 64, 0)
+	a := s.Alloc("A", 8, 1<<13)
+	c := s.Alloc("C", 8, 1<<13)
+	b := NewBuilder("stream", trip)
+	x := b.Load(a, Aff(0, 1))
+	acc := b.FAdd("acc", x)
+	b.Carried(acc, acc, 1)
+	b.Store(c, acc, Aff(0, 1))
+	return b.MustBuild()
+}
+
+func TestUnrollShape(t *testing.T) {
+	k := streamKernel(128)
+	u, err := Unroll(k, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NIter() != 32 {
+		t.Errorf("NIter = %d, want 32", u.NIter())
+	}
+	if u.Graph.NumNodes() != 4*k.Graph.NumNodes() {
+		t.Errorf("nodes = %d, want %d", u.Graph.NumNodes(), 4*k.Graph.NumNodes())
+	}
+	if len(u.Refs) != 4*len(k.Refs) {
+		t.Errorf("refs = %d, want %d", len(u.Refs), 4*len(k.Refs))
+	}
+	if err := u.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnrollFactorOneIsIdentity(t *testing.T) {
+	k := streamKernel(128)
+	u, err := Unroll(k, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != k {
+		t.Error("factor 1 should return the kernel unchanged")
+	}
+}
+
+func TestUnrollRejectsIndivisible(t *testing.T) {
+	k := streamKernel(130)
+	if _, err := Unroll(k, 4); err == nil {
+		t.Error("Unroll accepted non-divisible trip count")
+	}
+	if _, err := Unroll(k, 0); err == nil {
+		t.Error("Unroll accepted factor 0")
+	}
+}
+
+// TestUnrollPreservesAddressStream: the multiset of addresses each original
+// reference touches must be preserved exactly, reordered into copies.
+func TestUnrollPreservesAddressStream(t *testing.T) {
+	k := streamKernel(64)
+	const factor = 4
+	u, err := Unroll(k, factor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original ref 0 (the load) at iteration i vs copy u', new iter j.
+	iv := make([]int, 1)
+	for j := 0; j < u.NIter(); j++ {
+		for c := 0; c < factor; c++ {
+			iv[0] = factor*j + c
+			want := k.Refs[0].Address(iv)
+			iv[0] = j
+			// Copies are laid out ref-major per copy: copy c holds
+			// refs [c*len(k.Refs), (c+1)*len(k.Refs)).
+			got := u.Refs[c*len(k.Refs)+0].Address(iv)
+			if got != want {
+				t.Fatalf("copy %d iter %d: address %d, want %d", c, j, got, want)
+			}
+		}
+	}
+}
+
+// TestUnrollRecurrenceThroughput: an accumulator with RecMII=2 unrolled by
+// 2 must have RecMII=4 over half the iterations — identical throughput.
+func TestUnrollRecurrenceThroughput(t *testing.T) {
+	k := streamKernel(128)
+	lat := ddg.DefaultLatencies(k.Graph, machine.DefaultLatencies())
+	if got := k.Graph.RecMII(lat); got != 2 {
+		t.Fatalf("original RecMII = %d, want 2", got)
+	}
+	u, err := Unroll(k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	latU := ddg.DefaultLatencies(u.Graph, machine.DefaultLatencies())
+	if got := u.Graph.RecMII(latU); got != 4 {
+		t.Errorf("unrolled RecMII = %d, want 4 (same cycles/element)", got)
+	}
+}
+
+// TestUnrollCarriedDistanceRemapping: a distance-3 dependence unrolled by 2
+// must become distance ceil(3/2)=2 and 1 edges between the right copies.
+func TestUnrollCarriedDistanceRemapping(t *testing.T) {
+	s := NewAddressSpace(0, 64, 0)
+	a := s.Alloc("A", 8, 1<<12)
+	b := NewBuilder("d3", 64)
+	x := b.Load(a, Aff(0, 1))
+	y := b.FAdd("y", x)
+	b.Carried(x, y, 3) // y(i) also uses x(i-3)
+	b.Store(a, y, Aff(1, 1))
+	k := b.MustBuild()
+	u, err := Unroll(k, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the unrolled kernel: consumer copy 0 reads producer copy 1 at
+	// distance 2 (2j+0-3 = 2(j-2)+1); consumer copy 1 reads copy 0 at
+	// distance 1 (2j+1-3 = 2(j-1)+0).
+	xID, yID := int(x), int(y)
+	found := map[[3]int]bool{}
+	n := k.Graph.NumNodes()
+	for v := 0; v < u.Graph.NumNodes(); v++ {
+		for _, e := range u.Graph.Out(v) {
+			srcCopy, srcOld := e.From/n, e.From%n
+			dstCopy, dstOld := e.To/n, e.To%n
+			if srcOld == xID && dstOld == yID && e.Distance > 0 {
+				found[[3]int{srcCopy, dstCopy, e.Distance}] = true
+			}
+		}
+	}
+	if !found[[3]int{1, 0, 2}] {
+		t.Errorf("missing copy1->copy0 distance-2 edge; got %v", found)
+	}
+	if !found[[3]int{0, 1, 1}] {
+		t.Errorf("missing copy0->copy1 distance-1 edge; got %v", found)
+	}
+}

@@ -1,0 +1,358 @@
+// Package machine describes multiVLIWprocessor configurations: how many
+// clusters a machine has, the functional-unit mix and register file of each
+// cluster, the geometry of the distributed L1 data cache, the register and
+// memory buses that connect clusters, and the operation latency table.
+//
+// The three configurations evaluated by the paper (Table 1) are exposed as
+// constructors: Unified, TwoCluster and FourCluster. All three are 12-way
+// issue machines with an 8KB total L1 split evenly among clusters.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// FUKind identifies a functional-unit class. Every cluster owns an equal
+// number of units of each kind (the paper assumes homogeneous clusters).
+type FUKind int
+
+const (
+	// FUInt executes integer arithmetic (induction updates, address math).
+	FUInt FUKind = iota
+	// FUFloat executes floating-point arithmetic.
+	FUFloat
+	// FUMem executes loads and stores against the cluster-local L1.
+	FUMem
+
+	// NumFUKinds is the number of functional-unit classes.
+	NumFUKinds = 3
+)
+
+// String returns the conventional short name of the unit kind.
+func (k FUKind) String() string {
+	switch k {
+	case FUInt:
+		return "INT"
+	case FUFloat:
+		return "FP"
+	case FUMem:
+		return "MEM"
+	default:
+		return fmt.Sprintf("FUKind(%d)", int(k))
+	}
+}
+
+// Unbounded marks a bus pool as effectively unlimited. The paper's §5.2
+// studies machines with an unbounded number of register and memory buses to
+// isolate scheduling quality from bandwidth.
+const Unbounded = -1
+
+// Latencies is the operation latency table. All values are cycles. The
+// defaults follow Table 1 and the §3 worked example: 2-cycle arithmetic,
+// 2-cycle local cache hit, 10-cycle main memory.
+type Latencies struct {
+	IntALU int // integer add/sub/logic/compare
+	IntMul int // integer multiply
+	FPAdd  int // FP add/sub
+	FPMul  int // FP multiply
+	FPDiv  int // FP divide/sqrt
+	Load   int // load hit in the local L1 (LAT_cache)
+	Store  int // store occupancy; stores produce no register value
+
+	// MainMemory is the access time of main memory once a transaction has
+	// won a memory bus (LAT_mainmemory).
+	MainMemory int
+}
+
+// DefaultLatencies returns the latency table used throughout the paper's
+// evaluation.
+func DefaultLatencies() Latencies {
+	return Latencies{
+		IntALU:     1,
+		IntMul:     2,
+		FPAdd:      2,
+		FPMul:      2,
+		FPDiv:      6,
+		Load:       2,
+		Store:      1,
+		MainMemory: 10,
+	}
+}
+
+// Config is a complete multiVLIWprocessor configuration.
+type Config struct {
+	Name string
+
+	// Clusters is the number of lockstep clusters (1 for the unified
+	// machine).
+	Clusters int
+
+	// FUs[k] is the number of functional units of kind k in each cluster.
+	FUs [NumFUKinds]int
+
+	// FUsByCluster optionally overrides FUs per cluster (heterogeneous
+	// clusters — §2.1 notes the techniques generalize to them). When
+	// nil, every cluster gets FUs.
+	FUsByCluster [][NumFUKinds]int
+
+	// Regs is the number of general-purpose registers in each cluster's
+	// local register file.
+	Regs int
+
+	// TotalCacheBytes is the aggregate L1 data cache capacity, split
+	// evenly among clusters. Each local cache is direct-mapped.
+	TotalCacheBytes int
+
+	// LineBytes is the cache line size (eight 8-byte elements per line in
+	// the paper's miss-ratio arithmetic).
+	LineBytes int
+
+	// Assoc is the associativity of each local cache. The paper evaluates
+	// direct-mapped caches (1); higher values are an extension the CME
+	// framework supports and the ablations exercise.
+	Assoc int
+
+	// MSHREntries is the capacity of each cluster's miss status holding
+	// register file; the L1 is non-blocking.
+	MSHREntries int
+
+	// RegBuses is the number of inter-cluster register buses
+	// (Unbounded allowed). Register buses are compiler-scheduled resources.
+	RegBuses int
+	// RegBusLat is the latency, in cycles, of one register-bus transfer.
+	// The bus is busy for the full latency of a transfer.
+	RegBusLat int
+
+	// MemBuses is the number of memory buses connecting the local caches
+	// and main memory (Unbounded allowed). Memory buses are arbitrated by
+	// hardware and are invisible to the ISA.
+	MemBuses int
+	// MemBusLat is the latency, in cycles, of one memory-bus transaction.
+	MemBusLat int
+
+	// Lat is the operation latency table.
+	Lat Latencies
+}
+
+// Unified returns the paper's 1-cluster baseline: 4 units of each kind and a
+// unified 64-entry register file. It has no inter-cluster buses.
+func Unified() Config {
+	return Config{
+		Name:            "Unified",
+		Clusters:        1,
+		FUs:             [NumFUKinds]int{4, 4, 4},
+		Regs:            64,
+		TotalCacheBytes: 8 * 1024,
+		LineBytes:       64,
+		Assoc:           1,
+		MSHREntries:     10,
+		RegBuses:        0,
+		RegBusLat:       0,
+		MemBuses:        Unbounded,
+		MemBusLat:       1,
+		Lat:             DefaultLatencies(),
+	}
+}
+
+// TwoCluster returns the paper's 2-cluster configuration: 2 units of each
+// kind and 32 registers per cluster.
+func TwoCluster(regBuses, regBusLat, memBuses, memBusLat int) Config {
+	c := Unified()
+	c.Name = "2-cluster"
+	c.Clusters = 2
+	c.FUs = [NumFUKinds]int{2, 2, 2}
+	c.Regs = 32
+	c.RegBuses, c.RegBusLat = regBuses, regBusLat
+	c.MemBuses, c.MemBusLat = memBuses, memBusLat
+	return c
+}
+
+// FourCluster returns the paper's 4-cluster configuration: 1 unit of each
+// kind and 16 registers per cluster.
+func FourCluster(regBuses, regBusLat, memBuses, memBusLat int) Config {
+	c := Unified()
+	c.Name = "4-cluster"
+	c.Clusters = 4
+	c.FUs = [NumFUKinds]int{1, 1, 1}
+	c.Regs = 16
+	c.RegBuses, c.RegBusLat = regBuses, regBusLat
+	c.MemBuses, c.MemBusLat = memBuses, memBusLat
+	return c
+}
+
+// CacheBytesPerCluster returns the capacity of one cluster-local L1.
+func (c Config) CacheBytesPerCluster() int {
+	return c.TotalCacheBytes / c.Clusters
+}
+
+// SetsPerCluster returns the number of cache sets in one cluster-local L1
+// (equal to the line count for the paper's direct-mapped caches).
+func (c Config) SetsPerCluster() int {
+	return c.CacheBytesPerCluster() / c.LineBytes / c.Assoc
+}
+
+// ClusterFUs returns the functional-unit mix of cluster i.
+func (c Config) ClusterFUs(i int) [NumFUKinds]int {
+	if c.FUsByCluster != nil {
+		return c.FUsByCluster[i]
+	}
+	return c.FUs
+}
+
+// IssueWidth returns the machine-wide issue width (total functional units).
+func (c Config) IssueWidth() int {
+	total := 0
+	for i := 0; i < c.Clusters; i++ {
+		for _, n := range c.ClusterFUs(i) {
+			total += n
+		}
+	}
+	return total
+}
+
+// TotalFUs returns the machine-wide number of units of kind k; the resource
+// MII divides operation counts by this.
+func (c Config) TotalFUs(k FUKind) int {
+	total := 0
+	for i := 0; i < c.Clusters; i++ {
+		total += c.ClusterFUs(i)[k]
+	}
+	return total
+}
+
+// Heterogeneous returns a copy of cfg with per-cluster functional-unit
+// mixes. len(fus) must equal the cluster count.
+func Heterogeneous(cfg Config, fus ...[NumFUKinds]int) Config {
+	cfg.FUsByCluster = append([][NumFUKinds]int(nil), fus...)
+	cfg.Name = cfg.Name + "-hetero"
+	return cfg
+}
+
+// MissLatency returns the latency the scheduler assumes for a load scheduled
+// with the cache-miss latency (binding prefetching): LAT_cache +
+// LAT_membus + LAT_mainmemory. Bus contention is not known at schedule time
+// and is deliberately excluded, as in §4.3.
+func (c Config) MissLatency() int {
+	return c.Lat.Load + c.MemBusLat + c.Lat.MainMemory
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Clusters < 1:
+		return fmt.Errorf("machine: %d clusters", c.Clusters)
+	case c.Regs < 1:
+		return fmt.Errorf("machine: %d registers per cluster", c.Regs)
+	case c.TotalCacheBytes <= 0 || c.TotalCacheBytes%c.Clusters != 0:
+		return fmt.Errorf("machine: total cache %dB not divisible by %d clusters", c.TotalCacheBytes, c.Clusters)
+	case c.LineBytes <= 0 || c.CacheBytesPerCluster()%c.LineBytes != 0:
+		return fmt.Errorf("machine: line size %dB does not divide local cache %dB", c.LineBytes, c.CacheBytesPerCluster())
+	case c.Assoc < 1 || (c.CacheBytesPerCluster()/c.LineBytes)%c.Assoc != 0:
+		return fmt.Errorf("machine: associativity %d does not divide the %d lines of a local cache", c.Assoc, c.CacheBytesPerCluster()/c.LineBytes)
+	case c.MSHREntries < 1:
+		return errors.New("machine: non-blocking cache needs at least one MSHR entry")
+	case c.Clusters > 1 && c.RegBuses == 0:
+		return errors.New("machine: clustered configuration with no register buses")
+	case c.RegBuses != Unbounded && c.RegBuses < 0:
+		return fmt.Errorf("machine: register bus count %d", c.RegBuses)
+	case c.MemBuses != Unbounded && c.MemBuses < 0:
+		return fmt.Errorf("machine: memory bus count %d", c.MemBuses)
+	case c.Clusters > 1 && c.RegBusLat < 1:
+		return errors.New("machine: register bus latency must be at least 1")
+	case c.MemBusLat < 1:
+		return errors.New("machine: memory bus latency must be at least 1")
+	}
+	if c.FUsByCluster != nil && len(c.FUsByCluster) != c.Clusters {
+		return fmt.Errorf("machine: %d per-cluster FU mixes for %d clusters", len(c.FUsByCluster), c.Clusters)
+	}
+	for i := 0; i < c.Clusters; i++ {
+		for k, n := range c.ClusterFUs(i) {
+			if n < 0 {
+				return fmt.Errorf("machine: cluster %d has %d %v units", i, n, FUKind(k))
+			}
+		}
+	}
+	if c.TotalFUs(FUMem) == 0 {
+		return errors.New("machine: the machine needs at least one memory unit")
+	}
+	lat := []int{c.Lat.IntALU, c.Lat.IntMul, c.Lat.FPAdd, c.Lat.FPMul, c.Lat.FPDiv, c.Lat.Load, c.Lat.Store, c.Lat.MainMemory}
+	for _, l := range lat {
+		if l < 1 {
+			return fmt.Errorf("machine: latency table contains %d", l)
+		}
+	}
+	return nil
+}
+
+// busCount renders a bus count for human consumption.
+func busCount(n int) string {
+	if n == Unbounded {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// String returns a one-line summary of the configuration.
+func (c Config) String() string {
+	return fmt.Sprintf("%s: %d cluster(s) x {%d INT, %d FP, %d MEM}, %d regs/cluster, %dB L1/cluster, RB=%s@%d, MB=%s@%d",
+		c.Name, c.Clusters, c.FUs[FUInt], c.FUs[FUFloat], c.FUs[FUMem], c.Regs,
+		c.CacheBytesPerCluster(), busCount(c.RegBuses), c.RegBusLat, busCount(c.MemBuses), c.MemBusLat)
+}
+
+// Table1 renders the paper's Table 1: the three machine configurations and
+// the operation latency table.
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1. MultiVLIWProcessor configurations and operation latencies\n\n")
+	fmt.Fprintf(&b, "%-12s %9s %14s %13s %15s %11s\n", "Config", "Clusters", "FUs/cluster", "Regs/cluster", "L1/cluster", "MSHR")
+	for _, c := range []Config{Unified(), TwoCluster(2, 1, 1, 1), FourCluster(2, 1, 1, 1)} {
+		fmt.Fprintf(&b, "%-12s %9d %4d/%d/%d (I/F/M) %13d %14dB %11d\n",
+			c.Name, c.Clusters, c.FUs[FUInt], c.FUs[FUFloat], c.FUs[FUMem], c.Regs, c.CacheBytesPerCluster(), c.MSHREntries)
+	}
+	l := DefaultLatencies()
+	fmt.Fprintf(&b, "\n%-12s %7s\n", "Operation", "Latency")
+	rows := []struct {
+		name string
+		lat  int
+	}{
+		{"INT ALU", l.IntALU}, {"INT MUL", l.IntMul},
+		{"FP ADD", l.FPAdd}, {"FP MUL", l.FPMul}, {"FP DIV", l.FPDiv},
+		{"LOAD (hit)", l.Load}, {"STORE", l.Store}, {"MAIN MEMORY", l.MainMemory},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %7d\n", r.name, r.lat)
+	}
+	return b.String()
+}
+
+// ArchitectureDiagram renders an ASCII sketch of Figure 1: clusters with
+// local register files, functional units and L1 data caches, joined by the
+// register buses and, through the memory buses, to main memory.
+func ArchitectureDiagram(c Config) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "multiVLIWprocessor (%s)\n\n", c.Name)
+	b.WriteString("  Register buses ")
+	if c.RegBuses == Unbounded {
+		b.WriteString("(unbounded)")
+	} else {
+		fmt.Fprintf(&b, "(x%d, %d-cycle)", c.RegBuses, c.RegBusLat)
+	}
+	b.WriteString("\n  ==================================================\n")
+	for i := 0; i < c.Clusters; i++ {
+		fus := c.ClusterFUs(i)
+		fmt.Fprintf(&b, "   | CLUSTER %d: [RF %dr] [%dxINT %dxFP %dxMEM] [IRV]\n",
+			i, c.Regs, fus[FUInt], fus[FUFloat], fus[FUMem])
+		fmt.Fprintf(&b, "   |            [L1 D-cache %dB, %d-way, %d MSHR]\n", c.CacheBytesPerCluster(), c.Assoc, c.MSHREntries)
+	}
+	b.WriteString("  ==================================================\n  Memory buses ")
+	if c.MemBuses == Unbounded {
+		b.WriteString("(unbounded)")
+	} else {
+		fmt.Fprintf(&b, "(x%d, %d-cycle)", c.MemBuses, c.MemBusLat)
+	}
+	fmt.Fprintf(&b, " -- snoopy MSI\n  --------------------------------------------------\n")
+	fmt.Fprintf(&b, "  | MAIN MEMORY (%d-cycle) |\n", c.Lat.MainMemory)
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1Configurations(t *testing.T) {
+	cases := []struct {
+		cfg      Config
+		clusters int
+		fus      [NumFUKinds]int
+		regs     int
+		local    int
+		issue    int
+	}{
+		{Unified(), 1, [NumFUKinds]int{4, 4, 4}, 64, 8192, 12},
+		{TwoCluster(2, 1, 1, 1), 2, [NumFUKinds]int{2, 2, 2}, 32, 4096, 12},
+		{FourCluster(2, 1, 1, 1), 4, [NumFUKinds]int{1, 1, 1}, 16, 2048, 12},
+	}
+	for _, c := range cases {
+		if c.cfg.Clusters != c.clusters {
+			t.Errorf("%s: clusters = %d, want %d", c.cfg.Name, c.cfg.Clusters, c.clusters)
+		}
+		if c.cfg.FUs != c.fus {
+			t.Errorf("%s: FUs = %v, want %v", c.cfg.Name, c.cfg.FUs, c.fus)
+		}
+		if c.cfg.Regs != c.regs {
+			t.Errorf("%s: regs = %d, want %d", c.cfg.Name, c.cfg.Regs, c.regs)
+		}
+		if got := c.cfg.CacheBytesPerCluster(); got != c.local {
+			t.Errorf("%s: local cache = %d, want %d", c.cfg.Name, got, c.local)
+		}
+		if got := c.cfg.IssueWidth(); got != c.issue {
+			t.Errorf("%s: issue width = %d, want %d", c.cfg.Name, got, c.issue)
+		}
+		if err := c.cfg.Validate(); err != nil {
+			t.Errorf("%s: Validate: %v", c.cfg.Name, err)
+		}
+	}
+}
+
+func TestTotalFUsIsClusterInvariant(t *testing.T) {
+	// The three Table 1 machines are all 12-way with 4 units of each kind
+	// machine-wide, so ResMII is identical across them by construction.
+	for _, cfg := range []Config{Unified(), TwoCluster(2, 1, 1, 1), FourCluster(2, 1, 1, 1)} {
+		for k := FUKind(0); k < NumFUKinds; k++ {
+			if got := cfg.TotalFUs(k); got != 4 {
+				t.Errorf("%s: TotalFUs(%v) = %d, want 4", cfg.Name, k, got)
+			}
+		}
+	}
+}
+
+func TestMissLatency(t *testing.T) {
+	cfg := TwoCluster(1, 2, Unbounded, 2)
+	// LAT_cache + LAT_membus + LAT_mainmemory = 2 + 2 + 10.
+	if got := cfg.MissLatency(); got != 14 {
+		t.Errorf("MissLatency = %d, want 14", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	bad := []func(c *Config){
+		func(c *Config) { c.Clusters = 0 },
+		func(c *Config) { c.Regs = 0 },
+		func(c *Config) { c.TotalCacheBytes = 1000 }, // not divisible by lines
+		func(c *Config) { c.LineBytes = 0 },
+		func(c *Config) { c.MSHREntries = 0 },
+		func(c *Config) { c.RegBuses = 0 },
+		func(c *Config) { c.RegBusLat = 0 },
+		func(c *Config) { c.MemBusLat = 0 },
+		func(c *Config) { c.FUs[FUMem] = 0 },
+		func(c *Config) { c.Lat.Load = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := TwoCluster(2, 1, 1, 1)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted invalid config %+v", i, cfg)
+		}
+	}
+}
+
+func TestSetsPerCluster(t *testing.T) {
+	cfg := FourCluster(2, 1, 1, 1)
+	if got := cfg.SetsPerCluster(); got != 2048/64 {
+		t.Errorf("SetsPerCluster = %d, want %d", got, 2048/64)
+	}
+}
+
+func TestTable1Render(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"Unified", "2-cluster", "4-cluster", "MAIN MEMORY", "LOAD (hit)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table1 output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestArchitectureDiagram(t *testing.T) {
+	d := ArchitectureDiagram(TwoCluster(2, 1, 2, 4))
+	for _, want := range []string{"CLUSTER 0", "CLUSTER 1", "MSI", "MAIN MEMORY"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diagram missing %q:\n%s", want, d)
+		}
+	}
+	if strings.Contains(d, "CLUSTER 2") {
+		t.Errorf("2-cluster diagram mentions a third cluster:\n%s", d)
+	}
+}
+
+func TestUnboundedString(t *testing.T) {
+	cfg := TwoCluster(Unbounded, 1, Unbounded, 1)
+	if s := cfg.String(); !strings.Contains(s, "unbounded") {
+		t.Errorf("String() does not mark unbounded buses: %s", s)
+	}
+}

@@ -1,0 +1,257 @@
+// Package memsys assembles the multiVLIWprocessor's distributed memory
+// system: one direct-mapped, non-blocking L1 per cluster, kept coherent with
+// a snoopy MSI protocol over a pool of arbitrated memory buses, backed by
+// main memory.
+//
+// Access timing follows §2.2 of the paper exactly:
+//
+//	LAT = LAT_cache + MISS_LC·(NC_waitingentry + NC_waitingbus +
+//	      LAT_memorybus + (MISS_RC ? LAT_mainmemory : LAT_cache))
+//
+// where MISS_LC is a local-cache miss, MISS_RC a miss in every remote cache,
+// NC_waitingentry the wait for a free MSHR entry and NC_waitingbus the wait
+// for a free memory bus. A miss whose line is already being filled (an
+// earlier miss to the same line) merges with the outstanding MSHR entry and
+// completes with the fill.
+package memsys
+
+import (
+	"fmt"
+
+	"multivliw/internal/bus"
+	"multivliw/internal/cache"
+	"multivliw/internal/machine"
+)
+
+// ServiceLevel says where an access was satisfied.
+type ServiceLevel int
+
+const (
+	// LocalHit: satisfied by the cluster's own L1.
+	LocalHit ServiceLevel = iota
+	// Merged: joined an outstanding fill of the same line.
+	Merged
+	// RemoteHit: supplied by another cluster's L1 (cache-to-cache).
+	RemoteHit
+	// MemoryAccess: supplied by main memory.
+	MemoryAccess
+)
+
+// String names the service level.
+func (l ServiceLevel) String() string {
+	switch l {
+	case LocalHit:
+		return "local"
+	case Merged:
+		return "merged"
+	case RemoteHit:
+		return "remote"
+	case MemoryAccess:
+		return "memory"
+	default:
+		return fmt.Sprintf("ServiceLevel(%d)", int(l))
+	}
+}
+
+// Stats aggregates memory-system activity.
+type Stats struct {
+	Accesses      int64
+	LocalHits     int64
+	MergedMisses  int64
+	RemoteHits    int64
+	MemoryServed  int64
+	Upgrades      int64 // S->M ownership transactions
+	Invalidations int64 // remote copies killed by stores
+	Writebacks    int64 // dirty victims pushed out
+	WaitEntry     int64 // cycles waiting for an MSHR entry
+	WaitBus       int64 // cycles waiting for a memory-bus grant
+}
+
+// LocalMissRatio returns the fraction of accesses that missed the local L1
+// and generated a memory-bus transaction (the paper's MISS_LC). Accesses
+// merged into an outstanding fill are neither hits nor traffic.
+func (s Stats) LocalMissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.RemoteHits+s.MemoryServed) / float64(s.Accesses)
+}
+
+// Detail is the timing breakdown of one access.
+type Detail struct {
+	Level     ServiceLevel
+	Done      int64
+	WaitEntry int64
+	WaitBus   int64
+}
+
+// System is the machine-wide memory hierarchy.
+type System struct {
+	cfg    machine.Config
+	caches []*cache.Cache
+	mshrs  []*cache.MSHR
+	membus *bus.Timeline
+	stats  Stats
+}
+
+// New builds the memory system for a configuration.
+func New(cfg machine.Config) *System {
+	s := &System{cfg: cfg, membus: bus.New(cfg.MemBuses)}
+	assoc := cfg.Assoc
+	if assoc < 1 {
+		assoc = 1
+	}
+	for c := 0; c < cfg.Clusters; c++ {
+		s.caches = append(s.caches, cache.NewAssoc(cfg.CacheBytesPerCluster(), cfg.LineBytes, assoc))
+		s.mshrs = append(s.mshrs, cache.NewMSHR(cfg.MSHREntries))
+	}
+	return s
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (s *System) Stats() Stats { return s.stats }
+
+// BusStats returns (transactions, busy cycles, wait cycles) of the memory
+// buses, including coherence traffic.
+func (s *System) BusStats() (int64, int64, int64) {
+	return s.membus.Transactions(), s.membus.BusyCycles(), s.membus.WaitCycles()
+}
+
+// Cache exposes cluster c's L1 for inspection (tests, invariant checks).
+func (s *System) Cache(c int) *cache.Cache { return s.caches[c] }
+
+// Access performs a load or store from cluster cl to addr, starting at time
+// now, and returns the timing breakdown. Calls must be made in nondecreasing
+// time order (the lockstep simulator's single timeline guarantees this).
+func (s *System) Access(cl int, addr uint64, store bool, now int64) Detail {
+	s.stats.Accesses++
+	c := s.caches[cl]
+	la := c.LineAddr(addr)
+	lat := int64(s.cfg.Lat.Load)
+	busLat := int64(s.cfg.MemBusLat)
+
+	if st := c.Probe(addr); st != cache.Invalid {
+		// The set holds this line's tag. If its fill is still in
+		// flight, the access merges with the outstanding miss (the
+		// paper's "an earlier miss has already started loading the
+		// relevant cache line"); otherwise it is a plain hit. A
+		// conflicting access in between steals the set, so a stolen
+		// line never merges — it refetches, exactly as the ping-pong
+		// scenario of §3 requires.
+		if ready, ok := s.mshrs[cl].Lookup(la, now); ok {
+			s.stats.MergedMisses++
+			done := ready
+			if p := now + lat; p > done {
+				done = p
+			}
+			if store {
+				s.ownershipUpgrade(cl, la, now)
+			}
+			return Detail{Level: Merged, Done: done}
+		}
+		c.Touch(la)
+		switch {
+		case !store:
+			s.stats.LocalHits++
+			return Detail{Level: LocalHit, Done: now + lat}
+		case st == cache.Modified:
+			s.stats.LocalHits++
+			return Detail{Level: LocalHit, Done: now + int64(s.cfg.Lat.Store)}
+		default: // store on Shared: upgrade, completes locally
+			s.stats.LocalHits++
+			s.ownershipUpgrade(cl, la, now)
+			return Detail{Level: LocalHit, Done: now + int64(s.cfg.Lat.Store)}
+		}
+	}
+
+	// Local miss, detected after the local cache access: MSHR entry, bus
+	// grant, remote snoop or main memory.
+	probeDone := now + lat
+	entryAt := s.mshrs[cl].NextFree(probeDone)
+	waitEntry := entryAt - probeDone
+	s.stats.WaitEntry += waitEntry
+
+	grant := s.membus.Acquire(entryAt, busLat)
+	waitBus := grant - entryAt
+	s.stats.WaitBus += waitBus
+
+	level := MemoryAccess
+	service := int64(s.cfg.Lat.MainMemory)
+	for other := range s.caches {
+		if other == cl {
+			continue
+		}
+		if st := s.caches[other].Probe(addr); st != cache.Invalid {
+			level = RemoteHit
+			service = lat // remote cache access time
+			if store {
+				s.caches[other].SetState(la, cache.Invalid)
+				s.stats.Invalidations++
+			} else if st == cache.Modified {
+				// M + BusRd: supplier downgrades, memory made clean.
+				s.caches[other].SetState(la, cache.Shared)
+			}
+		}
+	}
+	if level == RemoteHit {
+		s.stats.RemoteHits++
+	} else {
+		s.stats.MemoryServed++
+	}
+
+	fill := grant + busLat + service
+	s.mshrs[cl].Allocate(la, entryAt, fill)
+
+	newState := cache.Shared
+	if store {
+		newState = cache.Modified
+	}
+	if victim, dirty, ok := c.Install(la, newState); ok && dirty {
+		s.stats.Writebacks++
+		s.membus.Acquire(fill, busLat) // off the critical path
+		_ = victim
+	}
+	return Detail{Level: level, Done: fill, WaitEntry: waitEntry, WaitBus: waitBus}
+}
+
+// ownershipUpgrade invalidates remote copies and marks the local line
+// Modified; the bus transaction is off the store's critical path.
+func (s *System) ownershipUpgrade(cl int, lineAddr uint64, now int64) {
+	s.stats.Upgrades++
+	s.membus.Acquire(now, int64(s.cfg.MemBusLat))
+	for other := range s.caches {
+		if other == cl {
+			continue
+		}
+		if s.caches[other].Probe(lineAddr) != cache.Invalid {
+			s.caches[other].SetState(lineAddr, cache.Invalid)
+			s.stats.Invalidations++
+		}
+	}
+	s.caches[cl].SetState(lineAddr, cache.Modified)
+}
+
+// CheckCoherence verifies the MSI invariant over the given line addresses:
+// a Modified copy excludes every other copy. Tests call this after random
+// access sequences.
+func (s *System) CheckCoherence(lineAddrs []uint64) error {
+	for _, la := range lineAddrs {
+		modified, copies := 0, 0
+		for _, c := range s.caches {
+			switch c.Probe(la) {
+			case cache.Modified:
+				modified++
+				copies++
+			case cache.Shared:
+				copies++
+			}
+		}
+		if modified > 0 && copies > 1 {
+			return fmt.Errorf("memsys: line %#x has %d copies alongside a Modified one", la, copies)
+		}
+		if modified > 1 {
+			return fmt.Errorf("memsys: line %#x Modified in %d caches", la, modified)
+		}
+	}
+	return nil
+}

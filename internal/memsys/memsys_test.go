@@ -1,0 +1,208 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"multivliw/internal/cache"
+	"multivliw/internal/machine"
+)
+
+// cfg2 is a 2-cluster machine with one 1-cycle memory bus.
+func cfg2() machine.Config { return machine.TwoCluster(2, 1, 1, 1) }
+
+func TestColdMissTiming(t *testing.T) {
+	s := New(cfg2())
+	// LAT = LAT_cache + LMB + LAT_mainmemory = 2 + 1 + 10 = 13.
+	d := s.Access(0, 0x1000, false, 100)
+	if d.Level != MemoryAccess {
+		t.Fatalf("level = %v, want memory", d.Level)
+	}
+	if d.Done != 113 {
+		t.Errorf("done = %d, want 113", d.Done)
+	}
+}
+
+func TestLocalHitTiming(t *testing.T) {
+	s := New(cfg2())
+	s.Access(0, 0x1000, false, 0)
+	d := s.Access(0, 0x1008, false, 50) // same 64B line
+	if d.Level != LocalHit || d.Done != 52 {
+		t.Errorf("hit = %v done=%d, want local/52", d.Level, d.Done)
+	}
+	if st := s.Stats(); st.LocalHits != 1 || st.Accesses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestRemoteHitTiming(t *testing.T) {
+	s := New(cfg2())
+	s.Access(0, 0x2000, false, 0) // cluster 0 pulls the line from memory
+	// Cluster 1 misses locally but snoops cluster 0's copy:
+	// 2 (local) + 1 (bus) + 2 (remote cache) = 5.
+	d := s.Access(1, 0x2000, false, 100)
+	if d.Level != RemoteHit {
+		t.Fatalf("level = %v, want remote", d.Level)
+	}
+	if d.Done != 105 {
+		t.Errorf("done = %d, want 105", d.Done)
+	}
+}
+
+func TestSecondaryMissMerges(t *testing.T) {
+	s := New(cfg2())
+	d1 := s.Access(0, 0x3000, false, 0) // cold: fills at 13
+	d2 := s.Access(0, 0x3008, false, 1) // same line, still in flight
+	if d2.Level != Merged {
+		t.Fatalf("level = %v, want merged", d2.Level)
+	}
+	if d2.Done != d1.Done {
+		t.Errorf("merged done = %d, want %d (the primary fill)", d2.Done, d1.Done)
+	}
+	if st := s.Stats(); st.MergedMisses != 1 {
+		t.Errorf("merged count = %d", st.MergedMisses)
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	cfg := cfg2()
+	cfg.MSHREntries = 1
+	cfg.MemBuses = machine.Unbounded
+	s := New(cfg)
+	d1 := s.Access(0, 0x1000, false, 0) // occupies the single entry until 13
+	d2 := s.Access(0, 0x2000, false, 0) // different line: waits for the entry
+	if d2.WaitEntry == 0 {
+		t.Fatal("no MSHR wait recorded")
+	}
+	// Entry frees at d1.Done=13; then bus (1) + memory (10): 24.
+	if d2.Done != d1.Done+11 {
+		t.Errorf("stalled fill done = %d, want %d", d2.Done, d1.Done+11)
+	}
+	if st := s.Stats(); st.WaitEntry == 0 {
+		t.Error("stats missed the MSHR wait")
+	}
+}
+
+func TestBusContention(t *testing.T) {
+	cfg := cfg2()
+	cfg.MemBuses = 1
+	cfg.MemBusLat = 4
+	s := New(cfg)
+	// Two cold misses from different clusters at the same time compete
+	// for the single bus; the second waits 4 cycles for the grant.
+	d1 := s.Access(0, 0x1000, false, 0)
+	d2 := s.Access(1, 0x9000, false, 0)
+	if d1.Done != 2+4+10 {
+		t.Errorf("first done = %d, want 16", d1.Done)
+	}
+	if d2.WaitBus != 4 {
+		t.Errorf("second WaitBus = %d, want 4", d2.WaitBus)
+	}
+	if d2.Done != 2+4+4+10 {
+		t.Errorf("second done = %d, want 20", d2.Done)
+	}
+}
+
+func TestStoreUpgradeInvalidatesRemote(t *testing.T) {
+	s := New(cfg2())
+	s.Access(0, 0x4000, false, 0)  // cl0: S
+	s.Access(1, 0x4000, false, 20) // cl1: S (remote hit)
+	d := s.Access(1, 0x4000, true, 40)
+	if d.Level != LocalHit {
+		t.Fatalf("store on S = %v, want local (upgrade)", d.Level)
+	}
+	if st := s.Cache(0).Probe(0x4000); st != cache.Invalid {
+		t.Errorf("cl0 state after remote store = %v, want I", st)
+	}
+	if st := s.Cache(1).Probe(0x4000); st != cache.Modified {
+		t.Errorf("cl1 state = %v, want M", st)
+	}
+	if stats := s.Stats(); stats.Upgrades != 1 || stats.Invalidations != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestLoadFromRemoteModifiedDowngrades(t *testing.T) {
+	s := New(cfg2())
+	s.Access(0, 0x5000, true, 0) // cl0: M (store miss fetches ownership)
+	if st := s.Cache(0).Probe(0x5000); st != cache.Modified {
+		t.Fatalf("cl0 = %v, want M", st)
+	}
+	d := s.Access(1, 0x5000, false, 30)
+	if d.Level != RemoteHit {
+		t.Fatalf("level = %v, want remote", d.Level)
+	}
+	if st := s.Cache(0).Probe(0x5000); st != cache.Shared {
+		t.Errorf("supplier state = %v, want S", st)
+	}
+	if st := s.Cache(1).Probe(0x5000); st != cache.Shared {
+		t.Errorf("requester state = %v, want S", st)
+	}
+}
+
+func TestStoreMissTakesOwnership(t *testing.T) {
+	s := New(cfg2())
+	s.Access(0, 0x6000, false, 0) // cl0: S
+	d := s.Access(1, 0x6000, true, 20)
+	if d.Level != RemoteHit {
+		t.Fatalf("level = %v", d.Level)
+	}
+	if st := s.Cache(0).Probe(0x6000); st != cache.Invalid {
+		t.Errorf("cl0 after remote store-miss = %v, want I", st)
+	}
+	if st := s.Cache(1).Probe(0x6000); st != cache.Modified {
+		t.Errorf("cl1 = %v, want M", st)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := cfg2()
+	s := New(cfg)
+	s.Access(0, 0x0, true, 0) // M in set 0
+	// Another line mapping to set 0 of the 4KB cache: +4096.
+	s.Access(0, 0x1000, false, 100)
+	if st := s.Stats(); st.Writebacks != 1 {
+		t.Errorf("writebacks = %d, want 1", st.Writebacks)
+	}
+}
+
+func TestCoherenceInvariantUnderRandomTraffic(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := machine.FourCluster(2, 1, 1, 1)
+		s := New(cfg)
+		var lines []uint64
+		now := int64(0)
+		for i := 0; i < 200; i++ {
+			cl := rng.Intn(4)
+			addr := uint64(rng.Intn(32)) * 64 // 32 distinct lines
+			store := rng.Intn(3) == 0
+			s.Access(cl, addr, store, now)
+			now += int64(rng.Intn(20))
+			lines = append(lines, addr)
+		}
+		return s.CheckCoherence(lines) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestServiceLevelString(t *testing.T) {
+	want := map[ServiceLevel]string{LocalHit: "local", Merged: "merged", RemoteHit: "remote", MemoryAccess: "memory"}
+	for l, s := range want {
+		if l.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(l), l.String(), s)
+		}
+	}
+}
+
+func TestLocalMissRatio(t *testing.T) {
+	s := New(cfg2())
+	s.Access(0, 0x1000, false, 0)  // miss
+	s.Access(0, 0x1008, false, 50) // hit
+	if r := s.Stats().LocalMissRatio(); r != 0.5 {
+		t.Errorf("miss ratio = %v, want 0.5", r)
+	}
+}

@@ -1,0 +1,269 @@
+// Package mrt implements the modulo reservation table: the cyclic resource
+// table of one candidate initiation interval. Rows are the II cycles of the
+// kernel; columns are every functional unit of every cluster plus the
+// inter-cluster register buses. The scheduler places operations into FU slots
+// and register-bus transfers into bus slots; a placement at cycle t occupies
+// row t mod II.
+//
+// Register buses are modeled exactly as the paper prescribes: "a bus is
+// considered by the scheduling algorithm as another resource in the
+// reservation table", busy for the entire bus latency of each transfer.
+package mrt
+
+import (
+	"fmt"
+	"strings"
+
+	"multivliw/internal/machine"
+)
+
+// Empty marks a free slot.
+const Empty = -1
+
+// Table is a modulo reservation table for one machine configuration and one
+// candidate II.
+type Table struct {
+	cfg machine.Config
+	ii  int
+
+	// fu[cluster][kind][row*units+u] = node ID or Empty.
+	fu [][][]int
+
+	// bus[b][row] = transfer ID or Empty. When the machine has unbounded
+	// register buses the slice grows on demand.
+	bus [][]int
+}
+
+// New returns an empty table for the given configuration and II.
+func New(cfg machine.Config, ii int) *Table {
+	if ii < 1 {
+		panic(fmt.Sprintf("mrt: ii=%d", ii))
+	}
+	t := &Table{cfg: cfg, ii: ii}
+	t.fu = make([][][]int, cfg.Clusters)
+	for c := range t.fu {
+		t.fu[c] = make([][]int, machine.NumFUKinds)
+		for k := range t.fu[c] {
+			slots := make([]int, ii*cfg.ClusterFUs(c)[k])
+			for i := range slots {
+				slots[i] = Empty
+			}
+			t.fu[c][k] = slots
+		}
+	}
+	nbus := cfg.RegBuses
+	if nbus == machine.Unbounded {
+		nbus = 0 // grown on demand
+	}
+	t.bus = make([][]int, nbus)
+	for b := range t.bus {
+		t.bus[b] = newRow(ii)
+	}
+	return t
+}
+
+func newRow(ii int) []int {
+	r := make([]int, ii)
+	for i := range r {
+		r[i] = Empty
+	}
+	return r
+}
+
+// II returns the initiation interval of the table.
+func (t *Table) II() int { return t.ii }
+
+// Config returns the machine configuration of the table.
+func (t *Table) Config() machine.Config { return t.cfg }
+
+// row maps an absolute cycle to a table row.
+func (t *Table) row(cycle int) int {
+	r := cycle % t.ii
+	if r < 0 {
+		r += t.ii
+	}
+	return r
+}
+
+// FreeFU reports whether cluster c has a free unit of kind k at the given
+// absolute cycle.
+func (t *Table) FreeFU(c int, k machine.FUKind, cycle int) bool {
+	return t.findFU(c, k, cycle) >= 0
+}
+
+func (t *Table) findFU(c int, k machine.FUKind, cycle int) int {
+	units := t.cfg.ClusterFUs(c)[k]
+	row := t.row(cycle)
+	for u := 0; u < units; u++ {
+		if t.fu[c][k][row*units+u] == Empty {
+			return u
+		}
+	}
+	return -1
+}
+
+// PlaceFU reserves a unit of kind k in cluster c at the given cycle for node
+// id and returns the unit index, or false if all units are busy in that row.
+func (t *Table) PlaceFU(c int, k machine.FUKind, cycle, id int) (int, bool) {
+	u := t.findFU(c, k, cycle)
+	if u < 0 {
+		return 0, false
+	}
+	t.fu[c][k][t.row(cycle)*t.cfg.ClusterFUs(c)[k]+u] = id
+	return u, true
+}
+
+// RemoveFU releases the slot previously returned by PlaceFU.
+func (t *Table) RemoveFU(c int, k machine.FUKind, cycle, unit int) {
+	units := t.cfg.ClusterFUs(c)[k]
+	t.fu[c][k][t.row(cycle)*units+unit] = Empty
+}
+
+// OccupantFU returns the node occupying (cluster, kind, cycle, unit).
+func (t *Table) OccupantFU(c int, k machine.FUKind, cycle, unit int) int {
+	return t.fu[c][k][t.row(cycle)*t.cfg.ClusterFUs(c)[k]+unit]
+}
+
+// busFreeWindow reports whether bus b is free for length consecutive cycles
+// starting at the given absolute cycle.
+func (t *Table) busFreeWindow(b, start, length int) bool {
+	for i := 0; i < length; i++ {
+		if t.bus[b][t.row(start+i)] != Empty {
+			return false
+		}
+	}
+	return true
+}
+
+// FindBus returns a register bus that is free for length consecutive cycles
+// starting at the given absolute cycle, growing the pool if the machine has
+// unbounded buses. A transfer longer than the II cannot be expressed in a
+// modulo schedule (the bus would collide with its own next-iteration
+// instance), so such requests always fail.
+func (t *Table) FindBus(start, length int) (int, bool) {
+	if length > t.ii {
+		return 0, false
+	}
+	for b := range t.bus {
+		if t.busFreeWindow(b, start, length) {
+			return b, true
+		}
+	}
+	if t.cfg.RegBuses == machine.Unbounded {
+		t.bus = append(t.bus, newRow(t.ii))
+		return len(t.bus) - 1, true
+	}
+	return 0, false
+}
+
+// PlaceBus reserves bus b for length cycles starting at the given absolute
+// cycle on behalf of transfer id. The window must be free.
+func (t *Table) PlaceBus(b, start, length, id int) {
+	if !t.busFreeWindow(b, start, length) {
+		panic(fmt.Sprintf("mrt: bus %d not free at %d+%d", b, start, length))
+	}
+	for i := 0; i < length; i++ {
+		t.bus[b][t.row(start+i)] = id
+	}
+}
+
+// RemoveBus releases a window previously reserved with PlaceBus.
+func (t *Table) RemoveBus(b, start, length int) {
+	for i := 0; i < length; i++ {
+		t.bus[b][t.row(start+i)] = Empty
+	}
+}
+
+// Buses returns the number of bus lanes currently materialized (for
+// unbounded machines this is the high-water mark).
+func (t *Table) Buses() int { return len(t.bus) }
+
+// BusOccupancy returns the fraction of bus slots in use across the table;
+// 0 when the machine has no buses materialized.
+func (t *Table) BusOccupancy() float64 {
+	total, used := 0, 0
+	for _, row := range t.bus {
+		for _, v := range row {
+			total++
+			if v != Empty {
+				used++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}
+
+// Clone returns a deep copy; the scheduler snapshots the table before
+// speculative placements.
+func (t *Table) Clone() *Table {
+	n := &Table{cfg: t.cfg, ii: t.ii}
+	n.fu = make([][][]int, len(t.fu))
+	for c := range t.fu {
+		n.fu[c] = make([][]int, len(t.fu[c]))
+		for k := range t.fu[c] {
+			n.fu[c][k] = append([]int(nil), t.fu[c][k]...)
+		}
+	}
+	n.bus = make([][]int, len(t.bus))
+	for b := range t.bus {
+		n.bus[b] = append([]int(nil), t.bus[b]...)
+	}
+	return n
+}
+
+// Render draws the table in the style of the paper's Figure 3: one row per
+// kernel cycle, one column per functional unit and per bus. label(id, isBus)
+// maps an occupant to display text (e.g. "LD1(0)" with the stage in
+// brackets); nil uses the raw ID.
+func (t *Table) Render(label func(id int, bus bool) string) string {
+	if label == nil {
+		label = func(id int, bus bool) string { return fmt.Sprintf("#%d", id) }
+	}
+	type col struct {
+		head string
+		get  func(row int) int
+		bus  bool
+	}
+	var cols []col
+	for c := 0; c < t.cfg.Clusters; c++ {
+		for k := 0; k < machine.NumFUKinds; k++ {
+			units := t.cfg.ClusterFUs(c)[k]
+			for u := 0; u < units; u++ {
+				c, k, u := c, k, u
+				head := fmt.Sprintf("C%d.%s%d", c, machine.FUKind(k), u)
+				cols = append(cols, col{head, func(row int) int {
+					return t.fu[c][k][row*units+u]
+				}, false})
+			}
+		}
+	}
+	for b := range t.bus {
+		b := b
+		cols = append(cols, col{fmt.Sprintf("BUS%d", b), func(row int) int { return t.bus[b][row] }, true})
+	}
+	width := 10
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-5s", "cyc")
+	for _, c := range cols {
+		fmt.Fprintf(&sb, "|%-*s", width, c.head)
+	}
+	sb.WriteString("\n")
+	sb.WriteString(strings.Repeat("-", 5+len(cols)*(width+1)))
+	sb.WriteString("\n")
+	for row := 0; row < t.ii; row++ {
+		fmt.Fprintf(&sb, "%-5d", row)
+		for _, c := range cols {
+			id := c.get(row)
+			cell := ""
+			if id != Empty {
+				cell = label(id, c.bus)
+			}
+			fmt.Fprintf(&sb, "|%-*s", width, cell)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

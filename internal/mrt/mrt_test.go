@@ -1,0 +1,189 @@
+package mrt
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"multivliw/internal/machine"
+)
+
+func twoCluster() machine.Config { return machine.TwoCluster(1, 2, 1, 1) }
+
+func TestPlaceFUAndConflict(t *testing.T) {
+	tab := New(twoCluster(), 3)
+	// 2 MEM units per cluster: two placements in the same row succeed,
+	// the third fails.
+	if _, ok := tab.PlaceFU(0, machine.FUMem, 0, 10); !ok {
+		t.Fatal("first placement failed")
+	}
+	if _, ok := tab.PlaceFU(0, machine.FUMem, 0, 11); !ok {
+		t.Fatal("second placement failed")
+	}
+	if _, ok := tab.PlaceFU(0, machine.FUMem, 0, 12); ok {
+		t.Fatal("third placement on a 2-unit row succeeded")
+	}
+	// Row 0 of the other cluster is unaffected.
+	if !tab.FreeFU(1, machine.FUMem, 0) {
+		t.Error("cluster 1 should be free")
+	}
+	// Cycle 3 wraps to row 0, which is full.
+	if tab.FreeFU(0, machine.FUMem, 3) {
+		t.Error("cycle 3 should wrap onto full row 0")
+	}
+}
+
+func TestRemoveFU(t *testing.T) {
+	tab := New(twoCluster(), 2)
+	u, ok := tab.PlaceFU(0, machine.FUFloat, 5, 7)
+	if !ok {
+		t.Fatal("placement failed")
+	}
+	if got := tab.OccupantFU(0, machine.FUFloat, 5, u); got != 7 {
+		t.Fatalf("occupant = %d, want 7", got)
+	}
+	tab.RemoveFU(0, machine.FUFloat, 5, u)
+	if got := tab.OccupantFU(0, machine.FUFloat, 5, u); got != Empty {
+		t.Fatalf("occupant after remove = %d, want Empty", got)
+	}
+}
+
+func TestBusWindowWrapAround(t *testing.T) {
+	tab := New(twoCluster(), 4)
+	// Latency-2 transfer starting at cycle 3 occupies rows 3 and 0.
+	b, ok := tab.FindBus(3, 2)
+	if !ok {
+		t.Fatal("no bus for wrap-around window")
+	}
+	tab.PlaceBus(b, 3, 2, 1)
+	if _, ok := tab.FindBus(0, 1); ok {
+		t.Error("row 0 should be occupied by the wrapped transfer")
+	}
+	if _, ok := tab.FindBus(1, 2); !ok {
+		t.Error("rows 1-2 should be free")
+	}
+	tab.RemoveBus(b, 3, 2)
+	if _, ok := tab.FindBus(0, 1); !ok {
+		t.Error("row 0 should be free after removal")
+	}
+}
+
+func TestBusLongerThanIIRejected(t *testing.T) {
+	tab := New(twoCluster(), 2)
+	// A 4-cycle transfer cannot live in a 2-cycle kernel: it would collide
+	// with its own next instance.
+	if _, ok := tab.FindBus(0, 4); ok {
+		t.Error("transfer longer than II was accepted")
+	}
+}
+
+func TestUnboundedBusGrowth(t *testing.T) {
+	cfg := machine.TwoCluster(machine.Unbounded, 2, 1, 1)
+	tab := New(cfg, 2)
+	for i := 0; i < 5; i++ {
+		b, ok := tab.FindBus(0, 2)
+		if !ok {
+			t.Fatalf("unbounded machine refused bus %d", i)
+		}
+		tab.PlaceBus(b, 0, 2, i)
+	}
+	if tab.Buses() != 5 {
+		t.Errorf("bus high-water = %d, want 5", tab.Buses())
+	}
+	if occ := tab.BusOccupancy(); occ != 1.0 {
+		t.Errorf("occupancy = %v, want 1.0", occ)
+	}
+}
+
+func TestBoundedBusExhaustion(t *testing.T) {
+	cfg := machine.TwoCluster(2, 1, 1, 1)
+	tab := New(cfg, 1)
+	for i := 0; i < 2; i++ {
+		b, ok := tab.FindBus(0, 1)
+		if !ok {
+			t.Fatalf("bus %d not found", i)
+		}
+		tab.PlaceBus(b, 0, 1, i)
+	}
+	if _, ok := tab.FindBus(0, 1); ok {
+		t.Error("third transfer fit on a 2-bus machine with II=1")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	tab := New(twoCluster(), 3)
+	tab.PlaceFU(0, machine.FUInt, 0, 1)
+	cp := tab.Clone()
+	cp.PlaceFU(0, machine.FUInt, 1, 2)
+	if got := tab.OccupantFU(0, machine.FUInt, 1, 0); got != Empty {
+		t.Error("mutation of clone leaked into original")
+	}
+	b, _ := cp.FindBus(0, 2)
+	cp.PlaceBus(b, 0, 2, 9)
+	if _, ok := tab.FindBus(0, 3); !ok {
+		t.Error("original lost bus capacity after clone mutation")
+	}
+}
+
+func TestRender(t *testing.T) {
+	tab := New(twoCluster(), 2)
+	tab.PlaceFU(0, machine.FUMem, 0, 3)
+	b, _ := tab.FindBus(1, 1)
+	tab.PlaceBus(b, 1, 1, 8)
+	out := tab.Render(func(id int, bus bool) string {
+		if bus {
+			return "C"
+		}
+		return "LD1(0)"
+	})
+	for _, want := range []string{"C0.MEM0", "C1.INT0", "BUS0", "LD1(0)", "C"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPlacementNeverDoubleBooks(t *testing.T) {
+	// Property: any sequence of placements returns distinct (row, unit)
+	// slots per (cluster, kind); removing everything leaves the table empty.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ii := 1 + rng.Intn(6)
+		tab := New(twoCluster(), ii)
+		type slot struct{ c, k, cyc, unit int }
+		var placed []slot
+		for i := 0; i < 30; i++ {
+			c := rng.Intn(2)
+			k := machine.FUKind(rng.Intn(machine.NumFUKinds))
+			cyc := rng.Intn(3 * ii)
+			if u, ok := tab.PlaceFU(c, k, cyc, i); ok {
+				placed = append(placed, slot{c, int(k), cyc, u})
+			}
+		}
+		seen := map[[4]int]bool{}
+		for _, s := range placed {
+			key := [4]int{s.c, s.k, (s.cyc%ii + ii) % ii, s.unit}
+			if seen[key] {
+				return false
+			}
+			seen[key] = true
+		}
+		for _, s := range placed {
+			tab.RemoveFU(s.c, machine.FUKind(s.k), s.cyc, s.unit)
+		}
+		for c := 0; c < 2; c++ {
+			for k := 0; k < machine.NumFUKinds; k++ {
+				for cyc := 0; cyc < ii; cyc++ {
+					if !tab.FreeFU(c, machine.FUKind(k), cyc) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

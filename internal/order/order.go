@@ -1,0 +1,382 @@
+// Package order implements the node ordering the schedulers of [22] and this
+// paper consume. The ordering processes recurrences first (most II-critical
+// first), pulls in the nodes on paths between recurrences, and sweeps each
+// set alternating top-down and bottom-up so that, when a node is scheduled,
+// rarely do both a predecessor and a successor already precede it in the
+// order — the property the paper cites ("minimizes the number of nodes that
+// have both predecessors and successors in the set of nodes that precede it
+// in the order"). This is the Swing Modulo Scheduling ordering adapted to
+// the clustered assign-and-schedule framework.
+package order
+
+import (
+	"sort"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/machine"
+)
+
+// Result is the computed ordering plus the analyses it was derived from.
+type Result struct {
+	Order  []int
+	MII    int
+	RecMII int
+	ResMII int
+	Times  *ddg.Times
+}
+
+// Compute orders the nodes of g for modulo scheduling on cfg with the given
+// per-node latencies.
+func Compute(g *ddg.Graph, lat []int, cfg machine.Config) *Result {
+	rec := g.RecMII(lat)
+	res := g.ResMII(cfg)
+	mii := rec
+	if res > mii {
+		mii = res
+	}
+	times := g.ComputeTimes(lat, mii)
+	sets := prioritySets(g, lat)
+	ord := sweep(g, sets, times)
+	return &Result{Order: ord, MII: mii, RecMII: rec, ResMII: res, Times: times}
+}
+
+// sccRecMII returns the minimum II feasible for the cycles inside one
+// component (edges with both endpoints in comp).
+func sccRecMII(g *ddg.Graph, lat []int, comp []int) int {
+	in := make(map[int]bool, len(comp))
+	for _, v := range comp {
+		in[v] = true
+	}
+	hi := 1
+	for _, v := range comp {
+		hi += lat[v]
+	}
+	feasible := func(ii int) bool {
+		dist := make(map[int]int64, len(comp))
+		for round := 0; round < len(comp)+1; round++ {
+			changed := false
+			for _, v := range comp {
+				for _, e := range g.Out(v) {
+					if !in[e.To] {
+						continue
+					}
+					w := int64(ddg.EdgeLatency(e, lat)) - int64(ii)*int64(e.Distance)
+					if d := dist[v] + w; d > dist[e.To] {
+						dist[e.To] = d
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				return true
+			}
+		}
+		return false
+	}
+	lo := 1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// reachable returns the forward (or backward) reachability set of seed.
+func reachable(g *ddg.Graph, seed []int, backward bool) []bool {
+	seen := make([]bool, g.NumNodes())
+	queue := append([]int(nil), seed...)
+	for _, v := range queue {
+		seen[v] = true
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		var edges []ddg.Edge
+		if backward {
+			edges = g.In(v)
+		} else {
+			edges = g.Out(v)
+		}
+		for _, e := range edges {
+			next := e.To
+			if backward {
+				next = e.From
+			}
+			if !seen[next] {
+				seen[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return seen
+}
+
+// prioritySets partitions the nodes: each recurrence (by decreasing RecMII)
+// together with the not-yet-placed nodes on paths between it and the nodes
+// already placed, followed by one final set with everything else.
+func prioritySets(g *ddg.Graph, lat []int) [][]int {
+	type recInfo struct {
+		comp []int
+		mii  int
+	}
+	var recs []recInfo
+	for _, comp := range g.SCCs() {
+		cyclic := len(comp) > 1
+		if !cyclic {
+			v := comp[0]
+			for _, e := range g.Out(v) {
+				if e.To == v {
+					cyclic = true
+					break
+				}
+			}
+		}
+		if cyclic {
+			recs = append(recs, recInfo{comp: comp, mii: sccRecMII(g, lat, comp)})
+		}
+	}
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].mii != recs[j].mii {
+			return recs[i].mii > recs[j].mii
+		}
+		return recs[i].comp[0] < recs[j].comp[0]
+	})
+
+	placed := make([]bool, g.NumNodes())
+	var sets [][]int
+	add := func(set []int) {
+		var s []int
+		for _, v := range set {
+			if !placed[v] {
+				placed[v] = true
+				s = append(s, v)
+			}
+		}
+		if len(s) > 0 {
+			sets = append(sets, s)
+		}
+	}
+	var current []int
+	for _, r := range recs {
+		if len(current) > 0 {
+			// Nodes on paths between the already-covered nodes and
+			// this recurrence, in either direction.
+			fwd := reachable(g, current, false)
+			bwd := reachable(g, current, true)
+			rf := reachable(g, r.comp, false)
+			rb := reachable(g, r.comp, true)
+			var between []int
+			for v := 0; v < g.NumNodes(); v++ {
+				if placed[v] {
+					continue
+				}
+				if (fwd[v] && rb[v]) || (rf[v] && bwd[v]) {
+					between = append(between, v)
+				}
+			}
+			add(between)
+		}
+		add(r.comp)
+		current = append(current, r.comp...)
+	}
+	var rest []int
+	for v := 0; v < g.NumNodes(); v++ {
+		if !placed[v] {
+			rest = append(rest, v)
+		}
+	}
+	add(rest)
+	return sets
+}
+
+// sweep orders each set with the alternating top-down/bottom-up traversal.
+func sweep(g *ddg.Graph, sets [][]int, times *ddg.Times) []int {
+	n := g.NumNodes()
+	ordered := make([]bool, n)
+	var out []int
+
+	appendNode := func(v int) {
+		ordered[v] = true
+		out = append(out, v)
+	}
+	hasOrderedPred := func(v int) bool {
+		for _, e := range g.In(v) {
+			if e.From != v && ordered[e.From] {
+				return true
+			}
+		}
+		return false
+	}
+	hasOrderedSucc := func(v int) bool {
+		for _, e := range g.Out(v) {
+			if e.To != v && ordered[e.To] {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, set := range sets {
+		inSet := make(map[int]bool, len(set))
+		remaining := 0
+		for _, v := range set {
+			if !ordered[v] {
+				inSet[v] = true
+				remaining++
+			}
+		}
+		for remaining > 0 {
+			var r []int
+			topDown := true
+			for v := range inSet {
+				if !ordered[v] && hasOrderedPred(v) {
+					r = append(r, v)
+				}
+			}
+			if len(r) == 0 {
+				for v := range inSet {
+					if !ordered[v] && hasOrderedSucc(v) {
+						r = append(r, v)
+					}
+				}
+				if len(r) > 0 {
+					topDown = false
+				}
+			}
+			if len(r) == 0 {
+				// Disconnected seed: deepest-critical node first.
+				best := -1
+				for v := range inSet {
+					if ordered[v] {
+						continue
+					}
+					if best == -1 || better(times, v, best, true) {
+						best = v
+					}
+				}
+				r = []int{best}
+			}
+			// Sweep in the chosen direction until the frontier empties,
+			// then the outer loop re-derives the frontier (switching
+			// direction naturally when one side is exhausted).
+			for len(r) > 0 {
+				sort.Ints(r)
+				best := r[0]
+				for _, v := range r[1:] {
+					if better(times, v, best, topDown) {
+						best = v
+					}
+				}
+				appendNode(best)
+				remaining--
+				next := r[:0]
+				for _, v := range r {
+					if v != best {
+						next = append(next, v)
+					}
+				}
+				var edges []ddg.Edge
+				if topDown {
+					edges = g.Out(best)
+				} else {
+					edges = g.In(best)
+				}
+				for _, e := range edges {
+					nb := e.To
+					if !topDown {
+						nb = e.From
+					}
+					if nb != best && inSet[nb] && !ordered[nb] && !contains(next, nb) {
+						next = append(next, nb)
+					}
+				}
+				r = next
+			}
+		}
+	}
+	return out
+}
+
+// better reports whether v beats cur under the sweep's priority: top-down
+// prefers maximum height (critical path to the sinks), bottom-up maximum
+// depth; ties fall to minimum mobility, then lowest ID for determinism.
+func better(t *ddg.Times, v, cur int, topDown bool) bool {
+	var pv, pc int
+	if topDown {
+		pv, pc = t.Height(v), t.Height(cur)
+	} else {
+		pv, pc = t.Depth(v), t.Depth(cur)
+	}
+	if pv != pc {
+		return pv > pc
+	}
+	if mv, mc := t.Mobility(v), t.Mobility(cur); mv != mc {
+		return mv < mc
+	}
+	return v < cur
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Topological returns a latency-weighted topological-ish order (ASAP, then
+// ID), used as the ablation baseline for the ordering heuristic.
+func Topological(g *ddg.Graph, lat []int, cfg machine.Config) *Result {
+	rec := g.RecMII(lat)
+	res := g.ResMII(cfg)
+	mii := rec
+	if res > mii {
+		mii = res
+	}
+	times := g.ComputeTimes(lat, mii)
+	ord := make([]int, g.NumNodes())
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.SliceStable(ord, func(a, b int) bool {
+		if times.ASAP[ord[a]] != times.ASAP[ord[b]] {
+			return times.ASAP[ord[a]] < times.ASAP[ord[b]]
+		}
+		return ord[a] < ord[b]
+	})
+	return &Result{Order: ord, MII: mii, RecMII: rec, ResMII: res, Times: times}
+}
+
+// BothNeighborsOrdered counts, over the given order, how many nodes have at
+// least one predecessor and at least one successor earlier in the order —
+// the quantity the ordering is designed to minimize (those nodes have the
+// tightest scheduling windows).
+func BothNeighborsOrdered(g *ddg.Graph, ord []int) int {
+	pos := make([]int, g.NumNodes())
+	for i, v := range ord {
+		pos[v] = i
+	}
+	count := 0
+	for i, v := range ord {
+		pred, succ := false, false
+		for _, e := range g.In(v) {
+			if e.From != v && pos[e.From] < i {
+				pred = true
+			}
+		}
+		for _, e := range g.Out(v) {
+			if e.To != v && pos[e.To] < i {
+				succ = true
+			}
+		}
+		if pred && succ {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,285 @@
+// Package regalloc assigns physical registers to a modulo schedule using
+// modulo variable expansion (MVE). The paper stops at bounding MaxLive
+// against the cluster register file (§4.1 fails a schedule when "there are
+// not enough registers"); this package carries the schedule the rest of the
+// way to executable code: values whose lifetime exceeds the II would be
+// overwritten by the next iteration's instance, so the kernel is unrolled
+// until every instance can own a register, and the instances are colored
+// onto physical registers by cyclic-interval allocation.
+//
+// Lifetimes follow the machine's EQ (equals) semantics, as in the
+// TMS320C6000 family the paper cites: a result is written to its register
+// exactly at issue+latency (in-flight values live in the pipeline), and the
+// register stays occupied until the last read — the last consuming
+// operation or the last register-bus transfer, and in a destination cluster
+// from IRV arrival to the last read there.
+//
+// The allocator is exact: Check verifies that no two live instances ever
+// share a register.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/sched"
+)
+
+// valueKey identifies one allocatable value: the copy of node Producer's
+// result that lives in cluster Cluster (the producer's own cluster or a
+// destination of a bus transfer).
+type valueKey struct {
+	Producer int
+	Cluster  int
+}
+
+// Range is a value lifetime in flat schedule cycles, inclusive.
+type Range struct {
+	Def, End int
+}
+
+// Span returns the lifetime length in cycles.
+func (r Range) Span() int { return r.End - r.Def + 1 }
+
+// Assignment is the register rotation of one value copy.
+type Assignment struct {
+	Key  valueKey
+	Live Range
+	// Regs[i] is the physical register of the instance started at kernel
+	// iteration k with k mod Unroll == i.
+	Regs []int
+}
+
+// Allocation is a complete register allocation for a schedule.
+type Allocation struct {
+	Schedule *sched.Schedule
+
+	// Unroll is the kernel unroll factor MVE requires (1 = no unroll).
+	Unroll int
+
+	// PerCluster is the number of physical registers used per cluster.
+	PerCluster []int
+
+	// Values holds every allocated value, deterministically ordered.
+	Values []Assignment
+
+	byKey map[valueKey]int
+}
+
+// Register returns the physical register holding producer v's value in
+// cluster c for the instance of kernel iteration iter. ok is false if the
+// value has no copy in that cluster.
+func (a *Allocation) Register(v, c, iter int) (int, bool) {
+	idx, ok := a.byKey[valueKey{v, c}]
+	if !ok {
+		return 0, false
+	}
+	as := a.Values[idx]
+	return as.Regs[iter%a.Unroll], true
+}
+
+// lifetimes derives every value copy's live range from the schedule.
+func lifetimes(s *sched.Schedule) map[valueKey]Range {
+	g := s.Kernel.Graph
+	out := make(map[valueKey]Range)
+	for v := 0; v < g.NumNodes(); v++ {
+		n := g.Node(v)
+		if !n.Class.HasResult() {
+			continue
+		}
+		def := s.Cycle[v] + s.Lat[v] // EQ semantics: written at completion
+		lastRead := map[int]int{}
+		for _, e := range g.Out(v) {
+			if e.Kind != ddg.RegDep {
+				continue
+			}
+			read := s.Cycle[e.To] + e.Distance*s.II
+			if old, ok := lastRead[s.Cluster[e.To]]; !ok || read > old {
+				lastRead[s.Cluster[e.To]] = read
+			}
+		}
+		prodEnd := -1
+		if last, ok := lastRead[s.Cluster[v]]; ok {
+			prodEnd = last
+		}
+		for _, cm := range s.Comms {
+			if cm.Producer == v && cm.Start > prodEnd {
+				prodEnd = cm.Start
+			}
+		}
+		if prodEnd >= def {
+			out[valueKey{v, s.Cluster[v]}] = Range{Def: def, End: prodEnd}
+		}
+		for _, cm := range s.Comms {
+			if cm.Producer != v || cm.Dest == s.Cluster[v] {
+				continue
+			}
+			if last, ok := lastRead[cm.Dest]; ok && last >= cm.Arrival() {
+				out[valueKey{v, cm.Dest}] = Range{Def: cm.Arrival(), End: last}
+			}
+		}
+	}
+	return out
+}
+
+// copiesNeeded returns how many pipeline instances of a value are live at
+// once: a lifetime spanning more than k·II cycles needs more than k
+// registers.
+func copiesNeeded(r Range, ii int) int {
+	return (r.Span() + ii - 1) / ii
+}
+
+// arc is one value instance on the unrolled-kernel circle of length L:
+// the half-open cyclic interval [lo, lo+span).
+type arc struct {
+	lo, span int
+}
+
+// overlaps reports whether two cyclic intervals on a circle of length l
+// intersect.
+func (a arc) overlaps(b arc, l int) bool {
+	d1 := (b.lo - a.lo) % l
+	if d1 < 0 {
+		d1 += l
+	}
+	if d1 < a.span {
+		return true
+	}
+	d2 := (a.lo - b.lo) % l
+	if d2 < 0 {
+		d2 += l
+	}
+	return d2 < b.span
+}
+
+// Run allocates registers for a schedule. It fails if some cluster needs
+// more registers than the machine provides (the scheduler's MaxLive bound
+// makes this rare: coloring adds no overhead beyond fragmentation).
+func Run(s *sched.Schedule) (*Allocation, error) {
+	lives := lifetimes(s)
+	unroll := 1
+	for _, r := range lives {
+		if n := copiesNeeded(r, s.II); n > unroll {
+			unroll = n
+		}
+	}
+	circle := unroll * s.II
+
+	a := &Allocation{
+		Schedule:   s,
+		Unroll:     unroll,
+		PerCluster: make([]int, s.Config.Clusters),
+		byKey:      make(map[valueKey]int),
+	}
+	keys := make([]valueKey, 0, len(lives))
+	for k := range lives {
+		keys = append(keys, k)
+	}
+	// Deterministic order: cluster, longest lifetime first (classic
+	// interval-coloring order), then definition, then producer.
+	sort.Slice(keys, func(i, j int) bool {
+		x, y := keys[i], keys[j]
+		if x.Cluster != y.Cluster {
+			return x.Cluster < y.Cluster
+		}
+		rx, ry := lives[x], lives[y]
+		if rx.Span() != ry.Span() {
+			return rx.Span() > ry.Span()
+		}
+		if rx.Def != ry.Def {
+			return rx.Def < ry.Def
+		}
+		return x.Producer < y.Producer
+	})
+
+	// First-fit coloring per cluster: regArcs[c][r] holds the arcs already
+	// placed on register r of cluster c.
+	regArcs := make([][][]arc, s.Config.Clusters)
+	for _, k := range keys {
+		r := lives[k]
+		span := r.Span()
+		if span > circle {
+			// Cannot happen: copiesNeeded bounds unroll.
+			return nil, fmt.Errorf("regalloc: value n%d span %d exceeds unrolled kernel %d", k.Producer, span, circle)
+		}
+		regs := make([]int, unroll)
+		for i := 0; i < unroll; i++ {
+			inst := arc{lo: (r.Def + i*s.II) % circle, span: span}
+			placed := false
+			for reg := 0; reg < len(regArcs[k.Cluster]) && !placed; reg++ {
+				free := true
+				for _, other := range regArcs[k.Cluster][reg] {
+					if inst.overlaps(other, circle) {
+						free = false
+						break
+					}
+				}
+				if free {
+					regArcs[k.Cluster][reg] = append(regArcs[k.Cluster][reg], inst)
+					regs[i] = reg
+					placed = true
+				}
+			}
+			if !placed {
+				regArcs[k.Cluster] = append(regArcs[k.Cluster], []arc{inst})
+				regs[i] = len(regArcs[k.Cluster]) - 1
+			}
+		}
+		a.byKey[k] = len(a.Values)
+		a.Values = append(a.Values, Assignment{Key: k, Live: r, Regs: regs})
+	}
+	for c := range regArcs {
+		a.PerCluster[c] = len(regArcs[c])
+		if a.PerCluster[c] > s.Config.Regs {
+			return nil, fmt.Errorf("regalloc: cluster %d needs %d registers, machine has %d (MVE unroll %d)",
+				c, a.PerCluster[c], s.Config.Regs, unroll)
+		}
+	}
+	return a, nil
+}
+
+// Check verifies the allocation over iters kernel iterations: no two value
+// instances may occupy the same (cluster, register) at the same cycle.
+// Returns nil if the allocation is sound.
+func (a *Allocation) Check(iters int) error {
+	ii := a.Schedule.II
+	type interval struct {
+		lo, hi int
+		prod   int
+		iter   int
+	}
+	occ := map[[2]int][]interval{}
+	for _, as := range a.Values {
+		for i := 0; i < iters; i++ {
+			reg := as.Regs[i%a.Unroll]
+			lo := as.Live.Def + i*ii
+			hi := as.Live.End + i*ii
+			key := [2]int{as.Key.Cluster, reg}
+			for _, prev := range occ[key] {
+				if prev.prod == as.Key.Producer && prev.iter == i {
+					continue
+				}
+				if lo <= prev.hi && prev.lo <= hi {
+					return fmt.Errorf(
+						"regalloc: cluster %d r%d: value n%d iter %d [%d,%d] overlaps n%d iter %d [%d,%d]",
+						as.Key.Cluster, reg, as.Key.Producer, i, lo, hi,
+						prev.prod, prev.iter, prev.lo, prev.hi)
+				}
+			}
+			occ[key] = append(occ[key], interval{lo, hi, as.Key.Producer, i})
+		}
+	}
+	return nil
+}
+
+// Describe renders the allocation for humans.
+func (a *Allocation) Describe() string {
+	out := fmt.Sprintf("MVE unroll %d, registers per cluster %v\n", a.Unroll, a.PerCluster)
+	for _, as := range a.Values {
+		n := a.Schedule.Kernel.Graph.Node(as.Key.Producer)
+		out += fmt.Sprintf("  C%d %-12s live [%d,%d] regs %v\n",
+			as.Key.Cluster, n.Name, as.Live.Def, as.Live.End, as.Regs)
+	}
+	return out
+}

@@ -1,0 +1,185 @@
+package regalloc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/workloads"
+)
+
+func compile(t *testing.T, k *loop.Kernel, cfg machine.Config, o sched.Options) *sched.Schedule {
+	t.Helper()
+	s, err := sched.Run(k, cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimpleChainAllocates(t *testing.T) {
+	space := loop.NewAddressSpace(0, 64, 0)
+	a := space.Alloc("A", 8, 1<<12)
+	c := space.Alloc("C", 8, 1<<12)
+	b := loop.NewBuilder("t", 128)
+	x := b.Load(a, loop.Aff(0, 1))
+	m := b.FMul("m", x, x)
+	b.Store(c, m, loop.Aff(0, 1))
+	k := b.MustBuild()
+	s := compile(t, k, machine.Unified(), sched.Options{Threshold: 1.0})
+	al, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Check(3 * al.Unroll); err != nil {
+		t.Fatal(err)
+	}
+	// Three values (induction, load result, mul result) in one cluster.
+	if len(al.Values) != 3 {
+		t.Errorf("values = %d, want 3", len(al.Values))
+	}
+	if al.PerCluster[0] < 2 {
+		t.Errorf("registers used = %d, want >= 2", al.PerCluster[0])
+	}
+}
+
+func TestLongLifetimeForcesUnroll(t *testing.T) {
+	// A value read three iterations later stays live across 3·II cycles:
+	// MVE must unroll so each in-flight instance owns a register.
+	space := loop.NewAddressSpace(0, 64, 0)
+	a := space.Alloc("A", 8, 1<<12)
+	b := loop.NewBuilder("t", 128)
+	x := b.Load(a, loop.Aff(0, 1))
+	m := b.FMul("m", x, x)
+	sum := b.FAdd("sum", m)
+	b.Carried(x, sum, 3) // sum(i) also reads x(i-3)
+	b.Store(a, sum, loop.Aff(1, 1))
+	k := b.MustBuild()
+	s := compile(t, k, machine.Unified(), sched.Options{Threshold: 1.0})
+	al, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if al.Unroll < 3 {
+		t.Errorf("unroll = %d, want >= 3 for a distance-3 consumer at II=%d", al.Unroll, s.II)
+	}
+	if err := al.Check(4 * al.Unroll); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotationRegisterLookup(t *testing.T) {
+	space := loop.NewAddressSpace(0, 64, 0)
+	a := space.Alloc("A", 8, 1<<12)
+	b := loop.NewBuilder("t", 64)
+	x := b.Load(a, loop.Aff(0, 1))
+	m := b.FMul("m", x, x)
+	b.Store(a, m, loop.Aff(1, 1))
+	k := b.MustBuild()
+	s := compile(t, k, machine.Unified(), sched.Options{Threshold: 0.0})
+	al, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, ok := al.Register(int(x), 0, 0)
+	if !ok {
+		t.Fatal("load value not allocated")
+	}
+	rN, _ := al.Register(int(x), 0, al.Unroll)
+	if r0 != rN {
+		t.Errorf("register rotation period broken: iter 0 -> r%d, iter %d -> r%d", r0, al.Unroll, rN)
+	}
+	if _, ok := al.Register(int(x), 1, 0); ok {
+		t.Error("value reported in a cluster it never visits")
+	}
+}
+
+func TestCrossClusterCopiesAllocated(t *testing.T) {
+	k := workloads.Motivating(256)
+	cfg := workloads.MotivatingConfig()
+	s := compile(t, k, cfg, sched.Options{Policy: sched.RMCA, Threshold: 1.0})
+	if len(s.Comms) == 0 {
+		t.Fatal("expected cross-cluster transfers")
+	}
+	al, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := al.Check(3*al.Unroll + 2); err != nil {
+		t.Fatal(err)
+	}
+	// Every comm with a consumer must yield a destination-cluster copy.
+	for _, cm := range s.Comms {
+		if _, ok := al.Register(cm.Producer, cm.Dest, 0); !ok {
+			t.Errorf("transfer of n%d to cluster %d has no allocated copy", cm.Producer, cm.Dest)
+		}
+	}
+	if !strings.Contains(al.Describe(), "MVE unroll") {
+		t.Error("Describe missing header")
+	}
+}
+
+func TestSuiteAllocates(t *testing.T) {
+	// Every kernel of the suite, scheduled on every Table 1 machine, must
+	// admit a sound allocation within the machine's register files.
+	configs := []machine.Config{
+		machine.Unified(),
+		machine.TwoCluster(2, 1, 1, 1),
+		machine.FourCluster(2, 1, 1, 1),
+	}
+	for _, b := range workloads.Suite() {
+		for _, k := range b.Kernels {
+			for _, cfg := range configs {
+				s := compile(t, k, cfg, sched.Options{Policy: sched.RMCA, Threshold: 0.25})
+				al, err := Run(s)
+				if err != nil {
+					t.Errorf("%s on %s: %v", k.Name, cfg.Name, err)
+					continue
+				}
+				if err := al.Check(2*al.Unroll + 1); err != nil {
+					t.Errorf("%s on %s: %v", k.Name, cfg.Name, err)
+				}
+			}
+		}
+	}
+}
+
+func TestRandomSchedulesAllocateSound(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		space := loop.NewAddressSpace(0, 64, 0)
+		arrs := []*loop.Array{
+			space.Alloc("A", 8, 1<<12), space.Alloc("B", 8, 1<<12), space.Alloc("C", 8, 1<<12),
+		}
+		b := loop.NewBuilder("r", 64)
+		var vals []loop.Value
+		for i := 0; i < 2+rng.Intn(3); i++ {
+			vals = append(vals, b.Load(arrs[rng.Intn(3)], loop.Aff(rng.Intn(2), 1)))
+		}
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			vals = append(vals, b.FAdd("f", vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))]))
+		}
+		b.Store(arrs[rng.Intn(3)], vals[len(vals)-1], loop.Aff(0, 1))
+		k := b.MustBuild()
+		cfg := []machine.Config{machine.TwoCluster(2, 1, 1, 1), machine.FourCluster(2, 2, 1, 2)}[rng.Intn(2)]
+		s, err := sched.Run(k, cfg, sched.Options{
+			Policy: sched.Policy(rng.Intn(2)), Threshold: []float64{1, 0.25, 0}[rng.Intn(3)],
+		})
+		if err != nil {
+			return false
+		}
+		al, err := Run(s)
+		if err != nil {
+			// Exceeding the register file is a legal outcome, not a bug.
+			return true
+		}
+		return al.Check(3*al.Unroll+1) == nil
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

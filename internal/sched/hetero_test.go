@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"testing"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/machine"
+)
+
+// heteroConfig builds a 2-cluster machine where cluster 0 owns all the
+// memory units and cluster 1 all the FP units — the extreme heterogeneous
+// split §2.1 alludes to.
+func heteroConfig() machine.Config {
+	cfg := machine.TwoCluster(2, 1, machine.Unbounded, 1)
+	return machine.Heterogeneous(cfg,
+		[machine.NumFUKinds]int{2, 0, 3}, // INT + MEM cluster
+		[machine.NumFUKinds]int{0, 3, 0}, // FP cluster
+	)
+}
+
+func TestHeterogeneousValidates(t *testing.T) {
+	cfg := heteroConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.TotalFUs(machine.FUMem); got != 3 {
+		t.Errorf("TotalFUs(MEM) = %d, want 3", got)
+	}
+	if got := cfg.IssueWidth(); got != 8 {
+		t.Errorf("IssueWidth = %d, want 8", got)
+	}
+	// Mismatched mix count must be rejected.
+	bad := cfg
+	bad.FUsByCluster = bad.FUsByCluster[:1]
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate accepted 1 FU mix for 2 clusters")
+	}
+}
+
+func TestHeterogeneousForcesPartition(t *testing.T) {
+	k := axpyKernel(256)
+	cfg := heteroConfig()
+	s, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Every memory op must sit in cluster 0, every FP op in cluster 1.
+	for _, n := range k.Graph.Nodes() {
+		switch n.Class.FUKind() {
+		case machine.FUMem:
+			if s.Cluster[n.ID] != 0 {
+				t.Errorf("%s placed in cluster %d, want 0", n.Name, s.Cluster[n.ID])
+			}
+		case machine.FUFloat:
+			if s.Cluster[n.ID] != 1 {
+				t.Errorf("%s placed in cluster %d, want 1", n.Name, s.Cluster[n.ID])
+			}
+		}
+	}
+	// Loads feed FP ops across the split, so transfers are mandatory.
+	if len(s.Comms) == 0 {
+		t.Error("no communications despite the forced MEM/FP split")
+	}
+}
+
+func TestHeterogeneousResMII(t *testing.T) {
+	// 3 mem ops on 3 machine-wide MEM units and 1 FP op on 3 FP units:
+	// ResMII = 1 on the heterogeneous machine.
+	k := axpyKernel(64)
+	if got := k.Graph.ResMII(heteroConfig()); got != 1 {
+		t.Errorf("ResMII = %d, want 1", got)
+	}
+	// A cluster with zero units of a kind simply never hosts that kind;
+	// ResMII still counts machine-wide units.
+	lat := ddg.DefaultLatencies(k.Graph, machine.DefaultLatencies())
+	if got := k.Graph.MII(lat, heteroConfig()); got < 1 {
+		t.Errorf("MII = %d", got)
+	}
+}

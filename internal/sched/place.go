@@ -1,0 +1,263 @@
+package sched
+
+import (
+	"math"
+
+	"multivliw/internal/ddg"
+)
+
+// plan is a fully-validated tentative placement of one node: the cluster,
+// cycle and latency it will use, the new bus transfers it requires (already
+// proven to fit) and the existing transfers it reuses.
+type plan struct {
+	cluster int
+	cycle   int
+	latUsed int
+
+	newComms []plannedComm
+	reuse    map[[2]int]int // edge -> existing comm index
+}
+
+// plannedComm is one new register-bus transfer of a plan.
+type plannedComm struct {
+	key   commKey
+	bus   int
+	start int
+	lat   int
+	edges [][2]int // the dependence edges this transfer serves
+}
+
+// window computes the dependence-legal cycle range for node v in cluster c,
+// given the latency latV the node would be scheduled with. es is the
+// earliest start implied by scheduled predecessors, ls the latest start
+// implied by scheduled successors.
+func (s *state) window(v, c, latV int) (es, ls int, hasPred, hasSucc bool) {
+	es, ls = math.MinInt32, math.MaxInt32
+	busLat := s.cfg.RegBusLat
+	for _, e := range s.g.In(v) {
+		u := e.From
+		if u == v || s.cluster[u] < 0 {
+			continue
+		}
+		var lo int
+		switch {
+		case e.Kind == ddg.MemDep:
+			lo = s.cycle[u] + 1 - e.Distance*s.ii
+		case s.cluster[u] == c:
+			lo = s.cycle[u] + s.lat[u] - e.Distance*s.ii
+		default:
+			// The value must additionally cross a register bus.
+			lo = s.cycle[u] + s.lat[u] + busLat - e.Distance*s.ii
+		}
+		if lo > es {
+			es = lo
+		}
+		hasPred = true
+	}
+	for _, e := range s.g.Out(v) {
+		w := e.To
+		if w == v || s.cluster[w] < 0 {
+			continue
+		}
+		var hi int
+		switch {
+		case e.Kind == ddg.MemDep:
+			hi = s.cycle[w] - 1 + e.Distance*s.ii
+		case s.cluster[w] == c:
+			hi = s.cycle[w] - latV + e.Distance*s.ii
+		default:
+			hi = s.cycle[w] - latV - busLat + e.Distance*s.ii
+		}
+		if hi < ls {
+			ls = hi
+		}
+		hasSucc = true
+	}
+	return es, ls, hasPred, hasSucc
+}
+
+// tryPlace searches cluster c for a feasible (cycle, communications)
+// placement of v with latency latV, scanning at most II candidate cycles in
+// the direction dictated by which neighbors are already scheduled: upward
+// from the earliest start when predecessors anchor the node, downward from
+// the latest start when only successors do.
+func (s *state) tryPlace(v, c, latV int) (plan, bool) {
+	es, ls, hasPred, hasSucc := s.window(v, c, latV)
+	var cands []int
+	switch {
+	case hasPred && hasSucc:
+		hi := ls
+		if es+s.ii-1 < hi {
+			hi = es + s.ii - 1
+		}
+		for t := es; t <= hi; t++ {
+			cands = append(cands, t)
+		}
+	case hasSucc:
+		for t := ls; t > ls-s.ii; t-- {
+			cands = append(cands, t)
+		}
+	case hasPred:
+		for t := es; t < es+s.ii; t++ {
+			cands = append(cands, t)
+		}
+	default:
+		start := s.times.ASAP[v]
+		for t := start; t < start+s.ii; t++ {
+			cands = append(cands, t)
+		}
+	}
+	kind := s.g.Node(v).Class.FUKind()
+	for _, t := range cands {
+		unit, ok := s.table.PlaceFU(c, kind, t, v)
+		if !ok {
+			continue
+		}
+		pl, ok := s.tryComms(v, c, t, latV)
+		s.table.RemoveFU(c, kind, t, unit)
+		if ok {
+			pl.cluster, pl.cycle, pl.latUsed = c, t, latV
+			return pl, true
+		}
+	}
+	return plan{}, false
+}
+
+// commNeed is one required transfer while validating a placement: the bus
+// start must fall in [lo, hi].
+type commNeed struct {
+	key    commKey
+	lo, hi int
+	edges  [][2]int
+}
+
+// tryComms validates (transactionally, leaving the table untouched) that all
+// register transfers required by placing v at (c, t) fit on the buses.
+func (s *state) tryComms(v, c, t, latV int) (plan, bool) {
+	busLat := s.cfg.RegBusLat
+	pl := plan{reuse: make(map[[2]int]int)}
+	var needs []commNeed
+
+	tighten := func(key commKey, lo, hi int, edge [2]int) bool {
+		if hi < lo {
+			return false
+		}
+		if !s.opt.NoCommReuse {
+			for i := range needs {
+				if needs[i].key == key {
+					if lo > needs[i].lo {
+						needs[i].lo = lo
+					}
+					if hi < needs[i].hi {
+						needs[i].hi = hi
+					}
+					if needs[i].hi < needs[i].lo {
+						return false
+					}
+					needs[i].edges = append(needs[i].edges, edge)
+					return true
+				}
+			}
+		}
+		needs = append(needs, commNeed{key: key, lo: lo, hi: hi, edges: [][2]int{edge}})
+		return true
+	}
+
+	// Values v consumes from other clusters.
+	for _, e := range s.g.In(v) {
+		u := e.From
+		if e.Kind != ddg.RegDep || u == v || s.cluster[u] < 0 || s.cluster[u] == c {
+			continue
+		}
+		deadline := t + e.Distance*s.ii // the value must be in c by here
+		key := commKey{u, c}
+		if idx, ok := s.commIdx[key]; ok && !s.opt.NoCommReuse {
+			// A transfer of u's value to c already exists; reuse it
+			// if it arrives in time.
+			if s.comms[idx].Arrival() <= deadline {
+				pl.reuse[[2]int{u, v}] = idx
+				continue
+			}
+			return plan{}, false
+		}
+		if !tighten(key, s.cycle[u]+s.lat[u], deadline-busLat, [2]int{u, v}) {
+			return plan{}, false
+		}
+	}
+
+	// Values v produces for already-scheduled consumers in other clusters.
+	for _, e := range s.g.Out(v) {
+		w := e.To
+		if e.Kind != ddg.RegDep || w == v || s.cluster[w] < 0 || s.cluster[w] == c {
+			continue
+		}
+		deadline := s.cycle[w] + e.Distance*s.ii
+		if !tighten(commKey{v, s.cluster[w]}, t+latV, deadline-busLat, [2]int{v, w}) {
+			return plan{}, false
+		}
+	}
+
+	// Place each needed transfer on a bus; roll everything back before
+	// returning (commit re-applies the plan on the identical table).
+	placed := 0
+	rollback := func() {
+		for _, pc := range pl.newComms[:placed] {
+			s.table.RemoveBus(pc.bus, pc.start, pc.lat)
+		}
+	}
+	for _, nd := range needs {
+		found := false
+		for b := nd.lo; b <= nd.hi; b++ {
+			if bus, ok := s.table.FindBus(b, busLat); ok {
+				s.table.PlaceBus(bus, b, busLat, trialCommID+placed)
+				pl.newComms = append(pl.newComms, plannedComm{
+					key: nd.key, bus: bus, start: b, lat: busLat, edges: nd.edges,
+				})
+				placed++
+				found = true
+				break
+			}
+		}
+		if !found {
+			rollback()
+			return plan{}, false
+		}
+	}
+	rollback()
+	return pl, true
+}
+
+// trialCommID marks transient bus occupants during feasibility checks; they
+// never survive a tryComms call.
+const trialCommID = 1 << 20
+
+// commit applies a validated plan for node v to the scheduler state.
+func (s *state) commit(v int, pl plan) {
+	node := s.g.Node(v)
+	s.cluster[v] = pl.cluster
+	s.cycle[v] = pl.cycle
+	s.lat[v] = pl.latUsed
+	if _, ok := s.table.PlaceFU(pl.cluster, node.Class.FUKind(), pl.cycle, v); !ok {
+		panic("sched: committed plan lost its FU slot")
+	}
+	for edge, idx := range pl.reuse {
+		s.edgeComm[edge] = idx
+	}
+	for _, pc := range pl.newComms {
+		id := len(s.comms)
+		s.table.PlaceBus(pc.bus, pc.start, pc.lat, id)
+		s.comms = append(s.comms, Comm{
+			ID: id, Producer: pc.key.prod, Dest: pc.key.dest,
+			Bus: pc.bus, Start: pc.start, Latency: pc.lat,
+		})
+		if !s.opt.NoCommReuse {
+			s.commIdx[pc.key] = id
+		}
+		for _, e := range pc.edges {
+			s.edgeComm[e] = id
+		}
+	}
+	if node.Class.IsMemory() {
+		s.memSet[pl.cluster] = append(s.memSet[pl.cluster], node.Ref)
+	}
+}

@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"multivliw/internal/ddg"
+)
+
+// Render draws the modulo reservation table in the style of the paper's
+// Figure 3: operations as "name(stage)" and bus transfers as "C<producer>".
+func (s *Schedule) Render() string {
+	return s.Table.Render(func(id int, bus bool) string {
+		if bus {
+			if id >= 0 && id < len(s.Comms) {
+				return fmt.Sprintf("C%s", s.Kernel.Graph.Node(s.Comms[id].Producer).Name)
+			}
+			return "C?"
+		}
+		return fmt.Sprintf("%s(%d)", s.Kernel.Graph.Node(id).Name, s.Stage(id))
+	})
+}
+
+// Summary returns a human-readable digest of the schedule.
+func (s *Schedule) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s [%s thr=%.2f]: II=%d SC=%d comms/iter=%d missSched=%d maxlive=%v\n",
+		s.Kernel.Name, s.Config.Name, s.Opts.Policy, s.Opts.Threshold,
+		s.II, s.SC, len(s.Comms), s.Stats.MissScheduled, s.MaxLive)
+	type row struct {
+		cyc, id int
+	}
+	var rows []row
+	for v := range s.Cycle {
+		rows = append(rows, row{s.Cycle[v], v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].cyc != rows[j].cyc {
+			return rows[i].cyc < rows[j].cyc
+		}
+		return rows[i].id < rows[j].id
+	})
+	for _, r := range rows {
+		n := s.Kernel.Graph.Node(r.id)
+		mark := ""
+		if s.MissSch[r.id] {
+			mark = " [miss-lat]"
+		}
+		fmt.Fprintf(&b, "  t=%-4d C%d %-6s %-14s lat=%d%s\n", r.cyc, s.Cluster[r.id], n.Class, n.Name, s.Lat[r.id], mark)
+	}
+	for _, c := range s.Comms {
+		fmt.Fprintf(&b, "  t=%-4d BUS%d  %s -> cluster %d (arrives %d)\n",
+			c.Start, c.Bus, s.Kernel.Graph.Node(c.Producer).Name, c.Dest, c.Arrival())
+	}
+	return b.String()
+}
+
+// Verify checks the internal consistency of a schedule against its kernel's
+// dependences: every edge must be satisfied by the placed cycles and the
+// communications' timing. It returns nil for a correct schedule and is used
+// heavily by tests (including property tests over random kernels).
+func (s *Schedule) Verify() error {
+	g := s.Kernel.Graph
+	for v := 0; v < g.NumNodes(); v++ {
+		if s.Cluster[v] < 0 || s.Cluster[v] >= s.Config.Clusters {
+			return fmt.Errorf("node %d in cluster %d", v, s.Cluster[v])
+		}
+		for _, e := range g.Out(v) {
+			w := e.To
+			slackTo := s.Cycle[w] + e.Distance*s.II
+			switch {
+			case e.Kind == ddg.MemDep:
+				if s.Cycle[v]+1 > slackTo {
+					return fmt.Errorf("mem edge %d->%d violated: %d+1 > %d", v, w, s.Cycle[v], slackTo)
+				}
+			case s.Cluster[v] == s.Cluster[w]:
+				if s.Cycle[v]+s.Lat[v] > slackTo {
+					return fmt.Errorf("reg edge %d->%d violated: %d+%d > %d", v, w, s.Cycle[v], s.Lat[v], slackTo)
+				}
+			default:
+				idx, ok := s.EdgeComm[[2]int{v, w}]
+				if !ok {
+					return fmt.Errorf("cross-cluster edge %d->%d has no communication", v, w)
+				}
+				c := s.Comms[idx]
+				if c.Producer != v || c.Dest != s.Cluster[w] {
+					return fmt.Errorf("edge %d->%d mapped to wrong comm %+v", v, w, c)
+				}
+				if c.Start < s.Cycle[v]+s.Lat[v] {
+					return fmt.Errorf("comm for %d->%d starts at %d before value ready %d", v, w, c.Start, s.Cycle[v]+s.Lat[v])
+				}
+				if c.Arrival() > slackTo {
+					return fmt.Errorf("comm for %d->%d arrives %d after use %d", v, w, c.Arrival(), slackTo)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,608 @@
+// Package sched implements the paper's modulo schedulers for
+// multiVLIWprocessors: the register-communication Baseline of [22] and the
+// proposed RMCA (Register and Memory Communication-Aware) scheduler.
+//
+// Both use a unified assign-and-schedule approach: nodes are visited in the
+// SMS-style order of package order, and for each node every cluster with a
+// feasible slot is tried; inter-cluster register transfers are placed on the
+// register buses of the modulo reservation table as part of feasibility.
+// Baseline picks the cluster with the best register-edge profit for every
+// node; RMCA picks the cluster of each memory operation by the marginal
+// cache-miss count computed with the Cache Miss Equations, falling back to
+// the register heuristic on ties. After the cluster of a load is fixed, the
+// load is scheduled with the cache-miss latency (binding prefetching) when
+// its CME miss ratio in that cluster exceeds the threshold, provided the
+// longer latency does not raise the II of a recurrence and a slot exists.
+//
+// If a node cannot be placed in any cluster, or a cluster's MaxLive exceeds
+// its register file, the II is increased and scheduling restarts (keeping
+// the ordering), exactly as §4.1 prescribes.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"multivliw/internal/cme"
+	"multivliw/internal/ddg"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/mrt"
+	"multivliw/internal/order"
+)
+
+// Policy selects the cluster-assignment heuristic for memory operations.
+type Policy int
+
+const (
+	// Baseline is the scheduler of [22]: register-edge profit for every
+	// operation (memory operations included).
+	Baseline Policy = iota
+	// RMCA selects memory operations' clusters by CME cache-miss profit.
+	RMCA
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	if p == RMCA {
+		return "RMCA"
+	}
+	return "Baseline"
+}
+
+// OrderKind selects the node ordering.
+type OrderKind int
+
+const (
+	// OrderSMS is the paper's ordering (package order).
+	OrderSMS OrderKind = iota
+	// OrderTopological is the ablation ordering (ASAP-sorted).
+	OrderTopological
+)
+
+// Options configures a scheduling run.
+type Options struct {
+	Policy Policy
+
+	// Threshold is the CME miss-ratio above which a load is scheduled
+	// with the cache-miss latency. 1.0 reproduces the traditional
+	// hit-latency scheme ("threshold 1.00" bars); 0.0 miss-schedules
+	// every load that tolerates it ("threshold 0.00").
+	Threshold float64
+
+	// MaxII caps II escalation; 0 means 64·MII+256.
+	MaxII int
+
+	// Order selects the node ordering (default SMS).
+	Order OrderKind
+
+	// NoCommReuse disables reusing one bus transfer per (producer,
+	// destination cluster); every cross-cluster edge then pays its own
+	// transfer (ablation).
+	NoCommReuse bool
+
+	// CME optionally injects a shared analysis (memoization across many
+	// scheduling runs of the same kernel and cache geometry). When nil a
+	// fresh analysis is built.
+	CME *cme.Analysis
+
+	// CMEParams tunes a freshly built analysis.
+	CMEParams cme.Params
+
+	// Debug, when non-nil, receives scheduling-progress lines (which
+	// node failed at which II, cluster decisions); development aid.
+	Debug func(format string, args ...any)
+}
+
+// Comm is one compiler-scheduled register-bus transfer: the value produced
+// by node Producer is placed on bus Bus at kernel-flat cycle Start and
+// latched by cluster Dest's IRV at Start+Latency.
+type Comm struct {
+	ID       int
+	Producer int
+	Dest     int
+	Bus      int
+	Start    int
+	Latency  int
+}
+
+// Arrival returns the cycle the value reaches the destination IRV.
+func (c Comm) Arrival() int { return c.Start + c.Latency }
+
+// Stats summarizes a produced schedule.
+type Stats struct {
+	IIAttempts    int     // how many II values were tried
+	Comms         int     // register-bus transfers per iteration
+	BusOccupancy  float64 // fraction of register-bus slots used
+	MissScheduled int     // loads bound to the miss latency
+	MaxLiveMax    int     // worst per-cluster MaxLive
+}
+
+// Schedule is a complete modulo schedule.
+type Schedule struct {
+	Kernel *loop.Kernel
+	Config machine.Config
+	Opts   Options
+
+	II int
+	SC int
+
+	Cluster []int  // per node
+	Cycle   []int  // per node, flat time within one iteration's frame
+	Lat     []int  // per node latency assumed by the scheduler
+	MissSch []bool // per node: load bound to the miss latency
+
+	Comms []Comm
+	// EdgeComm maps a cross-cluster register edge (from,to) to the index
+	// in Comms of the transfer that carries its value.
+	EdgeComm map[[2]int]int
+	Table    *mrt.Table
+	MaxLive  []int // per cluster
+
+	Stats Stats
+}
+
+// Stage returns the pipeline stage of node v.
+func (s *Schedule) Stage(v int) int { return s.Cycle[v] / s.II }
+
+// ComputeCycles returns NCYCLE_compute for the kernel's iteration space:
+// NTIMES · (NITER + SC − 1) · II (§2.2).
+func (s *Schedule) ComputeCycles() int64 {
+	return int64(s.Kernel.NTimes()) * int64(s.Kernel.NIter()+s.SC-1) * int64(s.II)
+}
+
+// state carries one II attempt.
+type state struct {
+	k   *loop.Kernel
+	cfg machine.Config
+	opt Options
+	g   *ddg.Graph
+
+	ii    int
+	lat   []int
+	miss  []bool
+	inRec []bool
+	times *ddg.Times
+
+	table   *mrt.Table
+	cluster []int
+	cycle   []int
+
+	comms    []Comm
+	commIdx  map[commKey]int
+	edgeComm map[[2]int]int // (from,to) -> comm index serving that edge
+
+	memSet [][]int // per cluster: reference IDs of memory ops assigned
+
+	an *cme.Analysis
+}
+
+type commKey struct{ prod, dest int }
+
+// Run schedules kernel k on cfg with the given options.
+func Run(k *loop.Kernel, cfg machine.Config, opt Options) (*Schedule, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	g := k.Graph
+	baseLat := ddg.DefaultLatencies(g, cfg.Lat)
+
+	var ord *order.Result
+	if opt.Order == OrderTopological {
+		ord = order.Topological(g, baseLat, cfg)
+	} else {
+		ord = order.Compute(g, baseLat, cfg)
+	}
+	an := opt.CME
+	if an == nil {
+		an = cme.New(k, cme.Geometry{
+			CapacityBytes: cfg.CacheBytesPerCluster(),
+			LineBytes:     cfg.LineBytes,
+			Assoc:         cfg.Assoc,
+		}, opt.CMEParams)
+	}
+
+	maxII := opt.MaxII
+	if maxII == 0 {
+		maxII = 64*ord.MII + 256
+	}
+	attempts := 0
+	for ii := ord.MII; ii <= maxII; ii++ {
+		attempts++
+		s := &state{
+			k: k, cfg: cfg, opt: opt, g: g, ii: ii,
+			lat:      append([]int(nil), baseLat...),
+			miss:     make([]bool, g.NumNodes()),
+			inRec:    g.InRecurrence(),
+			table:    mrt.New(cfg, ii),
+			cluster:  filled(g.NumNodes(), -1),
+			cycle:    filled(g.NumNodes(), 0),
+			commIdx:  make(map[commKey]int),
+			edgeComm: make(map[[2]int]int),
+			memSet:   make([][]int, cfg.Clusters),
+			an:       an,
+		}
+		s.times = g.ComputeTimes(baseLat, ii)
+		if sched, ok := s.attempt(ord.Order); ok {
+			sched.Stats.IIAttempts = attempts
+			return sched, nil
+		}
+	}
+	return nil, fmt.Errorf("sched: %s on %s: no schedule found up to II=%d", k.Name, cfg.Name, maxII)
+}
+
+func filled(n, v int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// attempt schedules every node at the current II.
+func (s *state) attempt(ord []int) (*Schedule, bool) {
+	for _, v := range ord {
+		if !s.scheduleNode(v) {
+			if s.opt.Debug != nil {
+				s.opt.Debug("II=%d: node %s unplaceable (assigned so far: %v)", s.ii, s.g.Node(v).Name, s.cluster)
+			}
+			return nil, false
+		}
+	}
+	maxLive := s.maxLive()
+	for c, ml := range maxLive {
+		if ml > s.cfg.Regs {
+			if s.opt.Debug != nil {
+				s.opt.Debug("II=%d: cluster %d MaxLive %d > %d registers", s.ii, c, ml, s.cfg.Regs)
+			}
+			return nil, false
+		}
+	}
+	return s.finish(maxLive), true
+}
+
+// scheduleNode assigns node v to a cluster and cycle, inserting the register
+// communications its edges require.
+func (s *state) scheduleNode(v int) bool {
+	node := s.g.Node(v)
+	var cands []candidate
+	for c := 0; c < s.cfg.Clusters; c++ {
+		pl, ok := s.tryPlace(v, c, s.lat[v])
+		if !ok {
+			continue
+		}
+		cand := candidate{
+			pl:       pl,
+			profit:   s.regProfit(v, c),
+			affinity: s.siblingAffinity(v, c),
+		}
+		if node.Class.IsMemory() && s.opt.Policy == RMCA {
+			cand.dMiss = s.missDelta(node.Ref, c)
+		}
+		cands = append(cands, cand)
+	}
+	if len(cands) == 0 {
+		return false
+	}
+
+	best := cands[0]
+	for _, cand := range cands[1:] {
+		if s.betterCandidate(node, cand, best) {
+			best = cand
+		}
+	}
+
+	// Binding prefetching: once the cluster is fixed, bind the load to the
+	// miss latency if its miss ratio there exceeds the threshold and the
+	// recurrence tolerates the longer latency. Threshold 0.00 binds every
+	// load that tolerates it — the paper equates it with the scheme of
+	// [21], where all loads that do not raise the II take the miss
+	// latency.
+	if node.Class == ddg.Load && s.opt.Threshold < 1.0 {
+		refs := append(append([]int(nil), s.memSet[best.pl.cluster]...), node.Ref)
+		bind := s.opt.Threshold <= 0 || s.an.MissRatio(node.Ref, refs) > s.opt.Threshold
+		if bind && s.missLatencyAllowed(v) {
+			if pl, ok := s.tryPlace(v, best.pl.cluster, s.cfg.MissLatency()); ok {
+				s.lat[v] = s.cfg.MissLatency()
+				s.miss[v] = true
+				best.pl = pl
+			}
+		}
+	}
+
+	s.commit(v, best.pl)
+	return true
+}
+
+// candidate is one feasible cluster choice for the node being scheduled.
+type candidate struct {
+	pl       plan
+	profit   int     // the paper's output-edge profit
+	affinity int     // shared-consumer affinity tie-break
+	dMiss    float64 // RMCA: marginal CME misses
+}
+
+// betterCandidate reports whether candidate a beats candidate b for node n.
+// Memory operations under RMCA compare marginal cache misses first (§4.3,
+// ties falling to the register heuristic); everything compares register
+// profit, then shared-consumer affinity, then the number of new bus
+// transfers the placement needs, then workload balance, then cluster index.
+func (s *state) betterCandidate(n ddg.Node, a, b candidate) bool {
+	if n.Class.IsMemory() && s.opt.Policy == RMCA {
+		// Deltas are misses per iteration estimated by the sampled CME
+		// solver. Window cold-start effects perturb the estimate by a
+		// few sampled misses (~0.01-0.02 per iteration once scaled), so
+		// differences below 0.03 are treated as estimator noise and
+		// fall through to the register heuristic (the paper's tie
+		// rule). Real locality signals — group reuse, line-boundary
+		// sharing, ping-pong — are 0.06 per iteration and up.
+		const eps = 0.03
+		if math.Abs(a.dMiss-b.dMiss) > eps {
+			return a.dMiss < b.dMiss
+		}
+	}
+	if a.profit != b.profit {
+		return a.profit > b.profit
+	}
+	// Shared-consumer affinity only steers non-memory operations: a
+	// memory operation whose miss deltas tie carries no locality signal,
+	// and letting affinity pull it toward its future consumers snowballs
+	// whole reference sets into one cluster, sacrificing the II for
+	// nothing.
+	if !n.Class.IsMemory() && a.affinity != b.affinity {
+		return a.affinity > b.affinity
+	}
+	if na, nb := len(a.pl.newComms), len(b.pl.newComms); na != nb {
+		return na < nb
+	}
+	la, lb := s.clusterLoad(a.pl.cluster), s.clusterLoad(b.pl.cluster)
+	if la != lb {
+		return la < lb
+	}
+	return a.pl.cluster < b.pl.cluster
+}
+
+// siblingAffinity scores how well cluster c hosts v's future joins: for each
+// unscheduled consumer of v, a producer of that consumer already scheduled
+// in c means joining c can avoid a transfer (+1); one scheduled elsewhere
+// means a transfer is coming either way (−1).
+func (s *state) siblingAffinity(v, c int) int {
+	aff := 0
+	for _, e := range s.g.Out(v) {
+		w := e.To
+		if e.Kind != ddg.RegDep || w == v || s.cluster[w] >= 0 {
+			continue
+		}
+		for _, e2 := range s.g.In(w) {
+			u := e2.From
+			if u == v || e2.Kind != ddg.RegDep {
+				continue
+			}
+			switch {
+			case s.cluster[u] == c:
+				aff++
+			case s.cluster[u] >= 0:
+				aff--
+			}
+		}
+	}
+	return aff
+}
+
+// clusterLoad counts nodes assigned to cluster c (workload balance
+// tie-break).
+func (s *state) clusterLoad(c int) int {
+	n := 0
+	for _, cl := range s.cluster {
+		if cl == c {
+			n++
+		}
+	}
+	return n
+}
+
+// regProfit is the baseline heuristic of [22]: the reduction in edges that
+// exit cluster c's scheduled subgraph if v joins it. Edges between v and
+// nodes already in c become internal (+1 each); every other edge of v will
+// exit c (−1 each). Memory ordering edges carry no register value and are
+// ignored.
+func (s *state) regProfit(v, c int) int {
+	profit := 0
+	count := func(e ddg.Edge, other int) {
+		if e.Kind != ddg.RegDep || other == v {
+			return
+		}
+		if s.cluster[other] == c {
+			profit++
+		} else {
+			profit--
+		}
+	}
+	for _, e := range s.g.Out(v) {
+		count(e, e.To)
+	}
+	for _, e := range s.g.In(v) {
+		count(e, e.From)
+	}
+	return profit
+}
+
+// missDelta is the RMCA heuristic: the marginal misses per iteration the
+// reference would add to cluster c's memory instructions, per the CME.
+func (s *state) missDelta(ref, c int) float64 {
+	before := s.an.Misses(s.memSet[c])
+	after := s.an.Misses(append(append([]int(nil), s.memSet[c]...), ref))
+	iters := float64(s.k.NTimes()) * float64(s.k.NIter())
+	return (after - before) / iters
+}
+
+// missLatencyAllowed reports whether binding v to the miss latency keeps the
+// recurrences schedulable at the current II.
+func (s *state) missLatencyAllowed(v int) bool {
+	if !s.inRec[v] {
+		return true
+	}
+	saved := s.lat[v]
+	s.lat[v] = s.cfg.MissLatency()
+	rec := s.g.RecMII(s.lat)
+	s.lat[v] = saved
+	return rec <= s.ii
+}
+
+// maxLive computes the per-cluster register pressure of the schedule: for
+// every value (a node result plus, for transferred values, its copy in each
+// destination cluster) the number of simultaneously-live instances at each
+// kernel row is accumulated; MaxLive is the row maximum.
+func (s *state) maxLive() []int {
+	live := make([][]int, s.cfg.Clusters)
+	for c := range live {
+		live[c] = make([]int, s.ii)
+	}
+	// Per-row counting: a value live over flat cycles [def, end] has, at
+	// kernel row r, one copy per pipeline stage k with def <= r+k·II <= end.
+	count := func(c, def, end int) {
+		if end < def {
+			return
+		}
+		for r := 0; r < s.ii; r++ {
+			// Number of k with def <= r+k*II <= end.
+			lo := ceilDiv(def-r, s.ii)
+			hi := floorDiv(end-r, s.ii)
+			if n := hi - lo + 1; n > 0 {
+				live[c][r] += n
+			}
+		}
+	}
+
+	for v := 0; v < s.g.NumNodes(); v++ {
+		n := s.g.Node(v)
+		if !n.Class.HasResult() {
+			continue
+		}
+		// EQ (equals) semantics, as in the TMS320C6000 family the
+		// paper cites: a result is written exactly at issue+latency
+		// and the in-flight value lives in the pipeline, so the
+		// destination register is occupied from write-back to last
+		// read. Binding prefetching still raises pressure (§4.3)
+		// because consumers and the SC drift later.
+		def := s.cycle[v] + s.lat[v]
+		lastRead := map[int]int{} // consumer cluster -> last read cycle
+		for _, e := range s.g.Out(v) {
+			if e.Kind != ddg.RegDep {
+				continue
+			}
+			read := s.cycle[e.To] + e.Distance*s.ii
+			cc := s.cluster[e.To]
+			if old, ok := lastRead[cc]; !ok || read > old {
+				lastRead[cc] = read
+			}
+		}
+		// The producer cluster keeps the value until its last local
+		// read and until every bus transfer has read it.
+		prodEnd := -1
+		if last, ok := lastRead[s.cluster[v]]; ok {
+			prodEnd = last
+		}
+		for _, cm := range s.comms {
+			if cm.Producer == v && cm.Start > prodEnd {
+				prodEnd = cm.Start
+			}
+		}
+		if prodEnd >= def {
+			count(s.cluster[v], def, prodEnd)
+		}
+		// Destination copies live from bus arrival to their last read.
+		for _, cm := range s.comms {
+			if cm.Producer != v {
+				continue
+			}
+			if last, ok := lastRead[cm.Dest]; ok && cm.Dest != s.cluster[v] && last >= cm.Arrival() {
+				count(cm.Dest, cm.Arrival(), last)
+			}
+		}
+	}
+	out := make([]int, s.cfg.Clusters)
+	for c := range live {
+		for _, n := range live[c] {
+			if n > out[c] {
+				out[c] = n
+			}
+		}
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int { return int(math.Ceil(float64(a) / float64(b))) }
+func floorDiv(a, b int) int {
+	return int(math.Floor(float64(a) / float64(b)))
+}
+
+// finish normalizes cycles to be non-negative and packages the schedule.
+func (s *state) finish(maxLive []int) *Schedule {
+	minC := 0
+	for v := 0; v < s.g.NumNodes(); v++ {
+		if s.cycle[v] < minC {
+			minC = s.cycle[v]
+		}
+	}
+	for _, cm := range s.comms {
+		if cm.Start < minC {
+			minC = cm.Start
+		}
+	}
+	shift := 0
+	if minC < 0 {
+		shift = ((-minC + s.ii - 1) / s.ii) * s.ii
+	}
+	maxEvent := 0
+	for v := 0; v < s.g.NumNodes(); v++ {
+		s.cycle[v] += shift
+		if s.cycle[v] > maxEvent {
+			maxEvent = s.cycle[v]
+		}
+	}
+	for i := range s.comms {
+		s.comms[i].Start += shift
+		if end := s.comms[i].Start + s.comms[i].Latency - 1; end > maxEvent {
+			maxEvent = end
+		}
+	}
+	sc := maxEvent/s.ii + 1
+
+	missCount := 0
+	for _, m := range s.miss {
+		if m {
+			missCount++
+		}
+	}
+	worst := 0
+	for _, ml := range maxLive {
+		if ml > worst {
+			worst = ml
+		}
+	}
+	return &Schedule{
+		Kernel:   s.k,
+		Config:   s.cfg,
+		Opts:     s.opt,
+		II:       s.ii,
+		SC:       sc,
+		Cluster:  s.cluster,
+		Cycle:    s.cycle,
+		Lat:      s.lat,
+		MissSch:  s.miss,
+		Comms:    s.comms,
+		EdgeComm: s.edgeComm,
+		Table:    s.table,
+		MaxLive:  maxLive,
+		Stats: Stats{
+			Comms:         len(s.comms),
+			BusOccupancy:  s.table.BusOccupancy(),
+			MissScheduled: missCount,
+			MaxLiveMax:    worst,
+		},
+	}
+}

@@ -1,0 +1,356 @@
+package sched
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+)
+
+// axpyKernel is a simple saturating workload: sum of two streamed arrays.
+func axpyKernel(trip int) *loop.Kernel {
+	s := loop.NewAddressSpace(0, 64, 0)
+	a := s.Alloc("A", 8, 1<<14)
+	bArr := s.Alloc("B", 8, 1<<14)
+	c := s.Alloc("C", 8, 1<<14)
+	b := loop.NewBuilder("axpy", trip)
+	x := b.Load(a, loop.Aff(0, 1))
+	y := b.Load(bArr, loop.Aff(0, 1))
+	m := b.FMul("mul", x, y)
+	st := b.Store(c, m, loop.Aff(0, 1))
+	_ = st
+	return b.MustBuild()
+}
+
+// pingPongKernel recreates the paper's §3 loop: A(I) = B(I)*C(I) +
+// B(I+1)*C(I+1) with B and C colliding in the cache.
+func pingPongKernel(trip int) *loop.Kernel {
+	s := loop.NewAddressSpace(0, 1, 0)
+	bArr := s.AllocAt("B", 0, 8, 1<<13)
+	cArr := s.AllocAt("C", 1<<16, 8, 1<<13) // multiple of every local cache size
+	// A is offset half a cache so only B and C collide (as in §3).
+	aArr := s.AllocAt("A", 1<<17+2048, 8, 1<<13)
+	b := loop.NewBuilder("pingpong", trip)
+	ld1 := b.Load(bArr, loop.Aff(1, 2))
+	ld2 := b.Load(cArr, loop.Aff(1, 2))
+	ld3 := b.Load(bArr, loop.Aff(2, 2))
+	ld4 := b.Load(cArr, loop.Aff(2, 2))
+	m1 := b.FMul("m1", ld1, ld2)
+	m2 := b.FMul("m2", ld3, ld4)
+	sum := b.FAdd("sum", m1, m2)
+	b.Store(aArr, sum, loop.Aff(1, 2))
+	return b.MustBuild()
+}
+
+func TestUnifiedChain(t *testing.T) {
+	k := axpyKernel(128)
+	s, err := Run(k, machine.Unified(), Options{Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Comms) != 0 {
+		t.Errorf("unified schedule has %d comms", len(s.Comms))
+	}
+	// 3 memory ops on 4 MEM units, RecMII 1 => II 1.
+	if s.II != 1 {
+		t.Errorf("II = %d, want 1", s.II)
+	}
+	if s.Stats.IIAttempts != 1 {
+		t.Errorf("attempts = %d, want 1", s.Stats.IIAttempts)
+	}
+}
+
+func TestTwoClusterSchedulesAndVerifies(t *testing.T) {
+	k := pingPongKernel(256)
+	for _, pol := range []Policy{Baseline, RMCA} {
+		s, err := Run(k, machine.TwoCluster(machine.Unbounded, 1, machine.Unbounded, 1), Options{Policy: pol, Threshold: 1.0})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if err := s.Verify(); err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		// Both clusters must carry work (4 loads on 2x2 MEM units at
+		// II >= ResMII means some spread; at least the workload
+		// balance tie-break spreads the 8 ops).
+		seen := map[int]bool{}
+		for _, c := range s.Cluster {
+			seen[c] = true
+		}
+		if len(seen) < 2 {
+			t.Errorf("%v: all ops in one cluster", pol)
+		}
+	}
+}
+
+func TestRMCAGroupsConflictingArraysApart(t *testing.T) {
+	// With B and C thrashing each other, RMCA must separate B-loads from
+	// C-loads across the two clusters (the paper's Figure 3(b)).
+	k := pingPongKernel(256)
+	cfg := machine.TwoCluster(machine.Unbounded, 2, machine.Unbounded, 2)
+	s, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	arrayCluster := map[string]map[int]bool{}
+	for _, n := range k.Graph.Nodes() {
+		if n.Class != ddg.Load {
+			continue
+		}
+		name := k.Refs[n.Ref].Array.Name
+		if arrayCluster[name] == nil {
+			arrayCluster[name] = map[int]bool{}
+		}
+		arrayCluster[name][s.Cluster[n.ID]] = true
+	}
+	if len(arrayCluster["B"]) != 1 || len(arrayCluster["C"]) != 1 {
+		t.Fatalf("RMCA scattered an array's loads: B=%v C=%v", arrayCluster["B"], arrayCluster["C"])
+	}
+	var bCl, cCl int
+	for c := range arrayCluster["B"] {
+		bCl = c
+	}
+	for c := range arrayCluster["C"] {
+		cCl = c
+	}
+	if bCl == cCl {
+		t.Errorf("RMCA put both conflicting arrays in cluster %d", bCl)
+	}
+}
+
+func TestThresholdControlsMissScheduling(t *testing.T) {
+	k := pingPongKernel(256)
+	cfg := machine.TwoCluster(machine.Unbounded, 1, machine.Unbounded, 1)
+	never, err := Run(k, cfg, Options{Policy: Baseline, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if never.Stats.MissScheduled != 0 {
+		t.Errorf("threshold 1.0 miss-scheduled %d loads", never.Stats.MissScheduled)
+	}
+	always, err := Run(k, cfg, Options{Policy: Baseline, Threshold: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if always.Stats.MissScheduled == 0 {
+		t.Error("threshold 0.0 miss-scheduled nothing on a thrashing kernel")
+	}
+	for v, m := range always.MissSch {
+		if m && always.Lat[v] != cfg.MissLatency() {
+			t.Errorf("node %d miss-scheduled but lat=%d", v, always.Lat[v])
+		}
+	}
+	if err := always.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecurrenceRefusesMissLatency(t *testing.T) {
+	// A load inside a tight recurrence cannot take the miss latency
+	// without raising the II: the guard must refuse.
+	s := loop.NewAddressSpace(0, 1, 0)
+	bArr := s.AllocAt("B", 0, 8, 1<<13)
+	cArr := s.AllocAt("C", 1<<16, 8, 1<<13)
+	b := loop.NewBuilder("recload", 256)
+	x := b.Load(bArr, loop.Aff(0, 1))
+	y := b.Load(cArr, loop.Aff(0, 1)) // conflicts with B: high miss ratio
+	acc := b.FAdd("acc", x, y)
+	b.Carried(acc, x, 1) // acc feeds next iteration's load: recurrence ld->acc->ld
+	k := b.MustBuild()
+	cfg := machine.TwoCluster(machine.Unbounded, 1, machine.Unbounded, 1)
+	sch, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ldID := int(x)
+	if sch.MissSch[ldID] {
+		t.Error("recurrence load was bound to the miss latency")
+	}
+	// The free-standing conflicting load may still be miss-scheduled.
+	if !sch.MissSch[int(y)] {
+		t.Error("non-recurrence conflicting load was not miss-scheduled")
+	}
+}
+
+func TestBoundedBusesEscalateII(t *testing.T) {
+	// A 4-cluster machine with a single slow register bus: heavy
+	// cross-cluster traffic cannot fit at MII, so the II grows.
+	s := loop.NewAddressSpace(0, 64, 0)
+	arrs := make([]*loop.Array, 6)
+	for i := range arrs {
+		arrs[i] = s.Alloc(string(rune('A'+i)), 8, 1<<12)
+	}
+	b := loop.NewBuilder("busy", 128)
+	var vals []loop.Value
+	for i := 0; i < 5; i++ {
+		vals = append(vals, b.Load(arrs[i], loop.Aff(0, 1)))
+	}
+	x := b.FAdd("a1", vals[0], vals[1])
+	y := b.FAdd("a2", vals[2], vals[3])
+	z := b.FMul("m1", x, y)
+	w := b.FMul("m2", z, vals[4])
+	b.Store(arrs[5], w, loop.Aff(0, 1))
+	k := b.MustBuild()
+
+	wide, err := Run(k, machine.FourCluster(machine.Unbounded, 1, machine.Unbounded, 1), Options{Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrow, err := Run(k, machine.FourCluster(1, 4, machine.Unbounded, 1), Options{Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.II < wide.II {
+		t.Errorf("narrow-bus II %d < unbounded-bus II %d", narrow.II, wide.II)
+	}
+	if err := narrow.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegisterPressureRespected(t *testing.T) {
+	k := pingPongKernel(256)
+	cfg := machine.FourCluster(machine.Unbounded, 1, machine.Unbounded, 1)
+	s, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c, ml := range s.MaxLive {
+		if ml > cfg.Regs {
+			t.Errorf("cluster %d MaxLive %d exceeds %d registers", c, ml, cfg.Regs)
+		}
+	}
+}
+
+func TestTopologicalOrderAlsoSchedules(t *testing.T) {
+	k := pingPongKernel(128)
+	s, err := Run(k, machine.TwoCluster(2, 1, 1, 1), Options{Order: OrderTopological, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoCommReuseAblation(t *testing.T) {
+	k := pingPongKernel(128)
+	cfg := machine.TwoCluster(machine.Unbounded, 2, machine.Unbounded, 2)
+	shared, err := Run(k, cfg, Options{Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo, err := Run(k, cfg, Options{Threshold: 1.0, NoCommReuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solo.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if solo.Stats.Comms < shared.Stats.Comms {
+		t.Errorf("comm reuse disabled but fewer comms: %d < %d", solo.Stats.Comms, shared.Stats.Comms)
+	}
+}
+
+func TestRenderAndSummary(t *testing.T) {
+	k := pingPongKernel(128)
+	s, err := Run(k, machine.TwoCluster(2, 2, 1, 1), Options{Policy: RMCA, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Render()
+	if !strings.Contains(r, "C0.MEM0") || !strings.Contains(r, "cyc") {
+		t.Errorf("render lacks headers:\n%s", r)
+	}
+	sum := s.Summary()
+	for _, want := range []string{"II=", "SC=", "RMCA"} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary lacks %q:\n%s", want, sum)
+		}
+	}
+}
+
+// randomKernel builds a structurally-valid random kernel for property tests.
+func randomKernel(rng *rand.Rand) *loop.Kernel {
+	s := loop.NewAddressSpace(0, 64, 0)
+	narr := 2 + rng.Intn(3)
+	arrs := make([]*loop.Array, narr)
+	for i := range arrs {
+		arrs[i] = s.Alloc(string(rune('A'+i)), 8, 1<<12)
+	}
+	b := loop.NewBuilder("rand", 64)
+	var vals []loop.Value
+	nld := 1 + rng.Intn(4)
+	for i := 0; i < nld; i++ {
+		vals = append(vals, b.Load(arrs[rng.Intn(narr)], loop.Aff(rng.Intn(3), 1+rng.Intn(2))))
+	}
+	nops := 1 + rng.Intn(5)
+	for i := 0; i < nops; i++ {
+		a := vals[rng.Intn(len(vals))]
+		c := vals[rng.Intn(len(vals))]
+		var v loop.Value
+		switch rng.Intn(3) {
+		case 0:
+			v = b.FAdd("f", a, c)
+		case 1:
+			v = b.FMul("f", a, c)
+		default:
+			v = b.IAdd("g", a, c)
+		}
+		vals = append(vals, v)
+	}
+	// Sprinkle a carried edge to create a recurrence sometimes.
+	if rng.Intn(2) == 0 {
+		from := vals[len(vals)-1]
+		to := vals[nld+rng.Intn(len(vals)-nld)]
+		if int(to) > int(from) {
+			from, to = to, from
+		}
+		b.Carried(from, to, 1+rng.Intn(2))
+	}
+	b.Store(arrs[rng.Intn(narr)], vals[len(vals)-1], loop.Aff(0, 1))
+	return b.MustBuild()
+}
+
+func TestRandomKernelsAlwaysVerify(t *testing.T) {
+	configs := []machine.Config{
+		machine.Unified(),
+		machine.TwoCluster(2, 1, 1, 1),
+		machine.TwoCluster(1, 4, 2, 4),
+		machine.FourCluster(2, 1, 1, 1),
+		machine.FourCluster(machine.Unbounded, 2, machine.Unbounded, 2),
+	}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := randomKernel(rng)
+		cfg := configs[rng.Intn(len(configs))]
+		pol := Policy(rng.Intn(2))
+		thr := []float64{1.0, 0.75, 0.25, 0.0}[rng.Intn(4)]
+		s, err := Run(k, cfg, Options{Policy: pol, Threshold: thr})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := s.Verify(); err != nil {
+			t.Logf("seed %d: %v\n%s", seed, err, s.Summary())
+			return false
+		}
+		for _, ml := range s.MaxLive {
+			if ml > cfg.Regs {
+				t.Logf("seed %d: MaxLive %d > %d", seed, ml, cfg.Regs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

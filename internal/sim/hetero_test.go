@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+)
+
+// TestHeterogeneousEndToEnd simulates a schedule on a machine whose
+// clusters split MEM and FP units entirely: the memory cluster must feed
+// every FP operand over the register buses, and the lockstep accounting
+// must still balance.
+func TestHeterogeneousEndToEnd(t *testing.T) {
+	cfg := machine.Heterogeneous(machine.TwoCluster(2, 1, machine.Unbounded, 1),
+		[machine.NumFUKinds]int{2, 0, 3},
+		[machine.NumFUKinds]int{0, 3, 0},
+	)
+	k := cacheResident(256)
+	s, err := sched.Run(k, cfg, sched.Options{Policy: sched.RMCA, Threshold: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Comms) == 0 {
+		t.Fatal("expected forced transfers on the MEM/FP split")
+	}
+	r, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total != r.Compute+r.Stall {
+		t.Errorf("accounting broken: %+v", r)
+	}
+	if r.Mem.Accesses == 0 {
+		t.Error("no memory activity")
+	}
+}

@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+)
+
+// cacheResident builds a kernel whose arrays fit in every local cache:
+// after cold misses it never stalls.
+func cacheResident(trip int) *loop.Kernel {
+	s := loop.NewAddressSpace(0, 64, 0)
+	a := s.Alloc("A", 8, 64) // 512B
+	c := s.Alloc("C", 8, 64)
+	b := loop.NewBuilder("small", trip)
+	x := b.Load(a, loop.Aff(0, 1))
+	m := b.FMul("m", x, x)
+	b.Store(c, m, loop.Aff(0, 1))
+	return b.MustBuild()
+}
+
+// thrash builds the ping-pong loop of §3.
+func thrash(trip int) *loop.Kernel {
+	s := loop.NewAddressSpace(0, 1, 0)
+	bArr := s.AllocAt("B", 0, 8, 1<<13)
+	cArr := s.AllocAt("C", 1<<16, 8, 1<<13)
+	// A sits half a cache away so only B and C collide, as in the paper.
+	aArr := s.AllocAt("A", 1<<17+2048, 8, 1<<13)
+	b := loop.NewBuilder("thrash", trip)
+	ld1 := b.Load(bArr, loop.Aff(1, 2))
+	ld2 := b.Load(cArr, loop.Aff(1, 2))
+	ld3 := b.Load(bArr, loop.Aff(2, 2))
+	ld4 := b.Load(cArr, loop.Aff(2, 2))
+	m1 := b.FMul("m1", ld1, ld2)
+	m2 := b.FMul("m2", ld3, ld4)
+	sum := b.FAdd("sum", m1, m2)
+	b.Store(aArr, sum, loop.Aff(1, 2))
+	return b.MustBuild()
+}
+
+func mustRun(t *testing.T, k *loop.Kernel, cfg machine.Config, o sched.Options) *sched.Schedule {
+	t.Helper()
+	s, err := sched.Run(k, cfg, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCacheResidentBarelyStalls(t *testing.T) {
+	k := cacheResident(512)
+	s := mustRun(t, k, machine.Unified(), sched.Options{Threshold: 1.0})
+	r, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Compute != s.ComputeCycles() {
+		t.Errorf("Compute = %d, want %d", r.Compute, s.ComputeCycles())
+	}
+	// Only cold misses can stall: one line fill per 8 elements of two
+	// 512B arrays = 16 fills; each stalls at most ~13 cycles.
+	if r.Stall > 16*13 {
+		t.Errorf("stall = %d, want only cold-miss stalls (<= %d)", r.Stall, 16*13)
+	}
+	if r.Total != r.Compute+r.Stall {
+		t.Errorf("Total %d != Compute %d + Stall %d", r.Total, r.Compute, r.Stall)
+	}
+}
+
+func TestThrashingStallsAtHitLatency(t *testing.T) {
+	k := thrash(512)
+	cfg := machine.TwoCluster(machine.Unbounded, 2, machine.Unbounded, 2)
+	// Baseline at threshold 1.0 schedules everything with the hit
+	// latency; the ping-pong misses then stall the consumers every
+	// iteration (the paper's schedule (a): ~12 cycles per miss pair).
+	s := mustRun(t, k, cfg, sched.Options{Policy: sched.Baseline, Threshold: 1.0})
+	r, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perIter := float64(r.Stall) / float64(r.IterSpace)
+	if perIter < 4 {
+		t.Errorf("thrashing stall/iter = %.2f, want substantial (>4)", perIter)
+	}
+	if r.Mem.LocalMissRatio() < 0.3 {
+		t.Errorf("local miss ratio = %.2f, want high", r.Mem.LocalMissRatio())
+	}
+}
+
+func TestMissSchedulingHidesStalls(t *testing.T) {
+	// The paper's headline for unbounded buses: at threshold 0.00 the
+	// stall time is almost zero because every miss is overlapped.
+	k := thrash(512)
+	cfg := machine.TwoCluster(machine.Unbounded, 2, machine.Unbounded, 2)
+	hit := mustRun(t, k, cfg, sched.Options{Policy: sched.RMCA, Threshold: 1.0})
+	miss := mustRun(t, k, cfg, sched.Options{Policy: sched.RMCA, Threshold: 0.0})
+	rHit, err := Run(hit, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rMiss, err := Run(miss, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rMiss.Stall*10 > rHit.Stall {
+		t.Errorf("miss-scheduled stall %d not << hit-scheduled stall %d", rMiss.Stall, rHit.Stall)
+	}
+	if rMiss.Total >= rHit.Total {
+		t.Errorf("binding prefetching did not pay: %d >= %d", rMiss.Total, rHit.Total)
+	}
+}
+
+func TestRMCABeatsBaselineOnThrash(t *testing.T) {
+	// With limited memory buses the miss traffic itself is the
+	// bottleneck: RMCA's cluster assignment (which kills the ping-pong)
+	// must win even when both use binding prefetching.
+	k := thrash(512)
+	cfg := machine.TwoCluster(2, 1, 1, 4)
+	base := mustRun(t, k, cfg, sched.Options{Policy: sched.Baseline, Threshold: 0.0})
+	rmca := mustRun(t, k, cfg, sched.Options{Policy: sched.RMCA, Threshold: 0.0})
+	rBase, err := Run(base, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRMCA, err := Run(rmca, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rRMCA.Total > rBase.Total {
+		t.Errorf("RMCA %d cycles > Baseline %d cycles", rRMCA.Total, rBase.Total)
+	}
+	if rRMCA.Mem.LocalMissRatio() >= rBase.Mem.LocalMissRatio() {
+		t.Errorf("RMCA miss ratio %.3f not below Baseline %.3f",
+			rRMCA.Mem.LocalMissRatio(), rBase.Mem.LocalMissRatio())
+	}
+}
+
+func TestSamplingApproximatesFullRun(t *testing.T) {
+	s := loop.NewAddressSpace(0, 64, 0)
+	aArr := s.Alloc("A", 8, 1<<15)
+	cArr := s.Alloc("C", 8, 1<<15)
+	b := loop.NewBuilder("big", 16, 256) // 16 executions of 256 iters
+	x := b.Load(aArr, loop.Aff(0, 0, 1))
+	m := b.FMul("m", x, x)
+	b.Store(cArr, m, loop.Aff(0, 0, 1))
+	k := b.MustBuild()
+	schd := mustRun(t, k, machine.TwoCluster(2, 1, 1, 1), sched.Options{Threshold: 1.0})
+	full, err := Run(schd, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := Run(schd, Options{MaxInnermostIters: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.SimExecutions >= full.SimExecutions {
+		t.Fatalf("sampling did not reduce executions: %d vs %d", sampled.SimExecutions, full.SimExecutions)
+	}
+	fullPer := float64(full.Total) / float64(full.IterSpace)
+	samplePer := float64(sampled.Total) / float64(sampled.IterSpace)
+	if math.Abs(fullPer-samplePer)/fullPer > 0.15 {
+		t.Errorf("sampled cycles/iter %.3f vs full %.3f", samplePer, fullPer)
+	}
+}
+
+func TestStallBreakdownConsistent(t *testing.T) {
+	k := thrash(256)
+	cfg := machine.FourCluster(machine.Unbounded, 1, 1, 4)
+	s := mustRun(t, k, cfg, sched.Options{Policy: sched.Baseline, Threshold: 1.0})
+	r, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stall != r.StallOperand+r.StallComm {
+		t.Errorf("Stall %d != operand %d + comm %d", r.Stall, r.StallOperand, r.StallComm)
+	}
+	if r.Total != r.Compute+r.Stall {
+		t.Errorf("Total mismatch")
+	}
+	if r.Mem.Accesses == 0 || r.BusTx == 0 {
+		t.Errorf("no memory activity recorded: %+v", r.Mem)
+	}
+}
+
+func TestCyclesPerIter(t *testing.T) {
+	k := cacheResident(128)
+	s := mustRun(t, k, machine.Unified(), sched.Options{Threshold: 1.0})
+	r, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(r.Total) / 128.0
+	if math.Abs(r.CyclesPerIter()-want) > 1e-9 {
+		t.Errorf("CyclesPerIter = %v, want %v", r.CyclesPerIter(), want)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	k := thrash(256)
+	cfg := machine.TwoCluster(2, 1, 2, 1)
+	s := mustRun(t, k, cfg, sched.Options{Policy: sched.RMCA, Threshold: 0.25})
+	r1, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Total != r2.Total || r1.Stall != r2.Stall {
+		t.Errorf("simulation not deterministic: %+v vs %+v", r1, r2)
+	}
+}

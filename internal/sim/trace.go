@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"multivliw/internal/sched"
+)
+
+// Trace replays up to maxEvents events of a schedule and renders them as a
+// time-ordered execution trace: one line per operation issue or bus
+// transfer, with the scheduled time, the actual time, the stall charged and
+// where memory accesses were served. Debugging and teaching aid (mvpsim
+// -trace).
+func Trace(s *sched.Schedule, maxEvents int) (string, error) {
+	var events []Event
+	_, err := Run(s, Options{
+		MaxInnermostIters: s.Kernel.NIter(), // one execution is plenty
+		Observer: func(e Event) {
+			if len(events) < maxEvents {
+				events = append(events, e)
+			}
+		},
+	})
+	if err != nil {
+		return "", err
+	}
+	g := s.Kernel.Graph
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace of %s on %s (first %d events)\n", s.Kernel.Name, s.Config.Name, len(events))
+	fmt.Fprintf(&b, "%6s %6s %6s %5s  %s\n", "sched", "actual", "stall", "iter", "event")
+	for _, e := range events {
+		var what string
+		switch {
+		case e.Comm >= 0:
+			cm := s.Comms[e.Comm]
+			what = fmt.Sprintf("C%d bus%d  %s -> cluster %d", e.Cluster, cm.Bus, g.Node(cm.Producer).Name, cm.Dest)
+		case e.IsMem:
+			what = fmt.Sprintf("C%d %-12s [%s]", e.Cluster, g.Node(e.Node).Name, e.Level)
+		default:
+			what = fmt.Sprintf("C%d %-12s", e.Cluster, g.Node(e.Node).Name)
+		}
+		stall := ""
+		if e.Stall > 0 {
+			stall = fmt.Sprintf("+%d", e.Stall)
+		}
+		fmt.Fprintf(&b, "%6d %6d %6s %5d  %s\n", e.Sched, e.Actual, stall, e.Iter, what)
+	}
+	return b.String(), nil
+}

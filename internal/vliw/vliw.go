@@ -1,0 +1,212 @@
+// Package vliw lowers a modulo schedule to the multiVLIWprocessor's
+// instruction format (the paper's Figure 2): for every cluster, each VLIW
+// word carries one operation per functional unit plus an IN BUS and an OUT
+// BUS field per register bus. OUT BUS names the local register driven onto
+// the bus (bypassed from the functional unit if it is being written that
+// cycle); IN BUS names the local register into which the IRV — the special
+// register that latches the value arriving from the bus — is stored.
+//
+// The package emits the three sections of a software-pipelined loop: the
+// prologue ((SC−1)·II words that fill the pipeline), the steady-state kernel
+// (II words) and the epilogue ((SC−1)·II words that drain it). Registers are
+// symbolic (r<node>); the paper performs no rotating-register allocation
+// either — it bounds MaxLive against the cluster register file instead.
+package vliw
+
+import (
+	"fmt"
+	"strings"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+)
+
+// Slot is one functional-unit operation inside a word.
+type Slot struct {
+	Node  int    // DDG node
+	Stage int    // pipeline stage of the instance
+	Text  string // rendered mnemonic
+}
+
+// BusOp is one IN BUS or OUT BUS field.
+type BusOp struct {
+	Bus      int
+	Producer int
+	Out      bool // true: drive the bus; false: latch IRV into the RF
+}
+
+// Word is one cluster's part of one VLIW instruction.
+type Word struct {
+	FU  [machine.NumFUKinds][]*Slot // per kind, per unit
+	Bus []BusOp
+}
+
+// Program is the lowered loop.
+type Program struct {
+	Schedule *sched.Schedule
+	// Prologue, Kernel and Epilogue are indexed [word][cluster].
+	Prologue [][]Word
+	Kernel   [][]Word
+	Epilogue [][]Word
+}
+
+// Emit lowers a schedule. The schedule must be valid (sched.Run output).
+func Emit(s *sched.Schedule) *Program {
+	p := &Program{Schedule: s}
+	ii := s.II
+	span := (s.SC - 1) * ii
+	p.Prologue = emitRange(s, 0, span, prologueFilter)
+	p.Kernel = emitRange(s, 0, ii, kernelFilter)
+	p.Epilogue = emitRange(s, 0, span, epilogueFilter)
+	return p
+}
+
+// instanceFilter decides whether an op placed at flat cycle c appears in
+// section word t.
+type instanceFilter func(c, t, ii int) bool
+
+// prologueFilter: iteration i >= 0 issues at c + i·II == t.
+func prologueFilter(c, t, ii int) bool { return c <= t && (t-c)%ii == 0 }
+
+// kernelFilter: the steady state carries every op at its row.
+func kernelFilter(c, t, ii int) bool { return c%ii == t }
+
+// epilogueFilter: after the last iteration entered the kernel, word e holds
+// instances with c == e + k·II for k >= 1.
+func epilogueFilter(c, t, ii int) bool { return c >= t+ii && (c-t)%ii == 0 }
+
+func emitRange(s *sched.Schedule, lo, n int, keep instanceFilter) [][]Word {
+	cfg := s.Config
+	g := s.Kernel.Graph
+	out := make([][]Word, n)
+	for t := range out {
+		words := make([]Word, cfg.Clusters)
+		for c := range words {
+			for k := 0; k < machine.NumFUKinds; k++ {
+				words[c].FU[k] = make([]*Slot, cfg.ClusterFUs(c)[k])
+			}
+		}
+		out[t] = words
+	}
+	// Functional-unit slots.
+	unitCursor := map[[3]int]int{} // (word, cluster, kind) -> next unit
+	for v := 0; v < g.NumNodes(); v++ {
+		c := s.Cluster[v]
+		kind := int(g.Node(v).Class.FUKind())
+		for t := 0; t < n; t++ {
+			if !keep(s.Cycle[v], lo+t, s.II) {
+				continue
+			}
+			cur := unitCursor[[3]int{t, c, kind}]
+			if cur >= len(out[t][c].FU[kind]) {
+				// Cannot happen for a valid schedule: the MRT
+				// admitted at most FUs[kind] ops per row.
+				panic("vliw: functional unit overcommitted")
+			}
+			out[t][c].FU[kind][cur] = &Slot{
+				Node:  v,
+				Stage: s.Cycle[v] / s.II,
+				Text:  renderOp(s, v),
+			}
+			unitCursor[[3]int{t, c, kind}] = cur + 1
+		}
+	}
+	// Bus fields: OUT at the transfer start in the producer cluster, IN at
+	// the arrival in the destination cluster.
+	for _, cm := range s.Comms {
+		prodCluster := s.Cluster[cm.Producer]
+		for t := 0; t < n; t++ {
+			if keep(cm.Start, lo+t, s.II) {
+				out[t][prodCluster].Bus = append(out[t][prodCluster].Bus,
+					BusOp{Bus: cm.Bus, Producer: cm.Producer, Out: true})
+			}
+			if keep(cm.Arrival(), lo+t, s.II) {
+				out[t][cm.Dest].Bus = append(out[t][cm.Dest].Bus,
+					BusOp{Bus: cm.Bus, Producer: cm.Producer, Out: false})
+			}
+		}
+	}
+	return out
+}
+
+// renderOp builds a human-readable mnemonic with symbolic registers.
+func renderOp(s *sched.Schedule, v int) string {
+	g := s.Kernel.Graph
+	n := g.Node(v)
+	var srcs []string
+	for _, e := range g.In(v) {
+		if e.Kind != ddg.RegDep || e.From == v {
+			continue
+		}
+		srcs = append(srcs, fmt.Sprintf("r%d", e.From))
+	}
+	ref := ""
+	if n.Class.IsMemory() {
+		ref = " " + s.Kernel.Refs[n.Ref].String()[3:] // strip "ld "/"st "
+	}
+	dst := ""
+	if n.Class.HasResult() {
+		dst = fmt.Sprintf("r%d = ", v)
+	}
+	miss := ""
+	if s.MissSch[v] {
+		miss = " !miss"
+	}
+	return strings.TrimSpace(fmt.Sprintf("%s%s%s %s%s", dst, n.Class, ref, strings.Join(srcs, ","), miss))
+}
+
+// OpInstances counts the operation instances in a section (testing aid: a
+// full unrolled loop of NITER iterations must contain NITER instances of
+// every operation across prologue + NITER−(SC−1) kernels + epilogue).
+func OpInstances(section [][]Word) int {
+	n := 0
+	for _, words := range section {
+		for _, w := range words {
+			for _, units := range w.FU {
+				for _, sl := range units {
+					if sl != nil {
+						n++
+					}
+				}
+			}
+		}
+	}
+	return n
+}
+
+// Render prints a section with one line per word and one column block per
+// cluster, in the spirit of Figure 2.
+func Render(s *sched.Schedule, section [][]Word, name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d words, %d cluster(s)):\n", name, len(section), s.Config.Clusters)
+	for t, words := range section {
+		fmt.Fprintf(&b, "%3d:", t)
+		for c, w := range words {
+			var parts []string
+			for k := 0; k < machine.NumFUKinds; k++ {
+				for _, sl := range w.FU[k] {
+					if sl != nil {
+						parts = append(parts, fmt.Sprintf("%s(%d)", sl.Text, sl.Stage))
+					}
+				}
+			}
+			for _, bo := range w.Bus {
+				dir := "IN"
+				src := fmt.Sprintf("r%d=IRV%d", bo.Producer, bo.Bus)
+				if bo.Out {
+					dir = "OUT"
+					src = fmt.Sprintf("r%d->bus%d", bo.Producer, bo.Bus)
+				}
+				parts = append(parts, fmt.Sprintf("%s:%s", dir, src))
+			}
+			cell := strings.Join(parts, "; ")
+			if cell == "" {
+				cell = "nop"
+			}
+			fmt.Fprintf(&b, " | C%d[%s]", c, cell)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

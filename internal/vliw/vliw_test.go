@@ -1,0 +1,120 @@
+package vliw
+
+import (
+	"strings"
+	"testing"
+
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+)
+
+func kernel(t *testing.T) *sched.Schedule {
+	t.Helper()
+	s := loop.NewAddressSpace(0, 64, 0)
+	a := s.Alloc("A", 8, 1<<12)
+	c := s.Alloc("C", 8, 1<<12)
+	b := loop.NewBuilder("k", 64)
+	x := b.Load(a, loop.Aff(0, 1))
+	y := b.Load(c, loop.Aff(0, 1))
+	m := b.FMul("m", x, y)
+	b.Store(c, m, loop.Aff(0, 1))
+	k := b.MustBuild()
+	sch, err := sched.Run(k, machine.TwoCluster(2, 2, 1, 1), sched.Options{Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch
+}
+
+func TestSectionShapes(t *testing.T) {
+	s := kernel(t)
+	p := Emit(s)
+	if len(p.Kernel) != s.II {
+		t.Errorf("kernel words = %d, want II=%d", len(p.Kernel), s.II)
+	}
+	want := (s.SC - 1) * s.II
+	if len(p.Prologue) != want || len(p.Epilogue) != want {
+		t.Errorf("prologue/epilogue = %d/%d words, want %d", len(p.Prologue), len(p.Epilogue), want)
+	}
+}
+
+// TestInstanceConservation: unrolling the pipelined loop for NITER
+// iterations must execute each operation exactly NITER times:
+// prologue + (NITER−SC+1)·kernel + epilogue.
+func TestInstanceConservation(t *testing.T) {
+	s := kernel(t)
+	p := Emit(s)
+	ops := s.Kernel.Graph.NumNodes()
+	niter := s.Kernel.NIter()
+	got := OpInstances(p.Prologue) + (niter-s.SC+1)*OpInstances(p.Kernel) + OpInstances(p.Epilogue)
+	if want := ops * niter; got != want {
+		t.Errorf("instances = %d, want %d", got, want)
+	}
+}
+
+func TestKernelHoldsEveryOpOnce(t *testing.T) {
+	s := kernel(t)
+	p := Emit(s)
+	if got := OpInstances(p.Kernel); got != s.Kernel.Graph.NumNodes() {
+		t.Errorf("kernel instances = %d, want %d", got, s.Kernel.Graph.NumNodes())
+	}
+}
+
+func TestBusFieldsMatchComms(t *testing.T) {
+	s := kernel(t)
+	p := Emit(s)
+	outs, ins := 0, 0
+	for _, words := range p.Kernel {
+		for _, w := range words {
+			for _, bo := range w.Bus {
+				if bo.Out {
+					outs++
+				} else {
+					ins++
+				}
+			}
+		}
+	}
+	if outs != len(s.Comms) || ins != len(s.Comms) {
+		t.Errorf("kernel bus fields = %d out, %d in; want %d each", outs, ins, len(s.Comms))
+	}
+}
+
+func TestRenderMentionsPieces(t *testing.T) {
+	s := kernel(t)
+	p := Emit(s)
+	txt := Render(s, p.Kernel, "kernel")
+	for _, want := range []string{"kernel", "C0[", "C1[", "ld"} {
+		if !strings.Contains(txt, want) {
+			t.Errorf("render missing %q:\n%s", want, txt)
+		}
+	}
+	if len(s.Comms) > 0 && !strings.Contains(txt, "bus") {
+		t.Errorf("render missing bus fields despite %d comms:\n%s", len(s.Comms), txt)
+	}
+}
+
+func TestMissScheduledOpsAnnotated(t *testing.T) {
+	// A conflicting kernel at threshold 0 must annotate miss-bound loads.
+	sAddr := loop.NewAddressSpace(0, 1, 0)
+	bArr := sAddr.AllocAt("B", 0, 8, 1<<13)
+	cArr := sAddr.AllocAt("C", 1<<16, 8, 1<<13)
+	b := loop.NewBuilder("k", 64)
+	x := b.Load(bArr, loop.Aff(0, 1))
+	y := b.Load(cArr, loop.Aff(0, 1))
+	m := b.FMul("m", x, y)
+	b.Store(bArr, m, loop.Aff(0, 1))
+	k := b.MustBuild()
+	sch, err := sched.Run(k, machine.Unified(), sched.Options{Threshold: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sch.Stats.MissScheduled == 0 {
+		t.Skip("no load was miss-scheduled on this machine")
+	}
+	p := Emit(sch)
+	if !strings.Contains(Render(sch, p.Kernel, "kernel"), "!miss") {
+		t.Error("miss-scheduled load not annotated in rendering")
+	}
+}

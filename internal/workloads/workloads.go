@@ -1,0 +1,523 @@
+// Package workloads provides the benchmark suite of the reproduction: the
+// paper evaluates eight SPECfp95 codes (tomcatv, swim, su2cor, hydro2d,
+// mgrid, applu, turb3d, apsi) compiled with ICTINEO. Neither is available,
+// so each benchmark here is a set of synthetic innermost-loop kernels built
+// from the dominant loop patterns of the original program: the same
+// dependence-graph shapes (streams, stencils, reductions, recurrences,
+// divisions), the same locality classes (unit stride, row/plane strides,
+// group reuse between shifted references, power-of-two base conflicts) and
+// comparable operation mixes. DESIGN.md §2 records the substitution.
+//
+// The package also provides the paper's §3 motivating example with its exact
+// machine parameters, used by the Figure 3 reproduction.
+package workloads
+
+import (
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+)
+
+// Benchmark is one synthetic SPECfp95 stand-in.
+type Benchmark struct {
+	Name    string
+	Kernels []*loop.Kernel
+}
+
+// Suite returns the eight benchmarks, deterministically constructed.
+func Suite() []Benchmark {
+	return []Benchmark{
+		tomcatv(), swim(), su2cor(), hydro2d(),
+		mgrid(), applu(), turb3d(), apsi(),
+	}
+}
+
+// KernelCount returns the total number of kernels in the suite.
+func KernelCount() int {
+	n := 0
+	for _, b := range Suite() {
+		n += len(b.Kernels)
+	}
+	return n
+}
+
+const kb = 1024
+
+// tomcatv: vectorized mesh generation; 257x257 double grids (non power of
+// two, so bases land where the allocator puts them), 5-point stencils and
+// two residual-max reductions.
+func tomcatv() Benchmark {
+	s := loop.NewAddressSpace(0x10000, 64, 192)
+	n := 257
+	X := s.Alloc("X", 8, n, n)
+	Y := s.Alloc("Y", 8, n, n)
+	RX := s.Alloc("RX", 8, n, n)
+	RY := s.Alloc("RY", 8, n, n)
+	AA := s.Alloc("AA", 8, n, n)
+	DD := s.Alloc("DD", 8, n, n)
+
+	// Main stencil sweep over the interior (j innermost).
+	b := loop.NewBuilder("tomcatv.stencil", 8, n-2)
+	xm := b.Load(X, loop.Aff(1, 1), loop.Aff(0, 0, 1))
+	xp := b.Load(X, loop.Aff(1, 1), loop.Aff(2, 0, 1))
+	xu := b.Load(X, loop.Aff(0, 1), loop.Aff(1, 0, 1))
+	xd := b.Load(X, loop.Aff(2, 1), loop.Aff(1, 0, 1))
+	ym := b.Load(Y, loop.Aff(1, 1), loop.Aff(0, 0, 1))
+	yp := b.Load(Y, loop.Aff(1, 1), loop.Aff(2, 0, 1))
+	dx := b.FAdd("dx", xp, xm)
+	dy := b.FAdd("dy", yp, ym)
+	dxy := b.FAdd("dxy", xu, xd)
+	pxx := b.FMul("pxx", dx, dy)
+	qyy := b.FMul("qyy", dxy, dy)
+	rxv := b.FAdd("rx", pxx, qyy)
+	ryv := b.FMul("ry", pxx, dx)
+	b.Store(RX, rxv, loop.Aff(1, 1), loop.Aff(1, 0, 1))
+	b.Store(RY, ryv, loop.Aff(1, 1), loop.Aff(1, 0, 1))
+	stencil := b.MustBuild()
+
+	// Residual reduction: rxm = rxm + |rx|, rym likewise (two carried
+	// FP adds: RecMII = 2).
+	b = loop.NewBuilder("tomcatv.resid", 8, n-2)
+	rx := b.Load(RX, loop.Aff(1, 1), loop.Aff(1, 0, 1))
+	ry := b.Load(RY, loop.Aff(1, 1), loop.Aff(1, 0, 1))
+	accx := b.FAdd("rxm", rx)
+	accy := b.FAdd("rym", ry)
+	b.Carried(accx, accx, 1)
+	b.Carried(accy, accy, 1)
+	resid := b.MustBuild()
+
+	// SOR-style update: X += omega*RX on a 3-array stream with group
+	// reuse between the AA/DD coefficient loads.
+	b = loop.NewBuilder("tomcatv.update", 8, n-2)
+	a0 := b.Load(AA, loop.Aff(1, 1), loop.Aff(1, 0, 1))
+	d0 := b.Load(DD, loop.Aff(1, 1), loop.Aff(1, 0, 1))
+	d1 := b.Load(DD, loop.Aff(1, 1), loop.Aff(2, 0, 1))
+	xv := b.Load(X, loop.Aff(1, 1), loop.Aff(1, 0, 1))
+	w := b.FMul("w", a0, d0)
+	u := b.FDiv("u", w, d1)
+	nx := b.FAdd("nx", xv, u)
+	b.Store(X, nx, loop.Aff(1, 1), loop.Aff(1, 0, 1))
+	update := b.MustBuild()
+
+	return Benchmark{Name: "tomcatv", Kernels: []*loop.Kernel{stencil, resid, update}}
+}
+
+// swim: shallow-water model on a 512x512 grid. 512 doubles per row is 4KB —
+// every local cache size divides it, so vertically-adjacent references of
+// the same array collide in a direct-mapped cache (the classic swim
+// pathology); distinct arrays sit at distinct set phases (320B pads), as the
+// Fortran common-block layout gives them.
+func swim() Benchmark {
+	s := loop.NewAddressSpace(0x400000, 64, 320)
+	n := 512
+	U := s.Alloc("U", 8, n, n)
+	V := s.Alloc("V", 8, n, n)
+	P := s.Alloc("P", 8, n, n)
+	CU := s.Alloc("CU", 8, n, n)
+	CV := s.Alloc("CV", 8, n, n)
+	Z := s.Alloc("Z", 8, n, n)
+	UNEW := s.Alloc("UNEW", 8, n, n)
+
+	// calc1, as in the original: one fused loop computes CU, CV, Z and H
+	// from the four corners of P and the staggered U/V points — eight
+	// loads and four stores, the reference-rich loop shape ICTINEO
+	// lowers (and the reason 4-cluster assignment freedom matters).
+	H := s.Alloc("H", 8, n, n)
+	b := loop.NewBuilder("swim.calc1", 6, 384)
+	p00 := b.Load(P, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	p10 := b.Load(P, loop.Aff(1, 1), loop.Aff(0, 0, 1))
+	p01 := b.Load(P, loop.Aff(0, 1), loop.Aff(1, 0, 1))
+	p11 := b.Load(P, loop.Aff(1, 1), loop.Aff(1, 0, 1))
+	u10 := b.Load(U, loop.Aff(1, 1), loop.Aff(0, 0, 1))
+	u11 := b.Load(U, loop.Aff(1, 1), loop.Aff(1, 0, 1))
+	v01 := b.Load(V, loop.Aff(0, 1), loop.Aff(1, 0, 1))
+	v11 := b.Load(V, loop.Aff(1, 1), loop.Aff(1, 0, 1))
+	cu := b.FMul("cu", b.FAdd("sp1", p10, p00), u10)
+	cv := b.FMul("cv", b.FAdd("sp2", p01, p00), v01)
+	dv := b.FAdd("dv", v11, v01)
+	du := b.FAdd("du", u11, u10)
+	zn := b.FAdd("zn", dv, du)
+	zd := b.FAdd("zd", b.FAdd("sp3", p00, p11), b.FAdd("sp4", p10, p01))
+	z := b.FDiv("z", zn, zd)
+	uv := b.FAdd("uv", b.FMul("u2", u10, u10), b.FMul("v2", v01, v01))
+	h := b.FAdd("h", p00, uv)
+	b.Store(CU, cu, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	b.Store(CV, cv, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	b.Store(Z, z, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	b.Store(H, h, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	calc1 := b.MustBuild()
+
+	// calc2: Z from CU/CV cross-terms plus a divide.
+	b = loop.NewBuilder("swim.calc2", 6, 384)
+	cuv := b.Load(CU, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	cvv := b.Load(CV, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	cvp := b.Load(CV, loop.Aff(1, 1), loop.Aff(0, 0, 1))
+	pv := b.Load(P, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	t1 := b.FAdd("t1", cuv, cvv)
+	t2 := b.FAdd("t2", cvp, t1)
+	zv := b.FDiv("z", t2, pv)
+	b.Store(Z, zv, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	calc2 := b.MustBuild()
+
+	// calc3: UNEW update with group reuse on U and a V/Z conflict pair.
+	b = loop.NewBuilder("swim.calc3", 6, 384)
+	uo := b.Load(U, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	un := b.Load(U, loop.Aff(0, 1), loop.Aff(1, 0, 1))
+	vv := b.Load(V, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	zz := b.Load(Z, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	g1 := b.FMul("g1", vv, zz)
+	g2 := b.FAdd("g2", uo, un)
+	g3 := b.FAdd("g3", g1, g2)
+	b.Store(UNEW, g3, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	calc3 := b.MustBuild()
+
+	// Boundary-condition copy over a small resident scratch row (the
+	// periodic-continuation loops of swim touch one row repeatedly).
+	edge := s.Alloc("EDGE", 8, 240)
+	b = loop.NewBuilder("swim.bc", 6, 200)
+	e0 := b.Load(edge, loop.Aff(0, 0, 1))
+	e1 := b.Load(edge, loop.Aff(1, 0, 1))
+	eb := b.FAdd("eb", e0, e1)
+	b.Store(edge, eb, loop.Aff(0, 0, 1))
+	bc := b.MustBuild()
+
+	return Benchmark{Name: "swim", Kernels: []*loop.Kernel{calc1, calc2, calc3, bc}}
+}
+
+// su2cor: quantum-chromodynamics Monte Carlo; complex arithmetic over
+// flattened lattices (re/im stride-2 pairs) and a dot-product reduction.
+func su2cor() Benchmark {
+	s := loop.NewAddressSpace(0x800000, 64, 128)
+	lat := 1 << 16
+	W := s.Alloc("W", 8, lat)
+	Q := s.Alloc("Q", 8, lat)
+	R := s.Alloc("R", 8, lat)
+
+	// Complex multiply-accumulate stream: (re,im) interleaved.
+	b := loop.NewBuilder("su2cor.cmul", 10, 256)
+	wr := b.Load(W, loop.Aff(0, 0, 2))
+	wi := b.Load(W, loop.Aff(1, 0, 2))
+	qr := b.Load(Q, loop.Aff(0, 0, 2))
+	qi := b.Load(Q, loop.Aff(1, 0, 2))
+	rr1 := b.FMul("rr1", wr, qr)
+	rr2 := b.FMul("rr2", wi, qi)
+	ri1 := b.FMul("ri1", wr, qi)
+	ri2 := b.FMul("ri2", wi, qr)
+	re := b.FAdd("re", rr1, rr2)
+	im := b.FAdd("im", ri1, ri2)
+	b.Store(R, re, loop.Aff(0, 0, 2))
+	b.Store(R, im, loop.Aff(1, 0, 2))
+	cmul := b.MustBuild()
+
+	// Gathering sweep with a long stride (lattice dimension hop).
+	b = loop.NewBuilder("su2cor.gather", 10, 192)
+	g0 := b.Load(W, loop.Aff(0, 0, 64))
+	g1 := b.Load(W, loop.Aff(8, 0, 64))
+	h := b.FAdd("h", g0, g1)
+	b.Store(Q, h, loop.Aff(0, 0, 1))
+	gather := b.MustBuild()
+
+	// Dot-product reduction with a carried accumulator.
+	b = loop.NewBuilder("su2cor.dot", 10, 256)
+	x := b.Load(Q, loop.Aff(0, 0, 1))
+	y := b.Load(R, loop.Aff(0, 0, 1))
+	m := b.FMul("m", x, y)
+	acc := b.FAdd("acc", m)
+	b.Carried(acc, acc, 1)
+	dot := b.MustBuild()
+
+	// Trace accumulation over a small resident correlation table.
+	tbl := s.Alloc("TR", 8, 224)
+	b = loop.NewBuilder("su2cor.trace", 10, 192)
+	t0 := b.Load(tbl, loop.Aff(0, 0, 1))
+	t1 := b.Load(tbl, loop.Aff(4, 0, 1))
+	tm := b.FMul("tm", t0, t1)
+	tacc := b.FAdd("tacc", tm)
+	b.Carried(tacc, tacc, 1)
+	trace := b.MustBuild()
+
+	return Benchmark{Name: "su2cor", Kernels: []*loop.Kernel{cmul, gather, dot, trace}}
+}
+
+// hydro2d: Navier-Stokes; stencils with neighbouring-row reuse and a
+// divide-heavy state update.
+func hydro2d() Benchmark {
+	s := loop.NewAddressSpace(0xC00000, 4*kb, 0) // 4KB-aligned: conflicts on 2/4-cluster caches
+	n := 402
+	RO := s.Alloc("RO", 8, n, n)
+	EN := s.Alloc("EN", 8, n, n)
+	GR := s.Alloc("GR", 8, n, n)
+	ZZ := s.Alloc("ZZ", 8, n, n)
+
+	b := loop.NewBuilder("hydro2d.flux", 8, n-2)
+	r0 := b.Load(RO, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	r1 := b.Load(RO, loop.Aff(0, 1), loop.Aff(1, 0, 1))
+	e0 := b.Load(EN, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	f1 := b.FAdd("f1", r0, r1)
+	f2 := b.FMul("f2", f1, e0)
+	b.Store(GR, f2, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	flux := b.MustBuild()
+
+	b = loop.NewBuilder("hydro2d.adv", 8, n-2)
+	g0 := b.Load(GR, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	g1 := b.Load(GR, loop.Aff(1, 1), loop.Aff(0, 0, 1))
+	z0 := b.Load(ZZ, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	a1 := b.FAdd("a1", g0, g1)
+	a2 := b.FDiv("a2", a1, z0)
+	a3 := b.FMul("a3", a2, g0)
+	b.Store(ZZ, a3, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	adv := b.MustBuild()
+
+	// Pressure recurrence along the row: zz(j) depends on zz(j-1).
+	b = loop.NewBuilder("hydro2d.sweep", 8, n-2)
+	zp := b.Load(ZZ, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	rr := b.Load(RO, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	w1 := b.FMul("w1", zp, rr)
+	w2 := b.FAdd("w2", w1)
+	b.Carried(w2, w2, 1)
+	st := b.Store(EN, w2, loop.Aff(0, 1), loop.Aff(0, 0, 1))
+	_ = st
+	sweep := b.MustBuild()
+
+	return Benchmark{Name: "hydro2d", Kernels: []*loop.Kernel{flux, adv, sweep}}
+}
+
+// mgrid: 3D multigrid; 64^3 doubles mean plane strides of 32KB: every plane
+// hop wraps all the small local caches, and the 27-point stencil's three
+// plane streams fight for the same sets.
+func mgrid() Benchmark {
+	s := loop.NewAddressSpace(0x1400000, 64, 320)
+	n := 64
+	Ug := s.Alloc("U3", 8, n, n, n)
+	Vg := s.Alloc("V3", 8, n, n, n)
+	Rg := s.Alloc("R3", 8, n, n, n)
+
+	// resid: r = v - A*u with taps on three planes, three rows and the
+	// unit-stride axis (the 27-point stencil's separable core).
+	b := loop.NewBuilder("mgrid.resid", 12, n-2)
+	c0 := b.Load(Ug, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(1, 0, 0, 1))
+	cm := b.Load(Ug, loop.Aff(0, 1), loop.Aff(1, 0, 1), loop.Aff(1, 0, 0, 1))
+	cp := b.Load(Ug, loop.Aff(2, 1), loop.Aff(1, 0, 1), loop.Aff(1, 0, 0, 1))
+	rm := b.Load(Ug, loop.Aff(1, 1), loop.Aff(0, 0, 1), loop.Aff(1, 0, 0, 1))
+	rp := b.Load(Ug, loop.Aff(1, 1), loop.Aff(2, 0, 1), loop.Aff(1, 0, 0, 1))
+	km := b.Load(Ug, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(0, 0, 0, 1))
+	kp := b.Load(Ug, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(2, 0, 0, 1))
+	vv := b.Load(Vg, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(1, 0, 0, 1))
+	s1 := b.FAdd("s1", cm, cp)
+	s2 := b.FAdd("s2", rm, rp)
+	s6 := b.FAdd("s6", km, kp)
+	s3 := b.FAdd("s3", s1, s2)
+	s7 := b.FAdd("s7", s3, s6)
+	s4 := b.FMul("s4", s7, c0)
+	s5 := b.FAdd("s5", vv, s4)
+	b.Store(Rg, s5, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(1, 0, 0, 1))
+	resid := b.MustBuild()
+
+	// psinv: smoother with group reuse along the unit-stride axis.
+	b = loop.NewBuilder("mgrid.psinv", 12, n-2)
+	r0 := b.Load(Rg, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(0, 0, 0, 1))
+	r1 := b.Load(Rg, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(1, 0, 0, 1))
+	r2 := b.Load(Rg, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(2, 0, 0, 1))
+	p1 := b.FAdd("p1", r0, r2)
+	p2 := b.FMul("p2", p1, r1)
+	uv := b.Load(Ug, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(1, 0, 0, 1))
+	p3 := b.FAdd("p3", uv, p2)
+	b.Store(Ug, p3, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(1, 0, 0, 1))
+	psinv := b.MustBuild()
+
+	// interp: coarse-to-fine with stride-2 reads.
+	b = loop.NewBuilder("mgrid.interp", 12, (n-2)/2)
+	z0 := b.Load(Vg, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(0, 0, 0, 2))
+	z1 := b.Load(Vg, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(2, 0, 0, 2))
+	q := b.FAdd("q", z0, z1)
+	b.Store(Ug, q, loop.Aff(1, 1), loop.Aff(1, 0, 1), loop.Aff(1, 0, 0, 2))
+	interp := b.MustBuild()
+
+	// Face exchange over one resident boundary plane row.
+	face := s.Alloc("FACE", 8, 192)
+	b = loop.NewBuilder("mgrid.face", 12, 160)
+	f0 := b.Load(face, loop.Aff(0, 0, 1))
+	f1 := b.Load(face, loop.Aff(2, 0, 1))
+	fs := b.FAdd("fs", f0, f1)
+	b.Store(face, fs, loop.Aff(1, 0, 1))
+	faceK := b.MustBuild()
+
+	return Benchmark{Name: "mgrid", Kernels: []*loop.Kernel{resid, psinv, interp, faceK}}
+}
+
+// applu: SSOR on 5x5 blocks; short inner trips, wavefront recurrences and
+// divisions — the recurrence-bound member of the suite.
+func applu() Benchmark {
+	s := loop.NewAddressSpace(0x1C00000, 64, 256)
+	nx := 64
+	A5 := s.Alloc("A5", 8, nx, 5, 5)
+	B5 := s.Alloc("B5", 8, nx, 5, 5)
+	Vn := s.Alloc("VN", 8, nx, 25)
+
+	// blts: lower-triangular solve; v(i) uses v(i-1) (carried distance 1
+	// through a multiply-add chain).
+	b := loop.NewBuilder("applu.blts", 24, 48)
+	av := b.Load(A5, loop.Aff(0, 0, 1), loop.Aff(0), loop.Aff(0))
+	vprev := b.Load(Vn, loop.Aff(0, 0, 1), loop.Aff(0))
+	m1 := b.FMul("m1", av, vprev)
+	upd := b.FAdd("upd", m1)
+	b.Carried(upd, upd, 1)
+	stv := b.Store(Vn, upd, loop.Aff(0, 0, 1), loop.Aff(1))
+	b.MemDep(stv, vprev, 1) // next iteration's load sees this store
+	blts := b.MustBuild()
+
+	// jacld: block assembly, div-heavy.
+	b = loop.NewBuilder("applu.jacld", 24, 48)
+	a0 := b.Load(A5, loop.Aff(0, 0, 1), loop.Aff(1), loop.Aff(1))
+	b0 := b.Load(B5, loop.Aff(0, 0, 1), loop.Aff(1), loop.Aff(1))
+	d := b.FDiv("d", a0, b0)
+	e := b.FMul("e", d, a0)
+	f := b.FAdd("f", e, b0)
+	b.Store(B5, f, loop.Aff(0, 0, 1), loop.Aff(2), loop.Aff(1))
+	jacld := b.MustBuild()
+
+	// l2norm reduction.
+	b = loop.NewBuilder("applu.l2norm", 24, 64)
+	x := b.Load(Vn, loop.Aff(0, 0, 1), loop.Aff(3))
+	sq := b.FMul("sq", x, x)
+	acc := b.FAdd("acc", sq)
+	b.Carried(acc, acc, 1)
+	l2 := b.MustBuild()
+
+	return Benchmark{Name: "applu", Kernels: []*loop.Kernel{blts, jacld, l2}}
+}
+
+// turb3d: turbulence FFTs; power-of-two butterfly spans are the worst case
+// for a direct-mapped cache: the two legs of the span-512 butterfly alias in
+// every local cache. Distinct arrays sit at distinct set phases.
+func turb3d() Benchmark {
+	s := loop.NewAddressSpace(0x2400000, 64, 320)
+	n := 1 << 15
+	Xr := s.Alloc("XR", 8, n)
+	Xi := s.Alloc("XI", 8, n)
+	Wt := s.Alloc("WT", 8, 1<<12)
+
+	// Radix-2 butterfly at span 512 doubles (4KB): the two legs alias in
+	// every local cache.
+	b := loop.NewBuilder("turb3d.fft512", 10, 224)
+	ar := b.Load(Xr, loop.Aff(0, 0, 1))
+	br := b.Load(Xr, loop.Aff(512, 0, 1))
+	ai := b.Load(Xi, loop.Aff(0, 0, 1))
+	bi := b.Load(Xi, loop.Aff(512, 0, 1))
+	wr := b.Load(Wt, loop.Aff(0, 0, 1))
+	tr1 := b.FMul("tr1", br, wr)
+	ti1 := b.FMul("ti1", bi, wr)
+	or1 := b.FAdd("or", ar, tr1)
+	oi1 := b.FAdd("oi", ai, ti1)
+	b.Store(Xr, or1, loop.Aff(0, 0, 1))
+	b.Store(Xi, oi1, loop.Aff(0, 0, 1))
+	fft := b.MustBuild()
+
+	// Small-span butterfly (span 8): group reuse instead of conflicts.
+	b = loop.NewBuilder("turb3d.fft8", 10, 224)
+	c0 := b.Load(Xr, loop.Aff(0, 0, 1))
+	c1 := b.Load(Xr, loop.Aff(8, 0, 1))
+	d0 := b.FAdd("d0", c0, c1)
+	d1 := b.FMul("d1", d0, c0)
+	b.Store(Xi, d1, loop.Aff(0, 0, 1))
+	fft8 := b.MustBuild()
+
+	// Energy accumulation.
+	b = loop.NewBuilder("turb3d.energy", 10, 256)
+	er := b.Load(Xr, loop.Aff(0, 0, 1))
+	ei := b.Load(Xi, loop.Aff(0, 0, 1))
+	e1 := b.FMul("e1", er, er)
+	e2 := b.FMul("e2", ei, ei)
+	e3 := b.FAdd("e3", e1, e2)
+	acc := b.FAdd("acc", e3)
+	b.Carried(acc, acc, 1)
+	energy := b.MustBuild()
+
+	return Benchmark{Name: "turb3d", Kernels: []*loop.Kernel{fft, fft8, energy}}
+}
+
+// apsi: mesoscale weather; vertical column walks with large strides, mixed
+// integer index arithmetic and a divide in the saturation update.
+func apsi() Benchmark {
+	s := loop.NewAddressSpace(0x2C00000, 64, 448)
+	nz, nxy := 32, 128*128
+	T := s.Alloc("T", 8, nz, nxy)
+	Qv := s.Alloc("QV", 8, nz, nxy)
+	Pr := s.Alloc("PR", 8, nz, nxy)
+
+	// Column walk: stride = nxy elements between levels (innermost over z).
+	b := loop.NewBuilder("apsi.column", 48, nz-2)
+	t0 := b.Load(T, loop.Aff(0, 0, 1), loop.Aff(0, 7))
+	t1 := b.Load(T, loop.Aff(1, 0, 1), loop.Aff(0, 7))
+	qv := b.Load(Qv, loop.Aff(0, 0, 1), loop.Aff(0, 7))
+	i1 := b.IAdd("idx", b.Induction())
+	_ = i1
+	h1 := b.FAdd("h1", t0, t1)
+	h2 := b.FMul("h2", h1, qv)
+	b.Store(Qv, h2, loop.Aff(0, 0, 1), loop.Aff(0, 7))
+	column := b.MustBuild()
+
+	// Horizontal smoothing with unit stride and group reuse.
+	b = loop.NewBuilder("apsi.smooth", 12, 320)
+	p0 := b.Load(Pr, loop.Aff(4), loop.Aff(0, 0, 1))
+	p1 := b.Load(Pr, loop.Aff(4), loop.Aff(1, 0, 1))
+	p2 := b.Load(Pr, loop.Aff(4), loop.Aff(2, 0, 1))
+	m1 := b.FAdd("m1", p0, p2)
+	m2 := b.FAdd("m2", m1, p1)
+	b.Store(Pr, m2, loop.Aff(5), loop.Aff(1, 0, 1))
+	smooth := b.MustBuild()
+
+	// Saturation adjustment: divide plus carried relaxation.
+	b = loop.NewBuilder("apsi.sat", 12, 320)
+	tq := b.Load(T, loop.Aff(2), loop.Aff(0, 0, 1))
+	pq := b.Load(Pr, loop.Aff(2), loop.Aff(0, 0, 1))
+	r1 := b.FDiv("r1", tq, pq)
+	r2 := b.FAdd("r2", r1)
+	b.Carried(r2, r2, 2)
+	b.Store(Qv, r2, loop.Aff(2), loop.Aff(0, 0, 1))
+	sat := b.MustBuild()
+
+	// Lookup-table physics over a small resident coefficient table.
+	coef := s.Alloc("COEF", 8, 200)
+	b = loop.NewBuilder("apsi.lut", 12, 180)
+	c0 := b.Load(coef, loop.Aff(0, 0, 1))
+	c1 := b.Load(coef, loop.Aff(3, 0, 1))
+	cm := b.FMul("cm", c0, c1)
+	ca := b.FAdd("ca", cm, c0)
+	b.Store(coef, ca, loop.Aff(0, 0, 1))
+	lut := b.MustBuild()
+
+	return Benchmark{Name: "apsi", Kernels: []*loop.Kernel{column, smooth, sat, lut}}
+}
+
+// Motivating returns the §3 loop — DO I=1,N,2: A(I) = B(I)*C(I) +
+// B(I+1)*C(I+1) — with B and C at a cache-capacity-multiple distance so that
+// they ping-pong in a direct-mapped local cache, and A placed half a cache
+// off so only B and C collide.
+func Motivating(n int) *loop.Kernel {
+	s := loop.NewAddressSpace(0, 1, 0)
+	bArr := s.AllocAt("B", 0, 8, 1<<13)
+	cArr := s.AllocAt("C", 1<<16, 8, 1<<13)
+	aArr := s.AllocAt("A", 1<<17+2048, 8, 1<<13)
+	b := loop.NewBuilder("motivating", n)
+	ld1 := b.Load(bArr, loop.Aff(1, 2)) // B(I)
+	ld2 := b.Load(cArr, loop.Aff(1, 2)) // C(I)
+	ld3 := b.Load(bArr, loop.Aff(2, 2)) // B(I+1)
+	ld4 := b.Load(cArr, loop.Aff(2, 2)) // C(I+1)
+	m1 := b.FMul("m1", ld1, ld2)
+	m2 := b.FMul("m2", ld3, ld4)
+	sum := b.FAdd("sum", m1, m2)
+	b.Store(aArr, sum, loop.Aff(1, 2)) // A(I)
+	return b.MustBuild()
+}
+
+// MotivatingConfig returns the §3 machine: 2 clusters, one arithmetic and
+// one memory unit each (plus an integer unit for the induction update), one
+// 2-cycle register bus, 2-cycle local cache, 2-cycle memory bus, 10-cycle
+// main memory, unbounded memory buses ("assume sufficient memory buses").
+func MotivatingConfig() machine.Config {
+	cfg := machine.TwoCluster(1, 2, machine.Unbounded, 2)
+	cfg.Name = "motivating-2cl"
+	cfg.FUs = [machine.NumFUKinds]int{1, 1, 1}
+	cfg.Regs = 32
+	return cfg
+}

@@ -1,0 +1,149 @@
+package workloads
+
+import (
+	"testing"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+)
+
+func TestSuiteShape(t *testing.T) {
+	suite := Suite()
+	if len(suite) != 8 {
+		t.Fatalf("suite has %d benchmarks, want 8", len(suite))
+	}
+	names := map[string]bool{}
+	for _, b := range suite {
+		names[b.Name] = true
+		if len(b.Kernels) < 3 {
+			t.Errorf("%s has only %d kernels", b.Name, len(b.Kernels))
+		}
+	}
+	for _, want := range []string{"tomcatv", "swim", "su2cor", "hydro2d", "mgrid", "applu", "turb3d", "apsi"} {
+		if !names[want] {
+			t.Errorf("missing benchmark %q", want)
+		}
+	}
+	if KernelCount() < 20 {
+		t.Errorf("KernelCount = %d, want >= 20", KernelCount())
+	}
+}
+
+func TestEveryKernelValidates(t *testing.T) {
+	for _, b := range Suite() {
+		for _, k := range b.Kernels {
+			if err := k.Validate(); err != nil {
+				t.Errorf("%s: %v", k.Name, err)
+			}
+			if len(k.MemOps()) == 0 {
+				t.Errorf("%s: no memory operations", k.Name)
+			}
+			if k.NIter() <= 4 {
+				t.Errorf("%s: NITER=%d, the paper only schedules loops with more than 4 iterations", k.Name, k.NIter())
+			}
+		}
+	}
+}
+
+func TestArraysExceedLocalCaches(t *testing.T) {
+	// The suite must put real pressure on an 8KB cache: most kernels of
+	// every benchmark must reference an array bigger than the largest
+	// local cache (a minority of resident-working-set loops is realistic
+	// and expected).
+	for _, b := range Suite() {
+		big := 0
+		for _, k := range b.Kernels {
+			for _, r := range k.Refs {
+				if r.Array.SizeBytes() > 8*1024 {
+					big++
+					break
+				}
+			}
+		}
+		if big < 3 {
+			t.Errorf("%s: only %d of %d kernels pressure the cache", b.Name, big, len(b.Kernels))
+		}
+	}
+}
+
+func TestEveryKernelSchedulesOnAllConfigs(t *testing.T) {
+	configs := []machine.Config{
+		machine.Unified(),
+		machine.TwoCluster(2, 1, 1, 1),
+		machine.FourCluster(2, 1, 1, 1),
+	}
+	for _, b := range Suite() {
+		for _, k := range b.Kernels {
+			for _, cfg := range configs {
+				for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+					s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: 1.0})
+					if err != nil {
+						t.Errorf("%s on %s (%v): %v", k.Name, cfg.Name, pol, err)
+						continue
+					}
+					if err := s.Verify(); err != nil {
+						t.Errorf("%s on %s (%v): %v", k.Name, cfg.Name, pol, err)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSuiteHasRecurrences(t *testing.T) {
+	// The paper's codes include reductions; the suite must carry
+	// recurrence-bound kernels (RecMII > 1).
+	found := 0
+	for _, b := range Suite() {
+		for _, k := range b.Kernels {
+			lat := ddg.DefaultLatencies(k.Graph, machine.DefaultLatencies())
+			if k.Graph.RecMII(lat) > 1 {
+				found++
+			}
+		}
+	}
+	if found < 4 {
+		t.Errorf("only %d recurrence-bound kernels, want >= 4", found)
+	}
+}
+
+func TestSuiteDeterministic(t *testing.T) {
+	a, b := Suite(), Suite()
+	for i := range a {
+		for j := range a[i].Kernels {
+			ka, kb := a[i].Kernels[j], b[i].Kernels[j]
+			if ka.Name != kb.Name || ka.Graph.NumNodes() != kb.Graph.NumNodes() {
+				t.Fatalf("suite not deterministic at %s", ka.Name)
+			}
+			for r := range ka.Refs {
+				if ka.Refs[r].Array.Base != kb.Refs[r].Array.Base {
+					t.Fatalf("%s: array bases differ between constructions", ka.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestMotivatingShape(t *testing.T) {
+	k := Motivating(100)
+	if err := k.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 loads + 1 store + 2 muls + 1 add + induction = 9 nodes.
+	if k.Graph.NumNodes() != 9 {
+		t.Errorf("nodes = %d, want 9", k.Graph.NumNodes())
+	}
+	cfg := MotivatingConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Unified equivalent resources: 2 MEM units for 5 memory ops => mII 3.
+	lat := ddg.DefaultLatencies(k.Graph, cfg.Lat)
+	if got := k.Graph.ResMII(cfg); got != 3 {
+		t.Errorf("ResMII = %d, want 3 (the paper's mII)", got)
+	}
+	if got := k.Graph.RecMII(lat); got != 1 {
+		t.Errorf("RecMII = %d, want 1", got)
+	}
+}

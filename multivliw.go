@@ -1,0 +1,238 @@
+// Package multivliw is a library-level reproduction of "Modulo Scheduling
+// for a Fully-Distributed Clustered VLIW Architecture" (Sánchez & González,
+// MICRO-33, 2000).
+//
+// It provides, end to end:
+//
+//   - the multiVLIWprocessor machine model — lockstep clusters with
+//     partitioned register files, functional units and, crucially, a
+//     distributed L1 data cache kept coherent by a snoopy MSI protocol over
+//     arbitrated memory buses ([machine], [memsys], [cache], [bus]);
+//   - a loop-nest IR with affine array references and a kernel-builder DSL
+//     ([loop]);
+//   - the Cache Miss Equations locality analysis, solved with the sampling
+//     estimator the paper uses ([cme]);
+//   - two modulo schedulers: the register-communication Baseline of the
+//     authors' earlier work and the paper's RMCA scheduler, which assigns
+//     memory operations to clusters by marginal cache misses and binds
+//     likely-missing loads to the cache-miss latency ([sched], [order]);
+//   - VLIW code emission with explicit IN BUS / OUT BUS fields ([vliw]);
+//   - a lockstep cycle-accounting simulator ([sim]); and
+//   - the synthetic SPECfp95 workload suite and the harness that
+//     regenerates every table and figure of the paper's evaluation
+//     ([workloads], [harness]).
+//
+// # Quick start
+//
+//	space := multivliw.NewAddressSpace(0, 64, 0)
+//	a := space.Alloc("A", 8, 1<<14)
+//	c := space.Alloc("C", 8, 1<<14)
+//	b := multivliw.NewKernel("axpy", 2048)
+//	x := b.Load(a, multivliw.Aff(0, 1))
+//	y := b.Load(c, multivliw.Aff(0, 1))
+//	b.Store(c, b.FMul("m", x, y), multivliw.Aff(0, 1))
+//	k := b.MustBuild()
+//
+//	sched, _ := multivliw.Compile(k, multivliw.TwoCluster(2, 1, 1, 1),
+//		multivliw.Options{Policy: multivliw.RMCA, Threshold: 0.25})
+//	res, _ := multivliw.Simulate(sched, 0)
+//	fmt.Println(sched.II, res.Total)
+package multivliw
+
+import (
+	"multivliw/internal/cme"
+	"multivliw/internal/harness"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/sim"
+	"multivliw/internal/vliw"
+	"multivliw/internal/workloads"
+)
+
+// Machine model.
+type (
+	// Machine is a multiVLIWprocessor configuration (Table 1).
+	Machine = machine.Config
+	// Latencies is the operation latency table.
+	Latencies = machine.Latencies
+)
+
+// Unbounded marks a bus pool as unlimited (the paper's §5.2 study).
+const Unbounded = machine.Unbounded
+
+// Unified returns the paper's 1-cluster, 12-way baseline machine.
+func Unified() Machine { return machine.Unified() }
+
+// TwoCluster returns the paper's 2-cluster machine with the given register
+// and memory bus pools (count, latency).
+func TwoCluster(regBuses, regBusLat, memBuses, memBusLat int) Machine {
+	return machine.TwoCluster(regBuses, regBusLat, memBuses, memBusLat)
+}
+
+// FourCluster returns the paper's 4-cluster machine.
+func FourCluster(regBuses, regBusLat, memBuses, memBusLat int) Machine {
+	return machine.FourCluster(regBuses, regBusLat, memBuses, memBusLat)
+}
+
+// Table1 renders the paper's Table 1.
+func Table1() string { return machine.Table1() }
+
+// ArchitectureDiagram renders an ASCII sketch of Figure 1 for a machine.
+func ArchitectureDiagram(m Machine) string { return machine.ArchitectureDiagram(m) }
+
+// Loop-nest IR and kernel construction.
+type (
+	// AddressSpace places arrays at virtual addresses.
+	AddressSpace = loop.AddressSpace
+	// Array is a row-major array at a fixed base address.
+	Array = loop.Array
+	// Kernel is a lowered innermost loop ready to schedule.
+	Kernel = loop.Kernel
+	// KernelBuilder constructs kernels in program order.
+	KernelBuilder = loop.Builder
+	// Value is an SSA value inside a kernel under construction.
+	Value = loop.Value
+	// AffExpr is an affine index expression.
+	AffExpr = loop.Aff1
+)
+
+// NewAddressSpace returns an allocator starting at start, aligning bases to
+// align bytes with pad bytes between arrays.
+func NewAddressSpace(start, align, pad uint64) *AddressSpace {
+	return loop.NewAddressSpace(start, align, pad)
+}
+
+// NewKernel starts a kernel with the given per-level trip counts (outermost
+// first; the last level is the modulo-scheduled innermost loop).
+func NewKernel(name string, trip ...int) *KernelBuilder { return loop.NewBuilder(name, trip...) }
+
+// Aff builds an affine index expression: off + Σ coefs[l]·i_l.
+func Aff(off int, coefs ...int) AffExpr { return loop.Aff(off, coefs...) }
+
+// Scheduling.
+type (
+	// Options configures a scheduling run (policy, threshold, ordering).
+	Options = sched.Options
+	// Policy selects the memory-operation cluster heuristic.
+	Policy = sched.Policy
+	// Schedule is a complete modulo schedule.
+	Schedule = sched.Schedule
+	// Comm is one compiler-scheduled register-bus transfer.
+	Comm = sched.Comm
+)
+
+// The two schedulers of the paper.
+const (
+	// Baseline is the register-communication-only scheduler of [22].
+	Baseline = sched.Baseline
+	// RMCA is the paper's Register and Memory Communication-Aware
+	// scheduler.
+	RMCA = sched.RMCA
+)
+
+// Compile modulo-schedules kernel k for machine m.
+func Compile(k *Kernel, m Machine, opt Options) (*Schedule, error) {
+	return sched.Run(k, m, opt)
+}
+
+// Simulation.
+type (
+	// SimResult is the cycle accounting of one simulated kernel.
+	SimResult = sim.Result
+)
+
+// Simulate replays a schedule on the distributed memory system.
+// maxInnermostIters caps the replayed iterations (0 = the kernel's full
+// iteration space); capped stall counts are scaled.
+func Simulate(s *Schedule, maxInnermostIters int) (*SimResult, error) {
+	return sim.Run(s, sim.Options{MaxInnermostIters: maxInnermostIters})
+}
+
+// Locality analysis.
+type (
+	// CMEAnalysis solves the Cache Miss Equations for one kernel and
+	// cache geometry.
+	CMEAnalysis = cme.Analysis
+	// CacheGeometry describes one cluster-local direct-mapped cache.
+	CacheGeometry = cme.Geometry
+)
+
+// AnalyzeLocality builds a CME analysis for a kernel on the local-cache
+// geometry of machine m.
+func AnalyzeLocality(k *Kernel, m Machine) *CMEAnalysis {
+	return cme.New(k, cme.Geometry{
+		CapacityBytes: m.CacheBytesPerCluster(),
+		LineBytes:     m.LineBytes,
+		Assoc:         m.Assoc,
+	}, cme.DefaultParams())
+}
+
+// Code emission.
+type (
+	// Program is the lowered VLIW loop: prologue, kernel, epilogue.
+	Program = vliw.Program
+)
+
+// Emit lowers a schedule to VLIW words with IN/OUT BUS fields (Figure 2).
+func Emit(s *Schedule) *Program { return vliw.Emit(s) }
+
+// RenderSection prints one program section in instruction-format style.
+func RenderSection(s *Schedule, section [][]vliw.Word, name string) string {
+	return vliw.Render(s, section, name)
+}
+
+// Benchmarks and experiments.
+type (
+	// Benchmark is one synthetic SPECfp95 stand-in.
+	Benchmark = workloads.Benchmark
+	// ExperimentRunner drives the paper's evaluation sweeps.
+	ExperimentRunner = harness.Runner
+	// FigureBar is one bar of a regenerated figure.
+	FigureBar = harness.Bar
+	// MotivatingResult is the Figure 3 reproduction.
+	MotivatingResult = harness.MotivatingResult
+	// Verdict is one checked claim of the paper.
+	Verdict = harness.Verdict
+)
+
+// Suite returns the eight synthetic SPECfp95 benchmarks.
+func Suite() []Benchmark { return workloads.Suite() }
+
+// MotivatingKernel returns the paper's §3 example loop for N iterations.
+func MotivatingKernel(n int) *Kernel { return workloads.Motivating(n) }
+
+// MotivatingMachine returns the §3 example machine.
+func MotivatingMachine() Machine { return workloads.MotivatingConfig() }
+
+// NewExperimentRunner builds a runner over the full suite.
+func NewExperimentRunner() *ExperimentRunner { return harness.NewRunner() }
+
+// Figure3 reproduces the paper's motivating example for an N-iteration loop.
+func Figure3(n int) (*MotivatingResult, error) { return harness.Figure3(n) }
+
+// CheckClaims verifies the paper's §5 claims against regenerated figures
+// (nil figures are skipped).
+func CheckClaims(unified, fig5two, fig5four, fig6two, fig6four []FigureBar) []Verdict {
+	return harness.Verdicts(unified, fig5two, fig5four, fig6two, fig6four)
+}
+
+// RenderFigure draws a regenerated figure as an ASCII stacked-bar chart.
+func RenderFigure(title string, unified, bars []FigureBar) string {
+	return harness.RenderBars(title, unified, bars)
+}
+
+// RenderClaims formats checked claims.
+func RenderClaims(vs []Verdict) string { return harness.RenderVerdicts(vs) }
+
+// Unroll replicates a kernel's innermost body factor times, rewriting
+// affine references and re-expressing loop-carried dependences — the
+// optimization §4.3 of the paper defers ("one instance always misses, the
+// others always hit").
+func Unroll(k *Kernel, factor int) (*Kernel, error) { return loop.Unroll(k, factor) }
+
+// UnrollRow is one variant of the §4.3 unrolling study.
+type UnrollRow = harness.UnrollRow
+
+// UnrollStudy runs the §4.3 unrolling study on the motivating loop.
+func UnrollStudy(n int) ([]UnrollRow, error) { return harness.UnrollStudy(n) }

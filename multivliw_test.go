@@ -1,0 +1,104 @@
+package multivliw_test
+
+import (
+	"strings"
+	"testing"
+
+	"multivliw"
+)
+
+// TestQuickstartFlow exercises the documented end-to-end path of the public
+// API: build a kernel, compile it, emit code, simulate it.
+func TestQuickstartFlow(t *testing.T) {
+	space := multivliw.NewAddressSpace(0, 64, 0)
+	a := space.Alloc("A", 8, 1<<14)
+	c := space.Alloc("C", 8, 1<<14)
+	b := multivliw.NewKernel("axpy", 2048)
+	x := b.Load(a, multivliw.Aff(0, 1))
+	y := b.Load(c, multivliw.Aff(0, 1))
+	b.Store(c, b.FMul("m", x, y), multivliw.Aff(0, 1))
+	k := b.MustBuild()
+
+	s, err := multivliw.Compile(k, multivliw.TwoCluster(2, 1, 1, 1),
+		multivliw.Options{Policy: multivliw.RMCA, Threshold: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := multivliw.Simulate(s, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != res.Compute+res.Stall || res.Total <= 0 {
+		t.Errorf("bad accounting: %+v", res)
+	}
+	prog := multivliw.Emit(s)
+	if len(prog.Kernel) != s.II {
+		t.Errorf("emitted kernel %d words, want II=%d", len(prog.Kernel), s.II)
+	}
+	if txt := multivliw.RenderSection(s, prog.Kernel, "kernel"); !strings.Contains(txt, "ld") {
+		t.Errorf("rendered kernel missing loads:\n%s", txt)
+	}
+}
+
+// TestMotivatingExampleRatio is the repository's headline regression: the
+// §3 example must favor the memory-aware scheduler by about the paper's
+// factor of 1.5.
+func TestMotivatingExampleRatio(t *testing.T) {
+	res, err := multivliw.Figure3(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Speedup < 1.25 || res.Speedup > 1.85 {
+		t.Errorf("speedup %.3f outside the paper's shape (~1.5)", res.Speedup)
+	}
+	if res.RMCAII != 4 || res.RMCAComms != 2 {
+		t.Errorf("RMCA schedule II=%d comms=%d, paper has II=4 with 2 comms", res.RMCAII, res.RMCAComms)
+	}
+}
+
+func TestTable1AndDiagram(t *testing.T) {
+	if !strings.Contains(multivliw.Table1(), "4-cluster") {
+		t.Error("Table1 missing configurations")
+	}
+	if !strings.Contains(multivliw.ArchitectureDiagram(multivliw.FourCluster(2, 1, 1, 1)), "CLUSTER 3") {
+		t.Error("diagram missing cluster 3")
+	}
+}
+
+func TestSuiteExposed(t *testing.T) {
+	suite := multivliw.Suite()
+	if len(suite) != 8 {
+		t.Fatalf("suite = %d benchmarks, want 8", len(suite))
+	}
+}
+
+func TestLocalityAnalysisExposed(t *testing.T) {
+	k := multivliw.MotivatingKernel(256)
+	an := multivliw.AnalyzeLocality(k, multivliw.MotivatingMachine())
+	// B(I) and C(I) together ping-pong; ratios near 1.
+	refs := []int{0, 1}
+	if r := an.MissRatio(0, refs); r < 0.9 {
+		t.Errorf("ping-pong ratio = %v, want ~1", r)
+	}
+	// B(I) and B(I+1) together exploit group reuse; B(I) nearly free.
+	if r := an.MissRatio(0, []int{0, 2}); r > 0.1 {
+		t.Errorf("grouped ratio = %v, want ~0", r)
+	}
+}
+
+func TestUnifiedNeverCommunicates(t *testing.T) {
+	for _, b := range multivliw.Suite()[:2] {
+		for _, k := range b.Kernels {
+			s, err := multivliw.Compile(k, multivliw.Unified(), multivliw.Options{Threshold: 1.0})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Comms) != 0 {
+				t.Errorf("%s: unified machine scheduled %d comms", k.Name, len(s.Comms))
+			}
+		}
+	}
+}
