@@ -6,6 +6,7 @@
 package multivliw_test
 
 import (
+	"runtime"
 	"testing"
 
 	"multivliw"
@@ -243,6 +244,36 @@ func BenchmarkAblationUnroll(b *testing.B) {
 	}
 	b.ReportMetric(recovered*100, "gap-recovered-%")
 }
+
+// benchHarnessEval regenerates the Figure 6 2-cluster cell set (16 cells ×
+// the full suite) on a fresh runner each iteration, at the given worker-pool
+// width. Fresh runners keep the CME and reference memos cold so the
+// benchmark measures real schedule+simulate throughput, not cache hits.
+func benchHarnessEval(b *testing.B, workers int) {
+	b.Helper()
+	var bars []multivliw.FigureBar
+	for i := 0; i < b.N; i++ {
+		r := multivliw.NewParallelExperimentRunner(workers)
+		r.SimCap = 512
+		var err error
+		bars, err = r.Figure6(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(bars)), "bars")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkHarnessEvalSerial is the single-worker baseline of the experiment
+// engine; compare against BenchmarkHarnessEvalParallel for the multi-core
+// speedup (expected near-linear on a multi-core machine, and bit-identical
+// bars at any width).
+func BenchmarkHarnessEvalSerial(b *testing.B) { benchHarnessEval(b, 1) }
+
+// BenchmarkHarnessEvalParallel runs the same cell set with one worker per
+// CPU.
+func BenchmarkHarnessEvalParallel(b *testing.B) { benchHarnessEval(b, runtime.NumCPU()) }
 
 // BenchmarkSchedulerRMCA measures scheduling throughput on a representative
 // kernel (mgrid.resid: 13 nodes, 7 memory references, 4 clusters).

@@ -34,6 +34,7 @@ func main() {
 		ablate   = flag.Bool("ablate", false, "run the design-choice ablations")
 		n        = flag.Int("n", 100, "motivating-example iteration count")
 		simCap   = flag.Int("simcap", 1024, "simulated innermost iterations per kernel (0 = full)")
+		jobs     = flag.Int("j", 0, "parallel workers for figure sweeps (0 = all CPUs, 1 = serial; output is identical at any width)")
 	)
 	flag.Parse()
 	if !(*all || *table1 || *arch || *fig3 || *fig5 || *fig6 || *verdict || *comms || *perbench || *ablate) {
@@ -43,6 +44,7 @@ func main() {
 
 	r := harness.NewRunner()
 	r.SimCap = *simCap
+	r.Parallelism = *jobs
 
 	if *all || *table1 {
 		fmt.Println(machine.Table1())

@@ -1,0 +1,3 @@
+module multivliw
+
+go 1.24

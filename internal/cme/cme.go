@@ -21,7 +21,7 @@ package cme
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"sync"
 
 	"multivliw/internal/loop"
 )
@@ -103,11 +103,17 @@ func (r Result) MissRatio(ref int) float64 { return r.PerRef[ref].Ratio() }
 // Analysis solves the miss equations of one kernel on one cache geometry.
 // Results are memoized per reference set, so the scheduler's repeated
 // incremental queries are cheap.
+//
+// An Analysis is safe for concurrent use: the experiment harness shares one
+// analysis per (kernel, geometry) across parallel scheduling runs. Memo hits
+// take a read lock only and perform no allocation.
 type Analysis struct {
 	k      *loop.Kernel
 	geom   Geometry
 	params Params
-	memo   map[string]Result
+
+	mu   sync.RWMutex
+	memo map[setKey]Result
 }
 
 // New returns an analysis for kernel k on geometry g.
@@ -115,20 +121,34 @@ func New(k *loop.Kernel, g Geometry, p Params) *Analysis {
 	if p.Windows < 1 {
 		p = DefaultParams()
 	}
-	return &Analysis{k: k, geom: g, params: p, memo: make(map[string]Result)}
+	return &Analysis{k: k, geom: g, params: p, memo: make(map[setKey]Result)}
 }
 
 // Kernel returns the analyzed kernel.
 func (a *Analysis) Kernel() *loop.Kernel { return a.k }
 
-func setKey(refs []int) string {
-	s := append([]int(nil), refs...)
-	sort.Ints(s)
-	var b strings.Builder
-	for _, r := range s {
-		fmt.Fprintf(&b, "%d,", r)
+// setKey is the canonical memo key of a reference set: a 256-bit set of
+// reference IDs. Building it neither sorts nor allocates (reference IDs
+// are small indices into the kernel's reference table), so a memoized
+// Analyze call costs a key build plus one map probe.
+type setKey [4]uint64
+
+// makeSetKey canonicalizes refs into a bitset key; ok is false when an ID
+// falls outside the representable range or appears twice (a duplicated
+// reference replays twice per iteration, which a set key cannot express).
+// No realistic kernel hits either case.
+func makeSetKey(refs []int) (k setKey, ok bool) {
+	for _, r := range refs {
+		if r < 0 || r >= 64*len(k) {
+			return setKey{}, false
+		}
+		bit := uint64(1) << (uint(r) & 63)
+		if k[r>>6]&bit != 0 {
+			return setKey{}, false
+		}
+		k[r>>6] |= bit
 	}
-	return b.String()
+	return k, true
 }
 
 // Analyze solves the equations for the given set of reference IDs.
@@ -136,12 +156,28 @@ func (a *Analysis) Analyze(refs []int) Result {
 	if len(refs) == 0 {
 		return Result{PerRef: map[int]RefStats{}}
 	}
-	key := setKey(refs)
-	if r, ok := a.memo[key]; ok {
+	key, keyed := makeSetKey(refs)
+	if !keyed {
+		// Unrepresentable set: solve unmemoized (correct, just slow).
+		return a.solve(refs)
+	}
+	// Double-checked locking: the common case is a read-locked memo hit.
+	a.mu.RLock()
+	r, hit := a.memo[key]
+	a.mu.RUnlock()
+	if hit {
 		return r
 	}
-	r := a.solve(refs)
-	a.memo[key] = r
+	r = a.solve(refs)
+	a.mu.Lock()
+	if prev, hit := a.memo[key]; hit {
+		// Another goroutine solved the same set first; the solver is
+		// deterministic, so either result is the same. Keep the first.
+		r = prev
+	} else {
+		a.memo[key] = r
+	}
+	a.mu.Unlock()
 	return r
 }
 

@@ -1,0 +1,102 @@
+package cme
+
+import (
+	"sync"
+	"testing"
+
+	"multivliw/internal/workloads"
+)
+
+// TestAnalyzeConcurrent hammers one shared Analysis from many goroutines
+// (the harness shares one per kernel and geometry across parallel cells) and
+// checks every goroutine observes the same memoized results. Run under
+// -race in CI.
+func TestAnalyzeConcurrent(t *testing.T) {
+	k := workloads.Suite()[1].Kernels[0] // swim.calc1
+	g := Geometry{CapacityBytes: 4096, LineBytes: 32, Assoc: 1}
+	a := New(k, g, DefaultParams())
+
+	refs := make([]int, len(k.Refs))
+	for i := range refs {
+		refs[i] = i
+	}
+	want := a.Analyze(refs)
+
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < 20; round++ {
+				// Mix whole-set queries with per-reference subsets so
+				// both memo hits and concurrent first solves occur.
+				r := a.Analyze(refs)
+				if r.Misses != want.Misses || r.Sampled != want.Sampled {
+					errs <- "whole-set result diverged across goroutines"
+					return
+				}
+				sub := refs[w%len(refs) : w%len(refs)+1]
+				if a.MissRatio(sub[0], refs) != want.MissRatio(sub[0]) {
+					errs <- "per-ref miss ratio diverged"
+					return
+				}
+				a.Misses(sub)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+// TestSetKeyCanonical checks the memo key is order-insensitive and rejects
+// the cases a bitset cannot express.
+func TestSetKeyCanonical(t *testing.T) {
+	a, okA := makeSetKey([]int{3, 1, 2})
+	b, okB := makeSetKey([]int{2, 3, 1})
+	if !okA || !okB || a != b {
+		t.Errorf("permuted sets must share a key: %v/%v %v/%v", a, okA, b, okB)
+	}
+	c, _ := makeSetKey([]int{1, 2})
+	if a == c {
+		t.Error("distinct sets collided")
+	}
+	if _, ok := makeSetKey([]int{1, 1}); ok {
+		t.Error("duplicate refs must fall off the memo path")
+	}
+	if _, ok := makeSetKey([]int{256}); ok {
+		t.Error("out-of-range ref must fall off the memo path")
+	}
+	if _, ok := makeSetKey([]int{-1}); ok {
+		t.Error("negative ref must fall off the memo path")
+	}
+	if k, ok := makeSetKey([]int{0, 63, 64, 255}); !ok || k == (setKey{}) {
+		t.Errorf("boundary refs must be representable: %v %v", k, ok)
+	}
+}
+
+// BenchmarkCMEAnalyzeMemoHit measures the scheduler-facing hot path: a
+// MissRatio query whose reference set is already memoized. The replacement
+// of the sort+Fprintf string key with the bitset key makes this
+// allocation-free.
+func BenchmarkCMEAnalyzeMemoHit(b *testing.B) {
+	k := workloads.Suite()[1].Kernels[0]
+	g := Geometry{CapacityBytes: 4096, LineBytes: 32, Assoc: 1}
+	a := New(k, g, DefaultParams())
+	refs := make([]int, len(k.Refs))
+	for i := range refs {
+		refs[i] = i
+	}
+	a.Analyze(refs) // warm the memo
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if a.MissRatio(0, refs) < 0 {
+			b.Fatal("negative ratio")
+		}
+	}
+}

@@ -6,12 +6,27 @@
 // components, normalized per benchmark to the Unified configuration with the
 // traditional hit-latency scheme (threshold 1.00) and averaged over the
 // eight benchmarks.
+//
+// # Experiment engine
+//
+// Every figure is a grid of (configuration, scheduler, threshold) cells, and
+// every cell is an independent schedule+simulate run per kernel. The Runner
+// fans those kernel runs out to a worker pool (Runner.Parallelism goroutines,
+// default runtime.NumCPU()): tasks are claimed from a shared atomic counter,
+// results land in index-addressed slots, and aggregation replays the serial
+// reduction order, so parallel output is bit-identical to a Parallelism: 1
+// run. The per-kernel Unified reference (the normalization denominator) is
+// computed lazily exactly once via a per-kernel sync.Once, and CME analyses
+// are shared across cells through the concurrency-safe cme.Analysis memo.
 package harness
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"multivliw/internal/cme"
 	"multivliw/internal/loop"
@@ -43,17 +58,28 @@ type Bar struct {
 func (b Bar) Total() float64 { return b.Compute + b.Stall }
 
 // Runner evaluates configurations over the suite, sharing CME analyses and
-// per-kernel reference results across cells.
+// per-kernel reference results across cells. A Runner is safe for concurrent
+// use; its figure sweeps fan kernel runs out to Parallelism workers.
 type Runner struct {
 	Suite  []workloads.Benchmark
 	SimCap int // innermost-iteration cap per kernel simulation (0 = full)
 
+	// Parallelism is the worker-pool width for figure sweeps: 1 runs
+	// serially, 0 (the default) uses runtime.NumCPU(). Results are
+	// bit-identical at every width.
+	Parallelism int
+
+	mu   sync.Mutex
 	cme  map[*loop.Kernel]map[cme.Geometry]*cme.Analysis
-	base map[*loop.Kernel]baseRef
+	base map[*loop.Kernel]*baseRef
 }
 
+// baseRef lazily computes one kernel's normalization denominator exactly
+// once, however many workers request it concurrently.
 type baseRef struct {
+	once  sync.Once
 	total int64
+	err   error
 }
 
 // NewRunner builds a runner over the full suite with a simulation cap that
@@ -67,9 +93,77 @@ func NewRunnerWith(suite []workloads.Benchmark, simCap int) *Runner {
 	return &Runner{Suite: suite, SimCap: simCap}
 }
 
+// workers returns the effective worker-pool width.
+func (r *Runner) workers() int {
+	if r.Parallelism > 0 {
+		return r.Parallelism
+	}
+	return runtime.NumCPU()
+}
+
+// forEach runs fn(0..n-1) on the runner's worker pool. Tasks are claimed
+// from an atomic counter; when any task fails, the error of the
+// lowest-indexed failing task is returned (the one a serial run would have
+// hit first) and remaining tasks are skipped.
+func (r *Runner) forEach(n int, fn func(i int) error) error {
+	w := r.workers()
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				// Check the abort flag before claiming: indices are
+				// claimed in increasing order and every claimed task
+				// runs, so the lowest-indexed failing task always
+				// executes and its error wins deterministically.
+				if failed.Load() {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
 // analysis returns the shared CME analysis for kernel k on a machine with
 // the given per-cluster cache capacity.
 func (r *Runner) analysis(k *loop.Kernel, cfg machine.Config) *cme.Analysis {
+	geom := cme.Geometry{CapacityBytes: cfg.CacheBytesPerCluster(), LineBytes: cfg.LineBytes, Assoc: cfg.Assoc}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.cme == nil {
 		r.cme = make(map[*loop.Kernel]map[cme.Geometry]*cme.Analysis)
 	}
@@ -78,7 +172,6 @@ func (r *Runner) analysis(k *loop.Kernel, cfg machine.Config) *cme.Analysis {
 		per = make(map[cme.Geometry]*cme.Analysis)
 		r.cme[k] = per
 	}
-	geom := cme.Geometry{CapacityBytes: cfg.CacheBytesPerCluster(), LineBytes: cfg.LineBytes, Assoc: cfg.Assoc}
 	an := per[geom]
 	if an == nil {
 		an = cme.New(k, geom, cme.DefaultParams())
@@ -101,46 +194,122 @@ func (r *Runner) runKernel(k *loop.Kernel, cfg machine.Config, pol sched.Policy,
 }
 
 // unifiedReference returns the per-kernel total of the Unified machine at
-// threshold 1.00 (the normalization denominator), computed lazily.
+// threshold 1.00 (the normalization denominator), computed lazily exactly
+// once per kernel however many workers race for it.
 func (r *Runner) unifiedReference(k *loop.Kernel) (int64, error) {
+	r.mu.Lock()
 	if r.base == nil {
-		r.base = make(map[*loop.Kernel]baseRef)
+		r.base = make(map[*loop.Kernel]*baseRef)
 	}
-	if ref, ok := r.base[k]; ok {
-		return ref.total, nil
+	ref := r.base[k]
+	if ref == nil {
+		ref = &baseRef{}
+		r.base[k] = ref
 	}
-	c, st, _, _, err := r.runKernel(k, machine.Unified(), sched.Baseline, 1.0)
+	r.mu.Unlock()
+	ref.once.Do(func() {
+		c, st, _, _, err := r.runKernel(k, machine.Unified(), sched.Baseline, 1.0)
+		ref.total, ref.err = c+st, err
+	})
+	return ref.total, ref.err
+}
+
+// cell is one (configuration, scheduler, threshold) evaluation unit of a
+// figure grid.
+type cell struct {
+	cfg machine.Config
+	pol sched.Policy
+	thr float64
+}
+
+// kernelCounts is the per-kernel raw outcome of one cell.
+type kernelCounts struct {
+	c, s, ref int64
+}
+
+// mapTasks runs fn over every task on r's worker pool, collecting results by
+// index. The caller's reduction must walk the returned slice in construction
+// order; that pairing is what keeps parallel aggregation bit-identical to a
+// serial run, and this helper is the single place the fan-out side of the
+// invariant lives.
+func mapTasks[K, T any](r *Runner, tasks []K, fn func(K) (T, error)) ([]T, error) {
+	out := make([]T, len(tasks))
+	err := r.forEach(len(tasks), func(i int) error {
+		v, err := fn(tasks[i])
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	r.base[k] = baseRef{total: c + st}
-	return c + st, nil
+	return out, nil
+}
+
+// evalCells evaluates every cell over the whole suite, fanning the flattened
+// (cell × benchmark × kernel) runs out to the worker pool, and returns each
+// cell's benchmark-averaged normalized {compute, stall}. The reduction walks
+// the results in the exact order the serial loop would, so the floating-point
+// aggregation is bit-identical regardless of Parallelism.
+func (r *Runner) evalCells(cells []cell) ([][2]float64, error) {
+	type task struct{ cell, bench, kern int }
+	var tasks []task
+	for ci := range cells {
+		for bi := range r.Suite {
+			for ki := range r.Suite[bi].Kernels {
+				tasks = append(tasks, task{ci, bi, ki})
+			}
+		}
+	}
+	results, err := mapTasks(r, tasks, func(t task) (kernelCounts, error) {
+		k := r.Suite[t.bench].Kernels[t.kern]
+		ref, err := r.unifiedReference(k)
+		if err != nil {
+			return kernelCounts{}, err
+		}
+		cl := cells[t.cell]
+		c, st, _, _, err := r.runKernel(k, cl.cfg, cl.pol, cl.thr)
+		if err != nil {
+			return kernelCounts{}, err
+		}
+		return kernelCounts{c: c, s: st, ref: ref}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][2]float64, len(cells))
+	i := 0
+	for ci := range cells {
+		var sumC, sumS float64
+		for bi := range r.Suite {
+			var benchC, benchS, benchRef int64
+			for range r.Suite[bi].Kernels {
+				kr := results[i]
+				i++
+				benchC += kr.c
+				benchS += kr.s
+				benchRef += kr.ref
+			}
+			sumC += float64(benchC) / float64(benchRef)
+			sumS += float64(benchS) / float64(benchRef)
+		}
+		n := float64(len(r.Suite))
+		out[ci] = [2]float64{sumC / n, sumS / n}
+	}
+	return out, nil
 }
 
 // Eval runs the whole suite on one (config, scheduler, threshold) cell and
 // returns the benchmark-averaged normalized compute and stall components.
+// The per-kernel runs of the cell are spread over the worker pool.
 func (r *Runner) Eval(cfg machine.Config, pol sched.Policy, thr float64) (compute, stall float64, err error) {
-	var sumC, sumS float64
-	for _, b := range r.Suite {
-		var benchC, benchS, benchRef int64
-		for _, k := range b.Kernels {
-			ref, err := r.unifiedReference(k)
-			if err != nil {
-				return 0, 0, err
-			}
-			c, st, _, _, err := r.runKernel(k, cfg, pol, thr)
-			if err != nil {
-				return 0, 0, err
-			}
-			benchC += c
-			benchS += st
-			benchRef += ref
-		}
-		sumC += float64(benchC) / float64(benchRef)
-		sumS += float64(benchS) / float64(benchRef)
+	out, err := r.evalCells([]cell{{cfg: cfg, pol: pol, thr: thr}})
+	if err != nil {
+		return 0, 0, err
 	}
-	n := float64(len(r.Suite))
-	return sumC / n, sumS / n, nil
+	return out[0][0], out[0][1], nil
 }
 
 func clusterConfig(clusters, nrb, lrb, nmb, lmb int) machine.Config {
@@ -150,20 +319,37 @@ func clusterConfig(clusters, nrb, lrb, nmb, lmb int) machine.Config {
 	return machine.TwoCluster(nrb, lrb, nmb, lmb)
 }
 
-func (r *Runner) bars(cfg machine.Config, clusters int, label string, lrb, lmb, nrb, nmb int) ([]Bar, error) {
+// barGroup is one labeled configuration column of a figure; every group
+// expands to the 2 schedulers × 4 thresholds bar set.
+type barGroup struct {
+	cfg                machine.Config
+	label              string
+	lrb, lmb, nrb, nmb int
+}
+
+// figureBars expands the groups into the full cell grid, evaluates every
+// cell through the worker pool in one fan-out, and assembles the bars in the
+// same order the serial per-group loops produced.
+func (r *Runner) figureBars(clusters int, groups []barGroup) ([]Bar, error) {
+	var cells []cell
 	var out []Bar
-	for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
-		for _, thr := range Thresholds {
-			c, s, err := r.Eval(cfg, pol, thr)
-			if err != nil {
-				return nil, err
+	for _, g := range groups {
+		for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+			for _, thr := range Thresholds {
+				cells = append(cells, cell{cfg: g.cfg, pol: pol, thr: thr})
+				out = append(out, Bar{
+					Label: g.label, Clusters: clusters, Scheduler: pol.String(),
+					Threshold: thr, LRB: g.lrb, LMB: g.lmb, NRB: g.nrb, NMB: g.nmb,
+				})
 			}
-			out = append(out, Bar{
-				Label: label, Clusters: clusters, Scheduler: pol.String(),
-				Threshold: thr, LRB: lrb, LMB: lmb, NRB: nrb, NMB: nmb,
-				Compute: c, Stall: s,
-			})
 		}
+	}
+	vals, err := r.evalCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i].Compute, out[i].Stall = vals[i][0], vals[i][1]
 	}
 	return out, nil
 }
@@ -171,15 +357,19 @@ func (r *Runner) bars(cfg machine.Config, clusters int, label string, lrb, lmb, 
 // UnifiedBars returns the reference set: the Unified machine at the four
 // thresholds (the leftmost group of every figure).
 func (r *Runner) UnifiedBars() ([]Bar, error) {
-	var out []Bar
+	var cells []cell
 	for _, thr := range Thresholds {
-		c, s, err := r.Eval(machine.Unified(), sched.Baseline, thr)
-		if err != nil {
-			return nil, err
-		}
+		cells = append(cells, cell{cfg: machine.Unified(), pol: sched.Baseline, thr: thr})
+	}
+	vals, err := r.evalCells(cells)
+	if err != nil {
+		return nil, err
+	}
+	var out []Bar
+	for i, thr := range Thresholds {
 		out = append(out, Bar{
 			Label: "Unified", Clusters: 1, Scheduler: "Unified", Threshold: thr,
-			Compute: c, Stall: s,
+			Compute: vals[i][0], Stall: vals[i][1],
 		})
 	}
 	return out, nil
@@ -189,37 +379,33 @@ func (r *Runner) UnifiedBars() ([]Bar, error) {
 // register and memory bus latencies swept over {1,2,4} with unlimited bus
 // counts, Baseline vs RMCA at the four thresholds.
 func (r *Runner) Figure5(clusters int) ([]Bar, error) {
-	var out []Bar
+	var groups []barGroup
 	for _, lrb := range []int{1, 2, 4} {
 		for _, lmb := range []int{1, 2, 4} {
-			cfg := clusterConfig(clusters, machine.Unbounded, lrb, machine.Unbounded, lmb)
-			label := fmt.Sprintf("LRB=%d LMB=%d", lrb, lmb)
-			bars, err := r.bars(cfg, clusters, label, lrb, lmb, machine.Unbounded, machine.Unbounded)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, bars...)
+			groups = append(groups, barGroup{
+				cfg:   clusterConfig(clusters, machine.Unbounded, lrb, machine.Unbounded, lmb),
+				label: fmt.Sprintf("LRB=%d LMB=%d", lrb, lmb),
+				lrb:   lrb, lmb: lmb, nrb: machine.Unbounded, nmb: machine.Unbounded,
+			})
 		}
 	}
-	return out, nil
+	return r.figureBars(clusters, groups)
 }
 
 // Figure6 reproduces the realistic-bus study: 2 register buses of 1-cycle
 // latency, memory buses swept over counts {1,2} and latencies {1,4}.
 func (r *Runner) Figure6(clusters int) ([]Bar, error) {
-	var out []Bar
+	var groups []barGroup
 	for _, nmb := range []int{1, 2} {
 		for _, lmb := range []int{1, 4} {
-			cfg := clusterConfig(clusters, 2, 1, nmb, lmb)
-			label := fmt.Sprintf("NMB=%d LMB=%d", nmb, lmb)
-			bars, err := r.bars(cfg, clusters, label, 1, lmb, 2, nmb)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, bars...)
+			groups = append(groups, barGroup{
+				cfg:   clusterConfig(clusters, 2, 1, nmb, lmb),
+				label: fmt.Sprintf("NMB=%d LMB=%d", nmb, lmb),
+				lrb:   1, lmb: lmb, nrb: 2, nmb: nmb,
+			})
 		}
 	}
-	return out, nil
+	return r.figureBars(clusters, groups)
 }
 
 // RenderBars draws a figure as an ASCII stacked-bar chart: '#' is compute,
@@ -314,27 +500,48 @@ type BenchRow struct {
 	Gap       float64 // (Baseline-RMCA)/Baseline
 }
 
-// PerBenchmark evaluates one configuration at one threshold per benchmark.
+// PerBenchmark evaluates one configuration at one threshold per benchmark,
+// fanning the kernel runs out to the worker pool.
 func (r *Runner) PerBenchmark(cfg machine.Config, thr float64) ([]BenchRow, error) {
+	pols := []sched.Policy{sched.Baseline, sched.RMCA}
+	type task struct{ bench, pol, kern int }
+	var tasks []task
+	for bi := range r.Suite {
+		for pi := range pols {
+			for ki := range r.Suite[bi].Kernels {
+				tasks = append(tasks, task{bi, pi, ki})
+			}
+		}
+	}
+	results, err := mapTasks(r, tasks, func(t task) (kernelCounts, error) {
+		k := r.Suite[t.bench].Kernels[t.kern]
+		den, err := r.unifiedReference(k)
+		if err != nil {
+			return kernelCounts{}, err
+		}
+		c, st, _, _, err := r.runKernel(k, cfg, pols[t.pol], thr)
+		if err != nil {
+			return kernelCounts{}, err
+		}
+		return kernelCounts{c: c, s: st, ref: den}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []BenchRow
-	for _, b := range r.Suite {
-		row := BenchRow{Benchmark: b.Name}
-		for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+	i := 0
+	for bi := range r.Suite {
+		row := BenchRow{Benchmark: r.Suite[bi].Name}
+		for pi := range pols {
 			var tot, ref int64
-			for _, k := range b.Kernels {
-				den, err := r.unifiedReference(k)
-				if err != nil {
-					return nil, err
-				}
-				c, st, _, _, err := r.runKernel(k, cfg, pol, thr)
-				if err != nil {
-					return nil, err
-				}
-				tot += c + st
-				ref += den
+			for range r.Suite[bi].Kernels {
+				kr := results[i]
+				i++
+				tot += kr.c + kr.s
+				ref += kr.ref
 			}
 			norm := float64(tot) / float64(ref)
-			if pol == sched.Baseline {
+			if pols[pi] == sched.Baseline {
 				row.Baseline = norm
 			} else {
 				row.RMCA = norm
@@ -361,22 +568,51 @@ type CommRow struct {
 // requirements").
 func (r *Runner) CommTable(clusters int) ([]CommRow, error) {
 	cfg := clusterConfig(clusters, 2, 1, 2, 1)
+	pols := []sched.Policy{sched.Baseline, sched.RMCA}
+	type task struct{ pol, bench, kern int }
+	type commCounts struct {
+		comms            int
+		misses, accesses int64
+	}
+	var tasks []task
+	for pi := range pols {
+		for bi := range r.Suite {
+			for ki := range r.Suite[bi].Kernels {
+				tasks = append(tasks, task{pi, bi, ki})
+			}
+		}
+	}
+	results, err := mapTasks(r, tasks, func(t task) (commCounts, error) {
+		k := r.Suite[t.bench].Kernels[t.kern]
+		_, _, s, res, err := r.runKernel(k, cfg, pols[t.pol], 0.0)
+		if err != nil {
+			return commCounts{}, err
+		}
+		return commCounts{
+			comms:    len(s.Comms),
+			misses:   res.Mem.RemoteHits + res.Mem.MemoryServed,
+			accesses: res.Mem.Accesses,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []CommRow
-	for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
-		for _, b := range r.Suite {
+	i := 0
+	for pi := range pols {
+		for bi := range r.Suite {
+			b := r.Suite[bi]
 			var comms float64
 			var misses, accesses int64
-			for _, k := range b.Kernels {
-				_, _, s, res, err := r.runKernel(k, cfg, pol, 0.0)
-				if err != nil {
-					return nil, err
-				}
-				comms += float64(len(s.Comms))
-				misses += res.Mem.RemoteHits + res.Mem.MemoryServed
-				accesses += res.Mem.Accesses
+			for range b.Kernels {
+				kr := results[i]
+				i++
+				comms += float64(kr.comms)
+				misses += kr.misses
+				accesses += kr.accesses
 			}
 			rows = append(rows, CommRow{
-				Benchmark: b.Name, Scheduler: pol.String(), Clusters: clusters,
+				Benchmark: b.Name, Scheduler: pols[pi].String(), Clusters: clusters,
 				CommsIter: comms / float64(len(b.Kernels)),
 				MissRatio: float64(misses) / float64(accesses),
 			})

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/workloads"
+)
+
+// runnerAt builds a small-suite runner with a fixed worker-pool width.
+func runnerAt(parallelism int) *Runner {
+	suite := workloads.Suite()
+	r := NewRunnerWith([]workloads.Benchmark{suite[0], suite[5]}, 256)
+	r.Parallelism = parallelism
+	return r
+}
+
+// TestParallelMatchesSerialFigures regenerates one Figure 5 and one Figure 6
+// cell set at Parallelism 1 and 8 and requires bit-identical bars: the
+// engine's determinism guarantee is exact float equality, not tolerance.
+func TestParallelMatchesSerialFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	serial, parallel := runnerAt(1), runnerAt(8)
+
+	for _, figure := range []struct {
+		name string
+		run  func(*Runner) ([]Bar, error)
+	}{
+		{"Figure5/2cluster", func(r *Runner) ([]Bar, error) { return r.Figure5(2) }},
+		{"Figure6/2cluster", func(r *Runner) ([]Bar, error) { return r.Figure6(2) }},
+	} {
+		t.Run(figure.name, func(t *testing.T) {
+			want, err := figure.run(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := figure.run(parallel)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("bar count: parallel %d, serial %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("bar %d differs:\n  serial   %+v\n  parallel %+v", i, want[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestParallelMatchesSerialEval checks the single-cell path (Eval fans
+// kernels out too) and that repeated parallel evaluation is stable.
+func TestParallelMatchesSerialEval(t *testing.T) {
+	serial, parallel := runnerAt(1), runnerAt(8)
+	cfg := machine.TwoCluster(2, 1, 1, 4)
+	wc, ws, err := serial.Eval(cfg, sched.RMCA, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		gc, gs, err := parallel.Eval(cfg, sched.RMCA, 0.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gc != wc || gs != ws {
+			t.Fatalf("round %d: parallel (%v, %v) != serial (%v, %v)", round, gc, gs, wc, ws)
+		}
+	}
+}
+
+// TestPerBenchmarkAndCommTableParallel pins the pooled table paths to their
+// serial results.
+func TestPerBenchmarkAndCommTableParallel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	serial, parallel := runnerAt(1), runnerAt(8)
+	cfg := machine.TwoCluster(2, 1, 1, 4)
+
+	wantRows, err := serial.PerBenchmark(cfg, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRows, err := parallel.PerBenchmark(cfg, 0.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotRows) != len(wantRows) {
+		t.Fatalf("row count: %d vs %d", len(gotRows), len(wantRows))
+	}
+	for i := range wantRows {
+		if gotRows[i] != wantRows[i] {
+			t.Errorf("per-benchmark row %d differs: %+v vs %+v", i, gotRows[i], wantRows[i])
+		}
+	}
+
+	wantComm, err := serial.CommTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotComm, err := parallel.CommTable(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotComm) != len(wantComm) {
+		t.Fatalf("comm row count: %d vs %d", len(gotComm), len(wantComm))
+	}
+	for i := range wantComm {
+		if gotComm[i] != wantComm[i] {
+			t.Errorf("comm row %d differs: %+v vs %+v", i, gotComm[i], wantComm[i])
+		}
+	}
+}
+
+// TestForEachErrorDeterminism checks that the pool reports the error a
+// serial run would have hit first, at any width.
+func TestForEachErrorDeterminism(t *testing.T) {
+	r := &Runner{Parallelism: 8}
+	errAt := func(i int) error {
+		if i == 3 || i == 7 {
+			return errIndexed(i)
+		}
+		return nil
+	}
+	for _, p := range []int{1, 2, 8} {
+		r.Parallelism = p
+		err := r.forEach(16, errAt)
+		if err == nil {
+			t.Fatalf("parallelism %d: no error", p)
+		}
+		if err != errIndexed(3) {
+			t.Errorf("parallelism %d: got %v, want %v", p, err, errIndexed(3))
+		}
+	}
+}
+
+type errIndexed int
+
+func (e errIndexed) Error() string { return "task failed" }

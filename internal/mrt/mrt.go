@@ -179,19 +179,20 @@ func (t *Table) RemoveBus(b, start, length int) {
 func (t *Table) Buses() int { return len(t.bus) }
 
 // BusOccupancy returns the fraction of bus slots in use across the table;
-// 0 when the machine has no buses materialized.
+// 0 when the machine has no buses materialized. Every bus row has exactly II
+// slots, so the denominator is derived rather than counted.
 func (t *Table) BusOccupancy() float64 {
-	total, used := 0, 0
+	total := len(t.bus) * t.ii
+	if total == 0 {
+		return 0
+	}
+	used := 0
 	for _, row := range t.bus {
 		for _, v := range row {
-			total++
 			if v != Empty {
 				used++
 			}
 		}
-	}
-	if total == 0 {
-		return 0
 	}
 	return float64(used) / float64(total)
 }

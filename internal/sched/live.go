@@ -1,0 +1,136 @@
+package sched
+
+import "multivliw/internal/ddg"
+
+// Incremental register-pressure pruning.
+//
+// maxLive (sched.go) computes the exact per-cluster register pressure of a
+// finished attempt; an attempt whose pressure exceeds the register file is
+// rejected and the II escalates. That check only fires after every node is
+// placed, so a doomed attempt pays the full placement cost first.
+//
+// The tracker below maintains, while nodes are being placed, the MaxLive of
+// the already-scheduled subgraph: the same per-row stage counting as maxLive,
+// restricted to reads and transfers that exist so far. Placing further nodes
+// only extends value lifetimes and adds values, so this partial pressure is a
+// monotone lower bound of the final MaxLive — the moment it exceeds the
+// register file the attempt is provably unschedulable and is abandoned early.
+// Pruning therefore never changes which II finally succeeds or the schedule
+// produced; it only skips work on attempts that were going to fail.
+
+// resetLive clears the tracker for a fresh II attempt over n nodes.
+func (s *state) resetLive(n int) {
+	cl := s.cfg.Clusters
+	if s.live == nil {
+		s.live = make([][]int, cl)
+	}
+	for c := range s.live {
+		s.live[c] = resetInt(s.live[c], s.ii, 0)
+	}
+	s.liveMax = resetInt(s.liveMax, cl, 0)
+	s.defOf = resetInt(s.defOf, n, 0)
+	s.prodEnd = resetInt(s.prodEnd, n, 0)
+	s.destDef = resetInt(s.destDef, n*cl, -1)
+	s.destEnd = resetInt(s.destEnd, n*cl, 0)
+	s.liveDead = false
+}
+
+// trackLive folds the effects of committing node v with plan pl into the
+// partial pressure bound. commit calls it after the placement is applied, so
+// s.cluster, s.cycle and s.lat already reflect v.
+func (s *state) trackLive(v int, pl plan) {
+	node := s.g.Node(v)
+	cl := s.cfg.Clusters
+	if node.Class.HasResult() {
+		// EQ semantics as in maxLive: the value exists from write-back.
+		s.defOf[v] = pl.cycle + pl.latUsed
+		s.prodEnd[v] = s.defOf[v] - 1 // empty span until the first read
+	}
+
+	// New bus transfers first: each extends its producer's home-cluster
+	// span to the bus read, and the first transfer to a destination
+	// establishes the copy the reads below extend.
+	for _, pc := range pl.newComms {
+		p := pc.key.prod
+		s.extendProd(p, pc.start)
+		di := p*cl + pc.key.dest
+		if s.destDef[di] < 0 {
+			s.destDef[di] = pc.start + pc.lat
+			s.destEnd[di] = s.destDef[di] - 1
+		}
+	}
+
+	// Reads of v's value by consumers already scheduled (self-edges
+	// included: v is scheduled by now).
+	if node.Class.HasResult() {
+		for _, e := range s.g.Out(v) {
+			if e.Kind != ddg.RegDep || s.cluster[e.To] < 0 {
+				continue
+			}
+			s.extendRead(v, s.cluster[e.To], s.cycle[e.To]+e.Distance*s.ii)
+		}
+	}
+	// v's reads of values produced by already-scheduled nodes.
+	for _, e := range s.g.In(v) {
+		u := e.From
+		if e.Kind != ddg.RegDep || u == v || s.cluster[u] < 0 || !s.g.Node(u).Class.HasResult() {
+			continue
+		}
+		s.extendRead(u, pl.cluster, pl.cycle+e.Distance*s.ii)
+	}
+}
+
+// extendRead records that p's value is read in cluster c at the given cycle.
+func (s *state) extendRead(p, c, read int) {
+	if c == s.cluster[p] {
+		s.extendProd(p, read)
+		return
+	}
+	di := p*s.cfg.Clusters + c
+	if s.destDef[di] < 0 {
+		// No transfer copy tracked in c (cannot happen for reads the
+		// scheduler validated, but undercounting keeps the bound sound).
+		return
+	}
+	if read > s.destEnd[di] {
+		s.addSpan(c, s.destDef[di], s.destEnd[di], read)
+		s.destEnd[di] = read
+	}
+}
+
+// extendProd extends the producer-cluster span of p's value to end.
+func (s *state) extendProd(p, end int) {
+	if end > s.prodEnd[p] {
+		s.addSpan(s.cluster[p], s.defOf[p], s.prodEnd[p], end)
+		s.prodEnd[p] = end
+	}
+}
+
+// addSpan accumulates, per kernel row of cluster c, the additional live
+// stages a value defined at def gains when its last read moves from oldEnd
+// to newEnd — i.e. count(def, newEnd) − count(def, oldEnd) in maxLive's
+// per-row stage counting.
+func (s *state) addSpan(c, def, oldEnd, newEnd int) {
+	row := s.live[c]
+	for r := 0; r < s.ii; r++ {
+		lo := ceilDiv(def-r, s.ii)
+		hi2 := floorDiv(newEnd-r, s.ii)
+		if hi2 < lo {
+			continue
+		}
+		n := hi2 - lo + 1
+		if hi1 := floorDiv(oldEnd-r, s.ii); hi1 >= lo {
+			n -= hi1 - lo + 1
+		}
+		if n <= 0 {
+			continue
+		}
+		row[r] += n
+		if row[r] > s.liveMax[c] {
+			s.liveMax[c] = row[r]
+			if row[r] > s.cfg.Regs {
+				s.liveDead = true
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package sched
+
+import (
+	"testing"
+
+	"multivliw/internal/cme"
+	"multivliw/internal/ddg"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/order"
+	"multivliw/internal/workloads"
+)
+
+// buildState drives the Run loop by hand on kernel k until an II admits the
+// full ordering, returning the successful state (attempt committed every
+// node) for white-box inspection.
+func buildState(tb testing.TB, k *loop.Kernel, cfg machine.Config, opt Options) (*state, []int) {
+	tb.Helper()
+	g := k.Graph
+	baseLat := ddg.DefaultLatencies(g, cfg.Lat)
+	ord := order.Compute(g, baseLat, cfg)
+	an := opt.CME
+	if an == nil {
+		an = cme.New(k, cme.Geometry{
+			CapacityBytes: cfg.CacheBytesPerCluster(),
+			LineBytes:     cfg.LineBytes,
+			Assoc:         cfg.Assoc,
+		}, opt.CMEParams)
+	}
+	s := &state{k: k, cfg: cfg, opt: opt, g: g, inRec: g.InRecurrence(), an: an}
+	for ii := ord.MII; ii <= 64*ord.MII+256; ii++ {
+		s.reset(ii, baseLat)
+		s.times = g.ComputeTimes(baseLat, ii)
+		ok := true
+		for _, v := range ord.Order {
+			if !s.scheduleNode(v) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		exceeded := false
+		for _, ml := range s.maxLive() {
+			if ml > cfg.Regs {
+				exceeded = true
+			}
+		}
+		if !exceeded {
+			return s, ord.Order
+		}
+	}
+	tb.Fatalf("no schedule for %s on %s", k.Name, cfg.Name)
+	return nil, nil
+}
+
+// TestLiveBoundSoundness checks, across the suite, that the incremental
+// pressure bound maintained during placement never exceeds the exact
+// MaxLive computed after placement: the pruning precondition. If this
+// invariant broke, pruning could reject an II that actually schedules.
+func TestLiveBoundSoundness(t *testing.T) {
+	configs := []machine.Config{
+		machine.TwoCluster(2, 1, 1, 4),
+		machine.FourCluster(2, 1, 1, 1),
+	}
+	for _, bench := range workloads.Suite() {
+		for _, k := range bench.Kernels {
+			for _, cfg := range configs {
+				for _, pol := range []Policy{Baseline, RMCA} {
+					s, _ := buildState(t, k, cfg, Options{Policy: pol, Threshold: 0.0})
+					exact := s.maxLive()
+					for c := range exact {
+						if s.liveMax[c] > exact[c] {
+							t.Errorf("%s on %s (%v): cluster %d incremental bound %d exceeds exact MaxLive %d",
+								k.Name, cfg.Name, pol, c, s.liveMax[c], exact[c])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestResetReuse schedules the same kernel twice through one Run call chain
+// and checks schedules from reused buffers match fresh ones.
+func TestResetReuse(t *testing.T) {
+	k := workloads.Suite()[4].Kernels[0]
+	cfg := machine.FourCluster(2, 1, 1, 1)
+	a, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.II != b.II || a.SC != b.SC || len(a.Comms) != len(b.Comms) {
+		t.Errorf("repeated runs diverge: II %d/%d SC %d/%d comms %d/%d",
+			a.II, b.II, a.SC, b.SC, len(a.Comms), len(b.Comms))
+	}
+	for v := range a.Cluster {
+		if a.Cluster[v] != b.Cluster[v] || a.Cycle[v] != b.Cycle[v] {
+			t.Errorf("node %d placement diverges", v)
+		}
+	}
+}
+
+// BenchmarkTryPlace measures the placement inner loop: one unscheduled node
+// probed against every cluster of a half-committed schedule. The candidate
+// window is iterated arithmetically, so the probe itself does not allocate a
+// candidate slice.
+func BenchmarkTryPlace(b *testing.B) {
+	k := workloads.Suite()[4].Kernels[0] // mgrid.resid: 13 nodes, 7 refs
+	cfg := machine.FourCluster(2, 1, 1, 1)
+	g := k.Graph
+	baseLat := ddg.DefaultLatencies(g, cfg.Lat)
+	ord := order.Compute(g, baseLat, cfg)
+	an := cme.New(k, cme.Geometry{
+		CapacityBytes: cfg.CacheBytesPerCluster(),
+		LineBytes:     cfg.LineBytes,
+		Assoc:         cfg.Assoc,
+	}, cme.Params{})
+	s := &state{k: k, cfg: cfg, opt: Options{Policy: RMCA}, g: g, inRec: g.InRecurrence(), an: an}
+	half := len(ord.Order) / 2
+	for ii := ord.MII; ; ii++ {
+		s.reset(ii, baseLat)
+		s.times = g.ComputeTimes(baseLat, ii)
+		ok := true
+		for _, v := range ord.Order[:half] {
+			if !s.scheduleNode(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+	}
+	v := ord.Order[half]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < cfg.Clusters; c++ {
+			s.tryPlace(v, c, s.lat[v])
+		}
+	}
+}
+
+// BenchmarkSchedulerRun measures a full Run (all II attempts, placement,
+// pressure pruning) on a representative kernel.
+func BenchmarkSchedulerRun(b *testing.B) {
+	k := workloads.Suite()[4].Kernels[0]
+	cfg := machine.FourCluster(2, 1, 1, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 0.0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -83,32 +83,25 @@ func (s *state) window(v, c, latV int) (es, ls int, hasPred, hasSucc bool) {
 // the latest start when only successors do.
 func (s *state) tryPlace(v, c, latV int) (plan, bool) {
 	es, ls, hasPred, hasSucc := s.window(v, c, latV)
-	var cands []int
+	// The candidate window is an arithmetic progression: start, direction
+	// and length suffice, so no slice is materialized per (node, cluster).
+	var start, step, count int
 	switch {
 	case hasPred && hasSucc:
 		hi := ls
 		if es+s.ii-1 < hi {
 			hi = es + s.ii - 1
 		}
-		for t := es; t <= hi; t++ {
-			cands = append(cands, t)
-		}
+		start, step, count = es, 1, hi-es+1
 	case hasSucc:
-		for t := ls; t > ls-s.ii; t-- {
-			cands = append(cands, t)
-		}
+		start, step, count = ls, -1, s.ii
 	case hasPred:
-		for t := es; t < es+s.ii; t++ {
-			cands = append(cands, t)
-		}
+		start, step, count = es, 1, s.ii
 	default:
-		start := s.times.ASAP[v]
-		for t := start; t < start+s.ii; t++ {
-			cands = append(cands, t)
-		}
+		start, step, count = s.times.ASAP[v], 1, s.ii
 	}
 	kind := s.g.Node(v).Class.FUKind()
-	for _, t := range cands {
+	for i, t := 0, start; i < count; i, t = i+1, t+step {
 		unit, ok := s.table.PlaceFU(c, kind, t, v)
 		if !ok {
 			continue
@@ -132,11 +125,16 @@ type commNeed struct {
 }
 
 // tryComms validates (transactionally, leaving the table untouched) that all
-// register transfers required by placing v at (c, t) fit on the buses.
+// register transfers required by placing v at (c, t) fit on the buses. The
+// reuse map is built lazily and the needs list reuses state scratch, so the
+// common no-transfer probe does not allocate.
 func (s *state) tryComms(v, c, t, latV int) (plan, bool) {
 	busLat := s.cfg.RegBusLat
-	pl := plan{reuse: make(map[[2]int]int)}
-	var needs []commNeed
+	var pl plan
+	needs := s.needScratch[:0]
+	// Keep the grown scratch whichever way the probe exits (needs itself
+	// never escapes; only the per-need edges slices flow into the plan).
+	defer func() { s.needScratch = needs[:0] }()
 
 	tighten := func(key commKey, lo, hi int, edge [2]int) bool {
 		if hi < lo {
@@ -175,6 +173,9 @@ func (s *state) tryComms(v, c, t, latV int) (plan, bool) {
 			// A transfer of u's value to c already exists; reuse it
 			// if it arrives in time.
 			if s.comms[idx].Arrival() <= deadline {
+				if pl.reuse == nil {
+					pl.reuse = make(map[[2]int]int)
+				}
 				pl.reuse[[2]int{u, v}] = idx
 				continue
 			}
@@ -260,4 +261,5 @@ func (s *state) commit(v int, pl plan) {
 	if node.Class.IsMemory() {
 		s.memSet[pl.cluster] = append(s.memSet[pl.cluster], node.Ref)
 	}
+	s.trackLive(v, pl)
 }

@@ -151,7 +151,9 @@ func (s *Schedule) ComputeCycles() int64 {
 	return int64(s.Kernel.NTimes()) * int64(s.Kernel.NIter()+s.SC-1) * int64(s.II)
 }
 
-// state carries one II attempt.
+// state carries one II attempt. Its scratch buffers are reused across II
+// escalation attempts (reset re-initializes them); on success they are handed
+// off to the returned Schedule and the state is discarded.
 type state struct {
 	k   *loop.Kernel
 	cfg machine.Config
@@ -175,6 +177,85 @@ type state struct {
 	memSet [][]int // per cluster: reference IDs of memory ops assigned
 
 	an *cme.Analysis
+
+	// refScratch backs the transient ref sets handed to the CME analysis
+	// (which copies what it keeps), so per-candidate queries do not
+	// allocate. needScratch and candScratch likewise back tryComms'
+	// transfer-need list and scheduleNode's per-cluster candidates.
+	refScratch  []int
+	needScratch []commNeed
+	candScratch []candidate
+
+	// Incremental register-pressure lower bound, maintained by commit: the
+	// MaxLive of the already-scheduled subgraph. Placements only extend
+	// value lifetimes, so the bound is monotone in placed nodes and an
+	// attempt whose bound exceeds the register file is doomed and pruned
+	// without scheduling the remaining nodes.
+	live     [][]int // [cluster][kernel row] -> live values
+	liveMax  []int   // per cluster: running row maximum
+	defOf    []int   // per node: write-back cycle of its value
+	prodEnd  []int   // per node: end of the producer-cluster span so far
+	destDef  []int   // [node*clusters+c]: comm arrival (-1: no copy there)
+	destEnd  []int   // [node*clusters+c]: end of the copy's span so far
+	liveDead bool    // some cluster's bound exceeds the register file
+}
+
+// reset prepares the state for one II attempt, reusing buffers from the
+// previous attempt.
+func (s *state) reset(ii int, baseLat []int) {
+	n := s.g.NumNodes()
+	s.ii = ii
+	s.lat = append(s.lat[:0], baseLat...)
+	s.miss = resetBool(s.miss, n)
+	s.table = mrt.New(s.cfg, ii)
+	s.cluster = resetInt(s.cluster, n, -1)
+	s.cycle = resetInt(s.cycle, n, 0)
+	s.comms = s.comms[:0]
+	if s.commIdx == nil {
+		s.commIdx = make(map[commKey]int)
+	} else {
+		clear(s.commIdx)
+	}
+	if s.edgeComm == nil {
+		s.edgeComm = make(map[[2]int]int)
+	} else {
+		clear(s.edgeComm)
+	}
+	if s.memSet == nil {
+		s.memSet = make([][]int, s.cfg.Clusters)
+	}
+	for c := range s.memSet {
+		s.memSet[c] = s.memSet[c][:0]
+	}
+	s.resetLive(n)
+}
+
+// refsWith returns memSet[c] plus ref in the shared scratch buffer.
+func (s *state) refsWith(c, ref int) []int {
+	s.refScratch = append(append(s.refScratch[:0], s.memSet[c]...), ref)
+	return s.refScratch
+}
+
+func resetInt(s []int, n, v int) []int {
+	if cap(s) < n {
+		s = make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+func resetBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		s = make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 type commKey struct{ prod, dest int }
@@ -210,21 +291,10 @@ func Run(k *loop.Kernel, cfg machine.Config, opt Options) (*Schedule, error) {
 		maxII = 64*ord.MII + 256
 	}
 	attempts := 0
+	s := &state{k: k, cfg: cfg, opt: opt, g: g, inRec: g.InRecurrence(), an: an}
 	for ii := ord.MII; ii <= maxII; ii++ {
 		attempts++
-		s := &state{
-			k: k, cfg: cfg, opt: opt, g: g, ii: ii,
-			lat:      append([]int(nil), baseLat...),
-			miss:     make([]bool, g.NumNodes()),
-			inRec:    g.InRecurrence(),
-			table:    mrt.New(cfg, ii),
-			cluster:  filled(g.NumNodes(), -1),
-			cycle:    filled(g.NumNodes(), 0),
-			commIdx:  make(map[commKey]int),
-			edgeComm: make(map[[2]int]int),
-			memSet:   make([][]int, cfg.Clusters),
-			an:       an,
-		}
+		s.reset(ii, baseLat)
 		s.times = g.ComputeTimes(baseLat, ii)
 		if sched, ok := s.attempt(ord.Order); ok {
 			sched.Stats.IIAttempts = attempts
@@ -232,14 +302,6 @@ func Run(k *loop.Kernel, cfg machine.Config, opt Options) (*Schedule, error) {
 		}
 	}
 	return nil, fmt.Errorf("sched: %s on %s: no schedule found up to II=%d", k.Name, cfg.Name, maxII)
-}
-
-func filled(n, v int) []int {
-	s := make([]int, n)
-	for i := range s {
-		s[i] = v
-	}
-	return s
 }
 
 // attempt schedules every node at the current II.
@@ -268,7 +330,8 @@ func (s *state) attempt(ord []int) (*Schedule, bool) {
 // communications its edges require.
 func (s *state) scheduleNode(v int) bool {
 	node := s.g.Node(v)
-	var cands []candidate
+	cands := s.candScratch[:0]
+	defer func() { s.candScratch = cands[:0] }()
 	for c := 0; c < s.cfg.Clusters; c++ {
 		pl, ok := s.tryPlace(v, c, s.lat[v])
 		if !ok {
@@ -302,8 +365,7 @@ func (s *state) scheduleNode(v int) bool {
 	// [21], where all loads that do not raise the II take the miss
 	// latency.
 	if node.Class == ddg.Load && s.opt.Threshold < 1.0 {
-		refs := append(append([]int(nil), s.memSet[best.pl.cluster]...), node.Ref)
-		bind := s.opt.Threshold <= 0 || s.an.MissRatio(node.Ref, refs) > s.opt.Threshold
+		bind := s.opt.Threshold <= 0 || s.an.MissRatio(node.Ref, s.refsWith(best.pl.cluster, node.Ref)) > s.opt.Threshold
 		if bind && s.missLatencyAllowed(v) {
 			if pl, ok := s.tryPlace(v, best.pl.cluster, s.cfg.MissLatency()); ok {
 				s.lat[v] = s.cfg.MissLatency()
@@ -314,6 +376,15 @@ func (s *state) scheduleNode(v int) bool {
 	}
 
 	s.commit(v, best.pl)
+	if s.liveDead {
+		// The scheduled subgraph alone already needs more registers than
+		// a cluster has; lifetimes only grow as the remaining nodes are
+		// placed, so the final MaxLive check is guaranteed to fail.
+		if s.opt.Debug != nil {
+			s.opt.Debug("II=%d: MaxLive bound exceeded after node %s", s.ii, s.g.Node(v).Name)
+		}
+		return false
+	}
 	return true
 }
 
@@ -434,7 +505,7 @@ func (s *state) regProfit(v, c int) int {
 // reference would add to cluster c's memory instructions, per the CME.
 func (s *state) missDelta(ref, c int) float64 {
 	before := s.an.Misses(s.memSet[c])
-	after := s.an.Misses(append(append([]int(nil), s.memSet[c]...), ref))
+	after := s.an.Misses(s.refsWith(c, ref))
 	iters := float64(s.k.NTimes()) * float64(s.k.NIter())
 	return (after - before) / iters
 }
@@ -535,9 +606,22 @@ func (s *state) maxLive() []int {
 	return out
 }
 
-func ceilDiv(a, b int) int { return int(math.Ceil(float64(a) / float64(b))) }
+// ceilDiv and floorDiv are integer ceiling/floor divisions (b > 0); they sit
+// on the MaxLive hot path, so no float round-trips.
+func ceilDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && a > 0 {
+		q++
+	}
+	return q
+}
+
 func floorDiv(a, b int) int {
-	return int(math.Floor(float64(a) / float64(b)))
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
 }
 
 // finish normalizes cycles to be non-negative and packages the schedule.

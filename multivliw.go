@@ -205,8 +205,20 @@ func MotivatingKernel(n int) *Kernel { return workloads.Motivating(n) }
 // MotivatingMachine returns the §3 example machine.
 func MotivatingMachine() Machine { return workloads.MotivatingConfig() }
 
-// NewExperimentRunner builds a runner over the full suite.
+// NewExperimentRunner builds a runner over the full suite. Figure sweeps fan
+// their (kernel, config, scheduler, threshold) cells out to a worker pool of
+// ExperimentRunner.Parallelism goroutines (0 = runtime.NumCPU()); results
+// are bit-identical at every parallelism, so the knob only trades wall-clock
+// time for cores.
 func NewExperimentRunner() *ExperimentRunner { return harness.NewRunner() }
+
+// NewParallelExperimentRunner builds a runner over the full suite with an
+// explicit worker-pool width (1 = serial).
+func NewParallelExperimentRunner(workers int) *ExperimentRunner {
+	r := harness.NewRunner()
+	r.Parallelism = workers
+	return r
+}
 
 // Figure3 reproduces the paper's motivating example for an N-iteration loop.
 func Figure3(n int) (*MotivatingResult, error) { return harness.Figure3(n) }
