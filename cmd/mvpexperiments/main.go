@@ -83,7 +83,11 @@ func main() {
 	if *all || *verdict {
 		fmt.Println("Paper-claim verdicts")
 		fmt.Println("--------------------")
-		fmt.Println(harness.RenderVerdicts(harness.Verdicts(uni, f52, f54, f62, f64)))
+		vs := harness.Verdicts(uni, f52, f54, f62, f64)
+		for _, cl := range []int{2, 4} {
+			vs = append(vs, must(r.SearchVerdicts(cl))...)
+		}
+		fmt.Println(harness.RenderVerdicts(vs))
 	}
 	if *all || *perbench {
 		for _, cl := range []int{2, 4} {

@@ -34,6 +34,8 @@ func main() {
 		lmb       = flag.Int("lmb", 1, "memory bus latency")
 		emit      = flag.Bool("emit", true, "print the emitted VLIW kernel")
 		dot       = flag.Bool("dot", false, "print the dependence graph in DOT form")
+		trace     = flag.Bool("searchtrace", false, "print the guided II search trace (one line per attempted II, plus the binary-search summary)")
+		linear    = flag.Bool("linearsearch", false, "disable the structural binary search; escalate the II linearly from the MII as §4.1 prescribes (same schedules, more attempts)")
 	)
 	flag.Parse()
 
@@ -73,10 +75,37 @@ func main() {
 	if *dot {
 		fmt.Println(k.Graph.Dot(k.Name))
 	}
-	s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: *threshold})
+	opts := sched.Options{Policy: pol, Threshold: *threshold, LinearSearch: *linear}
+	if *trace {
+		opts.Trace = func(a sched.Attempt) {
+			if a.OK {
+				fmt.Printf("search: II=%-3d ok\n", a.II)
+				return
+			}
+			line := fmt.Sprintf("search: II=%-3d FAIL %s", a.II, a.Reason)
+			switch a.Reason {
+			case sched.FailPlace:
+				line += fmt.Sprintf(" node=%s earliest=%d", k.Graph.Node(a.Node).Name, a.EarliestCycle)
+			case sched.FailLiveBound:
+				line += fmt.Sprintf(" node=%s cycle=%d cluster=%d", k.Graph.Node(a.Node).Name, a.EarliestCycle, a.Cluster)
+			case sched.FailMaxLive:
+				line += fmt.Sprintf(" cluster=%d", a.Cluster)
+			}
+			if a.HintNode >= 0 {
+				line += fmt.Sprintf(" (hint: %s@%d)", k.Graph.Node(a.HintNode).Name, a.HintCycle)
+			}
+			fmt.Println(line)
+		}
+	}
+	s, err := sched.Run(k, cfg, opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvpsched:", err)
 		os.Exit(1)
+	}
+	if *trace {
+		st := s.Stats.Search
+		fmt.Printf("search: MII=%d first=%d (skipped %d structurally-infeasible IIs, %d probes), %d attempts\n",
+			st.MII, st.FirstII, st.SkippedII, st.Probes, st.Attempts)
 	}
 	fmt.Println(s.Summary())
 	fmt.Println(s.Render())

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"multivliw/internal/loop"
+	"multivliw/internal/scratch"
 )
 
 // Geometry describes one cluster-local cache. Assoc 0 or 1 is the paper's
@@ -154,7 +155,10 @@ func makeSetKey(refs []int) (k setKey, ok bool) {
 // Analyze solves the equations for the given set of reference IDs.
 func (a *Analysis) Analyze(refs []int) Result {
 	if len(refs) == 0 {
-		return Result{PerRef: map[int]RefStats{}}
+		// A nil PerRef map reads as empty everywhere it is consulted, so
+		// the scheduler's frequent "misses of an empty cluster" probes
+		// allocate nothing and share no mutable state.
+		return Result{}
 	}
 	key, keyed := makeSetKey(refs)
 	if !keyed {
@@ -190,12 +194,56 @@ func (a *Analysis) MissRatio(ref int, refs []int) float64 {
 	return a.Analyze(refs).MissRatio(ref)
 }
 
+// window is one sample interval of the estimator, as [start, start+count)
+// over the flattened innermost iteration index, with the first warmup
+// iterations replayed but not counted.
+type window struct{ start, count, warmup int }
+
+// solveScratch holds the reusable buffers of one solve call. The pool is
+// package-level because an Analysis is shared across goroutines; any solve
+// of any analysis can recycle any scratch.
+type solveScratch struct {
+	stats []RefStats
+	lines []uint64
+	depth []int
+	iv    []int
+	refs  []int
+	wins  []window
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(solveScratch) }}
+
+func (s *solveScratch) refStats(n int) []RefStats {
+	s.stats = scratch.Fill(s.stats, n, RefStats{})
+	return s.stats
+}
+
+// lineBuf and depthBuf skip the clearing pass: line entries are dead beyond
+// each set's fill depth, and the depths themselves re-zero per window.
+func (s *solveScratch) lineBuf(n int) []uint64 {
+	s.lines = scratch.Resize(s.lines, n)
+	return s.lines
+}
+
+func (s *solveScratch) depthBuf(n int) []int {
+	s.depth = scratch.Resize(s.depth, n)
+	return s.depth
+}
+
+func (s *solveScratch) ivBuf(n int) []int {
+	s.iv = scratch.Fill(s.iv, n, 0)
+	return s.iv
+}
+
 // solve replays the sampled access trace of the reference set, in program
 // order (reference ID order within an iteration, iterations in lexicographic
 // nest order), through the direct-mapped set-mapping that the replacement
 // equations describe.
 func (a *Analysis) solve(refs []int) Result {
-	ordered := append([]int(nil), refs...)
+	scr := scratchPool.Get().(*solveScratch)
+	defer scratchPool.Put(scr)
+	ordered := append(scr.refs[:0], refs...)
+	scr.refs = ordered
 	sort.Ints(ordered)
 
 	total := a.k.NTimes() * a.k.NIter()
@@ -203,12 +251,11 @@ func (a *Analysis) solve(refs []int) Result {
 
 	// Sample windows as [start, end) over the flattened innermost
 	// iteration index 0..total.
-	type window struct{ start, count, warmup int }
-	var windows []window
+	windows := scr.wins[:0]
 	niterInner := a.k.NIter()
 	switch {
 	case exact:
-		windows = []window{{0, total, 0}}
+		windows = append(windows, window{0, total, 0})
 	case 2*niterInner <= a.params.MaxAlignedSpan && a.k.NTimes() >= 2:
 		// Short innermost loops: align windows to execution boundaries
 		// and span two executions, so outer-loop temporal reuse is
@@ -240,24 +287,49 @@ func (a *Analysis) solve(refs []int) Result {
 			windows = append(windows, window{start - warm, w + warm, warm})
 		}
 	}
+	scr.wins = windows
 
 	sets := a.geom.Sets()
 	ways := a.geom.Ways()
 	lineBytes := uint64(a.geom.LineBytes)
-	perRef := make(map[int]RefStats, len(ordered))
+	// Per-reference tallies accumulate in a slice indexed by reference ID
+	// (IDs index the kernel's reference table); the public map is built
+	// once at the end. The LRU stacks of all cache sets share one flat
+	// backing array with per-set fill counts — the replacement equations
+	// reduce to "miss iff at least `ways` distinct lines mapped to the set
+	// since the last touch", which an LRU stack decides pointwise. All
+	// scratch comes from a shared pool (Analysis is concurrency-safe, so
+	// the scratch cannot live on the Analysis itself), making a solve
+	// allocation-free apart from its Result.
+	tallies := scr.refStats(len(a.k.Refs))
+	lines := scr.lineBuf(sets * ways)
+	depth := scr.depthBuf(sets)
+	iv := scr.ivBuf(a.k.Depth())
 	sampledMisses := 0
 	sampledIters := 0
 
-	iv := make([]int, a.k.Depth())
+	touch := func(set int, line uint64) bool {
+		st := lines[set*ways : set*ways+depth[set]]
+		for i, l := range st {
+			if l == line {
+				copy(st[1:i+1], st[:i])
+				st[0] = line
+				return false
+			}
+		}
+		if depth[set] < ways {
+			depth[set]++
+			st = lines[set*ways : set*ways+depth[set]]
+		}
+		copy(st[1:], st[:len(st)-1])
+		st[0] = line
+		return true
+	}
+
 	niter := a.k.NIter()
 	for _, w := range windows {
-		// lru[s] holds the lines resident in cache set s, MRU first;
-		// the replacement equations reduce to "miss iff at least
-		// `ways` distinct lines mapped to the set since the last
-		// touch", which an LRU stack decides pointwise.
-		lru := make([][]uint64, sets)
-		for i := range lru {
-			lru[i] = make([]uint64, 0, ways)
+		for i := range depth {
+			depth[i] = 0 // every window starts with cold sets
 		}
 		for off := 0; off < w.count; off++ {
 			flat := w.start + off
@@ -269,15 +341,13 @@ func (a *Analysis) solve(refs []int) Result {
 				ref := a.k.Refs[refID]
 				line := ref.Address(iv) / lineBytes
 				set := int(line % uint64(sets))
-				miss := touchLRU(&lru[set], line, ways)
+				miss := touch(set, line)
 				if counting {
-					st := perRef[refID]
-					st.Accesses++
+					tallies[refID].Accesses++
 					if miss {
-						st.Misses++
+						tallies[refID].Misses++
 						sampledMisses++
 					}
-					perRef[refID] = st
 				}
 			}
 			if counting {
@@ -286,6 +356,10 @@ func (a *Analysis) solve(refs []int) Result {
 		}
 	}
 
+	perRef := make(map[int]RefStats, len(ordered))
+	for _, refID := range ordered {
+		perRef[refID] = tallies[refID]
+	}
 	scale := 1.0
 	if sampledIters > 0 {
 		scale = float64(total) / float64(sampledIters)
@@ -295,26 +369,6 @@ func (a *Analysis) solve(refs []int) Result {
 		PerRef:  perRef,
 		Sampled: sampledIters,
 	}
-}
-
-// touchLRU records an access to line in the MRU-first stack of one cache
-// set, bounded at ways entries, and reports whether the access missed.
-func touchLRU(stack *[]uint64, line uint64, ways int) bool {
-	s := *stack
-	for i, l := range s {
-		if l == line {
-			copy(s[1:i+1], s[:i])
-			s[0] = line
-			return false
-		}
-	}
-	if len(s) < ways {
-		s = append(s, 0)
-		*stack = s
-	}
-	copy(s[1:], s[:len(s)-1])
-	s[0] = line
-	return true
 }
 
 // ReuseKind classifies a reuse vector.

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"multivliw/internal/machine"
+	"multivliw/internal/scratch"
 )
 
 // OpClass is the operation class of a node; it determines which functional
@@ -349,8 +350,15 @@ func (g *Graph) SCCs() [][]int {
 // InRecurrence returns, per node, whether the node belongs to a dependence
 // cycle (an SCC with more than one node, or a self-edge).
 func (g *Graph) InRecurrence() []bool {
+	return g.InRecurrenceFrom(g.SCCs())
+}
+
+// InRecurrenceFrom is InRecurrence computed from an SCC decomposition the
+// caller already has (the ordering derives one anyway); the membership rule
+// lives here, in one place.
+func (g *Graph) InRecurrenceFrom(sccs [][]int) []bool {
 	in := make([]bool, g.NumNodes())
-	for _, comp := range g.SCCs() {
+	for _, comp := range sccs {
 		if len(comp) > 1 {
 			for _, v := range comp {
 				in[v] = true
@@ -472,8 +480,18 @@ func (t *Times) Height(v int) int { return t.Length - t.ALAP[v] }
 // at least RecMII (otherwise the relaxation would not converge; the function
 // panics after n rounds in that case).
 func (g *Graph) ComputeTimes(lat []int, ii int) *Times {
+	return g.ComputeTimesInto(nil, lat, ii)
+}
+
+// ComputeTimesInto is ComputeTimes recycling the slices of t (which may be
+// nil): the scheduler's II-escalation loop recomputes the tables once per
+// attempt, and reuse keeps that recomputation allocation-free.
+func (g *Graph) ComputeTimesInto(t *Times, lat []int, ii int) *Times {
+	if t == nil {
+		t = &Times{}
+	}
 	n := g.NumNodes()
-	asap := make([]int, n)
+	asap := zeroInts(t.ASAP, n)
 	for round := 0; ; round++ {
 		changed := false
 		for v := 0; v < n; v++ {
@@ -498,7 +516,7 @@ func (g *Graph) ComputeTimes(lat []int, ii int) *Times {
 			length = t
 		}
 	}
-	alap := make([]int, n)
+	alap := zeroInts(t.ALAP, n)
 	for v := range alap {
 		alap[v] = length - lat[v]
 	}
@@ -520,8 +538,12 @@ func (g *Graph) ComputeTimes(lat []int, ii int) *Times {
 			panic(fmt.Sprintf("ddg: ComputeTimes/ALAP with ii=%d below RecMII", ii))
 		}
 	}
-	return &Times{II: ii, ASAP: asap, ALAP: alap, Length: length}
+	t.II, t.ASAP, t.ALAP, t.Length = ii, asap, alap, length
+	return t
 }
+
+// zeroInts returns s resized to n elements, all zero, reusing its capacity.
+func zeroInts(s []int, n int) []int { return scratch.Fill(s, n, 0) }
 
 // Dot renders the graph in Graphviz DOT form (debugging, documentation).
 func (g *Graph) Dot(name string) string {

@@ -180,6 +180,113 @@ func Verdicts(unified, fig5two, fig5four, fig6two, fig6four []Bar) []Verdict {
 	return out
 }
 
+// SearchVerdicts checks the guided II search's soundness contract on live
+// kernels and exposes its statistics as evidence: across the suite on a
+// 1-cycle-bus machine (where the structural bound is vacuous) and a
+// 4-cycle-bus machine (where it skips doomed attempts), guided and linear
+// escalation must produce identical schedules, and the guided search's
+// attempts plus skips must replay the linear search's attempt count.
+func (r *Runner) SearchVerdicts(clusters int) ([]Verdict, error) {
+	cfgs := []machine.Config{
+		clusterConfig(clusters, 2, 1, 1, 1),
+		clusterConfig(clusters, machine.Unbounded, 4, machine.Unbounded, 1),
+	}
+	type task struct {
+		cfg machine.Config
+		k   *loop.Kernel
+	}
+	type outcome struct {
+		match, counted bool
+		guided         sched.SearchStats
+		linear         sched.SearchStats
+	}
+	var tasks []task
+	for _, cfg := range cfgs {
+		for _, b := range r.Suite {
+			for _, k := range b.Kernels {
+				tasks = append(tasks, task{cfg, k})
+			}
+		}
+	}
+	// The guided/linear pairs fan out over the worker pool like every
+	// other harness sweep; the tallies reduce in task order.
+	results, err := mapTasks(r, tasks, func(t task) (outcome, error) {
+		base := sched.Options{Policy: sched.RMCA, Threshold: 0, CME: r.analysis(t.k, t.cfg)}
+		g, err := sched.Run(t.k, t.cfg, base)
+		if err != nil {
+			return outcome{}, fmt.Errorf("%s on %s: %w", t.k.Name, t.cfg.Name, err)
+		}
+		lin := base
+		lin.LinearSearch = true
+		l, err := sched.Run(t.k, t.cfg, lin)
+		if err != nil {
+			return outcome{}, fmt.Errorf("%s on %s (linear): %w", t.k.Name, t.cfg.Name, err)
+		}
+		gs, ls := g.Stats.Search, l.Stats.Search
+		return outcome{
+			match:   sameSchedule(g, l),
+			counted: gs.Attempts+gs.SkippedII == ls.Attempts,
+			guided:  gs,
+			linear:  ls,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var (
+		kernels, mismatches          int
+		attempts, skipped, probes    int
+		linAttempts, miscountKernels int
+	)
+	for _, o := range results {
+		kernels++
+		if !o.match {
+			mismatches++
+		}
+		if !o.counted {
+			miscountKernels++
+		}
+		attempts += o.guided.Attempts
+		skipped += o.guided.SkippedII
+		probes += o.guided.Probes
+		linAttempts += o.linear.Attempts
+	}
+	return []Verdict{
+		{
+			Name: fmt.Sprintf("guided II search bit-identical to linear (%d-cluster, %d kernel-configs)", clusters, kernels),
+			Pass: mismatches == 0,
+			Detail: fmt.Sprintf("%d schedule mismatches; guided ran %d attempts (+%d skipped, %d probes) vs linear %d",
+				mismatches, attempts, skipped, probes, linAttempts),
+		},
+		{
+			Name: fmt.Sprintf("structural bound accounts for every skipped II (%d-cluster)", clusters),
+			Pass: miscountKernels == 0 && attempts+skipped == linAttempts,
+			Detail: fmt.Sprintf("%d kernels with attempts+skipped != linear attempts; totals %d+%d vs %d",
+				miscountKernels, attempts, skipped, linAttempts),
+		},
+	}, nil
+}
+
+// sameSchedule compares the full placement two runs produced: II, stage
+// count, per-node cluster/cycle/latency/miss binding, and every transfer.
+func sameSchedule(a, b *sched.Schedule) bool {
+	if a.II != b.II || a.SC != b.SC || len(a.Comms) != len(b.Comms) {
+		return false
+	}
+	for v := range a.Cluster {
+		if a.Cluster[v] != b.Cluster[v] || a.Cycle[v] != b.Cycle[v] ||
+			a.Lat[v] != b.Lat[v] || a.MissSch[v] != b.MissSch[v] {
+			return false
+		}
+	}
+	for i := range a.Comms {
+		if a.Comms[i] != b.Comms[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // RenderVerdicts formats the checked claims.
 func RenderVerdicts(vs []Verdict) string {
 	var b strings.Builder

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"multivliw/internal/machine"
+	"multivliw/internal/scratch"
 )
 
 // Empty marks a free slot.
@@ -26,8 +27,13 @@ type Table struct {
 	cfg machine.Config
 	ii  int
 
-	// fu[cluster][kind][row*units+u] = node ID or Empty.
-	fu [][][]int
+	// All FU slots live in one slab: the block of cluster c, kind k starts
+	// at off[c*NumFUKinds+k] and holds ii*units slots laid out as
+	// slab[off+row*units+u] = node ID or Empty. One backing array instead
+	// of a slice per (cluster, kind) keeps table construction and reset
+	// nearly allocation-free.
+	slab []int
+	off  []int
 
 	// bus[b][row] = transfer ID or Empty. When the machine has unbounded
 	// register buses the slice grows on demand.
@@ -36,39 +42,63 @@ type Table struct {
 
 // New returns an empty table for the given configuration and II.
 func New(cfg machine.Config, ii int) *Table {
-	if ii < 1 {
-		panic(fmt.Sprintf("mrt: ii=%d", ii))
-	}
-	t := &Table{cfg: cfg, ii: ii}
-	t.fu = make([][][]int, cfg.Clusters)
-	for c := range t.fu {
-		t.fu[c] = make([][]int, machine.NumFUKinds)
-		for k := range t.fu[c] {
-			slots := make([]int, ii*cfg.ClusterFUs(c)[k])
-			for i := range slots {
-				slots[i] = Empty
-			}
-			t.fu[c][k] = slots
-		}
-	}
-	nbus := cfg.RegBuses
-	if nbus == machine.Unbounded {
-		nbus = 0 // grown on demand
-	}
-	t.bus = make([][]int, nbus)
-	for b := range t.bus {
-		t.bus[b] = newRow(ii)
-	}
+	t := &Table{cfg: cfg}
+	t.Reset(ii)
 	return t
 }
 
-func newRow(ii int) []int {
-	r := make([]int, ii)
-	for i := range r {
-		r[i] = Empty
-	}
-	return r
+// fuRow returns the slot block of (cluster, kind): ii rows of units slots.
+func (t *Table) fuRow(c int, k machine.FUKind) []int {
+	base := t.off[c*machine.NumFUKinds+int(k)]
+	return t.slab[base : base+t.ii*t.cfg.ClusterFUs(c)[k]]
 }
+
+// Reset re-empties the table for a fresh II, reusing the slot and bus row
+// storage of previous attempts. A reset table is indistinguishable from
+// New(cfg, ii): the II-escalation loop calls this instead of allocating a
+// table per attempt.
+func (t *Table) Reset(ii int) {
+	if ii < 1 {
+		panic(fmt.Sprintf("mrt: ii=%d", ii))
+	}
+	t.ii = ii
+	t.off = scratch.Resize(t.off, t.cfg.Clusters*machine.NumFUKinds)
+	total := 0
+	for c := 0; c < t.cfg.Clusters; c++ {
+		fus := t.cfg.ClusterFUs(c)
+		for k := 0; k < machine.NumFUKinds; k++ {
+			t.off[c*machine.NumFUKinds+k] = total
+			total += ii * fus[k]
+		}
+	}
+	t.slab = emptyRow(t.slab, total)
+	nbus := t.cfg.RegBuses
+	if nbus == machine.Unbounded {
+		// Demote on-demand lanes back into the slice's spare capacity;
+		// FindBus re-materializes them (re-emptied) as transfers need
+		// them, so a reset never frees a grown pool's storage.
+		nbus = 0
+	}
+	t.bus = scratch.Resize(t.bus, nbus)
+	for b := range t.bus {
+		t.bus[b] = emptyRow(t.bus[b], ii)
+	}
+}
+
+// Rebind re-purposes the table for a new configuration and II, reusing its
+// storage: Reset resizes the slab, offsets and bus rows to any machine
+// shape. This is how the scheduler's state pool carries reservation-table
+// storage across runs of different kernels and machines.
+func (t *Table) Rebind(cfg machine.Config, ii int) {
+	t.cfg = cfg
+	t.Reset(ii)
+}
+
+// emptyRow returns row resized to n slots, all Empty, reusing its capacity
+// (scratch.Fill doubles on growth: II escalation resets the table with
+// slightly larger rows every attempt, and headroom keeps those resets
+// amortized allocation-free).
+func emptyRow(row []int, n int) []int { return scratch.Fill(row, n, Empty) }
 
 // II returns the initiation interval of the table.
 func (t *Table) II() int { return t.ii }
@@ -93,9 +123,10 @@ func (t *Table) FreeFU(c int, k machine.FUKind, cycle int) bool {
 
 func (t *Table) findFU(c int, k machine.FUKind, cycle int) int {
 	units := t.cfg.ClusterFUs(c)[k]
+	block := t.fuRow(c, k)
 	row := t.row(cycle)
 	for u := 0; u < units; u++ {
-		if t.fu[c][k][row*units+u] == Empty {
+		if block[row*units+u] == Empty {
 			return u
 		}
 	}
@@ -109,19 +140,19 @@ func (t *Table) PlaceFU(c int, k machine.FUKind, cycle, id int) (int, bool) {
 	if u < 0 {
 		return 0, false
 	}
-	t.fu[c][k][t.row(cycle)*t.cfg.ClusterFUs(c)[k]+u] = id
+	t.fuRow(c, k)[t.row(cycle)*t.cfg.ClusterFUs(c)[k]+u] = id
 	return u, true
 }
 
 // RemoveFU releases the slot previously returned by PlaceFU.
 func (t *Table) RemoveFU(c int, k machine.FUKind, cycle, unit int) {
 	units := t.cfg.ClusterFUs(c)[k]
-	t.fu[c][k][t.row(cycle)*units+unit] = Empty
+	t.fuRow(c, k)[t.row(cycle)*units+unit] = Empty
 }
 
 // OccupantFU returns the node occupying (cluster, kind, cycle, unit).
 func (t *Table) OccupantFU(c int, k machine.FUKind, cycle, unit int) int {
-	return t.fu[c][k][t.row(cycle)*t.cfg.ClusterFUs(c)[k]+unit]
+	return t.fuRow(c, k)[t.row(cycle)*t.cfg.ClusterFUs(c)[k]+unit]
 }
 
 // busFreeWindow reports whether bus b is free for length consecutive cycles
@@ -150,7 +181,13 @@ func (t *Table) FindBus(start, length int) (int, bool) {
 		}
 	}
 	if t.cfg.RegBuses == machine.Unbounded {
-		t.bus = append(t.bus, newRow(t.ii))
+		if n := len(t.bus); n < cap(t.bus) {
+			// A lane demoted by Reset: re-materialize its storage.
+			t.bus = t.bus[:n+1]
+			t.bus[n] = emptyRow(t.bus[n], t.ii)
+		} else {
+			t.bus = append(t.bus, emptyRow(nil, t.ii))
+		}
 		return len(t.bus) - 1, true
 	}
 	return 0, false
@@ -201,13 +238,8 @@ func (t *Table) BusOccupancy() float64 {
 // speculative placements.
 func (t *Table) Clone() *Table {
 	n := &Table{cfg: t.cfg, ii: t.ii}
-	n.fu = make([][][]int, len(t.fu))
-	for c := range t.fu {
-		n.fu[c] = make([][]int, len(t.fu[c]))
-		for k := range t.fu[c] {
-			n.fu[c][k] = append([]int(nil), t.fu[c][k]...)
-		}
-	}
+	n.slab = append([]int(nil), t.slab...)
+	n.off = append([]int(nil), t.off...)
 	n.bus = make([][]int, len(t.bus))
 	for b := range t.bus {
 		n.bus[b] = append([]int(nil), t.bus[b]...)
@@ -236,7 +268,7 @@ func (t *Table) Render(label func(id int, bus bool) string) string {
 				c, k, u := c, k, u
 				head := fmt.Sprintf("C%d.%s%d", c, machine.FUKind(k), u)
 				cols = append(cols, col{head, func(row int) int {
-					return t.fu[c][k][row*units+u]
+					return t.fuRow(c, machine.FUKind(k))[row*units+u]
 				}, false})
 			}
 		}

@@ -1,0 +1,155 @@
+package mrt
+
+import (
+	"fmt"
+	"testing"
+
+	"multivliw/internal/machine"
+)
+
+// fingerprint captures the complete observable state of a table: every FU
+// slot and bus row (via Render, which walks them all) plus the bus pool
+// metrics. Two tables with equal fingerprints are indistinguishable to the
+// scheduler.
+func fingerprint(t *Table) string {
+	return fmt.Sprintf("ii=%d buses=%d occ=%.4f\n%s", t.II(), t.Buses(), t.BusOccupancy(), t.Render(nil))
+}
+
+// script drives an identical occupy/release sequence — FU slots and bus
+// windows, including removals — against a table and reports a trace of
+// fingerprints after every step.
+func script(tb testing.TB, t *Table) string {
+	tb.Helper()
+	out := ""
+	step := func() { out += fingerprint(t) + "---\n" }
+
+	id := 100
+	type placed struct {
+		c    int
+		k    machine.FUKind
+		cyc  int
+		unit int
+	}
+	var fus []placed
+	for c := 0; c < t.Config().Clusters; c++ {
+		for k := 0; k < machine.NumFUKinds; k++ {
+			for cyc := 0; cyc < t.II()+2; cyc++ { // wraps past the II
+				if unit, ok := t.PlaceFU(c, machine.FUKind(k), cyc, id); ok {
+					fus = append(fus, placed{c, machine.FUKind(k), cyc, unit})
+					id++
+				}
+			}
+		}
+	}
+	step()
+	// Release every other placement, then re-place into the holes.
+	for i := 0; i < len(fus); i += 2 {
+		p := fus[i]
+		t.RemoveFU(p.c, p.k, p.cyc, p.unit)
+	}
+	step()
+	for i := 0; i < len(fus); i += 2 {
+		p := fus[i]
+		if _, ok := t.PlaceFU(p.c, p.k, p.cyc, id); !ok {
+			tb.Fatalf("re-place into released slot failed at %+v", p)
+		}
+		id++
+	}
+	step()
+
+	// Bus windows: fill, release one, reuse it.
+	type win struct{ b, start, length int }
+	var wins []win
+	for start := 0; start < 2*t.II(); start++ {
+		length := 1 + start%2
+		if length > t.II() {
+			length = 1
+		}
+		if b, ok := t.FindBus(start, length); ok {
+			t.PlaceBus(b, start, length, id)
+			wins = append(wins, win{b, start, length})
+			id++
+		}
+	}
+	step()
+	if len(wins) > 0 {
+		w := wins[0]
+		t.RemoveBus(w.b, w.start, w.length)
+		step()
+		if b, ok := t.FindBus(w.start, w.length); ok {
+			t.PlaceBus(b, w.start, w.length, id)
+		}
+		step()
+	}
+	return out
+}
+
+// TestResetMatchesNew is the differential test of the satellite: a table
+// reset to a new II must be indistinguishable from a freshly allocated one
+// across a scripted occupy/release sequence, including bus rows — for
+// bounded and unbounded bus pools, and whether the reset shrinks or grows
+// the II.
+func TestResetMatchesNew(t *testing.T) {
+	cfgs := []machine.Config{
+		machine.TwoCluster(2, 1, 1, 1),
+		machine.FourCluster(machine.Unbounded, 2, machine.Unbounded, 2),
+	}
+	for _, cfg := range cfgs {
+		for _, iis := range [][2]int{{3, 7}, {7, 3}, {5, 5}} {
+			name := fmt.Sprintf("%s_ii%d_to_ii%d", cfg.Name, iis[0], iis[1])
+			t.Run(name, func(t *testing.T) {
+				dirty := New(cfg, iis[0])
+				script(t, dirty) // leave the first-II state fully used
+				dirty.Reset(iis[1])
+				fresh := New(cfg, iis[1])
+				if got, want := fingerprint(dirty), fingerprint(fresh); got != want {
+					t.Fatalf("reset table differs from fresh before script:\ngot:\n%s\nwant:\n%s", got, want)
+				}
+				if got, want := script(t, dirty), script(t, fresh); got != want {
+					t.Errorf("reset table diverges from fresh during script:\ngot:\n%s\nwant:\n%s", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestResetDemotesUnboundedLanes checks the unbounded pool contract: a reset
+// drops the materialized lane count to zero while regrowth reuses the
+// demoted storage and behaves exactly like a fresh pool.
+func TestResetDemotesUnboundedLanes(t *testing.T) {
+	cfg := machine.TwoCluster(machine.Unbounded, 2, 1, 1)
+	tab := New(cfg, 4)
+	for i := 0; i < 3; i++ {
+		b, ok := tab.FindBus(0, 2)
+		if !ok {
+			t.Fatalf("unbounded FindBus failed")
+		}
+		tab.PlaceBus(b, 0, 2, i)
+	}
+	if tab.Buses() != 3 {
+		t.Fatalf("grew %d lanes, want 3", tab.Buses())
+	}
+	tab.Reset(4)
+	if tab.Buses() != 0 {
+		t.Fatalf("reset kept %d lanes materialized", tab.Buses())
+	}
+	if got, want := script(t, tab), script(t, New(cfg, 4)); got != want {
+		t.Errorf("regrown pool diverges from fresh:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestRebindAcrossConfigs checks that a table recycled onto a different
+// machine shape equals a fresh table for that machine.
+func TestRebindAcrossConfigs(t *testing.T) {
+	tab := New(machine.FourCluster(2, 1, 1, 1), 6)
+	script(t, tab)
+	to := machine.TwoCluster(machine.Unbounded, 4, 1, 1)
+	tab.Rebind(to, 9)
+	fresh := New(to, 9)
+	if got, want := fingerprint(tab), fingerprint(fresh); got != want {
+		t.Fatalf("rebound table differs from fresh:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	if got, want := script(t, tab), script(t, fresh); got != want {
+		t.Errorf("rebound table diverges from fresh during script:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

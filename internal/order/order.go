@@ -23,6 +23,10 @@ type Result struct {
 	RecMII int
 	ResMII int
 	Times  *ddg.Times
+	// InRec marks, per node, membership in a dependence cycle — the same
+	// vector ddg.InRecurrence computes, derived from the SCC pass the
+	// ordering already ran so the scheduler does not repeat it.
+	InRec []bool
 }
 
 // Compute orders the nodes of g for modulo scheduling on cfg with the given
@@ -35,15 +39,18 @@ func Compute(g *ddg.Graph, lat []int, cfg machine.Config) *Result {
 		mii = res
 	}
 	times := g.ComputeTimes(lat, mii)
-	sets := prioritySets(g, lat)
+	sccs := g.SCCs()
+	sets := prioritySets(g, lat, sccs)
 	ord := sweep(g, sets, times)
-	return &Result{Order: ord, MII: mii, RecMII: rec, ResMII: res, Times: times}
+	return &Result{Order: ord, MII: mii, RecMII: rec, ResMII: res, Times: times, InRec: g.InRecurrenceFrom(sccs)}
 }
 
 // sccRecMII returns the minimum II feasible for the cycles inside one
-// component (edges with both endpoints in comp).
+// component (edges with both endpoints in comp). The membership and
+// longest-path tables are node-indexed slices shared across the binary
+// search's feasibility probes, so a probe allocates nothing.
 func sccRecMII(g *ddg.Graph, lat []int, comp []int) int {
-	in := make(map[int]bool, len(comp))
+	in := make([]bool, g.NumNodes())
 	for _, v := range comp {
 		in[v] = true
 	}
@@ -51,8 +58,11 @@ func sccRecMII(g *ddg.Graph, lat []int, comp []int) int {
 	for _, v := range comp {
 		hi += lat[v]
 	}
+	dist := make([]int64, g.NumNodes())
 	feasible := func(ii int) bool {
-		dist := make(map[int]int64, len(comp))
+		for _, v := range comp {
+			dist[v] = 0
+		}
 		for round := 0; round < len(comp)+1; round++ {
 			changed := false
 			for _, v := range comp {
@@ -117,14 +127,16 @@ func reachable(g *ddg.Graph, seed []int, backward bool) []bool {
 
 // prioritySets partitions the nodes: each recurrence (by decreasing RecMII)
 // together with the not-yet-placed nodes on paths between it and the nodes
-// already placed, followed by one final set with everything else.
-func prioritySets(g *ddg.Graph, lat []int) [][]int {
+// already placed, followed by one final set with everything else. sccs is
+// the graph's SCC decomposition (shared with the recurrence-membership
+// derivation).
+func prioritySets(g *ddg.Graph, lat []int, sccs [][]int) [][]int {
 	type recInfo struct {
 		comp []int
 		mii  int
 	}
 	var recs []recInfo
-	for _, comp := range g.SCCs() {
+	for _, comp := range sccs {
 		cyclic := len(comp) > 1
 		if !cyclic {
 			v := comp[0]
@@ -349,7 +361,7 @@ func Topological(g *ddg.Graph, lat []int, cfg machine.Config) *Result {
 		}
 		return ord[a] < ord[b]
 	})
-	return &Result{Order: ord, MII: mii, RecMII: rec, ResMII: res, Times: times}
+	return &Result{Order: ord, MII: mii, RecMII: rec, ResMII: res, Times: times, InRec: g.InRecurrence()}
 }
 
 // BothNeighborsOrdered counts, over the given order, how many nodes have at

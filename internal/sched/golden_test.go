@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/workloads"
+)
+
+// The golden-schedule suite locks the scheduler's exact output down: every
+// workload kernel × {2,4} clusters × {Baseline, RMCA} at threshold 0 is
+// snapshotted (cycle, cluster, FU slot per op, plus every bus transfer) into
+// testdata fixtures. Any change to placement order, tie-breaking, II search
+// or state reset that perturbs even one slot fails loudly here.
+//
+// Regenerate with:
+//
+//	go test ./internal/sched -run TestGoldenSchedules -update
+var update = flag.Bool("update", false, "rewrite golden-schedule fixtures")
+
+// goldenConfig is the fixture machine: 2 register buses @1 cycle and 1
+// memory bus @1 cycle (the mvpsched defaults), at 2 or 4 clusters.
+func goldenConfig(clusters int) machine.Config {
+	if clusters == 4 {
+		return machine.FourCluster(2, 1, 1, 1)
+	}
+	return machine.TwoCluster(2, 1, 1, 1)
+}
+
+// fuSlot recovers the unit index node v occupies in the reservation table.
+func fuSlot(s *Schedule, v int) int {
+	kind := s.Kernel.Graph.Node(v).Class.FUKind()
+	units := s.Config.ClusterFUs(s.Cluster[v])[kind]
+	for u := 0; u < units; u++ {
+		if s.Table.OccupantFU(s.Cluster[v], kind, s.Cycle[v], u) == v {
+			return u
+		}
+	}
+	return -1
+}
+
+// dumpSchedule renders one schedule in a stable, diff-friendly format.
+func dumpSchedule(s *Schedule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s II=%d SC=%d maxlive=%v\n", s.Kernel.Name, s.II, s.SC, s.MaxLive)
+	for v := 0; v < s.Kernel.Graph.NumNodes(); v++ {
+		n := s.Kernel.Graph.Node(v)
+		fmt.Fprintf(&b, "  op %-14s cycle=%-4d cluster=%d slot=%d lat=%d miss=%v\n",
+			n.Name, s.Cycle[v], s.Cluster[v], fuSlot(s, v), s.Lat[v], s.MissSch[v])
+	}
+	for _, c := range s.Comms {
+		fmt.Fprintf(&b, "  comm %s->C%d bus=%d start=%d lat=%d\n",
+			s.Kernel.Graph.Node(c.Producer).Name, c.Dest, c.Bus, c.Start, c.Latency)
+	}
+	return b.String()
+}
+
+func TestGoldenSchedules(t *testing.T) {
+	for _, clusters := range []int{2, 4} {
+		for _, pol := range []Policy{Baseline, RMCA} {
+			clusters, pol := clusters, pol
+			name := fmt.Sprintf("%dc_%s", clusters, strings.ToLower(pol.String()))
+			t.Run(name, func(t *testing.T) {
+				cfg := goldenConfig(clusters)
+				var b strings.Builder
+				fmt.Fprintf(&b, "# golden schedules: %s, %s, threshold 0.00\n", cfg.Name, pol)
+				for _, bench := range workloads.Suite() {
+					for _, k := range bench.Kernels {
+						s, err := Run(k, cfg, Options{Policy: pol, Threshold: 0.0})
+						if err != nil {
+							t.Fatalf("%s: %v", k.Name, err)
+						}
+						if err := s.Verify(); err != nil {
+							t.Fatalf("%s: invalid schedule: %v", k.Name, err)
+						}
+						b.WriteString(dumpSchedule(s))
+					}
+				}
+				got := b.String()
+				path := filepath.Join("testdata", "golden", name+".golden")
+				if *update {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing fixture (run with -update): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("schedule drift against %s:\n%s", path, firstDiff(string(want), got))
+				}
+			})
+		}
+	}
+}
+
+// firstDiff locates the first diverging line of two fixture dumps.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("length differs: want %d lines, got %d", len(wl), len(gl))
+}

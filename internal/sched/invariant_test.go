@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/mrt"
+)
+
+// Invariant suite for Schedule: seeded, table-driven random DDGs are
+// scheduled across machine shapes and every structural invariant of a
+// modulo schedule is asserted directly against the produced artifacts —
+// no MRT slot double-booking, every dependence satisfied modulo the II
+// (Schedule.Verify), bus transfers within lane capacity and length, and
+// MaxLive within the register file. CI runs this under -race, which also
+// exercises the state pool and the shared CME memo concurrently with the
+// rest of the package's tests.
+
+// invariantConfigs are the machine shapes the property tests sweep,
+// including a high-latency register bus (structural-skip territory) and an
+// unbounded pool.
+var invariantConfigs = []machine.Config{
+	machine.Unified(),
+	machine.TwoCluster(2, 1, 1, 1),
+	machine.TwoCluster(1, 4, 2, 4),
+	machine.FourCluster(2, 1, 1, 1),
+	machine.FourCluster(machine.Unbounded, 4, machine.Unbounded, 2),
+}
+
+// checkNoDoubleBooking walks every FU slot of the reservation table and
+// asserts each node occupies exactly one slot, in its assigned cluster, on
+// its class's unit kind, at its cycle's row.
+func checkNoDoubleBooking(t *testing.T, s *Schedule) {
+	t.Helper()
+	g := s.Kernel.Graph
+	seen := make([]int, g.NumNodes())
+	for c := 0; c < s.Config.Clusters; c++ {
+		for k := 0; k < machine.NumFUKinds; k++ {
+			kind := machine.FUKind(k)
+			units := s.Config.ClusterFUs(c)[k]
+			for row := 0; row < s.II; row++ {
+				for u := 0; u < units; u++ {
+					id := s.Table.OccupantFU(c, kind, row, u)
+					if id == mrt.Empty {
+						continue
+					}
+					if id < 0 || id >= g.NumNodes() {
+						t.Fatalf("slot C%d.%v row %d unit %d holds foreign id %d", c, kind, row, u, id)
+					}
+					seen[id]++
+					n := g.Node(id)
+					if s.Cluster[id] != c || n.Class.FUKind() != kind || s.Cycle[id]%s.II != row {
+						t.Errorf("node %s booked at C%d.%v row %d but scheduled C%d cycle %d",
+							n.Name, c, kind, row, s.Cluster[id], s.Cycle[id])
+					}
+				}
+			}
+		}
+	}
+	for v, n := range seen {
+		if n != 1 {
+			t.Errorf("node %s occupies %d FU slots, want exactly 1", g.Node(v).Name, n)
+		}
+	}
+}
+
+// checkBusCapacity reconstructs per-bus occupancy from the schedule's
+// transfers and asserts lane indices stay within the machine's pool, no two
+// transfers overlap on a lane, and no transfer exceeds the II.
+func checkBusCapacity(t *testing.T, s *Schedule) {
+	t.Helper()
+	rows := map[int][]int{} // bus -> per-row occupant comm ID (-1 free)
+	for _, cm := range s.Comms {
+		if s.Config.RegBuses != machine.Unbounded && cm.Bus >= s.Config.RegBuses {
+			t.Errorf("comm %d on bus %d, machine has %d lanes", cm.ID, cm.Bus, s.Config.RegBuses)
+		}
+		if cm.Latency > s.II {
+			t.Errorf("comm %d occupies the bus %d cycles, longer than II=%d", cm.ID, cm.Latency, s.II)
+		}
+		row := rows[cm.Bus]
+		if row == nil {
+			row = make([]int, s.II)
+			for i := range row {
+				row[i] = -1
+			}
+			rows[cm.Bus] = row
+		}
+		for i := 0; i < cm.Latency; i++ {
+			r := ((cm.Start+i)%s.II + s.II) % s.II
+			if prev := row[r]; prev != -1 {
+				t.Errorf("bus %d row %d double-booked by comms %d and %d", cm.Bus, r, prev, cm.ID)
+			}
+			row[r] = cm.ID
+		}
+	}
+}
+
+// checkInvariants asserts the full invariant set on one schedule.
+func checkInvariants(t *testing.T, s *Schedule) {
+	t.Helper()
+	if err := s.Verify(); err != nil {
+		t.Errorf("dependence violation: %v", err)
+	}
+	checkNoDoubleBooking(t, s)
+	checkBusCapacity(t, s)
+	for c, ml := range s.MaxLive {
+		if ml > s.Config.Regs {
+			t.Errorf("cluster %d MaxLive %d exceeds %d registers", c, ml, s.Config.Regs)
+		}
+	}
+}
+
+// TestScheduleInvariants is the satellite's property test: seeded random
+// kernels, swept over machines, schedulers and thresholds, with the guided
+// search additionally differentially checked against the linear one.
+func TestScheduleInvariants(t *testing.T) {
+	for seed := int64(0); seed < 48; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			k := randomKernel(rng)
+			cfg := invariantConfigs[seed%int64(len(invariantConfigs))]
+			pol := Policy(seed % 2)
+			thr := []float64{0.0, 1.0}[(seed/2)%2]
+			s, err := Run(k, cfg, Options{Policy: pol, Threshold: thr})
+			if err != nil {
+				t.Fatalf("schedule failed: %v", err)
+			}
+			checkInvariants(t, s)
+
+			lin, err := Run(k, cfg, Options{Policy: pol, Threshold: thr, LinearSearch: true})
+			if err != nil {
+				t.Fatalf("linear-search schedule failed: %v", err)
+			}
+			if got, want := dumpSchedule(s), dumpSchedule(lin); got != want {
+				t.Errorf("guided search diverges from linear:\nguided:\n%s\nlinear:\n%s", got, want)
+			}
+		})
+	}
+}

@@ -18,12 +18,15 @@ import "multivliw/internal/ddg"
 // Pruning therefore never changes which II finally succeeds or the schedule
 // produced; it only skips work on attempts that were going to fail.
 
-// resetLive clears the tracker for a fresh II attempt over n nodes.
+// resetLive clears the tracker for a fresh II attempt over n nodes. The
+// state may come from the pool sized for a different machine, so every
+// cluster-indexed buffer is resized, not just re-zeroed.
 func (s *state) resetLive(n int) {
 	cl := s.cfg.Clusters
-	if s.live == nil {
+	if cap(s.live) < cl {
 		s.live = make([][]int, cl)
 	}
+	s.live = s.live[:cl]
 	for c := range s.live {
 		s.live[c] = resetInt(s.live[c], s.ii, 0)
 	}
@@ -33,6 +36,7 @@ func (s *state) resetLive(n int) {
 	s.destDef = resetInt(s.destDef, n*cl, -1)
 	s.destEnd = resetInt(s.destEnd, n*cl, 0)
 	s.liveDead = false
+	s.liveDeadCluster = -1
 }
 
 // trackLive folds the effects of committing node v with plan pl into the
@@ -128,8 +132,9 @@ func (s *state) addSpan(c, def, oldEnd, newEnd int) {
 		row[r] += n
 		if row[r] > s.liveMax[c] {
 			s.liveMax[c] = row[r]
-			if row[r] > s.cfg.Regs {
+			if row[r] > s.cfg.Regs && !s.liveDead {
 				s.liveDead = true
+				s.liveDeadCluster = c
 			}
 		}
 	}

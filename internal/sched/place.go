@@ -24,7 +24,34 @@ type plannedComm struct {
 	bus   int
 	start int
 	lat   int
-	edges [][2]int // the dependence edges this transfer serves
+	edges edgeList // the dependence edges this transfer serves
+}
+
+// edgeList holds the dependence edges one transfer serves: the first edge
+// inline — nearly every transfer serves exactly one — and any further edges
+// in a spill slice, so the common case allocates nothing.
+type edgeList struct {
+	n     int
+	first [2]int
+	rest  [][2]int
+}
+
+func (l *edgeList) add(e [2]int) {
+	if l.n == 0 {
+		l.first = e
+	} else {
+		l.rest = append(l.rest, e)
+	}
+	l.n++
+}
+
+func (l *edgeList) forEach(f func([2]int)) {
+	if l.n > 0 {
+		f(l.first)
+	}
+	for _, e := range l.rest {
+		f(e)
+	}
 }
 
 // window computes the dependence-legal cycle range for node v in cluster c,
@@ -121,7 +148,7 @@ func (s *state) tryPlace(v, c, latV int) (plan, bool) {
 type commNeed struct {
 	key    commKey
 	lo, hi int
-	edges  [][2]int
+	edges  edgeList
 }
 
 // tryComms validates (transactionally, leaving the table untouched) that all
@@ -152,12 +179,14 @@ func (s *state) tryComms(v, c, t, latV int) (plan, bool) {
 					if needs[i].hi < needs[i].lo {
 						return false
 					}
-					needs[i].edges = append(needs[i].edges, edge)
+					needs[i].edges.add(edge)
 					return true
 				}
 			}
 		}
-		needs = append(needs, commNeed{key: key, lo: lo, hi: hi, edges: [][2]int{edge}})
+		need := commNeed{key: key, lo: lo, hi: hi}
+		need.edges.add(edge)
+		needs = append(needs, need)
 		return true
 	}
 
@@ -254,9 +283,9 @@ func (s *state) commit(v int, pl plan) {
 		if !s.opt.NoCommReuse {
 			s.commIdx[pc.key] = id
 		}
-		for _, e := range pc.edges {
+		pc.edges.forEach(func(e [2]int) {
 			s.edgeComm[e] = id
-		}
+		})
 	}
 	if node.Class.IsMemory() {
 		s.memSet[pl.cluster] = append(s.memSet[pl.cluster], node.Ref)

@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/workloads"
+)
+
+// TestBackToBackRunsMatchFresh is the stale-state regression test: a
+// scheduler state recycled through the pool across kernels and machine
+// shapes must produce schedules identical to guaranteed-fresh states. Any
+// per-attempt buffer the reset path fails to clear (the bug class PR 1's
+// scratch reuse introduced) shows up as a divergence here.
+func TestBackToBackRunsMatchFresh(t *testing.T) {
+	type runCase struct {
+		bench int
+		cfg   machine.Config
+		pol   Policy
+		thr   float64
+	}
+	// Alternate kernels, cluster counts and bus shapes so consecutive
+	// pooled runs inherit maximally-mismatched state.
+	cases := []runCase{
+		{0, machine.TwoCluster(2, 1, 1, 1), RMCA, 0.0},
+		{4, machine.FourCluster(machine.Unbounded, 2, machine.Unbounded, 2), Baseline, 1.0},
+		{2, machine.TwoCluster(1, 4, 2, 4), RMCA, 0.25},
+		{4, machine.FourCluster(2, 1, 1, 1), RMCA, 0.0},
+		{0, machine.Unified(), Baseline, 1.0},
+		{6, machine.FourCluster(1, 1, 1, 1), Baseline, 0.0},
+	}
+	suite := workloads.Suite()
+
+	// Fresh baselines: every Run gets a brand-new state.
+	disableStatePool = true
+	fresh := make([]string, len(cases))
+	for i, c := range cases {
+		s, err := Run(suite[c.bench].Kernels[0], c.cfg, Options{Policy: c.pol, Threshold: c.thr})
+		if err != nil {
+			t.Fatalf("fresh case %d: %v", i, err)
+		}
+		fresh[i] = dumpSchedule(s)
+	}
+	disableStatePool = false
+
+	// Pooled: the same sequence twice, so later runs reuse states (and
+	// reservation tables) dirtied by earlier, differently-shaped runs.
+	for round := 0; round < 2; round++ {
+		for i, c := range cases {
+			s, err := Run(suite[c.bench].Kernels[0], c.cfg, Options{Policy: c.pol, Threshold: c.thr})
+			if err != nil {
+				t.Fatalf("pooled round %d case %d: %v", round, i, err)
+			}
+			if got := dumpSchedule(s); got != fresh[i] {
+				t.Errorf("round %d case %d: pooled schedule diverges from fresh:\npooled:\n%s\nfresh:\n%s",
+					round, i, got, fresh[i])
+			}
+		}
+	}
+}
+
+// TestSchedulerRunAllocs guards the tentpole's allocation win: a full Run —
+// order, guided search, every II attempt, packaging — must stay at least 5x
+// below the 1257 allocs/op PERF.md records for the pre-Reset scheduler.
+// The pool is warmed first; the budget covers the buffers every Run must
+// hand to its caller plus the analyses it cannot share.
+func TestSchedulerRunAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement under -short")
+	}
+	if raceEnabled {
+		t.Skip("race-detector bookkeeping allocates; the budget is measured without -race (CI has a dedicated step)")
+	}
+	k := workloads.Suite()[4].Kernels[0] // the benchmark's kernel (mgrid.resid)
+	cfg := machine.FourCluster(2, 1, 1, 1)
+	run := func() {
+		if _, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 0.0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()              // warm the pool and the workload singletons
+	const budget = 251 // 1257 (PERF.md baseline) / 5, rounded down
+	if allocs := testing.AllocsPerRun(100, run); allocs > budget {
+		t.Errorf("sched.Run allocates %.0f objects/op, budget %d (5x below the 1257 baseline)", allocs, budget)
+	}
+}

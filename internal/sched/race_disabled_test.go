@@ -1,0 +1,6 @@
+//go:build !race
+
+package sched
+
+// raceEnabled reports that the race detector is absent from this build.
+const raceEnabled = false

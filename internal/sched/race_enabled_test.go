@@ -1,0 +1,7 @@
+//go:build race
+
+package sched
+
+// raceEnabled reports that the race detector instruments this build; its
+// bookkeeping allocates, so allocation-budget tests skip themselves.
+const raceEnabled = true

@@ -22,6 +22,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"multivliw/internal/cme"
 	"multivliw/internal/ddg"
@@ -29,6 +30,7 @@ import (
 	"multivliw/internal/machine"
 	"multivliw/internal/mrt"
 	"multivliw/internal/order"
+	"multivliw/internal/scratch"
 )
 
 // Policy selects the cluster-assignment heuristic for memory operations.
@@ -92,6 +94,18 @@ type Options struct {
 	// Debug, when non-nil, receives scheduling-progress lines (which
 	// node failed at which II, cluster decisions); development aid.
 	Debug func(format string, args ...any)
+
+	// Trace, when non-nil, receives one Attempt record per II the guided
+	// search actually attempts (the search trace; see cmd/mvpsched
+	// -searchtrace). Tracing never alters the schedule produced.
+	Trace func(Attempt)
+
+	// LinearSearch disables the structural binary search and escalates the
+	// II linearly from the MII, exactly as the paper's §4.1 loop does. The
+	// guided search skips only provably-infeasible IIs, so both modes
+	// produce identical schedules; the flag exists so tests and the
+	// harness can verify that equivalence.
+	LinearSearch bool
 }
 
 // Comm is one compiler-scheduled register-bus transfer: the value produced
@@ -111,11 +125,14 @@ func (c Comm) Arrival() int { return c.Start + c.Latency }
 
 // Stats summarizes a produced schedule.
 type Stats struct {
-	IIAttempts    int     // how many II values were tried
+	IIAttempts    int     // placement attempts actually run (skipped IIs excluded)
 	Comms         int     // register-bus transfers per iteration
 	BusOccupancy  float64 // fraction of register-bus slots used
 	MissScheduled int     // loads bound to the miss latency
 	MaxLiveMax    int     // worst per-cluster MaxLive
+
+	// Search describes the guided II search that found the schedule.
+	Search SearchStats
 }
 
 // Schedule is a complete modulo schedule.
@@ -181,10 +198,21 @@ type state struct {
 	// refScratch backs the transient ref sets handed to the CME analysis
 	// (which copies what it keeps), so per-candidate queries do not
 	// allocate. needScratch and candScratch likewise back tryComms'
-	// transfer-need list and scheduleNode's per-cluster candidates.
+	// transfer-need list and scheduleNode's per-cluster candidates, and
+	// mlLive/mlLast back maxLive's per-row accumulation.
 	refScratch  []int
 	needScratch []commNeed
 	candScratch []candidate
+	mlLive      []int // [cluster*ii+row] scratch of maxLive
+	mlLast      []int // [cluster] last-read scratch of maxLive
+
+	// Failure diagnostics of the current attempt, consumed by the search
+	// trace: which node failed, its earliest dependence-legal cycle at
+	// this II, and why.
+	failReason  FailReason
+	failNode    int
+	failCycle   int
+	failCluster int
 
 	// Incremental register-pressure lower bound, maintained by commit: the
 	// MaxLive of the already-scheduled subgraph. Placements only extend
@@ -198,16 +226,24 @@ type state struct {
 	destDef  []int   // [node*clusters+c]: comm arrival (-1: no copy there)
 	destEnd  []int   // [node*clusters+c]: end of the copy's span so far
 	liveDead bool    // some cluster's bound exceeds the register file
+	// liveDeadCluster is the first cluster whose bound tripped (-1 while
+	// liveDead is false); it feeds the search trace.
+	liveDeadCluster int
 }
 
 // reset prepares the state for one II attempt, reusing buffers from the
-// previous attempt.
+// previous attempt — including the reservation table, which is re-emptied in
+// place rather than reallocated.
 func (s *state) reset(ii int, baseLat []int) {
 	n := s.g.NumNodes()
 	s.ii = ii
 	s.lat = append(s.lat[:0], baseLat...)
 	s.miss = resetBool(s.miss, n)
-	s.table = mrt.New(s.cfg, ii)
+	if s.table == nil {
+		s.table = mrt.New(s.cfg, ii)
+	} else {
+		s.table.Rebind(s.cfg, ii)
+	}
 	s.cluster = resetInt(s.cluster, n, -1)
 	s.cycle = resetInt(s.cycle, n, 0)
 	s.comms = s.comms[:0]
@@ -221,12 +257,14 @@ func (s *state) reset(ii int, baseLat []int) {
 	} else {
 		clear(s.edgeComm)
 	}
-	if s.memSet == nil {
+	if cap(s.memSet) < s.cfg.Clusters {
 		s.memSet = make([][]int, s.cfg.Clusters)
 	}
+	s.memSet = s.memSet[:s.cfg.Clusters]
 	for c := range s.memSet {
 		s.memSet[c] = s.memSet[c][:0]
 	}
+	s.failReason, s.failNode, s.failCycle, s.failCluster = FailNone, -1, 0, -1
 	s.resetLive(n)
 }
 
@@ -236,29 +274,43 @@ func (s *state) refsWith(c, ref int) []int {
 	return s.refScratch
 }
 
-func resetInt(s []int, n, v int) []int {
-	if cap(s) < n {
-		s = make([]int, n)
-	}
-	s = s[:n]
-	for i := range s {
-		s[i] = v
-	}
-	return s
-}
+// resetInt and resetBool are the package's spellings of scratch.Fill.
+func resetInt(s []int, n, v int) []int { return scratch.Fill(s, n, v) }
 
-func resetBool(s []bool, n int) []bool {
-	if cap(s) < n {
-		s = make([]bool, n)
-	}
-	s = s[:n]
-	for i := range s {
-		s[i] = false
-	}
-	return s
-}
+func resetBool(s []bool, n int) []bool { return scratch.Fill(s, n, false) }
 
 type commKey struct{ prod, dest int }
+
+// statePool recycles scheduler states — the per-attempt scratch arena —
+// across Run calls. A pooled state keeps every buffer that is not handed off
+// to the returned Schedule (reservation-table storage, pressure tracker,
+// scratch slices, memo maps), so a warm Run allocates only the buffers the
+// caller keeps. disableStatePool is a test hook: stale-state regression
+// tests compare pooled runs against guaranteed-fresh ones.
+var statePool = sync.Pool{New: func() any { return new(state) }}
+
+var disableStatePool = false
+
+func getState() *state {
+	if disableStatePool {
+		return new(state)
+	}
+	return statePool.Get().(*state)
+}
+
+// putState returns s to the pool, dropping every reference to caller-visible
+// or kernel-specific data. Buffers handed off to a Schedule were already
+// detached by finish; a reservation table remaining from a failed run stays
+// pooled — the next Run rebinds it when the machine shape matches.
+func putState(s *state) {
+	if disableStatePool {
+		return
+	}
+	s.k, s.g, s.an = nil, nil, nil
+	s.opt = Options{}
+	s.inRec = nil
+	statePool.Put(s)
+}
 
 // Run schedules kernel k on cfg with the given options.
 func Run(k *loop.Kernel, cfg machine.Config, opt Options) (*Schedule, error) {
@@ -290,16 +342,47 @@ func Run(k *loop.Kernel, cfg machine.Config, opt Options) (*Schedule, error) {
 	if maxII == 0 {
 		maxII = 64*ord.MII + 256
 	}
-	attempts := 0
-	s := &state{k: k, cfg: cfg, opt: opt, g: g, inRec: g.InRecurrence(), an: an}
-	for ii := ord.MII; ii <= maxII; ii++ {
-		attempts++
+
+	// Phase 1: binary-search the monotone structural bound for the first
+	// II any placement could succeed at (see search.go). Linear mode pins
+	// the start to the MII, as §4.1 prescribes.
+	search := SearchStats{MII: ord.MII, FirstII: ord.MII}
+	if !opt.LinearSearch {
+		bound := newStructBound(g, cfg)
+		first, probes, ok := firstFeasibleII(&bound, ord.MII, maxII)
+		search.Probes = probes
+		if !ok {
+			return nil, fmt.Errorf("sched: %s on %s: no schedule found up to II=%d", k.Name, cfg.Name, maxII)
+		}
+		search.FirstII = first
+		search.SkippedII = first - ord.MII
+	}
+
+	// Phase 2: escalate linearly over the placement-feasibility tail.
+	s := getState()
+	defer putState(s)
+	s.k, s.cfg, s.opt, s.g, s.inRec, s.an = k, cfg, opt, g, ord.InRec, an
+	hintNode, hintCycle := -1, 0
+	for ii := search.FirstII; ii <= maxII; ii++ {
+		search.Attempts++
 		s.reset(ii, baseLat)
-		s.times = g.ComputeTimes(baseLat, ii)
-		if sched, ok := s.attempt(ord.Order); ok {
-			sched.Stats.IIAttempts = attempts
+		s.times = g.ComputeTimesInto(s.times, baseLat, ii)
+		sched, ok := s.attempt(ord.Order)
+		if opt.Trace != nil {
+			opt.Trace(Attempt{
+				II: ii, OK: ok, Reason: s.failReason,
+				Node: s.failNode, EarliestCycle: s.failCycle, Cluster: s.failCluster,
+				HintNode: hintNode, HintCycle: hintCycle,
+			})
+		}
+		if ok {
+			sched.Stats.IIAttempts = search.Attempts
+			sched.Stats.Search = search
 			return sched, nil
 		}
+		// Restart hint: carry the failing node's earliest-cycle
+		// information into the next attempt's trace record.
+		hintNode, hintCycle = s.failNode, s.failCycle
 	}
 	return nil, fmt.Errorf("sched: %s on %s: no schedule found up to II=%d", k.Name, cfg.Name, maxII)
 }
@@ -320,6 +403,7 @@ func (s *state) attempt(ord []int) (*Schedule, bool) {
 			if s.opt.Debug != nil {
 				s.opt.Debug("II=%d: cluster %d MaxLive %d > %d registers", s.ii, c, ml, s.cfg.Regs)
 			}
+			s.failReason, s.failNode, s.failCycle, s.failCluster = FailMaxLive, -1, 0, c
 			return nil, false
 		}
 	}
@@ -348,6 +432,12 @@ func (s *state) scheduleNode(v int) bool {
 		cands = append(cands, cand)
 	}
 	if len(cands) == 0 {
+		s.failReason, s.failNode, s.failCycle = FailPlace, v, 0
+		if s.opt.Trace != nil || s.opt.Debug != nil {
+			// The earliest-cycle hint recomputes dependence windows;
+			// only pay for it when someone is listening.
+			s.failCycle = s.earliestCycle(v)
+		}
 		return false
 	}
 
@@ -383,9 +473,28 @@ func (s *state) scheduleNode(v int) bool {
 		if s.opt.Debug != nil {
 			s.opt.Debug("II=%d: MaxLive bound exceeded after node %s", s.ii, s.g.Node(v).Name)
 		}
+		s.failReason, s.failNode, s.failCycle = FailLiveBound, v, best.pl.cycle
+		s.failCluster = s.liveDeadCluster
 		return false
 	}
 	return true
+}
+
+// earliestCycle is the restart hint of a placement failure: the earliest
+// dependence-legal cycle of node v across all clusters, given the placements
+// committed so far (the node's ASAP time when no predecessor anchors it).
+func (s *state) earliestCycle(v int) int {
+	best := math.MaxInt32
+	for c := 0; c < s.cfg.Clusters; c++ {
+		es, _, hasPred, _ := s.window(v, c, s.lat[v])
+		if !hasPred {
+			es = s.times.ASAP[v]
+		}
+		if es < best {
+			best = es
+		}
+	}
+	return best
 }
 
 // candidate is one feasible cluster choice for the node being scheduled.
@@ -523,27 +632,34 @@ func (s *state) missLatencyAllowed(v int) bool {
 	return rec <= s.ii
 }
 
+// noRead marks a cluster with no read of the value under consideration in
+// maxLive's per-node last-read scratch.
+const noRead = math.MinInt32
+
 // maxLive computes the per-cluster register pressure of the schedule: for
 // every value (a node result plus, for transferred values, its copy in each
 // destination cluster) the number of simultaneously-live instances at each
-// kernel row is accumulated; MaxLive is the row maximum.
+// kernel row is accumulated; MaxLive is the row maximum. The accumulation
+// rows and the per-node last-read table live in state scratch; only the
+// returned per-cluster vector (handed to the Schedule) is allocated.
 func (s *state) maxLive() []int {
-	live := make([][]int, s.cfg.Clusters)
-	for c := range live {
-		live[c] = make([]int, s.ii)
-	}
+	cl := s.cfg.Clusters
+	s.mlLive = resetInt(s.mlLive, cl*s.ii, 0)
+	s.mlLast = resetInt(s.mlLast, cl, 0)
+	live, last := s.mlLive, s.mlLast
 	// Per-row counting: a value live over flat cycles [def, end] has, at
 	// kernel row r, one copy per pipeline stage k with def <= r+k·II <= end.
 	count := func(c, def, end int) {
 		if end < def {
 			return
 		}
+		base := c * s.ii
 		for r := 0; r < s.ii; r++ {
 			// Number of k with def <= r+k*II <= end.
 			lo := ceilDiv(def-r, s.ii)
 			hi := floorDiv(end-r, s.ii)
 			if n := hi - lo + 1; n > 0 {
-				live[c][r] += n
+				live[base+r] += n
 			}
 		}
 	}
@@ -560,22 +676,23 @@ func (s *state) maxLive() []int {
 		// read. Binding prefetching still raises pressure (§4.3)
 		// because consumers and the SC drift later.
 		def := s.cycle[v] + s.lat[v]
-		lastRead := map[int]int{} // consumer cluster -> last read cycle
+		for c := range last {
+			last[c] = noRead // consumer cluster -> last read cycle
+		}
 		for _, e := range s.g.Out(v) {
 			if e.Kind != ddg.RegDep {
 				continue
 			}
 			read := s.cycle[e.To] + e.Distance*s.ii
-			cc := s.cluster[e.To]
-			if old, ok := lastRead[cc]; !ok || read > old {
-				lastRead[cc] = read
+			if cc := s.cluster[e.To]; read > last[cc] {
+				last[cc] = read
 			}
 		}
 		// The producer cluster keeps the value until its last local
 		// read and until every bus transfer has read it.
 		prodEnd := -1
-		if last, ok := lastRead[s.cluster[v]]; ok {
-			prodEnd = last
+		if l := last[s.cluster[v]]; l != noRead {
+			prodEnd = l
 		}
 		for _, cm := range s.comms {
 			if cm.Producer == v && cm.Start > prodEnd {
@@ -590,14 +707,14 @@ func (s *state) maxLive() []int {
 			if cm.Producer != v {
 				continue
 			}
-			if last, ok := lastRead[cm.Dest]; ok && cm.Dest != s.cluster[v] && last >= cm.Arrival() {
-				count(cm.Dest, cm.Arrival(), last)
+			if l := last[cm.Dest]; l != noRead && cm.Dest != s.cluster[v] && l >= cm.Arrival() {
+				count(cm.Dest, cm.Arrival(), l)
 			}
 		}
 	}
-	out := make([]int, s.cfg.Clusters)
-	for c := range live {
-		for _, n := range live[c] {
+	out := make([]int, cl)
+	for c := 0; c < cl; c++ {
+		for _, n := range live[c*s.ii : (c+1)*s.ii] {
 			if n > out[c] {
 				out[c] = n
 			}
@@ -668,7 +785,7 @@ func (s *state) finish(maxLive []int) *Schedule {
 			worst = ml
 		}
 	}
-	return &Schedule{
+	sched := &Schedule{
 		Kernel:   s.k,
 		Config:   s.cfg,
 		Opts:     s.opt,
@@ -689,4 +806,9 @@ func (s *state) finish(maxLive []int) *Schedule {
 			MaxLiveMax:    worst,
 		},
 	}
+	// The schedule owns these buffers now; detach them so the pooled
+	// state cannot scribble over a returned schedule on its next Run.
+	s.cluster, s.cycle, s.lat, s.miss = nil, nil, nil, nil
+	s.comms, s.edgeComm, s.table = nil, nil, nil
+	return sched
 }

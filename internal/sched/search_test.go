@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/workloads"
+)
+
+// TestGuidedSearchMatchesLinear sweeps the whole suite over configurations
+// where the structural bound does and does not fire and asserts the guided
+// search's contract: identical schedules, with the linear search's attempt
+// count never smaller than the guided one's.
+func TestGuidedSearchMatchesLinear(t *testing.T) {
+	configs := []machine.Config{
+		machine.TwoCluster(2, 1, 1, 1),
+		machine.FourCluster(machine.Unbounded, 4, machine.Unbounded, 1),
+	}
+	skipped := 0
+	for _, cfg := range configs {
+		for _, bench := range workloads.Suite() {
+			for _, k := range bench.Kernels {
+				g, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 0})
+				if err != nil {
+					t.Fatalf("%s on %s: %v", k.Name, cfg.Name, err)
+				}
+				l, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 0, LinearSearch: true})
+				if err != nil {
+					t.Fatalf("%s on %s (linear): %v", k.Name, cfg.Name, err)
+				}
+				if got, want := dumpSchedule(g), dumpSchedule(l); got != want {
+					t.Errorf("%s on %s: guided schedule diverges from linear", k.Name, cfg.Name)
+				}
+				if g.Stats.Search.Attempts+g.Stats.Search.SkippedII != l.Stats.Search.Attempts {
+					t.Errorf("%s on %s: guided attempts %d + skipped %d != linear attempts %d",
+						k.Name, cfg.Name, g.Stats.Search.Attempts, g.Stats.Search.SkippedII, l.Stats.Search.Attempts)
+				}
+				skipped += g.Stats.Search.SkippedII
+			}
+		}
+	}
+	if skipped == 0 {
+		t.Error("structural bound never skipped an II across the sweep; the 4-cycle-bus config should trigger it")
+	}
+}
+
+// TestSearchTraceRecordsAttempts checks the Options.Trace hook: one record
+// per attempted II, failed attempts carrying the failing node and its
+// earliest-cycle hint, the final record succeeding, and hints flowing from
+// each failure into the next record.
+func TestSearchTraceRecordsAttempts(t *testing.T) {
+	// A bounded single register bus at 4-cluster forces several II
+	// escalations on a communication-heavy kernel.
+	k := workloads.Suite()[4].Kernels[0] // mgrid.resid
+	cfg := machine.FourCluster(1, 1, 1, 1)
+	var trace []Attempt
+	s, err := Run(k, cfg, Options{Policy: Baseline, Threshold: 1.0, Trace: func(a Attempt) { trace = append(trace, a) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace) != s.Stats.Search.Attempts {
+		t.Fatalf("trace has %d records, stats say %d attempts", len(trace), s.Stats.Search.Attempts)
+	}
+	last := trace[len(trace)-1]
+	if !last.OK || last.Reason != FailNone || last.II != s.II {
+		t.Errorf("final record %+v does not describe the successful II %d", last, s.II)
+	}
+	for i, a := range trace[:len(trace)-1] {
+		if a.OK || a.Reason == FailNone {
+			t.Errorf("record %d (II=%d) marked successful before the final II", i, a.II)
+		}
+		if a.Reason == FailPlace || a.Reason == FailLiveBound {
+			if a.Node < 0 || a.Node >= k.Graph.NumNodes() {
+				t.Errorf("record %d lacks a failing node: %+v", i, a)
+			}
+		}
+		next := trace[i+1]
+		if next.HintNode != a.Node || next.HintCycle != a.EarliestCycle {
+			t.Errorf("record %d's failure (node %d @%d) not carried into record %d's hint (%d @%d)",
+				i, a.Node, a.EarliestCycle, i+1, next.HintNode, next.HintCycle)
+		}
+	}
+	if trace[0].HintNode != -1 {
+		t.Errorf("first attempt carries a hint %d from nowhere", trace[0].HintNode)
+	}
+}
+
+// TestSearchStatsStructuralSkip pins the structural bound's arithmetic on a
+// constructed case: a register-connected kernel too wide for one cluster on
+// a machine whose bus latency exceeds the MII must start at II = RegBusLat
+// and still match the linear search.
+func TestSearchStatsStructuralSkip(t *testing.T) {
+	k := workloads.Suite()[0].Kernels[0] // tomcatv.stencil, MII 2 here
+	cfg := machine.FourCluster(machine.Unbounded, 4, machine.Unbounded, 1)
+	s, err := Run(k, cfg, Options{Policy: Baseline, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats.Search
+	if st.FirstII != cfg.RegBusLat {
+		t.Errorf("FirstII = %d, want the bus latency %d", st.FirstII, cfg.RegBusLat)
+	}
+	if st.SkippedII != st.FirstII-st.MII {
+		t.Errorf("SkippedII = %d, want FirstII-MII = %d", st.SkippedII, st.FirstII-st.MII)
+	}
+	if st.Probes < 2 {
+		t.Errorf("binary search reported %d probes, want at least 2", st.Probes)
+	}
+	if s.II < st.FirstII {
+		t.Errorf("final II %d below the structural bound %d", s.II, st.FirstII)
+	}
+}
+
+// TestLinearSearchStats checks the degenerate mode: no probes, no skips,
+// attempts counted from the MII.
+func TestLinearSearchStats(t *testing.T) {
+	k := workloads.Suite()[0].Kernels[0]
+	cfg := machine.FourCluster(machine.Unbounded, 4, machine.Unbounded, 1)
+	s, err := Run(k, cfg, Options{Policy: Baseline, Threshold: 1.0, LinearSearch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats.Search
+	if st.Probes != 0 || st.SkippedII != 0 || st.FirstII != st.MII {
+		t.Errorf("linear mode ran the structural phase: %+v", st)
+	}
+	if st.Attempts != s.II-st.MII+1 {
+		t.Errorf("linear attempts %d, want II-MII+1 = %d", st.Attempts, s.II-st.MII+1)
+	}
+}

@@ -1,0 +1,26 @@
+// Package scratch provides the one resize-and-reuse idiom every hot-path
+// buffer in this repository shares: grow a slice to n elements reusing its
+// capacity, doubling on growth so buffers that widen step by step (the II
+// escalation loop grows its tables one row per attempt) stop reallocating.
+package scratch
+
+// Fill returns s resized to n elements, every element set to v.
+func Fill[T any](s []T, n int, v T) []T {
+	s = Resize(s, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// Resize returns s resized to n elements without a clearing pass, for
+// callers that overwrite every element (or re-derive validity, e.g. via a
+// separate fill-depth table) before reading. Growth allocates a fresh
+// backing array and DISCARDS prior contents — Resize reuses storage, it
+// does not preserve data.
+func Resize[T any](s []T, n int) []T {
+	if cap(s) < n {
+		s = make([]T, n, 2*n)
+	}
+	return s[:n]
+}
