@@ -35,6 +35,7 @@ func main() {
 		n        = flag.Int("n", 100, "motivating-example iteration count")
 		simCap   = flag.Int("simcap", 1024, "simulated innermost iterations per kernel (0 = full)")
 		jobs     = flag.Int("j", 0, "parallel workers for figure sweeps (0 = all CPUs, 1 = serial; output is identical at any width)")
+		nocache  = flag.Bool("nosimcache", false, "disable the schedule-keyed replay cache (identical output, more wall-clock time)")
 	)
 	flag.Parse()
 	if !(*all || *table1 || *arch || *fig3 || *fig5 || *fig6 || *verdict || *comms || *perbench || *ablate) {
@@ -45,6 +46,7 @@ func main() {
 	r := harness.NewRunner()
 	r.SimCap = *simCap
 	r.Parallelism = *jobs
+	r.DisableSimCache = *nocache
 
 	if *all || *table1 {
 		fmt.Println(machine.Table1())
@@ -87,6 +89,7 @@ func main() {
 		for _, cl := range []int{2, 4} {
 			vs = append(vs, must(r.SearchVerdicts(cl))...)
 		}
+		vs = append(vs, r.SimCacheVerdict())
 		fmt.Println(harness.RenderVerdicts(vs))
 	}
 	if *all || *perbench {

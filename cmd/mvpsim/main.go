@@ -34,6 +34,7 @@ func main() {
 		cap       = flag.Int("simcap", 0, "innermost-iteration cap (0 = full space)")
 		compare   = flag.Bool("compare", false, "run both schedulers at all four thresholds")
 		trace     = flag.Int("trace", 0, "print the first N simulated events")
+		reference = flag.Bool("reference", false, "replay with the retained reference interpreter instead of the compiled core (cross-check; results are bit-identical)")
 	)
 	flag.Parse()
 
@@ -56,12 +57,16 @@ func main() {
 	}
 	fmt.Println(cfg)
 
+	simulate := sim.Run
+	if *reference {
+		simulate = sim.ReferenceRun
+	}
 	if *compare {
 		fmt.Printf("%-9s %5s %4s %3s %6s %10s %10s %10s %9s\n",
 			"sched", "thr", "II", "SC", "comms", "compute", "stall", "total", "missratio")
 		for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
 			for _, thr := range []float64{1.0, 0.75, 0.25, 0.0} {
-				run(k, cfg, pol, thr, *cap, true)
+				run(k, cfg, pol, thr, *cap, true, simulate)
 			}
 		}
 		return
@@ -70,14 +75,14 @@ func main() {
 	if strings.EqualFold(*policy, "baseline") {
 		pol = sched.Baseline
 	}
-	run(k, cfg, pol, *threshold, *cap, false)
+	run(k, cfg, pol, *threshold, *cap, false, simulate)
 	if *trace > 0 {
 		s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: *threshold})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mvpsim:", err)
 			os.Exit(1)
 		}
-		out, err := sim.Trace(s, *trace)
+		out, err := sim.TraceWith(s, *trace, simulate)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mvpsim:", err)
 			os.Exit(1)
@@ -86,13 +91,14 @@ func main() {
 	}
 }
 
-func run(k *loop.Kernel, cfg machine.Config, pol sched.Policy, thr float64, cap int, row bool) {
+func run(k *loop.Kernel, cfg machine.Config, pol sched.Policy, thr float64, cap int, row bool,
+	simulate func(*sched.Schedule, sim.Options) (*sim.Result, error)) {
 	s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: thr})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvpsim:", err)
 		os.Exit(1)
 	}
-	r, err := sim.Run(s, sim.Options{MaxInnermostIters: cap})
+	r, err := simulate(s, sim.Options{MaxInnermostIters: cap})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mvpsim:", err)
 		os.Exit(1)
@@ -102,8 +108,8 @@ func run(k *loop.Kernel, cfg machine.Config, pol sched.Policy, thr float64, cap 
 			pol, thr, s.II, s.SC, len(s.Comms), r.Compute, r.Stall, r.Total, r.Mem.LocalMissRatio())
 		return
 	}
-	fmt.Printf("kernel %s: II=%d SC=%d comms/iter=%d miss-scheduled=%d\n",
-		k.Name, s.II, s.SC, len(s.Comms), s.Stats.MissScheduled)
+	fmt.Printf("kernel %s: II=%d SC=%d comms/iter=%d miss-scheduled=%d fingerprint=%016x\n",
+		k.Name, s.II, s.SC, len(s.Comms), s.Stats.MissScheduled, s.Fingerprint())
 	fmt.Printf("NCYCLE_compute=%d NCYCLE_stall=%d total=%d (%.2f cycles/iter)\n",
 		r.Compute, r.Stall, r.Total, r.CyclesPerIter())
 	fmt.Printf("  stall at operands=%d, at bus transfers=%d\n", r.StallOperand, r.StallComm)

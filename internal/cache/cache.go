@@ -162,6 +162,16 @@ func (c *Cache) SetState(addr uint64, st State) {
 	}
 }
 
+// Reset invalidates every line, returning the cache to its post-New cold
+// state without reallocating the set storage (pooled simulator states).
+func (c *Cache) Reset() {
+	for _, set := range c.sets {
+		for w := range set {
+			set[w] = line{}
+		}
+	}
+}
+
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return len(c.sets) }
 
@@ -239,6 +249,10 @@ func (m *MSHR) Allocate(lineAddr uint64, now, readyAt int64) {
 	}
 	m.pending = append(m.pending, pendingFill{line: lineAddr, readyAt: readyAt})
 }
+
+// Reset drops every outstanding fill (a fresh simulation run on a pooled
+// state), keeping the entry storage.
+func (m *MSHR) Reset() { m.pending = m.pending[:0] }
 
 // Outstanding returns the number of live entries at time now.
 func (m *MSHR) Outstanding(now int64) int {

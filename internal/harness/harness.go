@@ -69,9 +69,17 @@ type Runner struct {
 	// bit-identical at every width.
 	Parallelism int
 
+	// DisableSimCache turns off the schedule-keyed replay cache (the
+	// -nosimcache escape hatch): every cell then simulates its own
+	// schedule even when another threshold already produced a
+	// bit-identical one. Output is identical either way; only wall-clock
+	// time changes.
+	DisableSimCache bool
+
 	mu   sync.Mutex
 	cme  map[*loop.Kernel]map[cme.Geometry]*cme.Analysis
 	base map[*loop.Kernel]*baseRef
+	simc simCache
 }
 
 // baseRef lazily computes one kernel's normalization denominator exactly
@@ -181,12 +189,14 @@ func (r *Runner) analysis(k *loop.Kernel, cfg machine.Config) *cme.Analysis {
 }
 
 // runKernel schedules and simulates one kernel, returning raw cycle counts.
+// The simulation goes through the replay cache: cells whose schedules encode
+// identically share one sim.Result per (kernel, config, SimCap).
 func (r *Runner) runKernel(k *loop.Kernel, cfg machine.Config, pol sched.Policy, thr float64) (compute, stall int64, s *sched.Schedule, res *sim.Result, err error) {
 	s, err = sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: r.analysis(k, cfg)})
 	if err != nil {
 		return 0, 0, nil, nil, fmt.Errorf("%s on %s: %w", k.Name, cfg.Name, err)
 	}
-	res, err = sim.Run(s, sim.Options{MaxInnermostIters: r.SimCap})
+	res, err = r.simulate(k, cfg, s)
 	if err != nil {
 		return 0, 0, nil, nil, fmt.Errorf("%s on %s: %w", k.Name, cfg.Name, err)
 	}

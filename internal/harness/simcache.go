@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/sim"
+)
+
+// simRun is the simulator entry the runner uses for every cell; the
+// differential figure tests swap in sim.ReferenceRun to prove the whole
+// harness output is byte-identical on the retained interpreter.
+var simRun = sim.Run
+
+// simKey identifies one simulation outcome: the kernel, the machine, the
+// sampling cap and the schedule's canonical encoding. Distinct thresholds
+// (or schedulers) that produce bit-identical schedules collapse to one key —
+// exactly the redundancy the figure sweeps are full of. The schedule
+// component is the full injective encoding, not a hash, so distinct
+// schedules can never collide.
+type simKey struct {
+	kernel *loop.Kernel
+	cfg    string
+	simCap int
+	sched  string
+}
+
+// simEntry is a single-flight cache slot: however many workers race for the
+// same key, exactly one simulates and the rest share its Result.
+type simEntry struct {
+	once sync.Once
+	res  *sim.Result
+	err  error
+}
+
+// simCacheVerifyBudget is how many cache hits are audited per runner: the
+// hit's simulation is actually re-run and compared bit-for-bit against the
+// cached Result. A divergence means the key failed to capture something the
+// simulation depends on — the failure mode a purely structural check can
+// never see — and fails SimCacheVerdict.
+const simCacheVerifyBudget = 8
+
+// simCache is the schedule-keyed replay cache. The zero value is ready to
+// use; lookups are safe for concurrent workers.
+type simCache struct {
+	mu           sync.Mutex
+	m            map[simKey]*simEntry
+	hits, misses atomic.Int64
+
+	verified  atomic.Int64 // hits audited by re-simulation
+	divergent atomic.Int64 // audited hits whose re-simulation differed
+}
+
+// do returns the cached Result for key, running f exactly once per key. The
+// first few hits are audited: f runs anyway and its Result must match the
+// cached one exactly. The cached Result is returned either way, keeping the
+// output bit-identical at any worker count; a mismatch trips the divergence
+// counter that SimCacheVerdict reports.
+func (c *simCache) do(key simKey, f func() (*sim.Result, error)) (*sim.Result, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[simKey]*simEntry)
+	}
+	e := c.m[key]
+	hit := e != nil
+	if !hit {
+		e = &simEntry{}
+		c.m[key] = e
+		c.misses.Add(1)
+	} else {
+		c.hits.Add(1)
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.res, e.err = f() })
+	if hit && e.err == nil && c.verified.Load() < simCacheVerifyBudget {
+		c.verified.Add(1)
+		if fresh, err := f(); err != nil || *fresh != *e.res {
+			c.divergent.Add(1)
+		}
+	}
+	return e.res, e.err
+}
+
+// SimCacheStats reports the replay cache's activity: Hits are lookups served
+// from an existing entry, Misses are lookups that created one (and simulated),
+// Entries is the number of distinct (kernel, config, cap, schedule) outcomes
+// held. Verified counts the audited hits (re-simulated and compared);
+// Divergent counts audited hits whose re-simulation did not match the cached
+// Result — always zero unless the cache key is broken.
+type SimCacheStats struct {
+	Hits, Misses, Entries int64
+	Verified, Divergent   int64
+}
+
+// HitRate returns the fraction of lookups served from the cache.
+func (s SimCacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+func (c *simCache) stats() SimCacheStats {
+	c.mu.Lock()
+	n := int64(len(c.m))
+	c.mu.Unlock()
+	return SimCacheStats{
+		Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n,
+		Verified: c.verified.Load(), Divergent: c.divergent.Load(),
+	}
+}
+
+// SimCacheStats reports the runner's replay-cache counters.
+func (r *Runner) SimCacheStats() SimCacheStats { return r.simc.stats() }
+
+// simulate replays a schedule through the replay cache (or directly when the
+// cache is disabled).
+func (r *Runner) simulate(k *loop.Kernel, cfg machine.Config, s *sched.Schedule) (*sim.Result, error) {
+	opt := sim.Options{MaxInnermostIters: r.SimCap}
+	if r.DisableSimCache {
+		return simRun(s, opt)
+	}
+	key := simKey{
+		kernel: k,
+		cfg:    configKey(cfg),
+		simCap: r.SimCap,
+		sched:  string(s.AppendCanonical(nil)),
+	}
+	return r.simc.do(key, func() (*sim.Result, error) { return simRun(s, opt) })
+}
+
+// configKey is the canonical machine identity of a cache key. %+v prints
+// every Config field (including the latency table and per-cluster FU
+// overrides) deterministically, so two configs share a key only when every
+// parameter matches.
+func configKey(cfg machine.Config) string { return fmt.Sprintf("%+v", cfg) }

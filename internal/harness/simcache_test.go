@@ -1,0 +1,223 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/sim"
+	"multivliw/internal/workloads"
+)
+
+// TestSimKeyCollisionFreedom checks, across the suite and the threshold
+// sweep, that two cells share a cache key only when their schedules are
+// identical placement for placement (the canonical encoding is injective).
+func TestSimKeyCollisionFreedom(t *testing.T) {
+	cfg := machine.TwoCluster(2, 1, 1, 4)
+	type entry struct{ s *sched.Schedule }
+	byKey := map[string]entry{}
+	distinct := 0
+	for _, bench := range workloads.Suite() {
+		for _, k := range bench.Kernels {
+			for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+				for _, thr := range Thresholds {
+					s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: thr})
+					if err != nil {
+						t.Fatal(err)
+					}
+					key := k.Name + "\x00" + string(s.AppendCanonical(nil))
+					if prev, ok := byKey[key]; ok {
+						if !sameSchedule(prev.s, s) {
+							t.Fatalf("%s: distinct schedules share a cache key", k.Name)
+						}
+					} else {
+						byKey[key] = entry{s}
+						distinct++
+					}
+				}
+			}
+		}
+	}
+	if distinct == 0 {
+		t.Fatal("no schedules produced")
+	}
+}
+
+// TestSimCacheHitsAcrossThresholds pins the cache's reason to exist: on the
+// full threshold sweep of one configuration, distinct thresholds frequently
+// produce bit-identical schedules, and every such cell must hit.
+func TestSimCacheHitsAcrossThresholds(t *testing.T) {
+	r := smallRunner()
+	cfg := machine.TwoCluster(2, 1, 1, 4)
+
+	// Count, per kernel, how many (policy, threshold) cells repeat an
+	// already-seen schedule — the hits the sweep must produce.
+	wantHits := int64(0)
+	for _, bench := range r.Suite {
+		for _, k := range bench.Kernels {
+			seen := map[string]bool{}
+			for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+				for _, thr := range Thresholds {
+					s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: r.analysis(k, cfg)})
+					if err != nil {
+						t.Fatal(err)
+					}
+					key := string(s.AppendCanonical(nil))
+					if seen[key] {
+						wantHits++
+					}
+					seen[key] = true
+				}
+			}
+		}
+	}
+	if wantHits == 0 {
+		t.Fatal("test premise broken: no threshold pair shares a schedule on this configuration")
+	}
+
+	for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+		for _, thr := range Thresholds {
+			if _, _, err := r.Eval(cfg, pol, thr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := r.SimCacheStats()
+	if st.Hits != wantHits {
+		t.Errorf("sweep produced %d cache hits, schedules promise %d", st.Hits, wantHits)
+	}
+	if st.Entries != st.Misses {
+		t.Errorf("entries %d != misses %d: some key simulated more than once", st.Entries, st.Misses)
+	}
+}
+
+// TestNoSimCacheEquivalence locks the escape hatch: figure bars with the
+// cache disabled are bit-identical to cached ones.
+func TestNoSimCacheEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	cached := smallRunner()
+	direct := smallRunner()
+	direct.DisableSimCache = true
+	a, err := cached.Figure6(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := direct.Figure6(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("bar counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("bar %d differs:\ncached   %+v\nuncached %+v", i, a[i], b[i])
+		}
+	}
+	if hits := cached.SimCacheStats().Hits; hits == 0 {
+		t.Error("cached sweep recorded no hits")
+	}
+	if st := direct.SimCacheStats(); st.Hits+st.Misses != 0 {
+		t.Errorf("disabled cache recorded traffic: %+v", st)
+	}
+}
+
+// TestSimCacheVerdict checks the stats surface in the verdict set, including
+// the hit audit (re-simulated hits compared against the cached Result).
+func TestSimCacheVerdict(t *testing.T) {
+	r := smallRunner()
+	if _, _, err := r.Eval(machine.TwoCluster(2, 1, 1, 4), sched.RMCA, 0.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Eval(machine.TwoCluster(2, 1, 1, 4), sched.RMCA, 0.0); err != nil {
+		t.Fatal(err)
+	}
+	v := r.SimCacheVerdict()
+	if !v.Pass {
+		t.Errorf("verdict failed: %s", v.Detail)
+	}
+	st := r.SimCacheStats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("repeated Eval produced no cache traffic: %+v", st)
+	}
+	if st.Verified == 0 {
+		t.Error("no hits were audited")
+	}
+	if st.Divergent != 0 {
+		t.Errorf("%d audited hits diverged", st.Divergent)
+	}
+	for _, want := range []string{"hits", "misses", "entries", "audited"} {
+		if !strings.Contains(v.Detail, want) {
+			t.Errorf("verdict detail missing %q: %s", want, v.Detail)
+		}
+	}
+	disabled := smallRunner()
+	disabled.DisableSimCache = true
+	v = disabled.SimCacheVerdict()
+	if !v.Pass || !strings.Contains(v.Detail, "disabled") {
+		t.Errorf("disabled-cache verdict wrong: %+v", v)
+	}
+}
+
+// TestSimCacheVerdictCatchesDivergence proves the audit is falsifiable: a
+// hit whose re-simulation disagrees with the cached Result (the signature of
+// a key that dropped a sim-relevant field) must fail the verdict.
+func TestSimCacheVerdictCatchesDivergence(t *testing.T) {
+	r := smallRunner()
+	key := simKey{kernel: r.Suite[0].Kernels[0], cfg: "poisoned", simCap: 1, sched: "x"}
+	resA := &sim.Result{Total: 1}
+	resB := &sim.Result{Total: 2}
+	if _, err := r.simc.do(key, func() (*sim.Result, error) { return resA, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// Same key, different outcome: as if two distinct schedules collided.
+	if _, err := r.simc.do(key, func() (*sim.Result, error) { return resB, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.SimCacheStats(); st.Divergent == 0 {
+		t.Fatalf("audit missed the divergence: %+v", st)
+	}
+	if v := r.SimCacheVerdict(); v.Pass {
+		t.Errorf("verdict passed over a divergent hit: %s", v.Detail)
+	}
+}
+
+// TestFiguresByteIdenticalOnReference swaps the runner's simulator for the
+// retained reference interpreter and re-renders Figure 5/6 cells: the ASCII
+// output must be byte-identical, proving the compiled core and the replay
+// cache change nothing observable end to end.
+func TestFiguresByteIdenticalOnReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	render := func(r *Runner) string {
+		uni, err := r.UnifiedBars()
+		if err != nil {
+			t.Fatal(err)
+		}
+		f5, err := r.Figure5(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f6, err := r.Figure6(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderBars("Figure 5(a)", uni, f5) + RenderBars("Figure 6(a)", uni, f6)
+	}
+	got := render(smallRunner())
+
+	orig := simRun
+	simRun = sim.ReferenceRun
+	defer func() { simRun = orig }()
+	ref := smallRunner()
+	ref.DisableSimCache = true
+	want := render(ref)
+
+	if got != want {
+		t.Errorf("figure output diverges from the reference interpreter:\ncompiled+cache:\n%s\nreference:\n%s", got, want)
+	}
+}

@@ -287,6 +287,31 @@ func sameSchedule(a, b *sched.Schedule) bool {
 	return true
 }
 
+// SimCacheVerdict reports the replay cache as a checkable claim. The pass
+// condition is the audit: the first simCacheVerifyBudget hits were actually
+// re-simulated and compared bit-for-bit against the cached Result, so a key
+// that failed to capture something the simulation depends on fails here
+// (bookkeeping identities like entries == misses hold by construction and
+// prove nothing). Call it after the sweeps whose cache behavior should be
+// reported.
+func (r *Runner) SimCacheVerdict() Verdict {
+	const name = "replay cache: audited hits match re-simulation"
+	if r.DisableSimCache {
+		return Verdict{
+			Name:   name,
+			Pass:   true,
+			Detail: "cache disabled (-nosimcache); every cell simulated its own schedule",
+		}
+	}
+	st := r.SimCacheStats()
+	return Verdict{
+		Name: name,
+		Pass: st.Divergent == 0,
+		Detail: fmt.Sprintf("%d lookups: %d hits, %d misses, %d entries (%.0f%% hit rate); %d hits audited, %d diverged",
+			st.Hits+st.Misses, st.Hits, st.Misses, st.Entries, st.HitRate()*100, st.Verified, st.Divergent),
+	}
+}
+
 // RenderVerdicts formats the checked claims.
 func RenderVerdicts(vs []Verdict) string {
 	var b strings.Builder

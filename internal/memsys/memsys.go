@@ -111,6 +111,34 @@ func New(cfg machine.Config) *System {
 // Stats returns a copy of the accumulated statistics.
 func (s *System) Stats() Stats { return s.stats }
 
+// Reusable reports whether the system can be Reset and reused for cfg:
+// every parameter that shapes its arenas or timing must match. Pooled
+// simulator states use this to keep one System alive across runs.
+func (s *System) Reusable(cfg machine.Config) bool {
+	c := s.cfg
+	return c.Clusters == cfg.Clusters &&
+		c.TotalCacheBytes == cfg.TotalCacheBytes &&
+		c.LineBytes == cfg.LineBytes &&
+		c.Assoc == cfg.Assoc &&
+		c.MSHREntries == cfg.MSHREntries &&
+		c.MemBuses == cfg.MemBuses &&
+		c.MemBusLat == cfg.MemBusLat &&
+		c.Lat == cfg.Lat
+}
+
+// Reset returns the system to its post-New state — cold caches, empty
+// MSHRs, idle buses, zeroed statistics — without reallocating any arena.
+func (s *System) Reset() {
+	for _, c := range s.caches {
+		c.Reset()
+	}
+	for _, m := range s.mshrs {
+		m.Reset()
+	}
+	s.membus.Reset()
+	s.stats = Stats{}
+}
+
 // BusStats returns (transactions, busy cycles, wait cycles) of the memory
 // buses, including coherence traffic.
 func (s *System) BusStats() (int64, int64, int64) {

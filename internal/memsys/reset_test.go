@@ -1,0 +1,83 @@
+package memsys
+
+import (
+	"testing"
+
+	"multivliw/internal/machine"
+)
+
+// replaySequence drives a deterministic access mix and returns the details.
+func replaySequence(s *System) []Detail {
+	var out []Detail
+	lcg := uint64(12345)
+	now := int64(0)
+	for i := 0; i < 400; i++ {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		addr := (lcg >> 33) % (1 << 15)
+		cl := int((lcg >> 20) % uint64(s.cfg.Clusters))
+		store := lcg&1 == 1
+		out = append(out, s.Access(cl, addr, store, now))
+		now += int64(i % 3)
+	}
+	return out
+}
+
+// TestResetMatchesFresh pins the pooled-state contract: a Reset system times
+// every access exactly as a freshly built one.
+func TestResetMatchesFresh(t *testing.T) {
+	cfg := machine.TwoCluster(2, 1, 1, 4)
+	fresh := New(cfg)
+	want := replaySequence(fresh)
+	wantStats := fresh.Stats()
+
+	reused := New(cfg)
+	replaySequence(reused) // dirty it
+	reused.Reset()
+	got := replaySequence(reused)
+	if len(got) != len(want) {
+		t.Fatalf("detail counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("access %d: reset system %+v, fresh %+v", i, got[i], want[i])
+		}
+	}
+	if reused.Stats() != wantStats {
+		t.Errorf("stats after reset replay %+v, fresh %+v", reused.Stats(), wantStats)
+	}
+	tx, busy, wait := fresh.BusStats()
+	rtx, rbusy, rwait := reused.BusStats()
+	if tx != rtx || busy != rbusy || wait != rwait {
+		t.Errorf("bus stats diverge: fresh (%d,%d,%d), reset (%d,%d,%d)", tx, busy, wait, rtx, rbusy, rwait)
+	}
+}
+
+// TestReusable pins which configuration changes force a rebuild.
+func TestReusable(t *testing.T) {
+	base := machine.TwoCluster(2, 1, 1, 4)
+	s := New(base)
+	if !s.Reusable(base) {
+		t.Error("system not reusable for its own configuration")
+	}
+	// Register-bus shape is invisible to the memory system.
+	regOnly := machine.TwoCluster(4, 2, 1, 4)
+	if !s.Reusable(regOnly) {
+		t.Error("register-bus change should not force a rebuild")
+	}
+	for name, alter := range map[string]func(*machine.Config){
+		"clusters":  func(c *machine.Config) { c.Clusters = 4 },
+		"capacity":  func(c *machine.Config) { c.TotalCacheBytes *= 2 },
+		"line":      func(c *machine.Config) { c.LineBytes *= 2 },
+		"assoc":     func(c *machine.Config) { c.Assoc = 2 },
+		"mshr":      func(c *machine.Config) { c.MSHREntries++ },
+		"membuses":  func(c *machine.Config) { c.MemBuses = 2 },
+		"membuslat": func(c *machine.Config) { c.MemBusLat++ },
+		"latency":   func(c *machine.Config) { c.Lat.MainMemory++ },
+	} {
+		cfg := base
+		alter(&cfg)
+		if s.Reusable(cfg) {
+			t.Errorf("%s change reported reusable", name)
+		}
+	}
+}

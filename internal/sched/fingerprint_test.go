@@ -1,0 +1,113 @@
+package sched
+
+import (
+	"bytes"
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/workloads"
+)
+
+// TestDenseCommIndexMatchesMap checks, across the suite, that the dense
+// per-edge index built at finalization agrees with the EdgeComm map on every
+// in-edge, and that every map entry is reachable through the dense view.
+func TestDenseCommIndexMatchesMap(t *testing.T) {
+	configs := []machine.Config{
+		machine.TwoCluster(2, 1, 1, 4),
+		machine.FourCluster(2, 1, 1, 1),
+	}
+	for _, bench := range workloads.Suite() {
+		for _, k := range bench.Kernels {
+			for _, cfg := range configs {
+				s, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 0.0})
+				if err != nil {
+					t.Fatal(err)
+				}
+				g := k.Graph
+				if got, want := int(s.InOff[g.NumNodes()]), len(s.CommIn); got != want {
+					t.Fatalf("%s on %s: InOff end %d != len(CommIn) %d", k.Name, cfg.Name, got, want)
+				}
+				seen := 0
+				for v := 0; v < g.NumNodes(); v++ {
+					for j, e := range g.In(v) {
+						want := -1
+						if idx, ok := s.EdgeComm[[2]int{e.From, v}]; ok {
+							want = idx
+							seen++
+						}
+						if got := s.CommFor(v, j); got != want {
+							t.Errorf("%s on %s: edge %d->%d (j=%d): dense %d, map %d",
+								k.Name, cfg.Name, e.From, v, j, got, want)
+						}
+					}
+				}
+				if seen < len(s.EdgeComm) {
+					t.Errorf("%s on %s: %d EdgeComm entries, only %d reachable via in-edges",
+						k.Name, cfg.Name, len(s.EdgeComm), seen)
+				}
+			}
+		}
+	}
+}
+
+// TestCommForFallsBackToMap exercises the map fallback used by schedules
+// assembled outside finish (no dense index).
+func TestCommForFallsBackToMap(t *testing.T) {
+	k := workloads.Suite()[0].Kernels[0]
+	cfg := machine.TwoCluster(2, 1, 1, 1)
+	s, err := Run(k, cfg, Options{Policy: Baseline, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped := *s
+	stripped.InOff, stripped.CommIn = nil, nil
+	g := k.Graph
+	for v := 0; v < g.NumNodes(); v++ {
+		for j := range g.In(v) {
+			if a, b := s.CommFor(v, j), stripped.CommFor(v, j); a != b {
+				t.Errorf("node %d edge %d: dense %d != fallback %d", v, j, a, b)
+			}
+		}
+	}
+}
+
+// TestFingerprintStability pins the canonical encoding's contract: identical
+// runs encode identically; any change to a replay-relevant field changes the
+// encoding.
+func TestFingerprintStability(t *testing.T) {
+	k := workloads.Suite()[4].Kernels[0]
+	cfg := machine.FourCluster(2, 1, 1, 1)
+	a, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.AppendCanonical(nil), b.AppendCanonical(nil)) {
+		t.Error("identical runs produced different canonical encodings")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("identical runs produced different fingerprints")
+	}
+	mutate := *a
+	mutate.Cycle = append([]int(nil), a.Cycle...)
+	mutate.Cycle[0]++
+	if bytes.Equal(a.AppendCanonical(nil), mutate.AppendCanonical(nil)) {
+		t.Error("cycle change did not change the canonical encoding")
+	}
+	mutate = *a
+	mutate.II++
+	if bytes.Equal(a.AppendCanonical(nil), mutate.AppendCanonical(nil)) {
+		t.Error("II change did not change the canonical encoding")
+	}
+	if len(a.Comms) > 0 {
+		mutate = *a
+		mutate.Comms = append([]Comm(nil), a.Comms...)
+		mutate.Comms[0].Start++
+		if bytes.Equal(a.AppendCanonical(nil), mutate.AppendCanonical(nil)) {
+			t.Error("comm change did not change the canonical encoding")
+		}
+	}
+}

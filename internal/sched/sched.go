@@ -151,16 +151,38 @@ type Schedule struct {
 
 	Comms []Comm
 	// EdgeComm maps a cross-cluster register edge (from,to) to the index
-	// in Comms of the transfer that carries its value.
+	// in Comms of the transfer that carries its value. It is the map view
+	// for render and external callers; hot paths use InOff/CommIn.
 	EdgeComm map[[2]int]int
-	Table    *mrt.Table
-	MaxLive  []int // per cluster
+	// InOff and CommIn are the dense per-edge companion of EdgeComm,
+	// built at schedule finalization: node v's in-edges are
+	// Kernel.Graph.In(v), and CommIn[InOff[v]+j] is the index in Comms of
+	// the transfer serving the j-th of them, or -1 when no transfer
+	// carries that edge (same-cluster edges, memory-ordering edges).
+	InOff   []int32
+	CommIn  []int32
+	Table   *mrt.Table
+	MaxLive []int // per cluster
 
 	Stats Stats
 }
 
 // Stage returns the pipeline stage of node v.
 func (s *Schedule) Stage(v int) int { return s.Cycle[v] / s.II }
+
+// CommFor returns the index in Comms of the transfer serving the j-th
+// in-edge of node v, or -1 when no transfer carries it. It reads the dense
+// index when present and falls back to the EdgeComm map for schedules
+// assembled outside finish (tests, external constructors).
+func (s *Schedule) CommFor(v, j int) int {
+	if s.InOff != nil {
+		return int(s.CommIn[int(s.InOff[v])+j])
+	}
+	if idx, ok := s.EdgeComm[[2]int{s.Kernel.Graph.In(v)[j].From, v}]; ok {
+		return idx
+	}
+	return -1
+}
 
 // ComputeCycles returns NCYCLE_compute for the kernel's iteration space:
 // NTIMES · (NITER + SC − 1) · II (§2.2).
@@ -785,6 +807,24 @@ func (s *state) finish(maxLive []int) *Schedule {
 			worst = ml
 		}
 	}
+	// Dense per-edge comm index: one slot per in-edge, resolved once here so
+	// the simulator's dependence loop never touches the EdgeComm map.
+	n := s.g.NumNodes()
+	inOff := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		inOff[v+1] = inOff[v] + int32(len(s.g.In(v)))
+	}
+	commIn := make([]int32, inOff[n])
+	for v := 0; v < n; v++ {
+		base := inOff[v]
+		for j, e := range s.g.In(v) {
+			idx := int32(-1)
+			if ci, ok := s.edgeComm[[2]int{e.From, v}]; ok {
+				idx = int32(ci)
+			}
+			commIn[int(base)+j] = idx
+		}
+	}
 	sched := &Schedule{
 		Kernel:   s.k,
 		Config:   s.cfg,
@@ -797,6 +837,8 @@ func (s *state) finish(maxLive []int) *Schedule {
 		MissSch:  s.miss,
 		Comms:    s.comms,
 		EdgeComm: s.edgeComm,
+		InOff:    inOff,
+		CommIn:   commIn,
 		Table:    s.table,
 		MaxLive:  maxLive,
 		Stats: Stats{

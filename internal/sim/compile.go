@@ -1,0 +1,343 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/memsys"
+	"multivliw/internal/sched"
+)
+
+// cevent is one compiled kernel event. Everything the replay loop needs is
+// pre-resolved: its operand waits are direct windows into the Program's dep
+// arena (no map lookups, no edge-kind dispatch), and its own completion
+// entry is a direct base index into the State's ring arena.
+type cevent struct {
+	offset  int32 // flat cycle within the iteration frame
+	node    int32 // DDG node for operations, producer for comms
+	comm    int32 // comm index, or -1 for an operation
+	cluster int32 // issuing cluster (producer's cluster for comms)
+	slot    int32 // ring-arena base of this event's completion ring, or -1
+	ref     int32 // memory reference, or -1
+	isMem   bool
+	store   bool
+	dep0    int32 // operand waits: Program.deps[dep0:depN]
+	depN    int32
+}
+
+// dep is one pre-resolved operand wait: the completion ring of the producer
+// (a memory operation or a bus transfer) and the dependence distance.
+type dep struct {
+	slot int32 // ring-arena base of the producer's completion ring
+	dist int32 // dependence distance in iterations
+}
+
+// Program is a schedule compiled for replay: the kernel frame flattened into
+// dense per-row event lists, pre-sorted in the exact order the reference
+// interpreter fires them (offset descending, then operations before comms,
+// then by index), with every dependence operand resolved to a ring-arena
+// index. A Program is immutable after Compile and safe for concurrent Runs
+// (each Run draws its mutable state from a pooled State).
+type Program struct {
+	sched  *sched.Schedule
+	events []cevent // row-major: events[rowOff[r]:rowOff[r+1]] is row r
+	rowOff []int32  // len II+1
+	deps   []dep    // shared operand-wait arena
+
+	ring      int // entries per completion ring
+	slots     int // completion rings in the arena (memory ops + comms)
+	maxOffset int
+	niter     int
+	ntimes    int
+	depth     int
+	busLat    int64
+}
+
+// Compile verifies schedule s and flattens it into an event program.
+func Compile(s *sched.Schedule) (*Program, error) {
+	if err := s.Verify(); err != nil {
+		return nil, fmt.Errorf("sim: schedule invalid: %w", err)
+	}
+	k := s.Kernel
+	g := k.Graph
+	ii := s.II
+
+	// Completion-ring layout: one ring per memory operation, then one per
+	// comm. Ring depth covers the deepest dependence distance plus the
+	// pipeline, exactly as the reference interpreter sizes its buffers.
+	maxDist := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		for _, e := range g.Out(v) {
+			if e.Distance > maxDist {
+				maxDist = e.Distance
+			}
+		}
+	}
+	ring := maxDist + s.SC + 2
+	memSlot := make([]int32, g.NumNodes())
+	slots := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		memSlot[v] = -1
+		if g.Node(v).Class.IsMemory() {
+			memSlot[v] = int32(slots * ring)
+			slots++
+		}
+	}
+	commSlot := func(i int) int32 { return int32((slots + i) * ring) }
+
+	p := &Program{
+		sched:  s,
+		rowOff: make([]int32, ii+1),
+		ring:   ring,
+		slots:  slots + len(s.Comms),
+		niter:  k.NIter(),
+		ntimes: k.NTimes(),
+		depth:  k.Depth(),
+		busLat: int64(s.Config.RegBusLat),
+	}
+
+	rows := make([][]cevent, ii)
+	addDep := func(deps []dep, slot, dist int32) []dep {
+		for _, d := range deps {
+			if d.slot == slot && d.dist == dist {
+				return deps // duplicate edges wait on the same entry
+			}
+		}
+		return append(deps, dep{slot: slot, dist: dist})
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		n := g.Node(v)
+		ev := cevent{
+			offset:  int32(s.Cycle[v]),
+			node:    int32(v),
+			comm:    -1,
+			cluster: int32(s.Cluster[v]),
+			slot:    memSlot[v],
+			ref:     int32(n.Ref),
+			isMem:   n.Class.IsMemory(),
+			store:   n.Class == ddg.Store,
+			dep0:    int32(len(p.deps)),
+		}
+		var evDeps []dep
+		for j, e := range g.In(v) {
+			u := e.From
+			if u == v {
+				continue
+			}
+			// The reference interpreter's dependence dispatch, resolved
+			// once: memory-ordering edges and same-cluster edges wait on
+			// the producer's memory completion (non-memory producers are
+			// always on time); cross-cluster register values wait on the
+			// bus transfer serving the edge.
+			var slot int32 = -1
+			if e.Kind != ddg.MemDep && s.Cluster[u] != s.Cluster[v] {
+				if ci := s.CommFor(v, j); ci >= 0 {
+					slot = commSlot(ci)
+				}
+			} else if memSlot[u] >= 0 {
+				slot = memSlot[u]
+			}
+			if slot >= 0 {
+				evDeps = addDep(evDeps, slot, int32(e.Distance))
+			}
+		}
+		p.deps = append(p.deps, evDeps...)
+		ev.depN = int32(len(p.deps))
+		rows[s.Cycle[v]%ii] = append(rows[s.Cycle[v]%ii], ev)
+		if s.Cycle[v] > p.maxOffset {
+			p.maxOffset = s.Cycle[v]
+		}
+	}
+	for i, c := range s.Comms {
+		ev := cevent{
+			offset:  int32(c.Start),
+			node:    int32(c.Producer),
+			comm:    int32(i),
+			cluster: int32(s.Cluster[c.Producer]),
+			slot:    commSlot(i),
+			ref:     -1,
+			dep0:    int32(len(p.deps)),
+		}
+		// A transfer waits only for a late memory producer.
+		if memSlot[c.Producer] >= 0 {
+			p.deps = append(p.deps, dep{slot: memSlot[c.Producer], dist: 0})
+		}
+		ev.depN = int32(len(p.deps))
+		rows[c.Start%ii] = append(rows[c.Start%ii], ev)
+		if c.Start > p.maxOffset {
+			p.maxOffset = c.Start
+		}
+	}
+
+	// Fire order within a row at equal global cycles: earlier iterations
+	// (larger offsets) first, then operations before comms, then by node
+	// and comm index — the reference interpreter's comparator verbatim.
+	for r := range rows {
+		row := rows[r]
+		sort.Slice(row, func(a, b int) bool {
+			if row[a].offset != row[b].offset {
+				return row[a].offset > row[b].offset
+			}
+			if row[a].comm != row[b].comm {
+				return row[a].comm < row[b].comm
+			}
+			return row[a].node < row[b].node
+		})
+		p.rowOff[r+1] = p.rowOff[r] + int32(len(row))
+		p.events = append(p.events, row...)
+	}
+	return p, nil
+}
+
+// Schedule returns the schedule the program was compiled from.
+func (p *Program) Schedule() *sched.Schedule { return p.sched }
+
+// Run replays the compiled program with a pooled State.
+func (p *Program) Run(opt Options) (*Result, error) {
+	st := getState()
+	defer putState(st)
+	return p.RunState(st, opt)
+}
+
+// RunState replays the compiled program on an explicit State (callers that
+// manage their own pooling). The State must not be used concurrently.
+func (p *Program) RunState(st *State, opt Options) (*Result, error) {
+	s := p.sched
+	k := s.Kernel
+	ii := int64(s.II)
+	niter := p.niter
+	ntimes := p.ntimes
+
+	simExecs := ntimes
+	if opt.MaxInnermostIters > 0 {
+		simExecs = (opt.MaxInnermostIters + niter - 1) / niter
+		if simExecs > ntimes {
+			simExecs = ntimes
+		}
+		if simExecs < 1 {
+			simExecs = 1
+		}
+	}
+
+	st.prepare(p)
+	mem := st.system(s.Config)
+	rings := st.rings
+	ring := int64(p.ring)
+	busLat := p.busLat
+	deps := p.deps
+	deathSpan := (int64(niter) - 1) * ii // lifetime of one event past first fire
+
+	res := &Result{Executions: ntimes, SimExecutions: simExecs, IterSpace: int64(ntimes) * int64(niter)}
+	horizonPerExec := int64(niter+s.SC-1) * ii
+	horizon := deathSpan + int64(p.maxOffset)
+	var clock int64 // global actual time across executions
+
+	for exec := 0; exec < simExecs; exec++ {
+		k.OuterIter(exec, st.iv)
+		var slip int64
+		base := clock
+		// Per-row active windows restart each execution: all events ahead.
+		for r := 0; r < int(ii); r++ {
+			n := int(p.rowOff[r+1] - p.rowOff[r])
+			st.lo[r], st.hi[r] = n, n
+		}
+		for t := int64(0); t <= horizon; t++ {
+			r := int(t % ii)
+			row := p.events[p.rowOff[r]:p.rowOff[r+1]]
+			// Rows are offset-descending, so events activate (offset <= t)
+			// from the back toward the front and expire (iteration count
+			// exhausted) from the back first: both window bounds only move
+			// down, and no event outside [lo, hi) is ever visited.
+			lo := st.lo[r]
+			for lo > 0 && int64(row[lo-1].offset) <= t {
+				lo--
+			}
+			st.lo[r] = lo
+			hi := st.hi[r]
+			cut := t - deathSpan
+			for hi > lo && int64(row[hi-1].offset) < cut {
+				hi--
+			}
+			st.hi[r] = hi
+			for i := lo; i < hi; i++ {
+				ev := &row[i]
+				iter := (t - int64(ev.offset)) / ii
+				actual := base + t + slip
+				if ev.comm >= 0 {
+					// Register-bus transfer: wait for a late memory
+					// producer, then post the arrival time.
+					need := actual
+					for d := ev.dep0; d < ev.depN; d++ {
+						if w := rings[int64(deps[d].slot)+iter%ring]; w > need {
+							need = w
+						}
+					}
+					var stalled int64
+					if need > actual {
+						stalled = need - actual
+						res.StallComm += stalled
+						slip += stalled
+						actual = need
+					}
+					rings[int64(ev.slot)+iter%ring] = actual + busLat
+					if opt.Observer != nil {
+						opt.Observer(Event{
+							Exec: exec, Iter: int(iter), Sched: base + t,
+							Actual: actual, Stall: stalled, Node: -1, Comm: int(ev.comm),
+							Cluster: int(ev.cluster),
+						})
+					}
+					continue
+				}
+				need := actual
+				for d := ev.dep0; d < ev.depN; d++ {
+					dp := deps[d]
+					prodIter := iter - int64(dp.dist)
+					if prodIter < 0 {
+						continue // live-in from before the loop
+					}
+					if w := rings[int64(dp.slot)+prodIter%ring]; w > need {
+						need = w
+					}
+				}
+				var stalled int64
+				if need > actual {
+					stalled = need - actual
+					res.StallOperand += stalled
+					slip += stalled
+					actual = need
+				}
+				var level memsys.ServiceLevel
+				if ev.isMem {
+					st.iv[len(st.iv)-1] = int(iter)
+					addr := k.Refs[ev.ref].Address(st.iv)
+					det := mem.Access(int(ev.cluster), addr, ev.store, actual)
+					rings[int64(ev.slot)+iter%ring] = det.Done
+					level = det.Level
+				}
+				if opt.Observer != nil {
+					opt.Observer(Event{
+						Exec: exec, Iter: int(iter), Sched: base + t,
+						Actual: actual, Stall: stalled, Node: int(ev.node), Comm: -1,
+						Cluster: int(ev.cluster), Level: level, IsMem: ev.isMem,
+					})
+				}
+			}
+		}
+		res.Stall += slip
+		clock = base + horizonPerExec + slip
+	}
+
+	// Scale sampled stalls to the full execution count.
+	if simExecs < ntimes {
+		res.Stall = res.Stall * int64(ntimes) / int64(simExecs)
+		res.StallOperand = res.StallOperand * int64(ntimes) / int64(simExecs)
+		res.StallComm = res.StallComm * int64(ntimes) / int64(simExecs)
+	}
+	res.Compute = s.ComputeCycles()
+	res.Total = res.Compute + res.Stall
+	res.Mem = mem.Stats()
+	res.BusTx, res.BusBusy, res.BusWait = mem.BusStats()
+	return res, nil
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/workloads"
+)
+
+// diffConfigs returns the machine grid of the differential suite: both
+// cluster counts, with both a bandwidth-bound and an unbounded bus shape.
+func diffConfigs() []machine.Config {
+	return []machine.Config{
+		machine.TwoCluster(2, 1, 1, 4),
+		machine.TwoCluster(machine.Unbounded, 2, machine.Unbounded, 2),
+		machine.FourCluster(2, 1, 1, 4),
+		machine.FourCluster(machine.Unbounded, 1, machine.Unbounded, 1),
+	}
+}
+
+// TestCompiledMatchesReference is the differential lock of the rewrite: the
+// compiled event-driven core must produce bit-identical Results to the
+// retained reference interpreter across the full suite × {2,4} clusters ×
+// both schedulers × all four thresholds, sampled and unsampled.
+func TestCompiledMatchesReference(t *testing.T) {
+	configs := diffConfigs()
+	caps := []int{0, 256}
+	if testing.Short() {
+		configs = configs[:1]
+		caps = []int{256}
+	}
+	for _, cfg := range configs {
+		for _, bench := range workloads.Suite() {
+			for _, k := range bench.Kernels {
+				for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+					for _, thr := range []float64{1.00, 0.75, 0.25, 0.00} {
+						s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: thr})
+						if err != nil {
+							t.Fatalf("%s on %s: %v", k.Name, cfg.Name, err)
+						}
+						for _, cap := range caps {
+							opt := Options{MaxInnermostIters: cap}
+							got, err := Run(s, opt)
+							if err != nil {
+								t.Fatal(err)
+							}
+							want, err := ReferenceRun(s, opt)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if *got != *want {
+								t.Fatalf("%s on %s (%v thr=%.2f cap=%d):\ncompiled  %+v\nreference %+v",
+									k.Name, cfg.Name, pol, thr, cap, *got, *want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompiledObserverMatchesReference pins the event stream, not just the
+// aggregate: every observed event (times, stalls, service levels, order)
+// must match the reference exactly.
+func TestCompiledObserverMatchesReference(t *testing.T) {
+	k := workloads.Suite()[4].Kernels[0] // mgrid.resid
+	for _, cfg := range []machine.Config{
+		machine.TwoCluster(2, 1, 1, 4),
+		machine.FourCluster(2, 1, 1, 1),
+	} {
+		s, err := sched.Run(k, cfg, sched.Options{Policy: sched.RMCA, Threshold: 0.0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		collect := func(run func(*sched.Schedule, Options) (*Result, error)) []Event {
+			var evs []Event
+			if _, err := run(s, Options{
+				MaxInnermostIters: 2 * k.NIter(),
+				Observer:          func(e Event) { evs = append(evs, e) },
+			}); err != nil {
+				t.Fatal(err)
+			}
+			return evs
+		}
+		got := collect(Run)
+		want := collect(ReferenceRun)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d events vs %d", cfg.Name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: event %d differs:\ncompiled  %+v\nreference %+v", cfg.Name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPooledStateIsolation runs two different programs through one explicit
+// State back to back and checks the second result matches a fresh-state run:
+// nothing of the first run may leak through the pooled arenas.
+func TestPooledStateIsolation(t *testing.T) {
+	kA := workloads.Suite()[1].Kernels[0] // swim.calc1
+	kB := workloads.Suite()[4].Kernels[0] // mgrid.resid
+	cfgA := machine.TwoCluster(2, 1, 1, 4)
+	cfgB := machine.FourCluster(2, 1, 1, 1)
+	sA, err := sched.Run(kA, cfgA, sched.Options{Policy: sched.Baseline, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := sched.Run(kB, cfgB, sched.Options{Policy: sched.RMCA, Threshold: 0.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pA, err := Compile(sA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pB, err := Compile(sB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{MaxInnermostIters: 512}
+	shared := NewState()
+	if _, err := pA.RunState(shared, opt); err != nil {
+		t.Fatal(err)
+	}
+	reused, err := pB.RunState(shared, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := pB.RunState(NewState(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *reused != *fresh {
+		t.Fatalf("state reuse leaked:\nreused %+v\nfresh  %+v", *reused, *fresh)
+	}
+	// Same program twice on one state must also be deterministic.
+	again, err := pB.RunState(shared, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *again != *fresh {
+		t.Fatalf("repeat on warm state diverged:\nwarm  %+v\nfresh %+v", *again, *fresh)
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/workloads"
+)
+
+// benchSchedule compiles the representative kernel of the scheduler
+// benchmarks (mgrid.resid on the 4-cluster machine).
+func benchSchedule(tb testing.TB) *sched.Schedule {
+	tb.Helper()
+	k := workloads.Suite()[4].Kernels[0]
+	cfg := machine.FourCluster(2, 1, 1, 1)
+	s, err := sched.Run(k, cfg, sched.Options{Policy: sched.RMCA, Threshold: 0.0})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSimCompile measures the one-time flattening pass.
+func BenchmarkSimCompile(b *testing.B) {
+	s := benchSchedule(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compile(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimRun measures the replay core on a warm pooled state: one
+// compiled program, one explicit State, SimCap-sized runs as the harness
+// issues them.
+func BenchmarkSimRun(b *testing.B) {
+	s := benchSchedule(b)
+	p, err := Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st := NewState()
+	opt := Options{MaxInnermostIters: 512}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunState(st, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimReference measures the retained reference interpreter on the
+// same workload (the pre-rewrite cost of every harness cell).
+func BenchmarkSimReference(b *testing.B) {
+	s := benchSchedule(b)
+	opt := Options{MaxInnermostIters: 512}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReferenceRun(s, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestSimRunAllocs pins the warm-state replay's allocation budget: at most
+// 10 allocations per run (the Result plus memory-system stats copies),
+// enforcing the pooled-state contract in CI.
+func TestSimRunAllocs(t *testing.T) {
+	s := benchSchedule(t)
+	p, err := Compile(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewState()
+	opt := Options{MaxInnermostIters: 512}
+	if _, err := p.RunState(st, opt); err != nil {
+		t.Fatal(err) // warm the state
+	}
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := p.RunState(st, opt); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 10 {
+		t.Errorf("warm Program.RunState allocates %.1f/op, budget 10", avg)
+	}
+}

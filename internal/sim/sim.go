@@ -13,13 +13,19 @@
 // arise exactly where the paper says they do: consumers of loads scheduled
 // with an optimistic latency, bus transfers waiting for a late load, full
 // MSHRs and memory-bus contention.
+//
+// The simulator is split into a compile pass and a replay core. Compile
+// flattens a schedule once into a Program: dense per-row event lists in
+// pre-sorted fire order, with every dependence operand resolved to a direct
+// index into a completion-ring arena (no map lookups, no edge-kind dispatch
+// and no out-of-window events at replay time). Program.Run then replays the
+// program against a pooled State (ring arena, memory-system arenas,
+// iteration-vector scratch), so repeated runs allocate almost nothing.
+// ReferenceRun retains the original cycle-driven interpreter as the
+// executable specification; differential tests pin the two bit-identical.
 package sim
 
 import (
-	"fmt"
-	"sort"
-
-	"multivliw/internal/ddg"
 	"multivliw/internal/memsys"
 	"multivliw/internal/sched"
 )
@@ -82,203 +88,13 @@ func (r Result) CyclesPerIter() float64 {
 	return float64(r.Total) / float64(r.IterSpace)
 }
 
-// event is one scheduled kernel event.
-type event struct {
-	offset int // flat cycle within the iteration frame
-	comm   int // comm index, or -1 for an operation
-	node   int // node ID for operations, producer for comms
-}
-
-// Run replays schedule s and returns the cycle accounting.
+// Run replays schedule s and returns the cycle accounting: a one-off
+// Compile followed by a pooled replay. Callers that replay one schedule
+// many times should Compile once and call Program.Run directly.
 func Run(s *sched.Schedule, opt Options) (*Result, error) {
-	if err := s.Verify(); err != nil {
-		return nil, fmt.Errorf("sim: schedule invalid: %w", err)
+	p, err := Compile(s)
+	if err != nil {
+		return nil, err
 	}
-	k := s.Kernel
-	g := k.Graph
-	ii := s.II
-
-	// Events grouped by kernel row, ordered so that, at equal global
-	// cycles, earlier iterations (larger offsets) go first.
-	rows := make([][]event, ii)
-	maxOffset := 0
-	for v := 0; v < g.NumNodes(); v++ {
-		rows[s.Cycle[v]%ii] = append(rows[s.Cycle[v]%ii], event{offset: s.Cycle[v], comm: -1, node: v})
-		if s.Cycle[v] > maxOffset {
-			maxOffset = s.Cycle[v]
-		}
-	}
-	for i, c := range s.Comms {
-		rows[c.Start%ii] = append(rows[c.Start%ii], event{offset: c.Start, comm: i, node: c.Producer})
-		if c.Start > maxOffset {
-			maxOffset = c.Start
-		}
-	}
-	for r := range rows {
-		sort.Slice(rows[r], func(a, b int) bool {
-			if rows[r][a].offset != rows[r][b].offset {
-				return rows[r][a].offset > rows[r][b].offset
-			}
-			if rows[r][a].comm != rows[r][b].comm {
-				return rows[r][a].comm < rows[r][b].comm
-			}
-			return rows[r][a].node < rows[r][b].node
-		})
-	}
-
-	// Ring buffers for per-iteration completion times. Size covers the
-	// deepest dependence distance plus the pipeline depth.
-	maxDist := 0
-	for v := 0; v < g.NumNodes(); v++ {
-		for _, e := range g.Out(v) {
-			if e.Distance > maxDist {
-				maxDist = e.Distance
-			}
-		}
-	}
-	ring := maxDist + s.SC + 2
-
-	memDone := make([][]int64, g.NumNodes()) // loads and stores
-	for v := range memDone {
-		if g.Node(v).Class.IsMemory() {
-			memDone[v] = make([]int64, ring)
-		}
-	}
-	commArr := make([][]int64, len(s.Comms))
-	for i := range commArr {
-		commArr[i] = make([]int64, ring)
-	}
-
-	mem := memsys.New(s.Config)
-
-	niter := k.NIter()
-	ntimes := k.NTimes()
-	simExecs := ntimes
-	if opt.MaxInnermostIters > 0 {
-		simExecs = (opt.MaxInnermostIters + niter - 1) / niter
-		if simExecs > ntimes {
-			simExecs = ntimes
-		}
-		if simExecs < 1 {
-			simExecs = 1
-		}
-	}
-
-	res := &Result{Executions: ntimes, SimExecutions: simExecs, IterSpace: int64(ntimes) * int64(niter)}
-	horizonPerExec := int64(niter+s.SC-1) * int64(ii)
-	iv := make([]int, k.Depth())
-	busLat := int64(s.Config.RegBusLat)
-	var clock int64 // global actual time across executions
-
-	for exec := 0; exec < simExecs; exec++ {
-		k.OuterIter(exec, iv)
-		var slip int64
-		base := clock
-		horizon := (int64(niter)-1)*int64(ii) + int64(maxOffset)
-		for t := int64(0); t <= horizon; t++ {
-			row := rows[int(t%int64(ii))]
-			for _, ev := range row {
-				iter := (t - int64(ev.offset)) / int64(ii)
-				if int64(ev.offset) > t || iter < 0 || iter >= int64(niter) {
-					continue
-				}
-				actual := base + t + slip
-				if ev.comm >= 0 {
-					// Register-bus transfer: wait for its producer
-					// if the producer is a late memory value.
-					need := actual
-					if memDone[ev.node] != nil {
-						if d := memDone[ev.node][iter%int64(ring)]; d > need {
-							need = d
-						}
-					}
-					var stalled int64
-					if need > actual {
-						stalled = need - actual
-						res.StallComm += stalled
-						slip += stalled
-						actual = need
-					}
-					commArr[ev.comm][iter%int64(ring)] = actual + busLat
-					if opt.Observer != nil {
-						opt.Observer(Event{
-							Exec: exec, Iter: int(iter), Sched: base + t,
-							Actual: actual, Stall: stalled, Node: -1, Comm: ev.comm,
-							Cluster: s.Cluster[s.Comms[ev.comm].Producer],
-						})
-					}
-					continue
-				}
-				v := ev.node
-				need := actual
-				for _, e := range g.In(v) {
-					u := e.From
-					if u == v {
-						continue
-					}
-					prodIter := iter - int64(e.Distance)
-					if prodIter < 0 {
-						continue // live-in from before the loop
-					}
-					switch {
-					case e.Kind == ddg.MemDep:
-						if memDone[u] != nil {
-							if d := memDone[u][prodIter%int64(ring)]; d > need {
-								need = d
-							}
-						}
-					case s.Cluster[u] != s.Cluster[v]:
-						if idx, ok := s.EdgeComm[[2]int{u, v}]; ok {
-							if d := commArr[idx][prodIter%int64(ring)]; d > need {
-								need = d
-							}
-						}
-					default:
-						if memDone[u] != nil {
-							if d := memDone[u][prodIter%int64(ring)]; d > need {
-								need = d
-							}
-						}
-					}
-				}
-				var stalled int64
-				if need > actual {
-					stalled = need - actual
-					res.StallOperand += stalled
-					slip += stalled
-					actual = need
-				}
-				n := g.Node(v)
-				var level memsys.ServiceLevel
-				if n.Class.IsMemory() {
-					iv[len(iv)-1] = int(iter)
-					addr := k.Refs[n.Ref].Address(iv)
-					det := mem.Access(s.Cluster[v], addr, n.Class == ddg.Store, actual)
-					memDone[v][iter%int64(ring)] = det.Done
-					level = det.Level
-				}
-				if opt.Observer != nil {
-					opt.Observer(Event{
-						Exec: exec, Iter: int(iter), Sched: base + t,
-						Actual: actual, Stall: stalled, Node: v, Comm: -1,
-						Cluster: s.Cluster[v], Level: level, IsMem: n.Class.IsMemory(),
-					})
-				}
-			}
-		}
-		res.Stall += slip
-		clock = base + horizonPerExec + slip
-	}
-
-	// Scale sampled stalls to the full execution count.
-	if simExecs < ntimes {
-		res.Stall = res.Stall * int64(ntimes) / int64(simExecs)
-		res.StallOperand = res.StallOperand * int64(ntimes) / int64(simExecs)
-		res.StallComm = res.StallComm * int64(ntimes) / int64(simExecs)
-	}
-	res.Compute = s.ComputeCycles()
-	res.Total = res.Compute + res.Stall
-	res.Mem = mem.Stats()
-	res.BusTx, res.BusBusy, res.BusWait = mem.BusStats()
-	return res, nil
+	return p.Run(opt)
 }

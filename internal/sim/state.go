@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"sync"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/memsys"
+)
+
+// State is the mutable side of a simulation run: the completion-ring arena,
+// the per-row active-window cursors, the iteration-vector scratch and the
+// memory system. A State is reused across runs — prepare re-zeroes the rings
+// and the memory system is Reset in place whenever the machine configuration
+// allows — so a warm replay allocates nothing beyond its Result. States are
+// not safe for concurrent use; Program.Run draws them from an internal pool,
+// callers that want explicit control use NewState with RunState.
+type State struct {
+	rings  []int64 // completion times, p.slots rings of p.ring entries
+	lo, hi []int   // per-row active event windows
+	iv     []int   // iteration vector scratch (outer levels + innermost)
+
+	mem *memsys.System
+}
+
+// NewState returns an empty State; its arenas grow to fit the first program
+// it runs and are reused afterwards.
+func NewState() *State { return &State{} }
+
+// prepare sizes the arenas for program p and clears the completion rings
+// (a fresh run must not see completion times of the previous one).
+func (st *State) prepare(p *Program) {
+	n := p.slots * p.ring
+	if cap(st.rings) < n {
+		st.rings = make([]int64, n)
+	} else {
+		st.rings = st.rings[:n]
+		for i := range st.rings {
+			st.rings[i] = 0
+		}
+	}
+	ii := len(p.rowOff) - 1
+	if cap(st.lo) < ii {
+		st.lo = make([]int, ii)
+		st.hi = make([]int, ii)
+	} else {
+		st.lo = st.lo[:ii]
+		st.hi = st.hi[:ii]
+	}
+	if cap(st.iv) < p.depth {
+		st.iv = make([]int, p.depth)
+	} else {
+		st.iv = st.iv[:p.depth]
+		for i := range st.iv {
+			st.iv[i] = 0
+		}
+	}
+}
+
+// system returns a cold memory system for cfg, reusing the previous run's
+// arenas when the configuration allows.
+func (st *State) system(cfg machine.Config) *memsys.System {
+	if st.mem != nil && st.mem.Reusable(cfg) {
+		st.mem.Reset()
+		return st.mem
+	}
+	st.mem = memsys.New(cfg)
+	return st.mem
+}
+
+// statePool recycles States across Program.Run calls.
+var statePool = sync.Pool{New: func() any { return NewState() }}
+
+func getState() *State   { return statePool.Get().(*State) }
+func putState(st *State) { statePool.Put(st) }

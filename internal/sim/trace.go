@@ -13,8 +13,15 @@ import (
 // where memory accesses were served. Debugging and teaching aid (mvpsim
 // -trace).
 func Trace(s *sched.Schedule, maxEvents int) (string, error) {
+	return TraceWith(s, maxEvents, Run)
+}
+
+// TraceWith is Trace with an explicit replay entry — Run for the compiled
+// core, ReferenceRun to trace the retained interpreter (mvpsim -reference
+// -trace cross-checks the two event streams).
+func TraceWith(s *sched.Schedule, maxEvents int, run func(*sched.Schedule, Options) (*Result, error)) (string, error) {
 	var events []Event
-	_, err := Run(s, Options{
+	_, err := run(s, Options{
 		MaxInnermostIters: s.Kernel.NIter(), // one execution is plenty
 		Observer: func(e Event) {
 			if len(events) < maxEvents {

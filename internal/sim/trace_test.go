@@ -28,6 +28,26 @@ func TestTraceRendersEvents(t *testing.T) {
 	}
 }
 
+// TestTraceWithReferenceIdentical renders the same schedule through both
+// replay entries: the trace strings must match byte for byte (the -reference
+// -trace cross-check of mvpsim).
+func TestTraceWithReferenceIdentical(t *testing.T) {
+	k := thrash(64)
+	cfg := machine.TwoCluster(2, 1, 1, 2)
+	s := mustRun(t, k, cfg, sched.Options{Policy: sched.RMCA, Threshold: 0.25})
+	compiled, err := TraceWith(s, 60, Run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reference, err := TraceWith(s, 60, ReferenceRun)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled != reference {
+		t.Errorf("traces diverge:\ncompiled:\n%s\nreference:\n%s", compiled, reference)
+	}
+}
+
 func TestObserverSeesTimeOrderedEvents(t *testing.T) {
 	k := thrash(64)
 	cfg := machine.TwoCluster(2, 1, 1, 2)

@@ -140,6 +140,8 @@ func Compile(k *Kernel, m Machine, opt Options) (*Schedule, error) {
 type (
 	// SimResult is the cycle accounting of one simulated kernel.
 	SimResult = sim.Result
+	// SimProgram is a schedule compiled for repeated replay.
+	SimProgram = sim.Program
 )
 
 // Simulate replays a schedule on the distributed memory system.
@@ -147,6 +149,17 @@ type (
 // iteration space); capped stall counts are scaled.
 func Simulate(s *Schedule, maxInnermostIters int) (*SimResult, error) {
 	return sim.Run(s, sim.Options{MaxInnermostIters: maxInnermostIters})
+}
+
+// CompileSim flattens a schedule into an event program once; replay it many
+// times with SimProgram.Run (each run draws its state from a pool).
+func CompileSim(s *Schedule) (*SimProgram, error) { return sim.Compile(s) }
+
+// SimulateReference replays a schedule with the retained reference
+// interpreter — the executable specification the compiled core is locked
+// against. Results are bit-identical to Simulate; use it for cross-checks.
+func SimulateReference(s *Schedule, maxInnermostIters int) (*SimResult, error) {
+	return sim.ReferenceRun(s, sim.Options{MaxInnermostIters: maxInnermostIters})
 }
 
 // Locality analysis.
