@@ -275,6 +275,43 @@ func BenchmarkHarnessEvalSerial(b *testing.B) { benchHarnessEval(b, 1) }
 // CPU.
 func BenchmarkHarnessEvalParallel(b *testing.B) { benchHarnessEval(b, runtime.NumCPU()) }
 
+// sweepFig6Spec is the declarative twin of the BenchmarkHarnessEvalSerial
+// grid: the Figure 6 2-cluster cell set expressed as a sweep spec.
+const sweepFig6Spec = `{
+	"name": "bench-fig6-2cl",
+	"simCap": 512,
+	"parallelism": 1,
+	"figures": [{
+		"title": "Figure 6(a): 2 clusters, 2 register buses @1, limited memory buses",
+		"groups": [
+			{"label": "NMB=1 LMB=1", "machine": {"ref": "2-cluster", "memBuses": 1, "memBusLat": 1}},
+			{"label": "NMB=1 LMB=4", "machine": {"ref": "2-cluster", "memBuses": 1, "memBusLat": 4}},
+			{"label": "NMB=2 LMB=1", "machine": {"ref": "2-cluster", "memBuses": 2, "memBusLat": 1}},
+			{"label": "NMB=2 LMB=4", "machine": {"ref": "2-cluster", "memBuses": 2, "memBusLat": 4}}
+		]
+	}]
+}`
+
+// BenchmarkSweepRun measures the declarative sweep engine on the same cell
+// grid as BenchmarkHarnessEvalSerial (spec parsing and machine resolution
+// included, fresh runner per iteration); the delta against that benchmark is
+// the engine's pure spec overhead.
+func BenchmarkSweepRun(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		spec, err := multivliw.ParseSweepSpec([]byte(sweepFig6Spec), ".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := multivliw.RunSweep(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(res.Rows)
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
 // BenchmarkSchedulerRMCA measures scheduling throughput on a representative
 // kernel (mgrid.resid: 13 nodes, 7 memory references, 4 clusters).
 func BenchmarkSchedulerRMCA(b *testing.B) {

@@ -1,0 +1,62 @@
+// Command benchgate is the CI benchmark-regression gate: it compares `go
+// test -bench` output against the repository's checked-in performance
+// budgets and exits non-zero on any violation.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkSchedulerRun -benchtime 100x -benchmem -count 3 ./internal/sched | tee bench.txt
+//	benchgate -bench bench.txt -budgets perf_budgets.json
+//
+// ns/op gets the budgets' configured slack (CI noise); allocs/op gets none.
+// Budgets are ceilings seeded from PERF.md — lower them when you land a win.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multivliw/internal/benchgate"
+)
+
+func main() {
+	var (
+		benchPath   = flag.String("bench", "", "file holding `go test -bench` output (tee the bench run into it)")
+		budgetsPath = flag.String("budgets", "perf_budgets.json", "budget file")
+	)
+	flag.Parse()
+	if *benchPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	budgetData, err := os.ReadFile(*budgetsPath)
+	if err != nil {
+		fail(err)
+	}
+	budgets, err := benchgate.ParseBudgets(budgetData)
+	if err != nil {
+		fail(err)
+	}
+	f, err := os.Open(*benchPath)
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+	got, err := benchgate.ParseBenchOutput(f)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(benchgate.Report(budgets, got))
+	if vs := benchgate.Check(budgets, got); len(vs) > 0 {
+		for _, v := range vs {
+			fmt.Fprintln(os.Stderr, "benchgate: FAIL", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all benchmarks within budget")
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

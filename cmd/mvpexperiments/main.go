@@ -8,6 +8,9 @@
 //	mvpexperiments -all
 //	mvpexperiments -fig5 -clusters 4
 //	mvpexperiments -fig3 -n 1000
+//	mvpexperiments -spec examples/sweep/fig5.json
+//	mvpexperiments -spec examples/sweep/generated.json -rows -
+//	mvpexperiments -genfuzz 100 -genseed 1
 package main
 
 import (
@@ -36,8 +39,24 @@ func main() {
 		simCap   = flag.Int("simcap", 1024, "simulated innermost iterations per kernel (0 = full)")
 		jobs     = flag.Int("j", 0, "parallel workers for figure sweeps (0 = all CPUs, 1 = serial; output is identical at any width)")
 		nocache  = flag.Bool("nosimcache", false, "disable the schedule-keyed replay cache (identical output, more wall-clock time)")
+		specPath = flag.String("spec", "", "run a declarative experiment-spec file (see examples/sweep) instead of the hard-coded figures")
+		rowsOut  = flag.String("rows", "", "with -spec: also write the per-cell CSV rows to this file ('-' = stdout)")
+		genfuzz  = flag.Int("genfuzz", 0, "run N seeded generated kernels through the compiled-vs-reference and guided-vs-linear differential checks")
+		genseed  = flag.Int64("genseed", 1, "seed of the -genfuzz corpus")
 	)
 	flag.Parse()
+	if *specPath != "" {
+		runSpec(*specPath, *rowsOut, *simCap, *jobs)
+		return
+	}
+	if *genfuzz > 0 {
+		rep, err := harness.GeneratorDifferential(harness.FuzzOptions{Seed: *genseed, Kernels: *genfuzz, SimCap: *simCap})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("generator differential:", rep)
+		return
+	}
 	if !(*all || *table1 || *arch || *fig3 || *fig5 || *fig6 || *verdict || *comms || *perbench || *ablate) {
 		flag.Usage()
 		os.Exit(2)
@@ -142,6 +161,42 @@ func main() {
 		for _, row := range must(harness.UnrollStudy(512)) {
 			fmt.Printf("%-22s %4d %4d %5d/%-5d %10d %10d %10d\n",
 				row.Variant, row.II, row.SC, row.MissSched, row.Loads, row.Compute, row.Stall, row.Total)
+		}
+	}
+}
+
+// runSpec runs a declarative experiment-spec file. Explicitly-passed
+// -simcap/-j flags override the spec's own settings; the flag defaults do
+// not, so `-spec examples/sweep/fig5.json` alone reproduces the hard-coded
+// `-fig5` output byte-identically.
+func runSpec(path, rowsOut string, simCap, jobs int) {
+	spec, err := harness.LoadSweepSpec(path)
+	if err != nil {
+		fail(err)
+	}
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "simcap":
+			spec.SimCap = &simCap
+			for i := range spec.Figures {
+				spec.Figures[i].SimCap = nil
+			}
+		case "j":
+			spec.Parallelism = jobs
+		}
+	})
+	res, err := harness.RunSweep(spec)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(res.Text())
+	switch rowsOut {
+	case "":
+	case "-":
+		fmt.Print(res.RowsCSV())
+	default:
+		if err := os.WriteFile(rowsOut, []byte(res.RowsCSV()), 0o644); err != nil {
+			fail(err)
 		}
 	}
 }

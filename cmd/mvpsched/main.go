@@ -26,6 +26,7 @@ func main() {
 		list      = flag.Bool("list", false, "list available kernels")
 		name      = flag.String("kernel", "motivating", "kernel name (or 'motivating')")
 		clusters  = flag.Int("clusters", 2, "1, 2 or 4 clusters")
+		machSpec  = flag.String("machine", "", "machine-spec JSON file; overrides -clusters/-nrb/-lrb/-nmb/-lmb")
 		policy    = flag.String("policy", "rmca", "baseline or rmca")
 		threshold = flag.Float64("threshold", 0.0, "cache-miss threshold in [0,1]")
 		nrb       = flag.Int("nrb", 2, "register buses (-1 = unbounded)")
@@ -55,16 +56,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mvpsched: unknown kernel %q (try -list)\n", *name)
 		os.Exit(2)
 	}
-	var cfg machine.Config
-	switch *clusters {
-	case 1:
-		cfg = machine.Unified()
-	case 2:
-		cfg = machine.TwoCluster(*nrb, *lrb, *nmb, *lmb)
-	case 4:
-		cfg = machine.FourCluster(*nrb, *lrb, *nmb, *lmb)
-	default:
-		fmt.Fprintln(os.Stderr, "mvpsched: -clusters must be 1, 2 or 4")
+	cfg, err := machine.FromCLI(*machSpec, *clusters, *nrb, *lrb, *nmb, *lmb)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mvpsched:", err)
 		os.Exit(2)
 	}
 	pol := sched.RMCA

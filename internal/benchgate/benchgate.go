@@ -1,0 +1,181 @@
+// Package benchgate implements the CI benchmark-regression gate: it parses
+// `go test -bench` output, takes the best (minimum) ns/op and allocs/op per
+// benchmark across repeated runs, and compares them against the checked-in
+// budgets of perf_budgets.json. A benchmark fails the gate when its ns/op
+// exceeds the budget by more than the configured slack (CPU-time noise
+// allowance) or when its allocs/op exceeds the budget at all — allocation
+// counts are deterministic, so any increase is a real regression.
+//
+// Budgets are ceilings seeded from the PERF.md trajectory, not targets:
+// improvements should lower them in the same PR that lands the win.
+package benchgate
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Budget is the per-benchmark ceiling.
+type Budget struct {
+	NsPerOp     float64 `json:"nsPerOp"`
+	AllocsPerOp int64   `json:"allocsPerOp"`
+}
+
+// Budgets is the perf_budgets.json schema.
+type Budgets struct {
+	// MaxNsRegressionPct is the ns/op slack over budget before the gate
+	// fails (CI machines are noisy; allocation counts are not given any
+	// slack).
+	MaxNsRegressionPct float64           `json:"maxNsRegressionPct"`
+	Benchmarks         map[string]Budget `json:"benchmarks"`
+}
+
+// ParseBudgets decodes a budgets file.
+func ParseBudgets(data []byte) (Budgets, error) {
+	var b Budgets
+	if err := json.Unmarshal(data, &b); err != nil {
+		return Budgets{}, fmt.Errorf("budgets: %w", err)
+	}
+	if b.MaxNsRegressionPct <= 0 {
+		return Budgets{}, fmt.Errorf("budgets: maxNsRegressionPct must be positive (got %g)", b.MaxNsRegressionPct)
+	}
+	if len(b.Benchmarks) == 0 {
+		return Budgets{}, fmt.Errorf("budgets: no benchmarks listed")
+	}
+	for name, bud := range b.Benchmarks {
+		if bud.NsPerOp <= 0 {
+			return Budgets{}, fmt.Errorf("budgets: %s: nsPerOp must be positive (got %g)", name, bud.NsPerOp)
+		}
+		if bud.AllocsPerOp < 0 {
+			return Budgets{}, fmt.Errorf("budgets: %s: allocsPerOp cannot be negative (got %d)", name, bud.AllocsPerOp)
+		}
+	}
+	return b, nil
+}
+
+// Measurement is the best observed result of one benchmark.
+type Measurement struct {
+	NsPerOp     float64
+	AllocsPerOp int64
+	HasAllocs   bool
+	Runs        int
+}
+
+// ParseBenchOutput scans `go test -bench` output and returns the best
+// (minimum) measurement per benchmark, keyed by the benchmark name with the
+// -<GOMAXPROCS> suffix stripped.
+func ParseBenchOutput(r io.Reader) (map[string]Measurement, error) {
+	out := make(map[string]Measurement)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		m, ok := out[name]
+		m.Runs++
+		var ns float64
+		var allocs int64
+		hasNs, hasAllocs := false, false
+		for i := 2; i+1 < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				ns, hasNs = v, true
+			case "allocs/op":
+				allocs, hasAllocs = int64(v), true
+			}
+		}
+		if !hasNs {
+			continue
+		}
+		if !ok || ns < m.NsPerOp {
+			m.NsPerOp = ns
+		}
+		if hasAllocs && (!m.HasAllocs || allocs < m.AllocsPerOp) {
+			m.AllocsPerOp, m.HasAllocs = allocs, true
+		}
+		out[name] = m
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Violation is one failed gate check.
+type Violation struct {
+	Benchmark string
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Benchmark + ": " + v.Detail }
+
+// Check compares measurements against budgets. Every budgeted benchmark must
+// appear in the output (a silently-skipped benchmark would otherwise pass
+// the gate forever).
+func Check(b Budgets, got map[string]Measurement) []Violation {
+	var out []Violation
+	names := make([]string, 0, len(b.Benchmarks))
+	for name := range b.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bud := b.Benchmarks[name]
+		m, ok := got[name]
+		if !ok {
+			out = append(out, Violation{name, "missing from the bench output"})
+			continue
+		}
+		if limit := bud.NsPerOp * (1 + b.MaxNsRegressionPct/100); m.NsPerOp > limit {
+			out = append(out, Violation{name, fmt.Sprintf(
+				"%.0f ns/op exceeds the %.0f ns/op budget by %.1f%% (> %.0f%% slack)",
+				m.NsPerOp, bud.NsPerOp, (m.NsPerOp/bud.NsPerOp-1)*100, b.MaxNsRegressionPct)})
+		}
+		if !m.HasAllocs {
+			out = append(out, Violation{name, "no allocs/op in the bench output (run with -benchmem)"})
+		} else if m.AllocsPerOp > bud.AllocsPerOp {
+			out = append(out, Violation{name, fmt.Sprintf(
+				"%d allocs/op exceeds the %d allocs/op budget (allocation regressions get no slack)",
+				m.AllocsPerOp, bud.AllocsPerOp)})
+		}
+	}
+	return out
+}
+
+// Report renders a human summary of every budgeted benchmark.
+func Report(b Budgets, got map[string]Measurement) string {
+	var sb strings.Builder
+	names := make([]string, 0, len(b.Benchmarks))
+	for name := range b.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bud := b.Benchmarks[name]
+		m, ok := got[name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-28s MISSING (budget %.0f ns/op, %d allocs/op)\n", name, bud.NsPerOp, bud.AllocsPerOp)
+			continue
+		}
+		fmt.Fprintf(&sb, "%-28s %12.0f ns/op (budget %12.0f, %+6.1f%%)  %6d allocs/op (budget %6d)  best of %d\n",
+			name, m.NsPerOp, bud.NsPerOp, (m.NsPerOp/bud.NsPerOp-1)*100, m.AllocsPerOp, bud.AllocsPerOp, m.Runs)
+	}
+	return sb.String()
+}

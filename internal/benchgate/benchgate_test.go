@@ -1,0 +1,111 @@
+package benchgate
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: multivliw/internal/sched
+cpu: AMD EPYC
+BenchmarkSchedulerRun-4   	    1000	   1140000 ns/op	   24900 B/op	     206 allocs/op
+BenchmarkSchedulerRun-4   	    1000	   1190000 ns/op	   24900 B/op	     207 allocs/op
+BenchmarkSimRun           	    2000	    456000 ns/op	     193 B/op	       1 allocs/op
+BenchmarkNoAllocs-8       	     100	      9000 ns/op
+PASS
+ok  	multivliw/internal/sched	2.1s
+`
+
+func sampleBudgets(t *testing.T) Budgets {
+	t.Helper()
+	b, err := ParseBudgets([]byte(`{
+		"maxNsRegressionPct": 25,
+		"benchmarks": {
+			"BenchmarkSchedulerRun": {"nsPerOp": 1200000, "allocsPerOp": 210},
+			"BenchmarkSimRun": {"nsPerOp": 500000, "allocsPerOp": 10}
+		}
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestParseBenchOutput pins the parser: cpu-suffix stripping, best-of-N
+// minimums, missing allocs columns.
+func TestParseBenchOutput(t *testing.T) {
+	got, err := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := got["BenchmarkSchedulerRun"]
+	if sr.NsPerOp != 1140000 || sr.AllocsPerOp != 206 || sr.Runs != 2 || !sr.HasAllocs {
+		t.Errorf("SchedulerRun parsed as %+v", sr)
+	}
+	if m := got["BenchmarkSimRun"]; m.NsPerOp != 456000 || m.AllocsPerOp != 1 {
+		t.Errorf("SimRun parsed as %+v", m)
+	}
+	if m := got["BenchmarkNoAllocs"]; m.HasAllocs || m.NsPerOp != 9000 {
+		t.Errorf("NoAllocs parsed as %+v", m)
+	}
+}
+
+// TestCheckPasses: everything inside budget passes cleanly.
+func TestCheckPasses(t *testing.T) {
+	got, _ := ParseBenchOutput(strings.NewReader(sampleOutput))
+	if vs := Check(sampleBudgets(t), got); len(vs) != 0 {
+		t.Errorf("clean run produced violations: %v", vs)
+	}
+	rep := Report(sampleBudgets(t), got)
+	if !strings.Contains(rep, "BenchmarkSchedulerRun") || !strings.Contains(rep, "best of 2") {
+		t.Errorf("report:\n%s", rep)
+	}
+}
+
+// TestCheckViolations drives the three failure classes: ns/op beyond slack,
+// any allocs/op growth, and a budgeted benchmark missing entirely.
+func TestCheckViolations(t *testing.T) {
+	b := sampleBudgets(t)
+	got := map[string]Measurement{
+		// 1.5e6 is 25% over the 1.2e6 budget boundary: just past slack.
+		"BenchmarkSchedulerRun": {NsPerOp: 1500001, AllocsPerOp: 211, HasAllocs: true, Runs: 1},
+	}
+	vs := Check(b, got)
+	if len(vs) != 3 {
+		t.Fatalf("want 3 violations (ns, allocs, missing SimRun), got %v", vs)
+	}
+	joined := vs[0].String() + vs[1].String() + vs[2].String()
+	for _, want := range []string{"exceeds the 1200000 ns/op budget", "211 allocs/op exceeds the 210", "missing from the bench output"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("violations %v missing %q", vs, want)
+		}
+	}
+	// Exactly at the slack boundary passes; allocs at budget passes.
+	got["BenchmarkSchedulerRun"] = Measurement{NsPerOp: 1500000, AllocsPerOp: 210, HasAllocs: true, Runs: 1}
+	got["BenchmarkSimRun"] = Measurement{NsPerOp: 1, AllocsPerOp: 10, HasAllocs: true, Runs: 1}
+	if vs := Check(b, got); len(vs) != 0 {
+		t.Errorf("boundary run produced violations: %v", vs)
+	}
+	// Missing -benchmem is a violation, not a silent pass.
+	got["BenchmarkSimRun"] = Measurement{NsPerOp: 1, Runs: 1}
+	vs = Check(b, got)
+	if len(vs) != 1 || !strings.Contains(vs[0].String(), "-benchmem") {
+		t.Errorf("missing allocs column: %v", vs)
+	}
+}
+
+// TestParseBudgetsErrors rejects malformed budget files.
+func TestParseBudgetsErrors(t *testing.T) {
+	for name, data := range map[string]string{
+		"not json":       `{`,
+		"no slack":       `{"benchmarks": {"B": {"nsPerOp": 1, "allocsPerOp": 0}}}`,
+		"no benchmarks":  `{"maxNsRegressionPct": 25, "benchmarks": {}}`,
+		"zero ns budget": `{"maxNsRegressionPct": 25, "benchmarks": {"B": {"nsPerOp": 0, "allocsPerOp": 0}}}`,
+		"neg allocs":     `{"maxNsRegressionPct": 25, "benchmarks": {"B": {"nsPerOp": 1, "allocsPerOp": -1}}}`,
+	} {
+		if _, err := ParseBudgets([]byte(data)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+// Package fielderr carries the validation-error convention shared by every
+// declarative spec in the repository (machine specs, kernel-generator specs,
+// experiment-sweep specs): an invalid field reports the dotted path of the
+// field and the constraint it violated, so a spec author can fix the file
+// without reading the loader's source.
+package fielderr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Error is one violated constraint at one field path.
+type Error struct {
+	// Path is the dotted JSON path of the offending field, e.g.
+	// "cache.lineBytes" or "figures[2].groups[0].machine.ref".
+	Path string
+	// Constraint describes the violated constraint, usually including the
+	// offending value, e.g. `must be at least 1 (got 0)`.
+	Constraint string
+}
+
+// Error renders "path: constraint".
+func (e *Error) Error() string { return e.Path + ": " + e.Constraint }
+
+// New builds an Error at path with a formatted constraint message.
+func New(path, format string, args ...any) *Error {
+	return &Error{Path: path, Constraint: fmt.Sprintf(format, args...)}
+}
+
+// Prefix nests err under path: a *Error anywhere in err's chain (loaders
+// wrap with fmt.Errorf) has path prepended ("a" + "b.c" = "a.b.c"); any
+// other error becomes the constraint of a fresh Error at path. A nil err
+// stays nil.
+func Prefix(path string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		return &Error{Path: path + "." + fe.Path, Constraint: fe.Constraint}
+	}
+	return &Error{Path: path, Constraint: err.Error()}
+}
+
+// Index renders an indexed path element, e.g. Index("figures", 2) =
+// "figures[2]".
+func Index(name string, i int) string { return fmt.Sprintf("%s[%d]", name, i) }

@@ -1,0 +1,40 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGeneratorDifferential runs a reduced corpus through both differential
+// oracles (CI runs the 100-kernel version through the CLI); any divergence
+// between the guided and linear searches or the compiled and reference
+// simulators fails here with the generating seed.
+func TestGeneratorDifferential(t *testing.T) {
+	n := 12
+	if testing.Short() {
+		n = 3
+	}
+	rep, err := GeneratorDifferential(FuzzOptions{Seed: 20260729, Kernels: n, SimCap: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kernels != n {
+		t.Errorf("generated %d kernels, want %d", rep.Kernels, n)
+	}
+	if rep.Scheduled == 0 || rep.SimChecks == 0 || rep.SearchChecks == 0 {
+		t.Errorf("differential checks never ran: %+v", rep)
+	}
+	if rep.Scheduled+rep.Unschedulable != rep.Cells {
+		t.Errorf("cells unaccounted for: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "kernels") {
+		t.Errorf("report renders as %q", rep)
+	}
+}
+
+// TestGeneratorDifferentialRejectsEmptyRun pins the argument check.
+func TestGeneratorDifferentialRejectsEmptyRun(t *testing.T) {
+	if _, err := GeneratorDifferential(FuzzOptions{Kernels: 0}); err == nil {
+		t.Error("accepted a zero-kernel run")
+	}
+}

@@ -330,25 +330,28 @@ func clusterConfig(clusters, nrb, lrb, nmb, lmb int) machine.Config {
 }
 
 // barGroup is one labeled configuration column of a figure; every group
-// expands to the 2 schedulers × 4 thresholds bar set.
+// expands to a schedulers × thresholds bar set.
 type barGroup struct {
 	cfg                machine.Config
 	label              string
+	clusters           int
 	lrb, lmb, nrb, nmb int
 }
 
-// figureBars expands the groups into the full cell grid, evaluates every
-// cell through the worker pool in one fan-out, and assembles the bars in the
-// same order the serial per-group loops produced.
-func (r *Runner) figureBars(clusters int, groups []barGroup) ([]Bar, error) {
+// expandBars expands the groups into the full (group × scheduler ×
+// threshold) cell grid, evaluates every cell through the worker pool in one
+// fan-out, and assembles the bars in the same order the serial per-group
+// loops produced. It is the shared core of the hard-coded figures and the
+// declarative sweep engine.
+func (r *Runner) expandBars(groups []barGroup, pols []sched.Policy, thrs []float64) ([]Bar, error) {
 	var cells []cell
 	var out []Bar
 	for _, g := range groups {
-		for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
-			for _, thr := range Thresholds {
+		for _, pol := range pols {
+			for _, thr := range thrs {
 				cells = append(cells, cell{cfg: g.cfg, pol: pol, thr: thr})
 				out = append(out, Bar{
-					Label: g.label, Clusters: clusters, Scheduler: pol.String(),
+					Label: g.label, Clusters: g.clusters, Scheduler: pol.String(),
 					Threshold: thr, LRB: g.lrb, LMB: g.lmb, NRB: g.nrb, NMB: g.nmb,
 				})
 			}
@@ -362,6 +365,15 @@ func (r *Runner) figureBars(clusters int, groups []barGroup) ([]Bar, error) {
 		out[i].Compute, out[i].Stall = vals[i][0], vals[i][1]
 	}
 	return out, nil
+}
+
+// figureBars expands the groups with the figures' fixed scheduler and
+// threshold axes.
+func (r *Runner) figureBars(clusters int, groups []barGroup) ([]Bar, error) {
+	for i := range groups {
+		groups[i].clusters = clusters
+	}
+	return r.expandBars(groups, []sched.Policy{sched.Baseline, sched.RMCA}, Thresholds)
 }
 
 // UnifiedBars returns the reference set: the Unified machine at the four

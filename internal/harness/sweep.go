@@ -1,0 +1,501 @@
+// Declarative experiment sweeps. A SweepSpec is a JSON description of an
+// arbitrary (machines × kernels × schedulers × thresholds × SimCap)
+// evaluation grid: each figure names a set of machine columns (builtin Table
+// 1 refs with bus overrides, external spec files, or inline machine specs)
+// and the engine runs the grid through the existing parallel runner and
+// schedule-keyed replay cache, emitting per-cell rows plus the aggregate
+// ASCII figures. The hard-coded -fig5/-fig6 paths and the spec-driven path
+// share one cell-expansion core (expandBars), so a spec that re-expresses a
+// paper figure reproduces its bars byte-identically — the property the sweep
+// tests and CI pin.
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"multivliw/internal/fielderr"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/workloads"
+)
+
+// DefaultSimCap is the innermost-iteration cap a sweep uses when the spec
+// does not choose one (matching the CLI default).
+const DefaultSimCap = 1024
+
+// SweepSpec is a declarative experiment: a kernel set evaluated over one or
+// more figures.
+type SweepSpec struct {
+	Name string `json:"name"`
+
+	// SimCap is the per-kernel innermost-iteration cap (0 = full
+	// iteration space, omitted = DefaultSimCap). Figures can override it,
+	// turning SimCap into a sweep axis.
+	SimCap *int `json:"simCap,omitempty"`
+
+	// Parallelism is the worker-pool width (0 = all CPUs). Output is
+	// bit-identical at every width.
+	Parallelism int `json:"parallelism,omitempty"`
+
+	// Kernels selects the workload; omitted means the full synthetic
+	// SPECfp95 suite.
+	Kernels *KernelSetSpec `json:"kernels,omitempty"`
+
+	Figures []FigureSpec `json:"figures"`
+
+	// baseDir resolves relative machine-spec file references; set by
+	// LoadSweepSpec.
+	baseDir string
+	// validated records that ParseSweepSpec already ran the constraint
+	// checks, so RunSweep need not repeat them (hand-built specs are
+	// still validated there).
+	validated bool
+}
+
+// KernelSetSpec selects the kernels of a sweep: the full suite, a subset of
+// its benchmarks, or a generated corpus. At most one selector may be set.
+type KernelSetSpec struct {
+	// Suite explicitly selects the full hand-written suite (the default).
+	Suite bool `json:"suite,omitempty"`
+	// Benchmarks selects suite benchmarks by name.
+	Benchmarks []string `json:"benchmarks,omitempty"`
+	// Generated draws a seeded corpus from the kernel generator.
+	Generated *GeneratedSetSpec `json:"generated,omitempty"`
+}
+
+// GeneratedSetSpec is a generated corpus: Count kernels drawn from Spec at
+// consecutive seeds.
+type GeneratedSetSpec struct {
+	Count int               `json:"count"`
+	Spec  workloads.GenSpec `json:"spec"`
+}
+
+// FigureSpec is one output figure: a set of machine columns expanded over
+// the scheduler and threshold axes.
+type FigureSpec struct {
+	Title string `json:"title"`
+
+	// IncludeUnified prepends the Unified-machine reference bars (the
+	// leftmost group of every paper figure).
+	IncludeUnified bool `json:"includeUnified,omitempty"`
+
+	// SimCap overrides the sweep-level cap for this figure.
+	SimCap *int `json:"simCap,omitempty"`
+
+	// Schedulers are "baseline" / "rmca" (omitted = both, in that
+	// order); Thresholds are cache-miss thresholds in [0,1] (omitted =
+	// the figures' 1.00/0.75/0.25/0.00).
+	Schedulers []string  `json:"schedulers,omitempty"`
+	Thresholds []float64 `json:"thresholds,omitempty"`
+
+	Groups []GroupSpec `json:"groups"`
+}
+
+// GroupSpec is one labeled machine column of a figure.
+type GroupSpec struct {
+	Label   string     `json:"label"`
+	Machine MachineRef `json:"machine"`
+}
+
+// MachineRef names a machine: exactly one of Ref (builtin Table 1 spec
+// name), File (external machine-spec JSON, relative to the sweep-spec file)
+// or Spec (inline machine spec), optionally with bus-pool overrides — the
+// axes the paper sweeps.
+type MachineRef struct {
+	Ref  string        `json:"ref,omitempty"`
+	File string        `json:"file,omitempty"`
+	Spec *machine.Spec `json:"spec,omitempty"`
+
+	// Name overrides the resolved machine's display name.
+	Name string `json:"name,omitempty"`
+
+	// Bus-pool overrides, applied after resolution ("unbounded" allowed
+	// for the counts).
+	RegBuses  *machine.BusCount `json:"regBuses,omitempty"`
+	RegBusLat *int              `json:"regBusLat,omitempty"`
+	MemBuses  *machine.BusCount `json:"memBuses,omitempty"`
+	MemBusLat *int              `json:"memBusLat,omitempty"`
+}
+
+// resolve produces the machine configuration, applying overrides and
+// re-validating the result.
+func (m MachineRef) resolve(baseDir string) (machine.Config, error) {
+	set := 0
+	for _, on := range []bool{m.Ref != "", m.File != "", m.Spec != nil} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return machine.Config{}, fielderr.New("machine", "exactly one of ref, file or spec must be set (got %d)", set)
+	}
+	var cfg machine.Config
+	switch {
+	case m.Ref != "":
+		c, ok := machine.Builtin(m.Ref)
+		if !ok {
+			return machine.Config{}, fielderr.New("machine.ref", "no builtin machine %q (have %s)", m.Ref, strings.Join(machine.BuiltinNames(), ", "))
+		}
+		cfg = c
+	case m.File != "":
+		path := m.File
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(baseDir, path)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return machine.Config{}, fielderr.New("machine.file", "unreadable: %v", err)
+		}
+		c, err := machine.ParseSpec(data)
+		if err != nil {
+			return machine.Config{}, fielderr.Prefix("machine.file", err)
+		}
+		cfg = c
+	default:
+		c, err := m.Spec.Config()
+		if err != nil {
+			return machine.Config{}, fielderr.Prefix("machine.spec", err)
+		}
+		cfg = c
+	}
+	if m.Name != "" {
+		cfg.Name = m.Name
+	}
+	if m.RegBuses != nil {
+		cfg.RegBuses = int(*m.RegBuses)
+	}
+	if m.RegBusLat != nil {
+		cfg.RegBusLat = *m.RegBusLat
+	}
+	if m.MemBuses != nil {
+		cfg.MemBuses = int(*m.MemBuses)
+	}
+	if m.MemBusLat != nil {
+		cfg.MemBusLat = *m.MemBusLat
+	}
+	if err := cfg.Validate(); err != nil {
+		return machine.Config{}, fielderr.New("machine", "overrides produce an invalid machine: %v", err)
+	}
+	return cfg, nil
+}
+
+// ParseSweepSpec parses and validates a JSON sweep spec. Machine-spec file
+// references resolve relative to baseDir.
+func ParseSweepSpec(data []byte, baseDir string) (*SweepSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s SweepSpec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sweep spec: %w", err)
+	}
+	s.baseDir = baseDir
+	if err := s.validate(); err != nil {
+		return nil, fmt.Errorf("sweep spec: %w", err)
+	}
+	s.validated = true
+	return &s, nil
+}
+
+// LoadSweepSpec reads and parses a sweep-spec file; machine files resolve
+// relative to it.
+func LoadSweepSpec(path string) (*SweepSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSweepSpec(data, filepath.Dir(path))
+}
+
+func (s *SweepSpec) validate() error {
+	if s.Name == "" {
+		return fielderr.New("name", "must be non-empty")
+	}
+	if s.SimCap != nil && *s.SimCap < 0 {
+		return fielderr.New("simCap", "cannot be negative (got %d)", *s.SimCap)
+	}
+	if s.Parallelism < 0 {
+		return fielderr.New("parallelism", "cannot be negative (got %d)", s.Parallelism)
+	}
+	if s.Kernels != nil {
+		if err := s.Kernels.validate(); err != nil {
+			return fielderr.Prefix("kernels", err)
+		}
+	}
+	if len(s.Figures) == 0 {
+		return fielderr.New("figures", "must name at least one figure")
+	}
+	for i, f := range s.Figures {
+		if err := f.validate(s.baseDir); err != nil {
+			return fielderr.Prefix(fielderr.Index("figures", i), err)
+		}
+	}
+	return nil
+}
+
+func (k *KernelSetSpec) validate() error {
+	set := 0
+	for _, on := range []bool{k.Suite, len(k.Benchmarks) > 0, k.Generated != nil} {
+		if on {
+			set++
+		}
+	}
+	if set > 1 {
+		return fmt.Errorf("at most one of suite, benchmarks or generated may be set (got %d)", set)
+	}
+	if len(k.Benchmarks) > 0 {
+		known := make(map[string]bool)
+		for _, b := range workloads.Suite() {
+			known[b.Name] = true
+		}
+		for i, name := range k.Benchmarks {
+			if !known[name] {
+				return fielderr.New(fielderr.Index("benchmarks", i), "no suite benchmark %q", name)
+			}
+		}
+	}
+	if k.Generated != nil {
+		if k.Generated.Count < 1 {
+			return fielderr.New("generated.count", "must be at least 1 (got %d)", k.Generated.Count)
+		}
+		if err := k.Generated.Spec.Validate(); err != nil {
+			return fielderr.Prefix("generated.spec", err)
+		}
+	}
+	return nil
+}
+
+func (f FigureSpec) validate(baseDir string) error {
+	if f.Title == "" {
+		return fielderr.New("title", "must be non-empty")
+	}
+	if f.SimCap != nil && *f.SimCap < 0 {
+		return fielderr.New("simCap", "cannot be negative (got %d)", *f.SimCap)
+	}
+	for i, name := range f.Schedulers {
+		if _, err := parsePolicy(name); err != nil {
+			return fielderr.New(fielderr.Index("schedulers", i), "%v", err)
+		}
+	}
+	for i, thr := range f.Thresholds {
+		if thr < 0 || thr > 1 {
+			return fielderr.New(fielderr.Index("thresholds", i), "must be in [0,1] (got %g)", thr)
+		}
+	}
+	if len(f.Groups) == 0 {
+		return fielderr.New("groups", "must name at least one machine column")
+	}
+	for i, g := range f.Groups {
+		if g.Label == "" {
+			return fielderr.New(fielderr.Index("groups", i)+".label", "must be non-empty")
+		}
+		if _, err := g.Machine.resolve(baseDir); err != nil {
+			return fielderr.Prefix(fielderr.Index("groups", i), err)
+		}
+	}
+	return nil
+}
+
+// parsePolicy maps a spec scheduler name to the sched policy.
+func parsePolicy(name string) (sched.Policy, error) {
+	switch strings.ToLower(name) {
+	case "baseline":
+		return sched.Baseline, nil
+	case "rmca":
+		return sched.RMCA, nil
+	default:
+		return 0, fmt.Errorf("unknown scheduler %q (want baseline or rmca)", name)
+	}
+}
+
+// SweepFigure is one evaluated figure of a sweep.
+type SweepFigure struct {
+	Title   string
+	Unified []Bar // reference bars, when the figure asked for them
+	Bars    []Bar
+}
+
+// Text renders the figure exactly as the hard-coded figure paths print it.
+func (f SweepFigure) Text() string {
+	return RenderBars(f.Title, f.Unified, f.Bars) + "\n"
+}
+
+// SweepRow is one per-cell result row: a (figure, machine column, scheduler,
+// threshold) cell with its suite-averaged normalized components.
+type SweepRow struct {
+	Figure    string
+	Group     string
+	Machine   string
+	Clusters  int
+	Scheduler string
+	Threshold float64
+	Compute   float64
+	Stall     float64
+	Total     float64
+}
+
+// SweepResult is the outcome of a sweep: aggregate figures plus the flat
+// per-cell rows.
+type SweepResult struct {
+	Name    string
+	Figures []SweepFigure
+	Rows    []SweepRow
+}
+
+// Text renders every figure in order, byte-identical to the hard-coded
+// figure paths.
+func (res *SweepResult) Text() string {
+	var sb strings.Builder
+	for _, f := range res.Figures {
+		sb.WriteString(f.Text())
+	}
+	return sb.String()
+}
+
+// RowsCSV renders the per-cell rows as CSV.
+func (res *SweepResult) RowsCSV() string {
+	var sb strings.Builder
+	sb.WriteString("figure,group,machine,clusters,scheduler,threshold,compute,stall,total\n")
+	for _, r := range res.Rows {
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%s,%.2f,%.6f,%.6f,%.6f\n",
+			csvField(r.Figure), csvField(r.Group), csvField(r.Machine),
+			r.Clusters, r.Scheduler, r.Threshold, r.Compute, r.Stall, r.Total)
+	}
+	return sb.String()
+}
+
+// csvField quotes a field when it contains CSV metacharacters.
+func csvField(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// RunSweep evaluates a validated sweep spec. Figures sharing a SimCap share
+// one runner (and therefore its CME memo, per-kernel references and replay
+// cache); results are deterministic and bit-identical at every parallelism.
+func RunSweep(spec *SweepSpec) (*SweepResult, error) {
+	if !spec.validated {
+		if err := spec.validate(); err != nil {
+			return nil, fmt.Errorf("sweep spec: %w", err)
+		}
+	}
+	suite, err := spec.suite()
+	if err != nil {
+		return nil, err
+	}
+	runners := make(map[int]*Runner)
+	runnerFor := func(simCap int) *Runner {
+		r := runners[simCap]
+		if r == nil {
+			r = NewRunnerWith(suite, simCap)
+			r.Parallelism = spec.Parallelism
+			runners[simCap] = r
+		}
+		return r
+	}
+	res := &SweepResult{Name: spec.Name}
+	for _, fig := range spec.Figures {
+		simCap := DefaultSimCap
+		if spec.SimCap != nil {
+			simCap = *spec.SimCap
+		}
+		if fig.SimCap != nil {
+			simCap = *fig.SimCap
+		}
+		r := runnerFor(simCap)
+		out := SweepFigure{Title: fig.Title}
+		if fig.IncludeUnified {
+			uni, err := r.UnifiedBars()
+			if err != nil {
+				return nil, fmt.Errorf("%s: unified reference: %w", fig.Title, err)
+			}
+			out.Unified = uni
+		}
+		pols := []sched.Policy{sched.Baseline, sched.RMCA}
+		if len(fig.Schedulers) > 0 {
+			pols = pols[:0]
+			for _, name := range fig.Schedulers {
+				pol, err := parsePolicy(name)
+				if err != nil {
+					return nil, err
+				}
+				pols = append(pols, pol)
+			}
+		}
+		thrs := Thresholds
+		if len(fig.Thresholds) > 0 {
+			thrs = fig.Thresholds
+		}
+		var groups []barGroup
+		for _, g := range fig.Groups {
+			cfg, err := g.Machine.resolve(spec.baseDir)
+			if err != nil {
+				return nil, fmt.Errorf("%s, group %q: %w", fig.Title, g.Label, err)
+			}
+			groups = append(groups, barGroup{
+				cfg: cfg, label: g.Label, clusters: cfg.Clusters,
+				lrb: cfg.RegBusLat, lmb: cfg.MemBusLat, nrb: cfg.RegBuses, nmb: cfg.MemBuses,
+			})
+		}
+		bars, err := r.expandBars(groups, pols, thrs)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", fig.Title, err)
+		}
+		out.Bars = bars
+		res.Figures = append(res.Figures, out)
+		for _, b := range out.Unified {
+			res.Rows = append(res.Rows, SweepRow{
+				Figure: fig.Title, Group: b.Label, Machine: "Unified", Clusters: b.Clusters,
+				Scheduler: b.Scheduler, Threshold: b.Threshold,
+				Compute: b.Compute, Stall: b.Stall, Total: b.Total(),
+			})
+		}
+		// Bars are group-major (expandBars preserves construction
+		// order), so the owning group is recovered by index — labels
+		// need not be unique.
+		perGroup := len(pols) * len(thrs)
+		for i, b := range bars {
+			res.Rows = append(res.Rows, SweepRow{
+				Figure: fig.Title, Group: b.Label, Machine: groups[i/perGroup].cfg.Name, Clusters: b.Clusters,
+				Scheduler: b.Scheduler, Threshold: b.Threshold,
+				Compute: b.Compute, Stall: b.Stall, Total: b.Total(),
+			})
+		}
+	}
+	return res, nil
+}
+
+// suite resolves the spec's kernel set.
+func (s *SweepSpec) suite() ([]workloads.Benchmark, error) {
+	k := s.Kernels
+	switch {
+	case k == nil, k.Suite:
+		return workloads.Suite(), nil
+	case len(k.Benchmarks) > 0:
+		want := make(map[string]bool, len(k.Benchmarks))
+		for _, name := range k.Benchmarks {
+			want[name] = true
+		}
+		var out []workloads.Benchmark
+		for _, b := range workloads.Suite() {
+			if want[b.Name] {
+				out = append(out, b)
+			}
+		}
+		return out, nil
+	case k.Generated != nil:
+		suite, err := workloads.GenerateSuite(k.Generated.Spec, k.Generated.Count)
+		if err != nil {
+			return nil, fmt.Errorf("generated kernels: %w", err)
+		}
+		return suite, nil
+	default:
+		return workloads.Suite(), nil
+	}
+}

@@ -1,0 +1,352 @@
+package harness
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateFigures = flag.Bool("update", false, "regenerate testdata/figures_simcap512.golden")
+
+// testSimCap keeps sweep tests fast while staying past the warm-up
+// transient.
+const testSimCap = 192
+
+// loadExampleSpec loads one of the checked-in example sweeps.
+func loadExampleSpec(t *testing.T, name string) *SweepSpec {
+	t.Helper()
+	spec, err := LoadSweepSpec(filepath.Join("..", "..", "examples", "sweep", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// TestSweepFig5MatchesHardCoded is the acceptance lock of the sweep engine:
+// the checked-in fig5 spec must reproduce the hard-coded Figure 5 path byte
+// for byte (same simulation cap on both sides).
+func TestSweepFig5MatchesHardCoded(t *testing.T) {
+	spec := loadExampleSpec(t, "fig5.json")
+	cap := testSimCap
+	spec.SimCap = &cap
+	res, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner()
+	r.SimCap = testSimCap
+	uni, err := r.UnifiedBars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f52, err := r.Figure5(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f54, err := r.Figure5(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RenderBars("Figure 5(a): 2 clusters, unbounded buses, normalized cycles", uni, f52) + "\n" +
+		RenderBars("Figure 5(b): 4 clusters, unbounded buses, normalized cycles", uni, f54) + "\n"
+	if got := res.Text(); got != want {
+		t.Errorf("spec-driven Figure 5 diverged from the hard-coded path\n--- spec ---\n%s--- hard-coded ---\n%s", got, want)
+	}
+}
+
+// TestSweepFig6MatchesHardCoded locks the fig6 spec the same way.
+func TestSweepFig6MatchesHardCoded(t *testing.T) {
+	spec := loadExampleSpec(t, "fig6.json")
+	cap := testSimCap
+	spec.SimCap = &cap
+	res, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRunner()
+	r.SimCap = testSimCap
+	uni, err := r.UnifiedBars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f62, err := r.Figure6(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f64, err := r.Figure6(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RenderBars("Figure 6(a): 2 clusters, 2 register buses @1, limited memory buses", uni, f62) + "\n" +
+		RenderBars("Figure 6(b): 4 clusters, 2 register buses @1, limited memory buses", uni, f64) + "\n"
+	if got := res.Text(); got != want {
+		t.Errorf("spec-driven Figure 6 diverged from the hard-coded path\n--- spec ---\n%s--- hard-coded ---\n%s", got, want)
+	}
+}
+
+// TestSweepGeneratedCorpus runs the checked-in generated-corpus example (a
+// reduced copy: fewer kernels, 2-cluster column only) end to end: generated
+// kernels, a machine-spec file reference, custom thresholds, CSV rows.
+func TestSweepGeneratedCorpus(t *testing.T) {
+	spec := loadExampleSpec(t, "generated.json")
+	cap := 64
+	spec.SimCap = &cap
+	spec.Kernels.Generated.Count = 2
+	spec.Figures[0].Groups = spec.Figures[0].Groups[2:] // keep the 8-cluster file-ref column
+	res, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Figures) != 1 || len(res.Figures[0].Bars) != 2*2 /* 2 pols × 2 thrs */ {
+		t.Fatalf("unexpected figure shape: %+v", res.Figures)
+	}
+	csv := res.RowsCSV()
+	if !strings.Contains(csv, "8cl,8-cluster,8,RMCA,0.00") {
+		t.Errorf("rows CSV missing the 8-cluster RMCA cell:\n%s", csv)
+	}
+	// Unified reference rows ride along with their own label.
+	if !strings.Contains(csv, "Unified,Unified,1,Unified,1.00") {
+		t.Errorf("rows CSV missing the unified reference rows:\n%s", csv)
+	}
+	for _, row := range res.Rows {
+		if row.Total <= 0 {
+			t.Errorf("cell %+v has non-positive total", row)
+		}
+	}
+}
+
+// TestSweepBenchmarkSubset selects two suite benchmarks by name.
+func TestSweepBenchmarkSubset(t *testing.T) {
+	cap := 64
+	spec := &SweepSpec{
+		Name:    "subset",
+		SimCap:  &cap,
+		Kernels: &KernelSetSpec{Benchmarks: []string{"tomcatv", "swim"}},
+		Figures: []FigureSpec{{
+			Title:      "subset",
+			Schedulers: []string{"rmca"},
+			Thresholds: []float64{0.0},
+			Groups:     []GroupSpec{{Label: "2cl", Machine: MachineRef{Ref: "2-cluster"}}},
+		}},
+	}
+	res, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(res.Rows))
+	}
+	if res.Rows[0].Scheduler != "RMCA" || res.Rows[0].Machine != "2-cluster" {
+		t.Errorf("unexpected row %+v", res.Rows[0])
+	}
+}
+
+// TestSweepDuplicateLabelsKeepMachines pins row attribution: two columns
+// sharing a label must still report their own machines in the per-cell rows
+// (rows are paired with groups by index, not by label).
+func TestSweepDuplicateLabelsKeepMachines(t *testing.T) {
+	cap := 64
+	spec := &SweepSpec{
+		Name:    "dup-labels",
+		SimCap:  &cap,
+		Kernels: &KernelSetSpec{Benchmarks: []string{"tomcatv"}},
+		Figures: []FigureSpec{{
+			Title:      "dup",
+			Schedulers: []string{"rmca"},
+			Thresholds: []float64{0.0},
+			Groups: []GroupSpec{
+				{Label: "cl", Machine: MachineRef{Ref: "2-cluster"}},
+				{Label: "cl", Machine: MachineRef{Ref: "4-cluster"}},
+			},
+		}},
+	}
+	res, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	if res.Rows[0].Machine != "2-cluster" || res.Rows[1].Machine != "4-cluster" {
+		t.Errorf("duplicate labels misattributed machines: %+v", res.Rows)
+	}
+}
+
+// TestSweepSpecErrors drives malformed sweep specs through the parser and
+// checks every error names the offending field path.
+func TestSweepSpecErrors(t *testing.T) {
+	valid := func() map[string]any {
+		return map[string]any{
+			"name": "x",
+			"figures": []map[string]any{{
+				"title": "t",
+				"groups": []map[string]any{{
+					"label":   "g",
+					"machine": map[string]any{"ref": "2-cluster"},
+				}},
+			}},
+		}
+	}
+	cases := []struct {
+		name     string
+		mutate   func(m map[string]any)
+		wantPath string
+	}{
+		{"no name", func(m map[string]any) { m["name"] = "" }, "name"},
+		{"negative simCap", func(m map[string]any) { m["simCap"] = -1 }, "simCap"},
+		{"negative parallelism", func(m map[string]any) { m["parallelism"] = -2 }, "parallelism"},
+		{"no figures", func(m map[string]any) { m["figures"] = []any{} }, "figures"},
+		{"untitled figure", func(m map[string]any) {
+			m["figures"].([]map[string]any)[0]["title"] = ""
+		}, "figures[0].title"},
+		{"no groups", func(m map[string]any) {
+			m["figures"].([]map[string]any)[0]["groups"] = []any{}
+		}, "figures[0].groups"},
+		{"unlabeled group", func(m map[string]any) {
+			m["figures"].([]map[string]any)[0]["groups"].([]map[string]any)[0]["label"] = ""
+		}, "figures[0].groups[0].label"},
+		{"unknown scheduler", func(m map[string]any) {
+			m["figures"].([]map[string]any)[0]["schedulers"] = []string{"sms"}
+		}, "figures[0].schedulers[0]"},
+		{"threshold out of range", func(m map[string]any) {
+			m["figures"].([]map[string]any)[0]["thresholds"] = []float64{1.5}
+		}, "figures[0].thresholds[0]"},
+		{"unknown builtin machine", func(m map[string]any) {
+			m["figures"].([]map[string]any)[0]["groups"].([]map[string]any)[0]["machine"] = map[string]any{"ref": "6-cluster"}
+		}, "figures[0].groups[0].machine.ref"},
+		{"ambiguous machine", func(m map[string]any) {
+			m["figures"].([]map[string]any)[0]["groups"].([]map[string]any)[0]["machine"] =
+				map[string]any{"ref": "2-cluster", "file": "x.json"}
+		}, "figures[0].groups[0].machine"},
+		{"invalid override", func(m map[string]any) {
+			m["figures"].([]map[string]any)[0]["groups"].([]map[string]any)[0]["machine"] =
+				map[string]any{"ref": "2-cluster", "regBuses": 0}
+		}, "figures[0].groups[0].machine"},
+		{"unreadable machine file", func(m map[string]any) {
+			m["figures"].([]map[string]any)[0]["groups"].([]map[string]any)[0]["machine"] =
+				map[string]any{"file": "no-such-machine.json"}
+		}, "figures[0].groups[0].machine.file"},
+		{"conflicting kernel selectors", func(m map[string]any) {
+			m["kernels"] = map[string]any{"suite": true, "benchmarks": []string{"swim"}}
+		}, "kernels"},
+		{"unknown benchmark", func(m map[string]any) {
+			m["kernels"] = map[string]any{"benchmarks": []string{"gcc"}}
+		}, "kernels.benchmarks[0]"},
+		{"empty generated corpus", func(m map[string]any) {
+			m["kernels"] = map[string]any{"generated": map[string]any{"count": 0}}
+		}, "kernels.generated.count"},
+		{"invalid generator spec", func(m map[string]any) {
+			m["kernels"] = map[string]any{"generated": map[string]any{
+				"count": 1,
+				"spec":  map[string]any{"arith": 1, "loads": 0, "arrays": 1, "footprintBytes": 4096, "trip": []int{8}},
+			}}
+		}, "kernels.generated.spec.loads"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := valid()
+			tc.mutate(m)
+			data, err := json.Marshal(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = ParseSweepSpec(data, ".")
+			if err == nil {
+				t.Fatalf("parser accepted the malformed sweep spec:\n%s", data)
+			}
+			if !strings.Contains(err.Error(), tc.wantPath+":") {
+				t.Errorf("error %q does not report path %q", err, tc.wantPath)
+			}
+		})
+	}
+}
+
+// TestSweepMachineFilePathNesting pins the fielderr convention across file
+// boundaries: a constraint violated inside a referenced machine-spec file
+// reports one clean dotted path, same as an inline spec would.
+func TestSweepMachineFilePathNesting(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.json"), []byte(`{
+		"name": "bad", "clusters": 0,
+		"fus": {"int": 1, "float": 1, "mem": 1}, "regsPerCluster": 8,
+		"cache": {"totalBytes": 1024, "lineBytes": 64, "assoc": 1, "mshrEntries": 2},
+		"regBus": {"count": 0, "latency": 0}, "memBus": {"count": 1, "latency": 1}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ParseSweepSpec([]byte(`{
+		"name": "x",
+		"figures": [{"title": "t", "groups": [
+			{"label": "g", "machine": {"file": "bad.json"}}
+		]}]
+	}`), dir)
+	if err == nil {
+		t.Fatal("accepted a spec referencing an invalid machine file")
+	}
+	want := "figures[0].groups[0].machine.file.clusters: must be at least 1"
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not nest the file's field path as %q", err, want)
+	}
+}
+
+// TestSweepRejectsUnknownFields keeps sweep-spec typos loud.
+func TestSweepRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseSweepSpec([]byte(`{"name": "x", "figurez": []}`), "."); err == nil ||
+		!strings.Contains(err.Error(), "figurez") {
+		t.Errorf("unknown field not rejected: %v", err)
+	}
+}
+
+// TestFiguresMatchGoldenText locks the CLI figure output: the exact bytes
+// `mvpexperiments -fig5 -fig6 -simcap 512` prints, which CI diffs against
+// the same golden file. Regenerate deliberately with:
+//
+//	go test ./internal/harness -run TestFiguresMatchGoldenText -update
+func TestFiguresMatchGoldenText(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates four full figures")
+	}
+	r := NewRunner()
+	r.SimCap = 512
+	uni, err := r.UnifiedBars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var text strings.Builder
+	for _, fig := range []struct {
+		title    string
+		clusters int
+		run      func(int) ([]Bar, error)
+	}{
+		{"Figure 5(a): 2 clusters, unbounded buses, normalized cycles", 2, r.Figure5},
+		{"Figure 5(b): 4 clusters, unbounded buses, normalized cycles", 4, r.Figure5},
+		{"Figure 6(a): 2 clusters, 2 register buses @1, limited memory buses", 2, r.Figure6},
+		{"Figure 6(b): 4 clusters, 2 register buses @1, limited memory buses", 4, r.Figure6},
+	} {
+		bars, err := fig.run(fig.clusters)
+		if err != nil {
+			t.Fatal(err)
+		}
+		text.WriteString(RenderBars(fig.title, uni, bars))
+		text.WriteString("\n")
+	}
+	golden := filepath.Join("testdata", "figures_simcap512.golden")
+	if *updateFigures {
+		if err := os.WriteFile(golden, []byte(text.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if text.String() != string(want) {
+		t.Errorf("figure output drifted from %s (regenerate deliberately with -update)", golden)
+	}
+}

@@ -136,47 +136,36 @@ type Config struct {
 	Lat Latencies
 }
 
-// Unified returns the paper's 1-cluster baseline: 4 units of each kind and a
-// unified 64-entry register file. It has no inter-cluster buses.
-func Unified() Config {
-	return Config{
-		Name:            "Unified",
-		Clusters:        1,
-		FUs:             [NumFUKinds]int{4, 4, 4},
-		Regs:            64,
-		TotalCacheBytes: 8 * 1024,
-		LineBytes:       64,
-		Assoc:           1,
-		MSHREntries:     10,
-		RegBuses:        0,
-		RegBusLat:       0,
-		MemBuses:        Unbounded,
-		MemBusLat:       1,
-		Lat:             DefaultLatencies(),
+// mustBuiltin returns an embedded Table 1 machine; the specs are checked in
+// under specs/ and parsed once, so a missing name is a build defect.
+func mustBuiltin(name string) Config {
+	cfg, ok := Builtin(name)
+	if !ok {
+		panic("machine: missing embedded spec " + name)
 	}
+	return cfg
 }
 
-// TwoCluster returns the paper's 2-cluster configuration: 2 units of each
-// kind and 32 registers per cluster.
+// Unified returns the paper's 1-cluster baseline: 4 units of each kind and a
+// unified 64-entry register file. It has no inter-cluster buses. The
+// configuration is the embedded specs/unified.json spec.
+func Unified() Config { return mustBuiltin("Unified") }
+
+// TwoCluster returns the paper's 2-cluster configuration (the embedded
+// specs/two-cluster.json spec: 2 units of each kind and 32 registers per
+// cluster) with its bus pools overridden.
 func TwoCluster(regBuses, regBusLat, memBuses, memBusLat int) Config {
-	c := Unified()
-	c.Name = "2-cluster"
-	c.Clusters = 2
-	c.FUs = [NumFUKinds]int{2, 2, 2}
-	c.Regs = 32
+	c := mustBuiltin("2-cluster")
 	c.RegBuses, c.RegBusLat = regBuses, regBusLat
 	c.MemBuses, c.MemBusLat = memBuses, memBusLat
 	return c
 }
 
-// FourCluster returns the paper's 4-cluster configuration: 1 unit of each
-// kind and 16 registers per cluster.
+// FourCluster returns the paper's 4-cluster configuration (the embedded
+// specs/four-cluster.json spec: 1 unit of each kind and 16 registers per
+// cluster) with its bus pools overridden.
 func FourCluster(regBuses, regBusLat, memBuses, memBusLat int) Config {
-	c := Unified()
-	c.Name = "4-cluster"
-	c.Clusters = 4
-	c.FUs = [NumFUKinds]int{1, 1, 1}
-	c.Regs = 16
+	c := mustBuiltin("4-cluster")
 	c.RegBuses, c.RegBusLat = regBuses, regBusLat
 	c.MemBuses, c.MemBusLat = memBuses, memBusLat
 	return c
@@ -257,7 +246,9 @@ func (c Config) Validate() error {
 		return errors.New("machine: clustered configuration with no register buses")
 	case c.RegBuses != Unbounded && c.RegBuses < 0:
 		return fmt.Errorf("machine: register bus count %d", c.RegBuses)
-	case c.MemBuses != Unbounded && c.MemBuses < 0:
+	case c.MemBuses != Unbounded && c.MemBuses < 1:
+		// Zero memory buses would strand every miss: the local caches
+		// could never reach main memory.
 		return fmt.Errorf("machine: memory bus count %d", c.MemBuses)
 	case c.Clusters > 1 && c.RegBusLat < 1:
 		return errors.New("machine: register bus latency must be at least 1")

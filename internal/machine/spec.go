@@ -1,0 +1,403 @@
+// Declarative machine specs: a parsed, validated, round-trippable JSON
+// description of a multiVLIWprocessor configuration. The three Table 1
+// machines are checked in as embedded specs (specs/*.json) and back the
+// Unified/TwoCluster/FourCluster constructors; arbitrary machines — exotic
+// cluster counts, heterogeneous FU mixes, unbounded bus pools — are expressed
+// the same way and fed to the tools through ParseSpec.
+//
+// Every validation failure reports the dotted path of the offending field and
+// the constraint it violated (see internal/fielderr), so a spec author can
+// repair the file without reading this loader.
+package machine
+
+import (
+	"bytes"
+	"embed"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+
+	"multivliw/internal/fielderr"
+)
+
+// BusCount is a bus-pool size in a spec: a non-negative count, or the JSON
+// string "unbounded" (equivalently -1) for the paper's §5.2 unlimited pools.
+type BusCount int
+
+// MarshalJSON renders Unbounded as the string "unbounded".
+func (b BusCount) MarshalJSON() ([]byte, error) {
+	if b == Unbounded {
+		return []byte(`"unbounded"`), nil
+	}
+	return []byte(strconv.Itoa(int(b))), nil
+}
+
+// UnmarshalJSON accepts an integer or the string "unbounded".
+func (b *BusCount) UnmarshalJSON(data []byte) error {
+	if bytes.Equal(data, []byte(`"unbounded"`)) {
+		*b = Unbounded
+		return nil
+	}
+	var n int
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("want an integer or %q (got %s)", "unbounded", data)
+	}
+	*b = BusCount(n)
+	return nil
+}
+
+// FUSpec is the functional-unit mix of one cluster.
+type FUSpec struct {
+	Int   int `json:"int"`
+	Float int `json:"float"`
+	Mem   int `json:"mem"`
+}
+
+func (f FUSpec) array() [NumFUKinds]int { return [NumFUKinds]int{f.Int, f.Float, f.Mem} }
+
+func fuSpec(a [NumFUKinds]int) FUSpec {
+	return FUSpec{Int: a[FUInt], Float: a[FUFloat], Mem: a[FUMem]}
+}
+
+// CacheSpec is the geometry of the distributed L1: the aggregate capacity is
+// split evenly among clusters, each local cache with the given line size,
+// associativity and MSHR file.
+type CacheSpec struct {
+	TotalBytes  int `json:"totalBytes"`
+	LineBytes   int `json:"lineBytes"`
+	Assoc       int `json:"assoc"`
+	MSHREntries int `json:"mshrEntries"`
+}
+
+// BusSpec is one inter-cluster bus pool: how many buses and the per-transfer
+// latency in cycles.
+type BusSpec struct {
+	Count   BusCount `json:"count"`
+	Latency int      `json:"latency"`
+}
+
+// LatencySpec mirrors Latencies with JSON tags; an omitted table means
+// DefaultLatencies.
+type LatencySpec struct {
+	IntALU     int `json:"intALU"`
+	IntMul     int `json:"intMul"`
+	FPAdd      int `json:"fpAdd"`
+	FPMul      int `json:"fpMul"`
+	FPDiv      int `json:"fpDiv"`
+	Load       int `json:"load"`
+	Store      int `json:"store"`
+	MainMemory int `json:"mainMemory"`
+}
+
+func (l LatencySpec) latencies() Latencies {
+	return Latencies{
+		IntALU: l.IntALU, IntMul: l.IntMul,
+		FPAdd: l.FPAdd, FPMul: l.FPMul, FPDiv: l.FPDiv,
+		Load: l.Load, Store: l.Store, MainMemory: l.MainMemory,
+	}
+}
+
+func latencySpec(l Latencies) *LatencySpec {
+	return &LatencySpec{
+		IntALU: l.IntALU, IntMul: l.IntMul,
+		FPAdd: l.FPAdd, FPMul: l.FPMul, FPDiv: l.FPDiv,
+		Load: l.Load, Store: l.Store, MainMemory: l.MainMemory,
+	}
+}
+
+// Spec is the declarative, JSON-serializable form of a Config. Spec↔Config
+// conversion is lossless: for any valid Config c, ParseSpec(c.MarshalSpec())
+// reproduces c exactly (the round-trip property the spec tests pin).
+type Spec struct {
+	Name     string `json:"name"`
+	Clusters int    `json:"clusters"`
+
+	// FUs is the per-cluster functional-unit mix; FUsByCluster, when
+	// present, overrides it per cluster (heterogeneous machines) and must
+	// list exactly Clusters entries.
+	FUs          FUSpec   `json:"fus"`
+	FUsByCluster []FUSpec `json:"fusByCluster,omitempty"`
+
+	Regs int `json:"regsPerCluster"`
+
+	Cache  CacheSpec `json:"cache"`
+	RegBus BusSpec   `json:"regBus"`
+	MemBus BusSpec   `json:"memBus"`
+
+	// Latency is the operation latency table; omitted = DefaultLatencies.
+	Latency *LatencySpec `json:"latency,omitempty"`
+}
+
+// Spec returns the declarative form of the configuration.
+func (c Config) Spec() Spec {
+	s := Spec{
+		Name:     c.Name,
+		Clusters: c.Clusters,
+		FUs:      fuSpec(c.FUs),
+		Regs:     c.Regs,
+		Cache: CacheSpec{
+			TotalBytes: c.TotalCacheBytes, LineBytes: c.LineBytes,
+			Assoc: c.Assoc, MSHREntries: c.MSHREntries,
+		},
+		RegBus:  BusSpec{Count: BusCount(c.RegBuses), Latency: c.RegBusLat},
+		MemBus:  BusSpec{Count: BusCount(c.MemBuses), Latency: c.MemBusLat},
+		Latency: latencySpec(c.Lat),
+	}
+	for _, f := range c.FUsByCluster {
+		s.FUsByCluster = append(s.FUsByCluster, fuSpec(f))
+	}
+	return s
+}
+
+// MarshalSpec renders the configuration as an indented JSON spec.
+func (c Config) MarshalSpec() ([]byte, error) {
+	return json.MarshalIndent(c.Spec(), "", "  ")
+}
+
+// ParseSpec parses and validates a JSON machine spec. Unknown fields are
+// rejected; every invalid field reports its dotted path and the violated
+// constraint.
+func ParseSpec(data []byte) (Config, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Config{}, fmt.Errorf("machine spec: %w", err)
+	}
+	cfg, err := s.Config()
+	if err != nil {
+		return Config{}, fmt.Errorf("machine spec: %w", err)
+	}
+	return cfg, nil
+}
+
+// Config validates the spec and converts it to a Config.
+func (s Spec) Config() (Config, error) {
+	if err := s.validate(); err != nil {
+		return Config{}, err
+	}
+	c := Config{
+		Name:            s.Name,
+		Clusters:        s.Clusters,
+		FUs:             s.FUs.array(),
+		Regs:            s.Regs,
+		TotalCacheBytes: s.Cache.TotalBytes,
+		LineBytes:       s.Cache.LineBytes,
+		Assoc:           s.Cache.Assoc,
+		MSHREntries:     s.Cache.MSHREntries,
+		RegBuses:        int(s.RegBus.Count),
+		RegBusLat:       s.RegBus.Latency,
+		MemBuses:        int(s.MemBus.Count),
+		MemBusLat:       s.MemBus.Latency,
+		Lat:             DefaultLatencies(),
+	}
+	if s.Latency != nil {
+		c.Lat = s.Latency.latencies()
+	}
+	for _, f := range s.FUsByCluster {
+		c.FUsByCluster = append(c.FUsByCluster, f.array())
+	}
+	if err := c.Validate(); err != nil {
+		// The path checks above should subsume Validate; this is the
+		// backstop that keeps the two in lockstep if Config grows.
+		return Config{}, err
+	}
+	return c, nil
+}
+
+// validate runs the path-reporting constraint checks.
+func (s Spec) validate() error {
+	if s.Name == "" {
+		return fielderr.New("name", "must be non-empty")
+	}
+	if s.Clusters < 1 {
+		return fielderr.New("clusters", "must be at least 1 (got %d)", s.Clusters)
+	}
+	if err := s.validateFUs(); err != nil {
+		return err
+	}
+	if s.Regs < 1 {
+		return fielderr.New("regsPerCluster", "must be at least 1 (got %d)", s.Regs)
+	}
+	if err := s.validateCache(); err != nil {
+		return err
+	}
+	if err := s.validateBuses(); err != nil {
+		return err
+	}
+	if s.Latency != nil {
+		for _, f := range []struct {
+			path string
+			lat  int
+		}{
+			{"latency.intALU", s.Latency.IntALU}, {"latency.intMul", s.Latency.IntMul},
+			{"latency.fpAdd", s.Latency.FPAdd}, {"latency.fpMul", s.Latency.FPMul},
+			{"latency.fpDiv", s.Latency.FPDiv}, {"latency.load", s.Latency.Load},
+			{"latency.store", s.Latency.Store}, {"latency.mainMemory", s.Latency.MainMemory},
+		} {
+			if f.lat < 1 {
+				return fielderr.New(f.path, "latencies are cycles and must be at least 1 (got %d)", f.lat)
+			}
+		}
+	}
+	return nil
+}
+
+func (s Spec) validateFUs() error {
+	checkMix := func(path string, f FUSpec) error {
+		for _, u := range []struct {
+			field string
+			n     int
+		}{{"int", f.Int}, {"float", f.Float}, {"mem", f.Mem}} {
+			if u.n < 0 {
+				return fielderr.New(path+"."+u.field, "unit counts cannot be negative (got %d)", u.n)
+			}
+		}
+		return nil
+	}
+	if err := checkMix("fus", s.FUs); err != nil {
+		return err
+	}
+	if s.FUsByCluster != nil && len(s.FUsByCluster) != s.Clusters {
+		return fielderr.New("fusByCluster", "must list exactly clusters=%d mixes (got %d)", s.Clusters, len(s.FUsByCluster))
+	}
+	mem := 0
+	for i, f := range s.FUsByCluster {
+		if err := checkMix(fielderr.Index("fusByCluster", i), f); err != nil {
+			return err
+		}
+		mem += f.Mem
+	}
+	if s.FUsByCluster == nil {
+		mem = s.Clusters * s.FUs.Mem
+	}
+	if mem == 0 {
+		path := "fus.mem"
+		if s.FUsByCluster != nil {
+			path = "fusByCluster"
+		}
+		return fielderr.New(path, "the machine needs at least one memory unit")
+	}
+	return nil
+}
+
+func (s Spec) validateCache() error {
+	c := s.Cache
+	switch {
+	case c.TotalBytes < 1:
+		return fielderr.New("cache.totalBytes", "must be positive (got %d)", c.TotalBytes)
+	case c.TotalBytes%s.Clusters != 0:
+		return fielderr.New("cache.totalBytes", "must split evenly among clusters=%d (got %d)", s.Clusters, c.TotalBytes)
+	case c.LineBytes < 1:
+		return fielderr.New("cache.lineBytes", "must be positive (got %d)", c.LineBytes)
+	case (c.TotalBytes/s.Clusters)%c.LineBytes != 0:
+		return fielderr.New("cache.lineBytes", "must divide the %dB per-cluster cache (got %d)", c.TotalBytes/s.Clusters, c.LineBytes)
+	case c.Assoc < 1:
+		return fielderr.New("cache.assoc", "must be at least 1 (got %d)", c.Assoc)
+	case (c.TotalBytes/s.Clusters/c.LineBytes)%c.Assoc != 0:
+		return fielderr.New("cache.assoc", "must divide the %d lines of a local cache (got %d)", c.TotalBytes/s.Clusters/c.LineBytes, c.Assoc)
+	case c.MSHREntries < 1:
+		return fielderr.New("cache.mshrEntries", "the non-blocking cache needs at least one MSHR entry (got %d)", c.MSHREntries)
+	}
+	return nil
+}
+
+func (s Spec) validateBuses() error {
+	if n := int(s.RegBus.Count); n != Unbounded && n < 0 {
+		return fielderr.New("regBus.count", "must be non-negative or \"unbounded\" (got %d)", n)
+	}
+	if n := int(s.MemBus.Count); n != Unbounded && n < 1 {
+		return fielderr.New("memBus.count", "must be at least 1 or \"unbounded\" (got %d)", n)
+	}
+	if s.Clusters > 1 {
+		if s.RegBus.Count == 0 {
+			return fielderr.New("regBus.count", "a clustered machine needs register buses (or \"unbounded\")")
+		}
+		if s.RegBus.Latency < 1 {
+			return fielderr.New("regBus.latency", "must be at least 1 cycle on a clustered machine (got %d)", s.RegBus.Latency)
+		}
+	} else if s.RegBus.Latency < 0 {
+		return fielderr.New("regBus.latency", "cannot be negative (got %d)", s.RegBus.Latency)
+	}
+	if s.MemBus.Latency < 1 {
+		return fielderr.New("memBus.latency", "must be at least 1 cycle (got %d)", s.MemBus.Latency)
+	}
+	return nil
+}
+
+//go:embed specs/unified.json specs/two-cluster.json specs/four-cluster.json
+var specFS embed.FS
+
+// builtins parses the embedded Table 1 specs exactly once.
+var builtins = sync.OnceValue(func() map[string]Config {
+	m := make(map[string]Config)
+	files, err := specFS.ReadDir("specs")
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range files {
+		data, err := specFS.ReadFile("specs/" + f.Name())
+		if err != nil {
+			panic(err)
+		}
+		cfg, err := ParseSpec(data)
+		if err != nil {
+			panic(fmt.Sprintf("embedded spec %s: %v", f.Name(), err))
+		}
+		m[cfg.Name] = cfg
+	}
+	return m
+})
+
+// Builtin returns one of the embedded Table 1 machines by its spec name
+// ("Unified", "2-cluster", "4-cluster"; case-sensitive).
+func Builtin(name string) (Config, bool) {
+	cfg, ok := builtins()[name]
+	return cfg, ok
+}
+
+// BuiltinNames lists the embedded machine specs in sorted order.
+func BuiltinNames() []string {
+	var names []string
+	for n := range builtins() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// FromCLI resolves a machine for the command-line tools: the spec file when
+// specPath is non-empty, the Table 1 constructors (selected by cluster
+// count, with the given bus pools) otherwise.
+func FromCLI(specPath string, clusters, nrb, lrb, nmb, lmb int) (Config, error) {
+	if specPath != "" {
+		data, err := os.ReadFile(specPath)
+		if err != nil {
+			return Config{}, err
+		}
+		return ParseSpec(data)
+	}
+	switch clusters {
+	case 1:
+		return Unified(), nil
+	case 2:
+		return TwoCluster(nrb, lrb, nmb, lmb), nil
+	case 4:
+		return FourCluster(nrb, lrb, nmb, lmb), nil
+	default:
+		return Config{}, fmt.Errorf("-clusters must be 1, 2 or 4 (or use -machine <spec file>)")
+	}
+}
+
+// BuiltinSpecJSON returns the embedded JSON text of a builtin machine, for
+// seeding user spec files.
+func BuiltinSpecJSON(name string) ([]byte, error) {
+	cfg, ok := Builtin(name)
+	if !ok {
+		return nil, fmt.Errorf("machine: no builtin spec %q (have %v)", name, BuiltinNames())
+	}
+	return cfg.MarshalSpec()
+}

@@ -1,0 +1,230 @@
+package machine
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// roundTripConfigs is the round-trip corpus: the three Table 1 machines plus
+// exotic shapes the paper never evaluates (heterogeneous bus latencies,
+// unbounded pools, an 8-cluster machine, set-associative caches, per-cluster
+// FU mixes).
+func roundTripConfigs() []Config {
+	eight := Config{
+		Name:            "8-cluster",
+		Clusters:        8,
+		FUs:             [NumFUKinds]int{1, 1, 1},
+		Regs:            8,
+		TotalCacheBytes: 16 * 1024,
+		LineBytes:       32,
+		Assoc:           2,
+		MSHREntries:     4,
+		RegBuses:        4,
+		RegBusLat:       3,
+		MemBuses:        2,
+		MemBusLat:       5,
+		Lat:             DefaultLatencies(),
+	}
+	slowMem := TwoCluster(2, 4, 1, 7) // heterogeneous bus latencies
+	slowMem.Name = "2-cluster-slow-buses"
+	slowMem.Lat.MainMemory = 40
+	unbounded := FourCluster(Unbounded, 2, Unbounded, 1)
+	unbounded.Name = "4-cluster-unbounded"
+	hetero := Heterogeneous(TwoCluster(2, 1, 1, 1),
+		[NumFUKinds]int{4, 0, 1}, [NumFUKinds]int{0, 4, 1})
+	return []Config{
+		Unified(),
+		TwoCluster(2, 1, 1, 1),
+		FourCluster(2, 1, 1, 1),
+		eight,
+		slowMem,
+		unbounded,
+		hetero,
+	}
+}
+
+// TestSpecRoundTrip pins the lossless-spec property: ParseSpec(m.Spec()) == m
+// for every corpus machine, through actual JSON bytes.
+func TestSpecRoundTrip(t *testing.T) {
+	for _, want := range roundTripConfigs() {
+		data, err := want.MarshalSpec()
+		if err != nil {
+			t.Fatalf("%s: MarshalSpec: %v", want.Name, err)
+		}
+		got, err := ParseSpec(data)
+		if err != nil {
+			t.Fatalf("%s: ParseSpec: %v\nspec:\n%s", want.Name, err, data)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: round trip diverged\n got %+v\nwant %+v\nspec:\n%s", want.Name, got, want, data)
+		}
+	}
+}
+
+// TestBuiltinsBackConstructors asserts the embedded Table 1 specs produce the
+// exact configurations the paper's constructors promise.
+func TestBuiltinsBackConstructors(t *testing.T) {
+	u := Unified()
+	if u.Clusters != 1 || u.FUs != [NumFUKinds]int{4, 4, 4} || u.Regs != 64 ||
+		u.TotalCacheBytes != 8*1024 || u.LineBytes != 64 || u.Assoc != 1 ||
+		u.MSHREntries != 10 || u.RegBuses != 0 || u.MemBuses != Unbounded ||
+		u.MemBusLat != 1 || u.Lat != DefaultLatencies() {
+		t.Errorf("Unified drifted from Table 1: %+v", u)
+	}
+	two := TwoCluster(3, 2, 4, 5)
+	if two.Clusters != 2 || two.FUs != [NumFUKinds]int{2, 2, 2} || two.Regs != 32 {
+		t.Errorf("TwoCluster drifted from Table 1: %+v", two)
+	}
+	if two.RegBuses != 3 || two.RegBusLat != 2 || two.MemBuses != 4 || two.MemBusLat != 5 {
+		t.Errorf("TwoCluster bus overrides not applied: %+v", two)
+	}
+	four := FourCluster(2, 1, 1, 1)
+	if four.Clusters != 4 || four.FUs != [NumFUKinds]int{1, 1, 1} || four.Regs != 16 {
+		t.Errorf("FourCluster drifted from Table 1: %+v", four)
+	}
+	if names := BuiltinNames(); !reflect.DeepEqual(names, []string{"2-cluster", "4-cluster", "Unified"}) {
+		t.Errorf("BuiltinNames = %v", names)
+	}
+	if _, err := BuiltinSpecJSON("Unified"); err != nil {
+		t.Errorf("BuiltinSpecJSON(Unified): %v", err)
+	}
+	if _, err := BuiltinSpecJSON("6-cluster"); err == nil {
+		t.Error("BuiltinSpecJSON accepted an unknown name")
+	}
+}
+
+// TestParseSpecErrors drives malformed specs through the parser and checks
+// every error names the offending field's path and its constraint.
+func TestParseSpecErrors(t *testing.T) {
+	// base returns a valid spec to mutate.
+	base := func() Spec { return TwoCluster(2, 1, 1, 1).Spec() }
+	cases := []struct {
+		name     string
+		mutate   func(*Spec)
+		wantPath string
+	}{
+		{"empty name", func(s *Spec) { s.Name = "" }, "name"},
+		{"zero clusters", func(s *Spec) { s.Clusters = 0 }, "clusters"},
+		{"negative FU count", func(s *Spec) { s.FUs.Float = -1 }, "fus.float"},
+		{"no memory units", func(s *Spec) { s.FUs.Mem = 0 }, "fus.mem"},
+		{"FU mix count mismatch", func(s *Spec) { s.FUsByCluster = []FUSpec{{1, 1, 1}} }, "fusByCluster"},
+		{"negative per-cluster FU", func(s *Spec) {
+			s.FUsByCluster = []FUSpec{{1, 1, 1}, {1, -2, 1}}
+		}, "fusByCluster[1].float"},
+		{"no registers", func(s *Spec) { s.Regs = 0 }, "regsPerCluster"},
+		{"zero cache", func(s *Spec) { s.Cache.TotalBytes = 0 }, "cache.totalBytes"},
+		{"cache not splittable", func(s *Spec) { s.Cache.TotalBytes = 8191 }, "cache.totalBytes"},
+		{"line does not divide cache", func(s *Spec) { s.Cache.LineBytes = 96 }, "cache.lineBytes"},
+		{"assoc does not divide lines", func(s *Spec) { s.Cache.Assoc = 48 }, "cache.assoc"},
+		{"no MSHRs", func(s *Spec) { s.Cache.MSHREntries = 0 }, "cache.mshrEntries"},
+		{"negative register buses", func(s *Spec) { s.RegBus.Count = -3 }, "regBus.count"},
+		{"clustered without register buses", func(s *Spec) { s.RegBus.Count = 0 }, "regBus.count"},
+		{"zero register-bus latency", func(s *Spec) { s.RegBus.Latency = 0 }, "regBus.latency"},
+		{"zero memory buses", func(s *Spec) { s.MemBus.Count = 0 }, "memBus.count"},
+		{"zero memory-bus latency", func(s *Spec) { s.MemBus.Latency = 0 }, "memBus.latency"},
+		{"zero latency entry", func(s *Spec) { s.Latency.FPDiv = 0 }, "latency.fpDiv"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := base()
+			tc.mutate(&s)
+			data, err := json.Marshal(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = ParseSpec(data)
+			if err == nil {
+				t.Fatalf("parser accepted the malformed spec:\n%s", data)
+			}
+			if !strings.Contains(err.Error(), tc.wantPath+":") {
+				t.Errorf("error %q does not report path %q", err, tc.wantPath)
+			}
+		})
+	}
+}
+
+// TestValidateMatchesSpecValidation pins the round-trip contract's
+// precondition: Config.Validate and the spec path agree that zero memory
+// buses are invalid (misses could never reach main memory), so every valid
+// Config survives the spec round trip.
+func TestValidateMatchesSpecValidation(t *testing.T) {
+	c := TwoCluster(2, 1, 0, 1)
+	if err := c.Validate(); err == nil {
+		t.Error("Config.Validate accepted zero memory buses while ParseSpec rejects them")
+	}
+	if _, err := machineFromCLIFile(t); err != nil {
+		t.Errorf("FromCLI on a valid spec file: %v", err)
+	}
+	if _, err := FromCLI("", 3, 2, 1, 1, 1); err == nil {
+		t.Error("FromCLI accepted -clusters 3")
+	}
+	if _, err := FromCLI("/no/such/spec.json", 0, 0, 0, 0, 0); err == nil {
+		t.Error("FromCLI accepted an unreadable spec file")
+	}
+}
+
+// machineFromCLIFile round-trips a builtin through a temp file and FromCLI.
+func machineFromCLIFile(t *testing.T) (Config, error) {
+	t.Helper()
+	data, err := Unified().MarshalSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/m.json"
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return FromCLI(path, 0, 0, 0, 0, 0)
+}
+
+// TestParseSpecRejectsUnknownFields keeps typos loud instead of silently
+// ignored.
+func TestParseSpecRejectsUnknownFields(t *testing.T) {
+	data := []byte(`{"name": "x", "clusterz": 2}`)
+	if _, err := ParseSpec(data); err == nil || !strings.Contains(err.Error(), "clusterz") {
+		t.Errorf("unknown field not rejected: %v", err)
+	}
+}
+
+// TestBusCountJSON pins the "unbounded" encoding on both directions.
+func TestBusCountJSON(t *testing.T) {
+	var b BusCount
+	if err := json.Unmarshal([]byte(`"unbounded"`), &b); err != nil || b != Unbounded {
+		t.Errorf(`"unbounded" parsed to %d, err %v`, b, err)
+	}
+	if err := json.Unmarshal([]byte(`3`), &b); err != nil || b != 3 {
+		t.Errorf("3 parsed to %d, err %v", b, err)
+	}
+	if err := json.Unmarshal([]byte(`"lots"`), &b); err == nil {
+		t.Error(`"lots" accepted as a bus count`)
+	}
+	out, err := json.Marshal(BusCount(Unbounded))
+	if err != nil || string(out) != `"unbounded"` {
+		t.Errorf("Unbounded marshaled to %s, err %v", out, err)
+	}
+	if out, _ = json.Marshal(BusCount(2)); string(out) != "2" {
+		t.Errorf("2 marshaled to %s", out)
+	}
+}
+
+// TestLatencySpecOmittedDefaults asserts an omitted latency table means the
+// paper's defaults.
+func TestLatencySpecOmittedDefaults(t *testing.T) {
+	data := []byte(`{
+		"name": "no-latency", "clusters": 1,
+		"fus": {"int": 1, "float": 1, "mem": 1}, "regsPerCluster": 8,
+		"cache": {"totalBytes": 1024, "lineBytes": 64, "assoc": 1, "mshrEntries": 2},
+		"regBus": {"count": 0, "latency": 0},
+		"memBus": {"count": 1, "latency": 1}
+	}`)
+	cfg, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Lat != DefaultLatencies() {
+		t.Errorf("omitted latency table gave %+v", cfg.Lat)
+	}
+}

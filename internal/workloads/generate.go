@@ -1,0 +1,327 @@
+// Seeded random-kernel generation. The paper's evaluation is locked to eight
+// fixed SPECfp95 stand-ins; exact-scheduling work (SAT/SMT modulo
+// schedulers) is instead evaluated on large generated corpora, because fixed
+// suites hide scheduler pathologies. GenSpec describes a family of kernels —
+// operation mix, recurrence count and depth, affine memory-footprint shape,
+// trip counts — and Generate draws one deterministic member per seed: the
+// same spec always produces the same kernel, on every platform, so a failing
+// seed is a permanent reproducer.
+//
+// Every generated kernel is a valid loop.Kernel by construction (operands
+// only reference earlier values, so the graph is acyclic up to the carried
+// edges that deliberately close recurrences), which makes the generator a
+// standing differential fuzzer when driven through the repository's paired
+// oracles: compiled-vs-reference simulation and guided-vs-linear II search.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"multivliw/internal/fielderr"
+	"multivliw/internal/loop"
+)
+
+// GenSpec parameterizes one generated kernel. The zero value is not useful;
+// start from DefaultGenSpec and override.
+type GenSpec struct {
+	// Seed selects the kernel within the family; everything else shapes
+	// the family.
+	Seed int64 `json:"seed"`
+
+	// Name labels the kernel; empty means "gen.s<seed>".
+	Name string `json:"name,omitempty"`
+
+	// Arith is the number of arithmetic operations (class drawn from
+	// Mix), excluding the ops recurrence chains add.
+	Arith int `json:"arith"`
+	// Loads and Stores are the memory-operation counts; at least one
+	// load is required so stores have producers and the kernel touches
+	// memory.
+	Loads  int `json:"loads"`
+	Stores int `json:"stores"`
+
+	// Recurrences is the number of loop-carried accumulator chains;
+	// RecurrenceDepth bounds each chain's length (its RecMII is twice
+	// its depth with the default FP-add latency).
+	Recurrences     int `json:"recurrences"`
+	RecurrenceDepth int `json:"recurrenceDepth,omitempty"`
+
+	// Arrays is the number of distinct arrays; FootprintBytes is the
+	// approximate per-array footprint, which controls how much of the
+	// iteration space fits in a local cache.
+	Arrays         int `json:"arrays"`
+	FootprintBytes int `json:"footprintBytes"`
+
+	// Trip is the iteration space (outermost first; the last level is the
+	// modulo-scheduled innermost loop). Arrays are len(Trip)-dimensional.
+	Trip []int `json:"trip"`
+
+	// Mix weights the arithmetic classes; zero-valued Mix means the
+	// default FP-heavy mix.
+	Mix OpMix `json:"mix"`
+
+	// Align and Pad shape the address space: bases aligned to Align bytes
+	// with Pad bytes between arrays (power-of-two alignment recreates
+	// conflict-miss pathologies).
+	Align uint64 `json:"align,omitempty"`
+	Pad   uint64 `json:"pad,omitempty"`
+}
+
+// OpMix weights the arithmetic operation classes drawn for Arith ops.
+type OpMix struct {
+	IntALU int `json:"intALU"`
+	IntMul int `json:"intMul"`
+	FPAdd  int `json:"fpAdd"`
+	FPMul  int `json:"fpMul"`
+	FPDiv  int `json:"fpDiv"`
+}
+
+func (m OpMix) total() int { return m.IntALU + m.IntMul + m.FPAdd + m.FPMul + m.FPDiv }
+
+// DefaultGenSpec returns a moderate kernel family: a dozen operations over
+// three 2-D arrays with one shallow recurrence — comparable in shape to the
+// hand-written suite's kernels.
+func DefaultGenSpec(seed int64) GenSpec {
+	return GenSpec{
+		Seed:            seed,
+		Arith:           8,
+		Loads:           4,
+		Stores:          2,
+		Recurrences:     1,
+		RecurrenceDepth: 2,
+		Arrays:          3,
+		FootprintBytes:  64 * 1024,
+		Trip:            []int{16, 128},
+		Mix:             OpMix{IntALU: 1, FPAdd: 4, FPMul: 3, FPDiv: 1},
+		Align:           64,
+		Pad:             192,
+	}
+}
+
+// Validate reports the first violated constraint with its field path.
+func (g GenSpec) Validate() error {
+	switch {
+	case g.Arith < 0:
+		return fielderr.New("arith", "cannot be negative (got %d)", g.Arith)
+	case g.Loads < 1:
+		return fielderr.New("loads", "must be at least 1 so stores and arithmetic have producers (got %d)", g.Loads)
+	case g.Stores < 0:
+		return fielderr.New("stores", "cannot be negative (got %d)", g.Stores)
+	case g.Recurrences < 0:
+		return fielderr.New("recurrences", "cannot be negative (got %d)", g.Recurrences)
+	case g.Recurrences > 0 && g.RecurrenceDepth < 1:
+		return fielderr.New("recurrenceDepth", "must be at least 1 when recurrences are requested (got %d)", g.RecurrenceDepth)
+	case g.Arrays < 1:
+		return fielderr.New("arrays", "must be at least 1 (got %d)", g.Arrays)
+	case g.FootprintBytes < 64:
+		return fielderr.New("footprintBytes", "must be at least 64 (got %d)", g.FootprintBytes)
+	case len(g.Trip) == 0:
+		return fielderr.New("trip", "must name at least the innermost loop")
+	case g.Mix.total() < 0:
+		return fielderr.New("mix", "weights cannot be negative")
+	}
+	for l, t := range g.Trip {
+		if t < 1 {
+			return fielderr.New(fielderr.Index("trip", l), "trip counts must be at least 1 (got %d)", t)
+		}
+	}
+	for _, w := range []struct {
+		field string
+		n     int
+	}{
+		{"intALU", g.Mix.IntALU}, {"intMul", g.Mix.IntMul},
+		{"fpAdd", g.Mix.FPAdd}, {"fpMul", g.Mix.FPMul}, {"fpDiv", g.Mix.FPDiv},
+	} {
+		if w.n < 0 {
+			return fielderr.New("mix."+w.field, "weights cannot be negative (got %d)", w.n)
+		}
+	}
+	return nil
+}
+
+// Generate draws the spec's kernel: identical specs always yield identical
+// kernels (math/rand with a fixed seed is fully deterministic).
+func Generate(spec GenSpec) (*loop.Kernel, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, fmt.Errorf("generator spec: %w", err)
+	}
+	g := &generator{spec: spec, rng: rand.New(rand.NewSource(spec.Seed))}
+	return g.kernel()
+}
+
+// GenerateSuite draws count kernels seeded spec.Seed, spec.Seed+1, … and
+// wraps each as its own Benchmark (so sweep normalization stays per-kernel,
+// like the hand-written suite's per-benchmark averages).
+func GenerateSuite(spec GenSpec, count int) ([]Benchmark, error) {
+	if count < 1 {
+		return nil, fielderr.New("count", "must be at least 1 (got %d)", count)
+	}
+	var out []Benchmark
+	for i := 0; i < count; i++ {
+		s := spec
+		s.Seed = spec.Seed + int64(i)
+		s.Name = "" // name each kernel after its own seed
+		k, err := Generate(s)
+		if err != nil {
+			return nil, fmt.Errorf("kernel %d: %w", i, err)
+		}
+		out = append(out, Benchmark{Name: k.Name, Kernels: []*loop.Kernel{k}})
+	}
+	return out, nil
+}
+
+type generator struct {
+	spec GenSpec
+	rng  *rand.Rand
+
+	arrays []*loop.Array
+	b      *loop.Builder
+	// values is the operand pool: every produced SSA value with its
+	// FP-ness (stores prefer FP producers, like the lowered Fortran).
+	values []loop.Value
+	fp     []loop.Value
+}
+
+func (g *generator) kernel() (*loop.Kernel, error) {
+	spec := g.spec
+	name := spec.Name
+	if name == "" {
+		name = fmt.Sprintf("gen.s%d", spec.Seed)
+	}
+	g.allocArrays()
+	g.b = loop.NewBuilder(name, spec.Trip...)
+	for i := 0; i < spec.Loads; i++ {
+		v := g.b.Load(g.pickArray(), g.indices()...)
+		g.values = append(g.values, v)
+		g.fp = append(g.fp, v)
+	}
+	mix := spec.Mix
+	if mix.total() == 0 {
+		mix = DefaultGenSpec(0).Mix
+	}
+	for i := 0; i < spec.Arith; i++ {
+		g.arith(fmt.Sprintf("t%d", i), mix)
+	}
+	for i := 0; i < spec.Recurrences; i++ {
+		g.recurrence(i)
+	}
+	for i := 0; i < spec.Stores; i++ {
+		g.b.Store(g.pickArray(), g.pickFP(), g.indices()...)
+	}
+	return g.b.Build()
+}
+
+// allocArrays places the arrays: every array is len(Trip)-dimensional with a
+// unit-stride innermost extent covering the innermost trips (plus a small
+// boundary margin for offset references) and outer extents sized so the
+// footprint approximates FootprintBytes.
+func (g *generator) allocArrays() {
+	spec := g.spec
+	s := loop.NewAddressSpace(0x10000, maxu(spec.Align, 1), spec.Pad)
+	const elem = 8
+	inner := spec.Trip[len(spec.Trip)-1] + 4
+	outer := spec.FootprintBytes / (elem * inner)
+	if outer < 1 {
+		outer = 1
+	}
+	for i := 0; i < spec.Arrays; i++ {
+		dims := make([]int, len(spec.Trip))
+		dims[len(dims)-1] = inner
+		rest := outer
+		for d := len(dims) - 2; d >= 0; d-- {
+			if d == 0 {
+				dims[d] = rest
+			} else {
+				dims[d] = 1
+				if rest >= len(dims)-d {
+					dims[d] = 2
+					rest = (rest + 1) / 2
+				}
+			}
+		}
+		if len(dims) == 1 {
+			dims[0] = inner * outer
+		}
+		g.arrays = append(g.arrays, s.Alloc(fmt.Sprintf("G%d", i), elem, dims...))
+	}
+}
+
+func (g *generator) pickArray() *loop.Array {
+	return g.arrays[g.rng.Intn(len(g.arrays))]
+}
+
+// indices draws one affine index expression per dimension: the innermost
+// dimension streams with the innermost loop (coefficient mostly 1,
+// occasionally 2 for strided accesses) under a small offset (group reuse
+// between shifted references); outer dimensions track their loop level.
+func (g *generator) indices() []loop.Aff1 {
+	depth := len(g.spec.Trip)
+	idx := make([]loop.Aff1, depth)
+	for d := 0; d < depth; d++ {
+		coefs := make([]int, depth)
+		switch {
+		case d == depth-1: // innermost: streaming reference
+			coefs[d] = 1
+			if g.rng.Intn(8) == 0 {
+				coefs[d] = 2
+			}
+		default:
+			coefs[d] = g.rng.Intn(2) // 0 = plane reuse, 1 = row advance
+		}
+		idx[d] = loop.Aff(g.rng.Intn(3), coefs...)
+	}
+	return idx
+}
+
+// arith appends one arithmetic op with operands drawn from earlier values.
+func (g *generator) arith(name string, mix OpMix) {
+	nargs := 1 + g.rng.Intn(2)
+	args := make([]loop.Value, nargs)
+	for i := range args {
+		args[i] = g.values[g.rng.Intn(len(g.values))]
+	}
+	var v loop.Value
+	isFP := true
+	switch r := g.rng.Intn(mix.total()); {
+	case r < mix.IntALU:
+		v, isFP = g.b.IAdd(name, args...), false
+	case r < mix.IntALU+mix.IntMul:
+		v, isFP = g.b.IMul(name, args...), false
+	case r < mix.IntALU+mix.IntMul+mix.FPAdd:
+		v = g.b.FAdd(name, args...)
+	case r < mix.IntALU+mix.IntMul+mix.FPAdd+mix.FPMul:
+		v = g.b.FMul(name, args...)
+	default:
+		v = g.b.FDiv(name, args...)
+	}
+	g.values = append(g.values, v)
+	if isFP {
+		g.fp = append(g.fp, v)
+	}
+}
+
+// recurrence appends one accumulator chain of FP adds and closes it with a
+// distance-1 carried edge, forming a recurrence of RecMII = 2·depth.
+func (g *generator) recurrence(i int) {
+	depth := 1 + g.rng.Intn(g.spec.RecurrenceDepth)
+	head := g.b.FAdd(fmt.Sprintf("acc%d.0", i), g.values[g.rng.Intn(len(g.values))])
+	tail := head
+	for j := 1; j < depth; j++ {
+		tail = g.b.FAdd(fmt.Sprintf("acc%d.%d", i, j), tail, g.values[g.rng.Intn(len(g.values))])
+	}
+	g.b.Carried(tail, head, 1)
+	g.values = append(g.values, tail)
+	g.fp = append(g.fp, tail)
+}
+
+func (g *generator) pickFP() loop.Value {
+	return g.fp[g.rng.Intn(len(g.fp))]
+}
+
+func maxu(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

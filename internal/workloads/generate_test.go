@@ -1,0 +1,165 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+)
+
+// dumpKernel renders a kernel into a comparable canonical string: the full
+// dependence graph plus every reference with its resolved base address.
+func dumpKernel(t *testing.T, k *loop.Kernel) string {
+	t.Helper()
+	var sb strings.Builder
+	sb.WriteString(k.Graph.Dot(k.Name))
+	for _, r := range k.Refs {
+		sb.WriteString(r.String())
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestGenerateDeterministic pins the generator's contract: the same spec
+// always draws the same kernel, and neighbouring seeds draw different ones.
+func TestGenerateDeterministic(t *testing.T) {
+	spec := DefaultGenSpec(42)
+	a, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := dumpKernel(t, a), dumpKernel(t, b); got != want {
+		t.Error("same spec drew different kernels")
+	}
+	c, err := Generate(DefaultGenSpec(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dumpKernel(t, a) == dumpKernel(t, c) {
+		t.Error("seeds 42 and 43 drew identical kernels")
+	}
+}
+
+// TestGenerateShapes sweeps spec shapes (deep nests, recurrence-heavy,
+// store-free, arithmetic-free, 1-D) over many seeds; every draw must be a
+// valid kernel honouring the requested counts.
+func TestGenerateShapes(t *testing.T) {
+	shapes := []func(g GenSpec) GenSpec{
+		func(g GenSpec) GenSpec { return g },
+		func(g GenSpec) GenSpec { g.Trip = []int{4, 8, 64}; g.Arrays = 2; return g },
+		func(g GenSpec) GenSpec { g.Recurrences = 3; g.RecurrenceDepth = 3; return g },
+		func(g GenSpec) GenSpec { g.Stores = 0; g.Loads = 6; return g },
+		func(g GenSpec) GenSpec { g.Arith = 0; g.Recurrences = 0; return g },
+		func(g GenSpec) GenSpec { g.Trip = []int{256}; g.FootprintBytes = 4096; return g },
+		func(g GenSpec) GenSpec { g.Mix = OpMix{IntALU: 2, IntMul: 1}; return g },
+	}
+	for si, shape := range shapes {
+		for seed := int64(0); seed < 8; seed++ {
+			spec := shape(DefaultGenSpec(seed))
+			k, err := Generate(spec)
+			if err != nil {
+				t.Fatalf("shape %d seed %d: %v", si, seed, err)
+			}
+			if err := k.Validate(); err != nil {
+				t.Fatalf("shape %d seed %d: invalid kernel: %v", si, seed, err)
+			}
+			loads, stores := 0, 0
+			for _, id := range k.MemOps() {
+				if k.Refs[k.Graph.Node(id).Ref].Store {
+					stores++
+				} else {
+					loads++
+				}
+			}
+			if loads != spec.Loads || stores != spec.Stores {
+				t.Errorf("shape %d seed %d: %d loads %d stores, want %d/%d",
+					si, seed, loads, stores, spec.Loads, spec.Stores)
+			}
+			if len(k.Trip) != len(spec.Trip) {
+				t.Errorf("shape %d seed %d: depth %d, want %d", si, seed, len(k.Trip), len(spec.Trip))
+			}
+		}
+	}
+}
+
+// TestGenerateRecurrences asserts requested recurrences actually close
+// cycles: the graph's RecMII must reflect at least one carried chain.
+func TestGenerateRecurrences(t *testing.T) {
+	spec := DefaultGenSpec(7)
+	spec.Recurrences = 2
+	spec.RecurrenceDepth = 3
+	k, err := Generate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The induction update alone gives RecMII 1; an FP accumulator chain
+	// pushes it to at least the FP-add latency (2).
+	lat := ddg.DefaultLatencies(k.Graph, machine.DefaultLatencies())
+	if got := k.Graph.RecMII(lat); got < 2 {
+		t.Errorf("RecMII = %d, want >= 2 with accumulator recurrences", got)
+	}
+}
+
+// TestGenerateSuite checks the corpus helper: count kernels, consecutive
+// seeds, one benchmark per kernel.
+func TestGenerateSuite(t *testing.T) {
+	suite, err := GenerateSuite(DefaultGenSpec(100), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 5 {
+		t.Fatalf("got %d benchmarks, want 5", len(suite))
+	}
+	for i, b := range suite {
+		want := map[int]string{0: "gen.s100", 4: "gen.s104"}[i]
+		if want != "" && b.Name != want {
+			t.Errorf("benchmark %d named %q, want %q", i, b.Name, want)
+		}
+		if len(b.Kernels) != 1 {
+			t.Errorf("benchmark %d has %d kernels", i, len(b.Kernels))
+		}
+	}
+	if _, err := GenerateSuite(DefaultGenSpec(0), 0); err == nil {
+		t.Error("GenerateSuite accepted count 0")
+	}
+}
+
+// TestGenSpecValidation drives malformed generator specs and checks the
+// errors carry field paths.
+func TestGenSpecValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		mutate   func(*GenSpec)
+		wantPath string
+	}{
+		{"negative arith", func(g *GenSpec) { g.Arith = -1 }, "arith"},
+		{"no loads", func(g *GenSpec) { g.Loads = 0 }, "loads"},
+		{"negative stores", func(g *GenSpec) { g.Stores = -2 }, "stores"},
+		{"negative recurrences", func(g *GenSpec) { g.Recurrences = -1 }, "recurrences"},
+		{"depthless recurrences", func(g *GenSpec) { g.Recurrences = 1; g.RecurrenceDepth = 0 }, "recurrenceDepth"},
+		{"no arrays", func(g *GenSpec) { g.Arrays = 0 }, "arrays"},
+		{"tiny footprint", func(g *GenSpec) { g.FootprintBytes = 8 }, "footprintBytes"},
+		{"no loops", func(g *GenSpec) { g.Trip = nil }, "trip"},
+		{"zero trip", func(g *GenSpec) { g.Trip = []int{4, 0} }, "trip[1]"},
+		{"negative mix weight", func(g *GenSpec) { g.Mix.FPDiv = -1 }, "mix.fpDiv"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spec := DefaultGenSpec(1)
+			tc.mutate(&spec)
+			_, err := Generate(spec)
+			if err == nil {
+				t.Fatal("generator accepted the malformed spec")
+			}
+			if !strings.Contains(err.Error(), tc.wantPath+":") {
+				t.Errorf("error %q does not report path %q", err, tc.wantPath)
+			}
+		})
+	}
+}

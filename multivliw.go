@@ -78,6 +78,20 @@ func FourCluster(regBuses, regBusLat, memBuses, memBusLat int) Machine {
 // Table1 renders the paper's Table 1.
 func Table1() string { return machine.Table1() }
 
+// MachineSpec is the declarative, JSON-serializable form of a Machine
+// (cluster count, FU mix, register file, cache geometry, bus pools, latency
+// table). Spec↔Machine conversion is lossless: ParseMachineSpec(m.Spec())
+// reproduces m exactly.
+type MachineSpec = machine.Spec
+
+// ParseMachineSpec parses and validates a JSON machine spec; invalid fields
+// report their path and the violated constraint. The three Table 1 machines
+// are themselves embedded specs (machine.Builtin).
+func ParseMachineSpec(data []byte) (Machine, error) { return machine.ParseSpec(data) }
+
+// MarshalMachineSpec renders a machine as an indented JSON spec.
+func MarshalMachineSpec(m Machine) ([]byte, error) { return m.MarshalSpec() }
+
 // ArchitectureDiagram renders an ASCII sketch of Figure 1 for a machine.
 func ArchitectureDiagram(m Machine) string { return machine.ArchitectureDiagram(m) }
 
@@ -211,6 +225,61 @@ type (
 
 // Suite returns the eight synthetic SPECfp95 benchmarks.
 func Suite() []Benchmark { return workloads.Suite() }
+
+// Kernel generation: a seeded, deterministic random-kernel family for
+// scenarios beyond the fixed suite.
+type (
+	// KernelGenSpec parameterizes one generated kernel (op mix,
+	// recurrence count/depth, footprint shape, trip counts).
+	KernelGenSpec = workloads.GenSpec
+	// KernelOpMix weights the generated arithmetic classes.
+	KernelOpMix = workloads.OpMix
+)
+
+// DefaultKernelGenSpec returns a moderate kernel family at the given seed.
+func DefaultKernelGenSpec(seed int64) KernelGenSpec { return workloads.DefaultGenSpec(seed) }
+
+// GenerateKernel draws the spec's kernel: identical specs always yield
+// identical kernels, so a seed is a permanent reproducer.
+func GenerateKernel(spec KernelGenSpec) (*Kernel, error) { return workloads.Generate(spec) }
+
+// GenerateBenchmarks draws count kernels at consecutive seeds, one
+// benchmark per kernel.
+func GenerateBenchmarks(spec KernelGenSpec, count int) ([]Benchmark, error) {
+	return workloads.GenerateSuite(spec, count)
+}
+
+// Declarative experiment sweeps.
+type (
+	// SweepSpec is a declarative experiment: an arbitrary (machines ×
+	// kernels × schedulers × thresholds × SimCap) grid.
+	SweepSpec = harness.SweepSpec
+	// SweepResult carries the aggregate figures and per-cell rows.
+	SweepResult = harness.SweepResult
+)
+
+// LoadSweepSpec reads and validates an experiment-spec file (see
+// examples/sweep); machine-spec file references resolve relative to it.
+func LoadSweepSpec(path string) (*SweepSpec, error) { return harness.LoadSweepSpec(path) }
+
+// ParseSweepSpec parses an experiment spec from bytes; machine-spec file
+// references resolve relative to baseDir.
+func ParseSweepSpec(data []byte, baseDir string) (*SweepSpec, error) {
+	return harness.ParseSweepSpec(data, baseDir)
+}
+
+// RunSweep evaluates a sweep spec through the parallel runner and the
+// schedule-keyed replay cache; results are bit-identical at every
+// parallelism, and a spec re-expressing a paper figure reproduces its bars
+// byte-identically.
+func RunSweep(spec *SweepSpec) (*SweepResult, error) { return harness.RunSweep(spec) }
+
+// GeneratorDifferential drives seeded generated kernels through the paired
+// oracles (compiled-vs-reference simulation, guided-vs-linear II search) —
+// the standing differential fuzzer CI runs on every PR.
+func GeneratorDifferential(seed int64, kernels, simCap int) (*harness.FuzzReport, error) {
+	return harness.GeneratorDifferential(harness.FuzzOptions{Seed: seed, Kernels: kernels, SimCap: simCap})
+}
 
 // MotivatingKernel returns the paper's §3 example loop for N iterations.
 func MotivatingKernel(n int) *Kernel { return workloads.Motivating(n) }

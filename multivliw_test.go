@@ -102,3 +102,64 @@ func TestUnifiedNeverCommunicates(t *testing.T) {
 		}
 	}
 }
+
+// TestScenarioLayerExposed exercises the declarative scenario surface of the
+// facade end to end: a machine round-tripped through its spec, a generated
+// kernel compiled and simulated on it, and an inline sweep spec evaluated
+// over a generated corpus.
+func TestScenarioLayerExposed(t *testing.T) {
+	data, err := multivliw.MarshalMachineSpec(multivliw.TwoCluster(2, 1, 1, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := multivliw.ParseMachineSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := multivliw.GenerateKernel(multivliw.DefaultKernelGenSpec(99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := multivliw.Compile(k, m, multivliw.Options{Policy: multivliw.RMCA, Threshold: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := multivliw.Simulate(s, 128); err != nil || res.Total <= 0 {
+		t.Fatalf("simulate: %v %+v", err, res)
+	}
+
+	spec, err := multivliw.ParseSweepSpec([]byte(`{
+		"name": "facade-smoke",
+		"simCap": 64,
+		"kernels": {"generated": {"count": 2, "spec": {
+			"seed": 5, "arith": 4, "loads": 3, "stores": 1,
+			"arrays": 2, "footprintBytes": 8192, "trip": [64]
+		}}},
+		"figures": [{
+			"title": "facade smoke",
+			"thresholds": [0.0],
+			"groups": [{"label": "2cl", "machine": {"ref": "2-cluster"}}]
+		}]
+	}`), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := multivliw.RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 /* 2 schedulers x 1 threshold */ {
+		t.Fatalf("got %d rows: %+v", len(res.Rows), res.Rows)
+	}
+	if !strings.Contains(res.Text(), "facade smoke") {
+		t.Errorf("sweep text:\n%s", res.Text())
+	}
+
+	rep, err := multivliw.GeneratorDifferential(3, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SimChecks == 0 {
+		t.Errorf("differential never compared a simulation: %+v", rep)
+	}
+}
