@@ -42,9 +42,14 @@ func main() {
 		specPath = flag.String("spec", "", "run a declarative experiment-spec file (see examples/sweep) instead of the hard-coded figures")
 		rowsOut  = flag.String("rows", "", "with -spec: also write the per-cell CSV rows to this file ('-' = stdout)")
 		genfuzz  = flag.Int("genfuzz", 0, "run N seeded generated kernels through the compiled-vs-reference and guided-vs-linear differential checks")
-		genseed  = flag.Int64("genseed", 1, "seed of the -genfuzz corpus")
+		genseed  = flag.Int64("genseed", 1, "seed of the -genfuzz (or -oracle) corpus")
+		oracle   = flag.Int("oracle", 0, "run N seeded small kernels through the exact-scheduling oracle: assert heuristic II ≥ exact II, invariant-check and replay every exact schedule, report the gap distribution")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "mvpexperiments: unexpected positional arguments: %q (every option is a -flag; see -h)\n", flag.Args())
+		os.Exit(2)
+	}
 	if *specPath != "" {
 		runSpec(*specPath, *rowsOut, *simCap, *jobs)
 		return
@@ -55,6 +60,14 @@ func main() {
 			fail(err)
 		}
 		fmt.Println("generator differential:", rep)
+		return
+	}
+	if *oracle > 0 {
+		rep, err := harness.OracleDifferential(harness.OracleOptions{Seed: *genseed, Kernels: *oracle, SimCap: *simCap})
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println("exact oracle:", rep)
 		return
 	}
 	if !(*all || *table1 || *arch || *fig3 || *fig5 || *fig6 || *verdict || *comms || *perbench || *ablate) {

@@ -1,19 +1,23 @@
 // Command mvpsched modulo-schedules one kernel of the benchmark suite and
 // prints the schedule: summary, modulo reservation table and the emitted
-// VLIW kernel.
+// VLIW kernel. With -exact it additionally runs the branch-and-bound exact
+// scheduler and reports the heuristic's optimality gap.
 //
 // Usage:
 //
 //	mvpsched -kernel swim.calc1 -clusters 2 -policy rmca -threshold 0
+//	mvpsched -kernel motivating -exact
 //	mvpsched -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"multivliw/internal/exact"
 	"multivliw/internal/loop"
 	"multivliw/internal/machine"
 	"multivliw/internal/sched"
@@ -22,44 +26,59 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: it parses args, executes, and returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mvpsched", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		list      = flag.Bool("list", false, "list available kernels")
-		name      = flag.String("kernel", "motivating", "kernel name (or 'motivating')")
-		clusters  = flag.Int("clusters", 2, "1, 2 or 4 clusters")
-		machSpec  = flag.String("machine", "", "machine-spec JSON file; overrides -clusters/-nrb/-lrb/-nmb/-lmb")
-		policy    = flag.String("policy", "rmca", "baseline or rmca")
-		threshold = flag.Float64("threshold", 0.0, "cache-miss threshold in [0,1]")
-		nrb       = flag.Int("nrb", 2, "register buses (-1 = unbounded)")
-		lrb       = flag.Int("lrb", 1, "register bus latency")
-		nmb       = flag.Int("nmb", 1, "memory buses (-1 = unbounded)")
-		lmb       = flag.Int("lmb", 1, "memory bus latency")
-		emit      = flag.Bool("emit", true, "print the emitted VLIW kernel")
-		dot       = flag.Bool("dot", false, "print the dependence graph in DOT form")
-		trace     = flag.Bool("searchtrace", false, "print the guided II search trace (one line per attempted II, plus the binary-search summary)")
-		linear    = flag.Bool("linearsearch", false, "disable the structural binary search; escalate the II linearly from the MII as §4.1 prescribes (same schedules, more attempts)")
+		list      = fs.Bool("list", false, "list available kernels")
+		name      = fs.String("kernel", "motivating", "kernel name (or 'motivating')")
+		clusters  = fs.Int("clusters", 2, "1, 2 or 4 clusters")
+		machSpec  = fs.String("machine", "", "machine-spec JSON file; overrides -clusters/-nrb/-lrb/-nmb/-lmb")
+		policy    = fs.String("policy", "rmca", "baseline or rmca")
+		threshold = fs.Float64("threshold", 0.0, "cache-miss threshold in [0,1]")
+		nrb       = fs.Int("nrb", 2, "register buses (-1 = unbounded)")
+		lrb       = fs.Int("lrb", 1, "register bus latency")
+		nmb       = fs.Int("nmb", 1, "memory buses (-1 = unbounded)")
+		lmb       = fs.Int("lmb", 1, "memory bus latency")
+		emit      = fs.Bool("emit", true, "print the emitted VLIW kernel")
+		dot       = fs.Bool("dot", false, "print the dependence graph in DOT form")
+		trace     = fs.Bool("searchtrace", false, "print the guided II search trace (one line per attempted II, plus the binary-search summary)")
+		linear    = fs.Bool("linearsearch", false, "disable the structural binary search; escalate the II linearly from the MII as §4.1 prescribes (same schedules, more attempts)")
+		exactMode = fs.Bool("exact", false, "also run the branch-and-bound exact scheduler (small kernels) and print the optimality gap")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mvpsched: unexpected positional arguments: %q (every option is a -flag; see -h)\n", fs.Args())
+		return 2
+	}
 
 	if *list {
 		for _, b := range workloads.Suite() {
 			for _, k := range b.Kernels {
-				fmt.Printf("%-20s %2d ops, %d refs, NITER=%d NTIMES=%d\n",
+				fmt.Fprintf(stdout, "%-20s %2d ops, %d refs, NITER=%d NTIMES=%d\n",
 					k.Name, k.Graph.NumNodes(), len(k.Refs), k.NIter(), k.NTimes())
 			}
 		}
-		fmt.Println("motivating           the paper's §3 example loop")
-		return
+		fmt.Fprintln(stdout, "motivating           the paper's §3 example loop")
+		return 0
 	}
 
 	k := findKernel(*name)
 	if k == nil {
-		fmt.Fprintf(os.Stderr, "mvpsched: unknown kernel %q (try -list)\n", *name)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mvpsched: unknown kernel %q (try -list)\n", *name)
+		return 2
 	}
 	cfg, err := machine.FromCLI(*machSpec, *clusters, *nrb, *lrb, *nmb, *lmb)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mvpsched:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mvpsched:", err)
+		return 2
 	}
 	pol := sched.RMCA
 	if strings.EqualFold(*policy, "baseline") {
@@ -67,13 +86,13 @@ func main() {
 	}
 
 	if *dot {
-		fmt.Println(k.Graph.Dot(k.Name))
+		fmt.Fprintln(stdout, k.Graph.Dot(k.Name))
 	}
 	opts := sched.Options{Policy: pol, Threshold: *threshold, LinearSearch: *linear}
 	if *trace {
 		opts.Trace = func(a sched.Attempt) {
 			if a.OK {
-				fmt.Printf("search: II=%-3d ok\n", a.II)
+				fmt.Fprintf(stdout, "search: II=%-3d ok\n", a.II)
 				return
 			}
 			line := fmt.Sprintf("search: II=%-3d FAIL %s", a.II, a.Reason)
@@ -88,25 +107,43 @@ func main() {
 			if a.HintNode >= 0 {
 				line += fmt.Sprintf(" (hint: %s@%d)", k.Graph.Node(a.HintNode).Name, a.HintCycle)
 			}
-			fmt.Println(line)
+			fmt.Fprintln(stdout, line)
 		}
 	}
 	s, err := sched.Run(k, cfg, opts)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mvpsched:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mvpsched:", err)
+		return 1
 	}
 	if *trace {
 		st := s.Stats.Search
-		fmt.Printf("search: MII=%d first=%d (skipped %d structurally-infeasible IIs, %d probes), %d attempts\n",
+		fmt.Fprintf(stdout, "search: MII=%d first=%d (skipped %d structurally-infeasible IIs, %d probes), %d attempts\n",
 			st.MII, st.FirstII, st.SkippedII, st.Probes, st.Attempts)
 	}
-	fmt.Println(s.Summary())
-	fmt.Println(s.Render())
+	fmt.Fprintln(stdout, s.Summary())
+	fmt.Fprintln(stdout, s.Render())
+	if *exactMode {
+		ex, st, err := exact.Schedule(k, cfg, exact.Options{})
+		if err != nil {
+			fmt.Fprintln(stderr, "mvpsched: exact:", err)
+			return 1
+		}
+		gap := exact.GapBetween(ex, s)
+		cert := "optimal for the canonical transfer rule"
+		if st.Optimal() {
+			cert = "certified optimal (II equals the MII)"
+		}
+		fmt.Fprintf(stdout, "exact: II=%d (%s; MII=%d, first structural II=%d, %d IIs searched, %d probes, %d commits, %d pressure prunes)\n",
+			ex.II, cert, st.MII, st.FirstII, st.IIsTried, st.Probes, st.Commits, st.PressurePrunes)
+		fmt.Fprintf(stdout, "exact: heuristic gap ΔII=%d (heuristic %d vs exact %d), ΔMaxLive=%d (heuristic %d vs exact %d)\n",
+			gap.DeltaII, gap.HeuristicII, gap.ExactII, gap.DeltaMaxLive, gap.HeuristicMaxLive, gap.ExactMaxLive)
+		fmt.Fprintln(stdout, ex.Render())
+	}
 	if *emit {
 		p := vliw.Emit(s)
-		fmt.Println(vliw.Render(s, p.Kernel, "steady-state kernel"))
+		fmt.Fprintln(stdout, vliw.Render(s, p.Kernel, "steady-state kernel"))
 	}
+	return 0
 }
 
 func findKernel(name string) *loop.Kernel {

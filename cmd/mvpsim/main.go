@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,94 +23,114 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable CLI body: it parses args, executes, and returns the
+// process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mvpsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		name      = flag.String("kernel", "motivating", "kernel name (see mvpsched -list)")
-		clusters  = flag.Int("clusters", 2, "1, 2 or 4 clusters")
-		machSpec  = flag.String("machine", "", "machine-spec JSON file; overrides -clusters/-nrb/-lrb/-nmb/-lmb")
-		policy    = flag.String("policy", "rmca", "baseline or rmca")
-		threshold = flag.Float64("threshold", 0.0, "cache-miss threshold in [0,1]")
-		nrb       = flag.Int("nrb", 2, "register buses (-1 = unbounded)")
-		lrb       = flag.Int("lrb", 1, "register bus latency")
-		nmb       = flag.Int("nmb", 1, "memory buses (-1 = unbounded)")
-		lmb       = flag.Int("lmb", 1, "memory bus latency")
-		cap       = flag.Int("simcap", 0, "innermost-iteration cap (0 = full space)")
-		compare   = flag.Bool("compare", false, "run both schedulers at all four thresholds")
-		trace     = flag.Int("trace", 0, "print the first N simulated events")
-		reference = flag.Bool("reference", false, "replay with the retained reference interpreter instead of the compiled core (cross-check; results are bit-identical)")
+		name      = fs.String("kernel", "motivating", "kernel name (see mvpsched -list)")
+		clusters  = fs.Int("clusters", 2, "1, 2 or 4 clusters")
+		machSpec  = fs.String("machine", "", "machine-spec JSON file; overrides -clusters/-nrb/-lrb/-nmb/-lmb")
+		policy    = fs.String("policy", "rmca", "baseline or rmca")
+		threshold = fs.Float64("threshold", 0.0, "cache-miss threshold in [0,1]")
+		nrb       = fs.Int("nrb", 2, "register buses (-1 = unbounded)")
+		lrb       = fs.Int("lrb", 1, "register bus latency")
+		nmb       = fs.Int("nmb", 1, "memory buses (-1 = unbounded)")
+		lmb       = fs.Int("lmb", 1, "memory bus latency")
+		cap       = fs.Int("simcap", 0, "innermost-iteration cap (0 = full space)")
+		compare   = fs.Bool("compare", false, "run both schedulers at all four thresholds")
+		trace     = fs.Int("trace", 0, "print the first N simulated events")
+		reference = fs.Bool("reference", false, "replay with the retained reference interpreter instead of the compiled core (cross-check; results are bit-identical)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "mvpsim: unexpected positional arguments: %q (every option is a -flag; see -h)\n", fs.Args())
+		return 2
+	}
 
 	k := findKernel(*name)
 	if k == nil {
-		fmt.Fprintf(os.Stderr, "mvpsim: unknown kernel %q\n", *name)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mvpsim: unknown kernel %q\n", *name)
+		return 2
 	}
 	cfg, err := machine.FromCLI(*machSpec, *clusters, *nrb, *lrb, *nmb, *lmb)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mvpsim:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "mvpsim:", err)
+		return 2
 	}
-	fmt.Println(cfg)
+	fmt.Fprintln(stdout, cfg)
 
 	simulate := sim.Run
 	if *reference {
 		simulate = sim.ReferenceRun
 	}
 	if *compare {
-		fmt.Printf("%-9s %5s %4s %3s %6s %10s %10s %10s %9s\n",
+		fmt.Fprintf(stdout, "%-9s %5s %4s %3s %6s %10s %10s %10s %9s\n",
 			"sched", "thr", "II", "SC", "comms", "compute", "stall", "total", "missratio")
 		for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
 			for _, thr := range []float64{1.0, 0.75, 0.25, 0.0} {
-				run(k, cfg, pol, thr, *cap, true, simulate)
+				if code := simRun(stdout, stderr, k, cfg, pol, thr, *cap, true, simulate); code != 0 {
+					return code
+				}
 			}
 		}
-		return
+		return 0
 	}
 	pol := sched.RMCA
 	if strings.EqualFold(*policy, "baseline") {
 		pol = sched.Baseline
 	}
-	run(k, cfg, pol, *threshold, *cap, false, simulate)
+	if code := simRun(stdout, stderr, k, cfg, pol, *threshold, *cap, false, simulate); code != 0 {
+		return code
+	}
 	if *trace > 0 {
 		s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: *threshold})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mvpsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mvpsim:", err)
+			return 1
 		}
 		out, err := sim.TraceWith(s, *trace, simulate)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mvpsim:", err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, "mvpsim:", err)
+			return 1
 		}
-		fmt.Println(out)
+		fmt.Fprintln(stdout, out)
 	}
+	return 0
 }
 
-func run(k *loop.Kernel, cfg machine.Config, pol sched.Policy, thr float64, cap int, row bool,
-	simulate func(*sched.Schedule, sim.Options) (*sim.Result, error)) {
+func simRun(stdout, stderr io.Writer, k *loop.Kernel, cfg machine.Config, pol sched.Policy, thr float64, cap int, row bool,
+	simulate func(*sched.Schedule, sim.Options) (*sim.Result, error)) int {
 	s, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: thr})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mvpsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mvpsim:", err)
+		return 1
 	}
 	r, err := simulate(s, sim.Options{MaxInnermostIters: cap})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "mvpsim:", err)
-		os.Exit(1)
+		fmt.Fprintln(stderr, "mvpsim:", err)
+		return 1
 	}
 	if row {
-		fmt.Printf("%-9s %5.2f %4d %3d %6d %10d %10d %10d %9.3f\n",
+		fmt.Fprintf(stdout, "%-9s %5.2f %4d %3d %6d %10d %10d %10d %9.3f\n",
 			pol, thr, s.II, s.SC, len(s.Comms), r.Compute, r.Stall, r.Total, r.Mem.LocalMissRatio())
-		return
+		return 0
 	}
-	fmt.Printf("kernel %s: II=%d SC=%d comms/iter=%d miss-scheduled=%d fingerprint=%016x\n",
+	fmt.Fprintf(stdout, "kernel %s: II=%d SC=%d comms/iter=%d miss-scheduled=%d fingerprint=%016x\n",
 		k.Name, s.II, s.SC, len(s.Comms), s.Stats.MissScheduled, s.Fingerprint())
-	fmt.Printf("NCYCLE_compute=%d NCYCLE_stall=%d total=%d (%.2f cycles/iter)\n",
+	fmt.Fprintf(stdout, "NCYCLE_compute=%d NCYCLE_stall=%d total=%d (%.2f cycles/iter)\n",
 		r.Compute, r.Stall, r.Total, r.CyclesPerIter())
-	fmt.Printf("  stall at operands=%d, at bus transfers=%d\n", r.StallOperand, r.StallComm)
-	fmt.Printf("memory: %+v\n", r.Mem)
-	fmt.Printf("  bus-traffic miss ratio=%.3f, memory-bus tx=%d busy=%d wait=%d\n",
+	fmt.Fprintf(stdout, "  stall at operands=%d, at bus transfers=%d\n", r.StallOperand, r.StallComm)
+	fmt.Fprintf(stdout, "memory: %+v\n", r.Mem)
+	fmt.Fprintf(stdout, "  bus-traffic miss ratio=%.3f, memory-bus tx=%d busy=%d wait=%d\n",
 		r.Mem.LocalMissRatio(), r.BusTx, r.BusBusy, r.BusWait)
+	return 0
 }
 
 func findKernel(name string) *loop.Kernel {

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCLIArgs is the satellite's table-driven CLI test: unknown positional
+// arguments must fail with a non-zero exit instead of being silently
+// ignored, while flag-only invocations keep working.
+func TestCLIArgs(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantOut  string
+		wantErr  string
+	}{
+		{name: "positional", args: []string{"motivating"}, wantCode: 2, wantErr: "unexpected positional arguments"},
+		{name: "positional-after-flags", args: []string{"-simcap", "8", "stray"}, wantCode: 2, wantErr: "unexpected positional arguments"},
+		{name: "unknown-kernel", args: []string{"-kernel", "nope"}, wantCode: 2, wantErr: "unknown kernel"},
+		{name: "unknown-flag", args: []string{"-definitely-not-a-flag"}, wantCode: 2},
+		{name: "simulate", args: []string{"-kernel", "tomcatv.resid", "-simcap", "8"}, wantCode: 0, wantOut: "NCYCLE_compute="},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != tc.wantCode {
+				t.Errorf("run(%q) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, errb.String())
+			}
+			if tc.wantOut != "" && !strings.Contains(out.String(), tc.wantOut) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantOut, out.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(errb.String(), tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, errb.String())
+			}
+		})
+	}
+}

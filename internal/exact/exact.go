@@ -1,0 +1,188 @@
+// Package exact implements an exact modulo scheduler for small kernels: a
+// branch-and-bound search over the time×cluster assignment of every
+// operation, under the same dependence-window, reservation-table,
+// bus-capacity and MaxLive rules as the heuristic scheduler — shared
+// through internal/legality — following the II-bisection structure of
+// SMT/SAT exact modulo schedulers (Roorda's "Optimal Software Pipelining
+// using an SMT-Solver"; Tirelli et al.'s SAT-based CGRA mapping).
+//
+// The search visits nodes in the same SMS order the heuristic consumes and
+// enumerates, per node, every cluster and every dependence-legal cycle of
+// its candidate window, backtracking on failure. Register-bus transfers
+// are placed with the same canonical rule as the heuristic (earliest
+// feasible start, first free lane, one transfer per (producer, destination
+// cluster) reused by later edges), so every schedule the heuristic can
+// construct lies inside the exact search space. Two properties follow by
+// construction:
+//
+//   - Schedule never settles for an II larger than sched.Run finds for the
+//     same hit-latency problem (threshold 1.0) — the oracle invariant
+//     II_exact ≤ II_heuristic that the harness's oracle mode asserts on
+//     every seeded kernel.
+//   - The II returned is the true minimum over all schedules expressible
+//     with the canonical transfer rule. The II escalation starts at
+//     max(RecMII, ResMII) and skips structurally-infeasible IIs via the
+//     shared legality.StructBound, so a result equal to the MII is a
+//     certificate of unconditional optimality.
+//
+// Branch-and-bound pruning: cluster-permutation symmetry is broken on
+// homogeneous machines (a node may only open the lowest-indexed fresh
+// cluster), and every committed placement re-evaluates the shared partial
+// MaxLive accounting — a monotone lower bound of the final pressure — so
+// register-doomed subtrees are cut without enumerating them. Tie-breaking
+// is deterministic (lowest cluster first, then the window scan order), so
+// results are reproducible bit for bit.
+package exact
+
+import (
+	"errors"
+	"fmt"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/legality"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/order"
+	"multivliw/internal/sched"
+)
+
+const (
+	// DefaultOpLimit is the kernel-size ceiling: branch-and-bound modulo
+	// scheduling is exponential in the worst case, and ~20 operations is
+	// where exact methods remain routinely tractable (the same regime the
+	// SMT/SAT literature evaluates).
+	DefaultOpLimit = 20
+
+	// DefaultProbeBudget caps the (cluster, cycle) candidates one
+	// Schedule call may examine before giving up with ErrBudget; it
+	// bounds worst-case runtime while sitting far above what the oracle
+	// corpus needs.
+	DefaultProbeBudget = 8 << 20
+)
+
+var (
+	// ErrTooLarge rejects kernels above the operation limit.
+	ErrTooLarge = errors.New("exact: kernel exceeds the operation limit")
+	// ErrBudget reports an exhausted search budget: the result is unknown
+	// rather than infeasible.
+	ErrBudget = errors.New("exact: search budget exhausted")
+)
+
+// Options configures an exact scheduling run.
+type Options struct {
+	// MaxII caps II escalation; 0 means 64·MII+256, matching sched.Run.
+	MaxII int
+
+	// OpLimit overrides DefaultOpLimit (kernels above it are refused
+	// with ErrTooLarge rather than searched).
+	OpLimit int
+
+	// ProbeBudget overrides DefaultProbeBudget.
+	ProbeBudget int64
+}
+
+// Stats summarizes one exact scheduling run.
+type Stats struct {
+	MII         int // max(RecMII, ResMII) the search was seeded with
+	FirstII     int // first structurally feasible II (search start)
+	II          int // II of the returned schedule (0 on failure)
+	IIsTried    int // IIs the branch-and-bound actually searched
+	BoundProbes int // structural-predicate evaluations of the binary search
+
+	Probes         int64 // (cluster, cycle) candidates examined
+	Commits        int64 // placements committed (search-tree edges)
+	PressurePrunes int64 // subtrees cut by the partial-MaxLive bound
+}
+
+// Optimal reports whether the result is certifiably optimal without the
+// canonical-transfer caveat: an II equal to the MII meets the universal
+// lower bound no schedule can beat.
+func (s Stats) Optimal() bool { return s.II > 0 && s.II == s.MII }
+
+// Schedule finds a minimum-II modulo schedule for kernel k on cfg. The
+// returned schedule uses hit latencies for every load (the threshold-1.0
+// problem), passes sched.CheckInvariants, and replays on both simulators.
+func Schedule(k *loop.Kernel, cfg machine.Config, opt Options) (*sched.Schedule, Stats, error) {
+	var st Stats
+	if err := cfg.Validate(); err != nil {
+		return nil, st, err
+	}
+	if err := k.Validate(); err != nil {
+		return nil, st, err
+	}
+	g := k.Graph
+	limit := opt.OpLimit
+	if limit == 0 {
+		limit = DefaultOpLimit
+	}
+	if g.NumNodes() > limit {
+		return nil, st, fmt.Errorf("%w: %s has %d ops, limit %d", ErrTooLarge, k.Name, g.NumNodes(), limit)
+	}
+	baseLat := ddg.DefaultLatencies(g, cfg.Lat)
+	ord := order.Compute(g, baseLat, cfg)
+	maxII := opt.MaxII
+	if maxII == 0 {
+		maxII = 64*ord.MII + 256
+	}
+	bound := legality.NewStructBound(g, cfg)
+	first, probes, ok := legality.FirstFeasibleII(&bound, ord.MII, maxII)
+	st.MII, st.BoundProbes = ord.MII, probes
+	if !ok {
+		return nil, st, fmt.Errorf("exact: %s on %s: no schedule possible up to II=%d", k.Name, cfg.Name, maxII)
+	}
+	st.FirstII = first
+
+	budget := opt.ProbeBudget
+	if budget == 0 {
+		budget = DefaultProbeBudget
+	}
+	x := &solver{
+		g: g, k: k, cfg: cfg, lat: baseLat, order: ord.Order,
+		homogeneous: cfg.FUsByCluster == nil,
+		budget:      budget, stats: &st,
+	}
+	for ii := first; ii <= maxII; ii++ {
+		st.IIsTried++
+		if x.solve(ii) {
+			st.II = ii
+			return x.buildSchedule(ii, &st), st, nil
+		}
+		if x.aborted {
+			return nil, st, fmt.Errorf("%w: %s on %s at II=%d after %d probes", ErrBudget, k.Name, cfg.Name, ii, st.Probes)
+		}
+	}
+	return nil, st, fmt.Errorf("exact: %s on %s: no schedule found up to II=%d", k.Name, cfg.Name, maxII)
+}
+
+// Gap quantifies how far a heuristic schedule sits from the exact optimum
+// of the same kernel and machine: the optimality-gap row of the sweep CSV
+// and the oracle report.
+type Gap struct {
+	ExactII     int
+	HeuristicII int
+	// DeltaII is HeuristicII − ExactII: 0 means the heuristic found an
+	// optimal II (for the canonical transfer rule; also unconditionally
+	// optimal whenever ExactII equals the MII).
+	DeltaII int
+
+	ExactMaxLive     int // worst per-cluster MaxLive of the exact schedule
+	HeuristicMaxLive int
+	// DeltaMaxLive is HeuristicMaxLive − ExactMaxLive. The exact search
+	// minimizes the II, not the pressure, so this may be negative; it
+	// reports where the heuristic spends registers relative to the
+	// deterministic exact witness.
+	DeltaMaxLive int
+}
+
+// GapBetween derives the gap from an exact and a heuristic schedule of the
+// same kernel and machine.
+func GapBetween(exactS, heuristic *sched.Schedule) Gap {
+	return Gap{
+		ExactII:          exactS.II,
+		HeuristicII:      heuristic.II,
+		DeltaII:          heuristic.II - exactS.II,
+		ExactMaxLive:     exactS.Stats.MaxLiveMax,
+		HeuristicMaxLive: heuristic.Stats.MaxLiveMax,
+		DeltaMaxLive:     heuristic.Stats.MaxLiveMax - exactS.Stats.MaxLiveMax,
+	}
+}

@@ -1,0 +1,414 @@
+package exact
+
+import (
+	"multivliw/internal/ddg"
+	"multivliw/internal/legality"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/mrt"
+	"multivliw/internal/sched"
+	"multivliw/internal/scratch"
+)
+
+// commKey identifies one reusable transfer: producer node → destination
+// cluster, exactly as in the heuristic scheduler.
+type commKey struct{ prod, dest int }
+
+// commNeed is one required transfer while validating a placement: the bus
+// start must fall in [lo, hi].
+type commNeed struct {
+	key    commKey
+	lo, hi int
+}
+
+// commUndo snapshots the transfer state before a placement so backtracking
+// can restore it: lengths of the comms slice and of the two key stacks.
+type commUndo struct {
+	comms, idx, edges int
+}
+
+// solver is the branch-and-bound state of one Schedule call; its buffers
+// are reused across the II escalation.
+type solver struct {
+	g   *ddg.Graph
+	k   *loop.Kernel
+	cfg machine.Config
+	lat []int
+	// order is the SMS visiting order shared with the heuristic: the DFS
+	// assigns nodes in this sequence, so the heuristic's greedy path is
+	// one branch of the search tree.
+	order       []int
+	homogeneous bool
+
+	ii      int
+	times   *ddg.Times
+	table   *mrt.Table
+	cluster []int
+	cycle   []int
+	counts  []int // nodes per cluster (symmetry breaking)
+	used    int   // clusters currently hosting at least one node
+
+	comms    []sched.Comm
+	commIdx  map[commKey]int
+	edgeComm map[[2]int]int
+	idxKeys  []commKey // insertion stack backing commIdx undo
+	edgeKeys [][2]int  // insertion stack backing edgeComm undo
+
+	needs         []commNeed // placeComms scratch
+	mlOut, mlRows []int      // pressure scratch
+	mlLast        []int
+	budget        int64
+	aborted       bool
+	stats         *Stats
+}
+
+// solve searches one candidate II exhaustively; true means the solver's
+// state holds a complete legal assignment.
+func (x *solver) solve(ii int) bool {
+	x.ii = ii
+	x.times = x.g.ComputeTimesInto(x.times, x.lat, ii)
+	if x.table == nil {
+		x.table = mrt.New(x.cfg, ii)
+	} else {
+		x.table.Rebind(x.cfg, ii)
+	}
+	n := x.g.NumNodes()
+	x.cluster = scratch.Fill(x.cluster, n, -1)
+	x.cycle = scratch.Fill(x.cycle, n, 0)
+	x.counts = scratch.Fill(x.counts, x.cfg.Clusters, 0)
+	x.used = 0
+	x.comms = x.comms[:0]
+	x.idxKeys = x.idxKeys[:0]
+	x.edgeKeys = x.edgeKeys[:0]
+	if x.commIdx == nil {
+		x.commIdx = make(map[commKey]int)
+	} else {
+		clear(x.commIdx)
+	}
+	if x.edgeComm == nil {
+		x.edgeComm = make(map[[2]int]int)
+	} else {
+		clear(x.edgeComm)
+	}
+	return x.dfs(0)
+}
+
+// dfs assigns order[pos:] by depth-first branch-and-bound. Candidates are
+// enumerated deterministically: clusters ascending, cycles in the same
+// window scan the heuristic's tryPlace uses (upward from the earliest
+// start when predecessors anchor the node, downward from the latest start
+// when only successors do), so the first complete assignment found — and
+// therefore the returned schedule — is a pure function of the inputs.
+func (x *solver) dfs(pos int) bool {
+	if pos == len(x.order) {
+		return true
+	}
+	v := x.order[pos]
+	kind := x.g.Node(v).Class.FUKind()
+	maxC := x.cfg.Clusters
+	if x.homogeneous && x.used+1 < maxC {
+		// Cluster-permutation symmetry: on a homogeneous machine every
+		// unopened cluster is interchangeable, so opening any fresh one
+		// is equivalent to opening the lowest-indexed fresh one.
+		maxC = x.used + 1
+	}
+	for c := 0; c < maxC; c++ {
+		es, ls, hasPred, hasSucc := legality.DepWindow(x.g, v, c, x.cluster, x.cycle, x.lat, x.lat[v], x.ii, x.cfg.RegBusLat)
+		// The candidate window mirrors the heuristic's: II consecutive
+		// cycles cover every reservation-table row once, and the scan
+		// anchors on whichever neighbors are already placed.
+		var start, step, count int
+		switch {
+		case hasPred && hasSucc:
+			hi := ls
+			if es+x.ii-1 < hi {
+				hi = es + x.ii - 1
+			}
+			start, step, count = es, 1, hi-es+1
+		case hasSucc:
+			start, step, count = ls, -1, x.ii
+		case hasPred:
+			start, step, count = es, 1, x.ii
+		default:
+			start, step, count = x.times.ASAP[v], 1, x.ii
+		}
+		for i, t := 0, start; i < count; i, t = i+1, t+step {
+			x.stats.Probes++
+			if x.stats.Probes > x.budget {
+				x.aborted = true
+				return false
+			}
+			unit, ok := x.table.PlaceFU(c, kind, t, v)
+			if !ok {
+				continue
+			}
+			undo, ok := x.placeComms(v, c, t)
+			if ok {
+				x.commit(v, c, t)
+				if x.pressureOK() {
+					x.stats.Commits++
+					if x.dfs(pos + 1) {
+						return true
+					}
+				} else {
+					x.stats.PressurePrunes++
+				}
+				x.uncommit(v, c)
+				x.rollbackComms(undo)
+			}
+			x.table.RemoveFU(c, kind, t, unit)
+			if x.aborted {
+				return false
+			}
+		}
+	}
+	return false
+}
+
+// commit records the placement of v (the FU slot and transfers are already
+// on the table).
+func (x *solver) commit(v, c, t int) {
+	x.cluster[v] = c
+	x.cycle[v] = t
+	if x.counts[c] == 0 {
+		x.used++
+	}
+	x.counts[c]++
+}
+
+// uncommit reverses commit.
+func (x *solver) uncommit(v, c int) {
+	x.counts[c]--
+	if x.counts[c] == 0 {
+		x.used--
+	}
+	x.cluster[v] = -1
+	x.cycle[v] = 0
+}
+
+// pressureOK evaluates the shared partial-MaxLive lower bound over the
+// placed subgraph: placements only add values and extend lifetimes, so a
+// partial pressure above the register file dooms every completion. When
+// all nodes are placed this is the exact final MaxLive check.
+func (x *solver) pressureOK() bool {
+	out, rows, last := legality.MaxLiveInto(x.mlOut, x.g, x.ii, x.cfg.Clusters, x.cluster, x.cycle, x.lat, x.comms, x.mlRows, x.mlLast)
+	x.mlOut, x.mlRows, x.mlLast = out, rows, last
+	for _, m := range out {
+		if m > x.cfg.Regs {
+			return false
+		}
+	}
+	return true
+}
+
+// placeComms validates and commits the register-bus transfers that placing
+// v at (c, t) requires, exactly as the heuristic's tryComms does: an
+// existing (producer, destination) transfer is reused when it arrives in
+// time (and fails the candidate when it does not), merged windows must
+// stay non-empty, and each new transfer takes the earliest feasible start
+// on the first free lane. On success the cross-cluster edges of v are
+// mapped to their serving transfers; on failure everything is rolled back
+// and ok is false.
+func (x *solver) placeComms(v, c, t int) (commUndo, bool) {
+	undo := commUndo{comms: len(x.comms), idx: len(x.idxKeys), edges: len(x.edgeKeys)}
+	busLat := x.cfg.RegBusLat
+	needs := x.needs[:0]
+	defer func() { x.needs = needs[:0] }()
+
+	tighten := func(key commKey, lo, hi int) bool {
+		if hi < lo {
+			return false
+		}
+		for i := range needs {
+			if needs[i].key == key {
+				if lo > needs[i].lo {
+					needs[i].lo = lo
+				}
+				if hi < needs[i].hi {
+					needs[i].hi = hi
+				}
+				return needs[i].hi >= needs[i].lo
+			}
+		}
+		needs = append(needs, commNeed{key: key, lo: lo, hi: hi})
+		return true
+	}
+
+	ok := true
+	// Values v consumes from other clusters.
+	for _, e := range x.g.In(v) {
+		u := e.From
+		if e.Kind != ddg.RegDep || u == v || x.cluster[u] < 0 || x.cluster[u] == c {
+			continue
+		}
+		deadline := t + e.Distance*x.ii // the value must be in c by here
+		key := commKey{u, c}
+		if idx, exists := x.commIdx[key]; exists {
+			if x.comms[idx].Arrival() <= deadline {
+				continue // reuse
+			}
+			ok = false
+			break
+		}
+		if !tighten(key, x.cycle[u]+x.lat[u], deadline-busLat) {
+			ok = false
+			break
+		}
+	}
+	// Values v produces for already-placed consumers in other clusters.
+	if ok {
+		for _, e := range x.g.Out(v) {
+			w := e.To
+			if e.Kind != ddg.RegDep || w == v || x.cluster[w] < 0 || x.cluster[w] == c {
+				continue
+			}
+			deadline := x.cycle[w] + e.Distance*x.ii
+			if !tighten(commKey{v, x.cluster[w]}, t+x.lat[v], deadline-busLat) {
+				ok = false
+				break
+			}
+		}
+	}
+	// Canonical transfer placement — the identical shared rule the
+	// heuristic commits with.
+	if ok {
+		for _, nd := range needs {
+			id := len(x.comms)
+			bus, start, placed := legality.PlaceTransfer(x.table, nd.lo, nd.hi, busLat, id)
+			if !placed {
+				ok = false
+				break
+			}
+			x.comms = append(x.comms, sched.Comm{
+				ID: id, Producer: nd.key.prod, Dest: nd.key.dest,
+				Bus: bus, Start: start, Latency: busLat,
+			})
+			x.commIdx[nd.key] = id
+			x.idxKeys = append(x.idxKeys, nd.key)
+		}
+	}
+	if !ok {
+		x.rollbackComms(undo)
+		return undo, false
+	}
+	// Map v's cross-cluster register edges to their serving transfers.
+	for _, e := range x.g.In(v) {
+		u := e.From
+		if e.Kind != ddg.RegDep || u == v || x.cluster[u] < 0 || x.cluster[u] == c {
+			continue
+		}
+		x.edgeComm[[2]int{u, v}] = x.commIdx[commKey{u, c}]
+		x.edgeKeys = append(x.edgeKeys, [2]int{u, v})
+	}
+	for _, e := range x.g.Out(v) {
+		w := e.To
+		if e.Kind != ddg.RegDep || w == v || x.cluster[w] < 0 || x.cluster[w] == c {
+			continue
+		}
+		x.edgeComm[[2]int{v, w}] = x.commIdx[commKey{v, x.cluster[w]}]
+		x.edgeKeys = append(x.edgeKeys, [2]int{v, w})
+	}
+	return undo, true
+}
+
+// rollbackComms restores the transfer state to the snapshot: bus slots are
+// freed, the comms slice truncated, and the maps shrunk through their
+// insertion stacks.
+func (x *solver) rollbackComms(undo commUndo) {
+	for i := len(x.comms) - 1; i >= undo.comms; i-- {
+		cm := x.comms[i]
+		x.table.RemoveBus(cm.Bus, cm.Start, cm.Latency)
+	}
+	x.comms = x.comms[:undo.comms]
+	for i := len(x.idxKeys) - 1; i >= undo.idx; i-- {
+		delete(x.commIdx, x.idxKeys[i])
+	}
+	x.idxKeys = x.idxKeys[:undo.idx]
+	for i := len(x.edgeKeys) - 1; i >= undo.edges; i-- {
+		delete(x.edgeComm, x.edgeKeys[i])
+	}
+	x.edgeKeys = x.edgeKeys[:undo.edges]
+}
+
+// buildSchedule packages the solver's complete assignment as a
+// sched.Schedule: cycles normalized to be non-negative by a multiple of
+// the II (reservation-table rows are invariant under that shift), the
+// dense comm index built, and the pressure vector recomputed through the
+// shared accounting.
+func (x *solver) buildSchedule(ii int, st *Stats) *sched.Schedule {
+	n := x.g.NumNodes()
+	minC := 0
+	for v := 0; v < n; v++ {
+		if x.cycle[v] < minC {
+			minC = x.cycle[v]
+		}
+	}
+	for _, cm := range x.comms {
+		if cm.Start < minC {
+			minC = cm.Start
+		}
+	}
+	shift := 0
+	if minC < 0 {
+		shift = ((-minC + ii - 1) / ii) * ii
+	}
+	cluster := append([]int(nil), x.cluster[:n]...)
+	cycle := make([]int, n)
+	maxEvent := 0
+	for v := 0; v < n; v++ {
+		cycle[v] = x.cycle[v] + shift
+		if cycle[v] > maxEvent {
+			maxEvent = cycle[v]
+		}
+	}
+	comms := append([]sched.Comm(nil), x.comms...)
+	for i := range comms {
+		comms[i].Start += shift
+		if end := comms[i].Start + comms[i].Latency - 1; end > maxEvent {
+			maxEvent = end
+		}
+	}
+	edgeComm := make(map[[2]int]int, len(x.edgeComm))
+	for e, idx := range x.edgeComm {
+		edgeComm[e] = idx
+	}
+	lat := append([]int(nil), x.lat...)
+	maxLive, _, _ := legality.MaxLiveInto(nil, x.g, ii, x.cfg.Clusters, cluster, cycle, lat, comms, x.mlRows, x.mlLast)
+	worst := 0
+	for _, m := range maxLive {
+		if m > worst {
+			worst = m
+		}
+	}
+	s := &sched.Schedule{
+		Kernel: x.k,
+		Config: x.cfg,
+		// The exact problem is the hit-latency one: record it as the
+		// threshold-1.0 Baseline cell so Summary lines read truthfully.
+		Opts:     sched.Options{Policy: sched.Baseline, Threshold: 1.0},
+		II:       ii,
+		SC:       maxEvent/ii + 1,
+		Cluster:  cluster,
+		Cycle:    cycle,
+		Lat:      lat,
+		MissSch:  make([]bool, n),
+		Comms:    comms,
+		EdgeComm: edgeComm,
+		Table:    x.table,
+		MaxLive:  maxLive,
+		Stats: sched.Stats{
+			IIAttempts:   st.IIsTried,
+			Comms:        len(comms),
+			BusOccupancy: x.table.BusOccupancy(),
+			MaxLiveMax:   worst,
+			Search: sched.SearchStats{
+				MII: st.MII, FirstII: st.FirstII,
+				SkippedII: st.FirstII - st.MII,
+				Probes:    st.BoundProbes, Attempts: st.IIsTried,
+			},
+		},
+	}
+	s.BuildCommIndex()
+	x.table = nil // the schedule owns the reservation table now
+	return s
+}

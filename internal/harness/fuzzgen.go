@@ -8,10 +8,12 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"multivliw/internal/machine"
+	"multivliw/internal/regalloc"
 	"multivliw/internal/sched"
 	"multivliw/internal/sim"
 	"multivliw/internal/workloads"
@@ -36,11 +38,19 @@ type FuzzReport struct {
 	Unschedulable int // cells both search modes rejected (identically)
 	SimChecks     int // compiled-vs-reference simulations compared
 	SearchChecks  int // guided-vs-linear schedule pairs compared
+
+	// RegallocChecks counts schedules carried through modulo variable
+	// expansion and verified instance-exact (regalloc.Check: no two live
+	// instances share a register); RegallocCapacity counts schedules the
+	// allocator rejected because coloring fragmented above the register
+	// file — a legitimate capacity outcome, not a defect.
+	RegallocChecks   int
+	RegallocCapacity int
 }
 
 func (r *FuzzReport) String() string {
-	return fmt.Sprintf("%d kernels, %d cells: %d schedule pairs identical, %d simulation pairs identical, %d cells unschedulable (identically in both search modes)",
-		r.Kernels, r.Cells, r.SearchChecks, r.SimChecks, r.Unschedulable)
+	return fmt.Sprintf("%d kernels, %d cells: %d schedule pairs identical, %d simulation pairs identical, %d allocations instance-exact (%d capacity rejections), %d cells unschedulable (identically in both search modes)",
+		r.Kernels, r.Cells, r.SearchChecks, r.SimChecks, r.RegallocChecks, r.RegallocCapacity, r.Unschedulable)
 }
 
 // fuzzMachines is the machine grid of the differential fuzzer: a
@@ -135,6 +145,24 @@ func GeneratorDifferential(opt FuzzOptions) (*FuzzReport, error) {
 					if *got != *want {
 						return rep, fmt.Errorf("genfuzz: %s: compiled sim diverged from reference\ncompiled  %+v\nreference %+v", where, *got, *want)
 					}
+					// Register-allocation property: every schedule must
+					// survive modulo variable expansion with no two live
+					// instances sharing a register. Fragmentation above
+					// the register file is a counted capacity outcome;
+					// any other failure — including a Check violation —
+					// is a defect with the seed as reproducer.
+					alloc, err := regalloc.Run(guided)
+					if err != nil {
+						if errors.Is(err, regalloc.ErrCapacity) {
+							rep.RegallocCapacity++
+							continue
+						}
+						return rep, fmt.Errorf("genfuzz: %s: regalloc: %w", where, err)
+					}
+					if err := alloc.Check(2*alloc.Unroll + 2); err != nil {
+						return rep, fmt.Errorf("genfuzz: %s: %w", where, err)
+					}
+					rep.RegallocChecks++
 				}
 			}
 		}

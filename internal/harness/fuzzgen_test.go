@@ -24,6 +24,12 @@ func TestGeneratorDifferential(t *testing.T) {
 	if rep.Scheduled == 0 || rep.SimChecks == 0 || rep.SearchChecks == 0 {
 		t.Errorf("differential checks never ran: %+v", rep)
 	}
+	if rep.RegallocChecks == 0 {
+		t.Errorf("register-allocation property never ran: %+v", rep)
+	}
+	if rep.RegallocChecks+rep.RegallocCapacity != rep.SimChecks {
+		t.Errorf("regalloc outcomes unaccounted for: %+v", rep)
+	}
 	if rep.Scheduled+rep.Unschedulable != rep.Cells {
 		t.Errorf("cells unaccounted for: %+v", rep)
 	}

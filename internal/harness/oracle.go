@@ -1,0 +1,161 @@
+// The exact-scheduling oracle: drives seeded small generated kernels
+// through the branch-and-bound exact scheduler and the heuristic, asserting
+// the one inequality that must always hold — the heuristic's II never beats
+// the exact optimum of the same hit-latency problem — and validating every
+// exact schedule through the shared invariant suite and both simulators.
+// This is the strongest oracle in the differential suite: where the fuzzer
+// (fuzzgen.go) checks that two implementations agree, the oracle checks the
+// heuristic against ground truth and reports how far it sits from it.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"multivliw/internal/exact"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/sim"
+	"multivliw/internal/workloads"
+)
+
+// OracleOptions configures an exact-oracle differential run.
+type OracleOptions struct {
+	// Seed seeds both the kernel-shape draws and the kernels themselves.
+	Seed int64
+	// Kernels is the corpus size.
+	Kernels int
+	// SimCap caps simulated innermost iterations per exact schedule
+	// (0 = the full iteration space).
+	SimCap int
+}
+
+// OracleReport summarizes a clean oracle run.
+type OracleReport struct {
+	Kernels int // kernels generated
+	Exact   int // exact schedules found (kernel × machine)
+	Cells   int // (kernel × machine × scheduler) comparisons
+
+	Optimal  int // cells where the heuristic matched the exact II
+	GapCells int // cells with ΔII > 0
+
+	SumDeltaII   int // total ΔII over all cells
+	MaxDeltaII   int // worst single-cell ΔII
+	SumDeltaML   int // total ΔMaxLive over all cells (may be negative)
+	InvChecks    int // exact schedules through the shared invariant suite
+	SimChecks    int // compiled-vs-reference replays of exact schedules
+	BoundOptimal int // exact schedules whose II met the MII (certificates)
+}
+
+func (r *OracleReport) String() string {
+	return fmt.Sprintf("%d kernels, %d exact schedules (%d at the MII certificate), %d heuristic cells: %d optimal, %d with gaps (ΣΔII=%d, max ΔII=%d, ΣΔMaxLive=%d); %d invariant checks, %d sim replays identical",
+		r.Kernels, r.Exact, r.BoundOptimal, r.Cells, r.Optimal, r.GapCells, r.SumDeltaII, r.MaxDeltaII, r.SumDeltaML, r.InvChecks, r.SimChecks)
+}
+
+// oracleMachines is the machine grid of the oracle: the bandwidth-bound
+// 2-cluster machine and the register-starved 4-cluster machine.
+func oracleMachines() []machine.Config {
+	return []machine.Config{
+		machine.TwoCluster(2, 1, 1, 4),
+		machine.FourCluster(2, 1, 1, 1),
+	}
+}
+
+// oracleShape draws one small kernel family (≤ ~11 ops): the size regime
+// where branch-and-bound is routinely tractable.
+func oracleShape(rng *rand.Rand, seed int64) workloads.GenSpec {
+	spec := workloads.DefaultGenSpec(seed)
+	spec.Arith = 1 + rng.Intn(5)
+	spec.Loads = 1 + rng.Intn(3)
+	spec.Stores = rng.Intn(2)
+	spec.Recurrences = rng.Intn(2)
+	spec.RecurrenceDepth = 1 + rng.Intn(2)
+	spec.Arrays = 2
+	spec.FootprintBytes = []int{16 << 10, 64 << 10}[rng.Intn(2)]
+	spec.Trip = []int{4, 32}
+	return spec
+}
+
+// OracleDifferential generates opt.Kernels seeded small kernels and checks,
+// for every (kernel, machine) pair, that the exact scheduler finds a legal
+// minimum-II schedule (shared invariant suite; compiled and reference
+// simulators agree bit for bit) and, for both heuristic policies at
+// threshold 1.0 — the exact scheduler's hit-latency problem — that the
+// heuristic's II is never below the exact optimum. The first violation
+// aborts the run with the cell's full coordinates; the report carries the
+// optimality-gap distribution of a clean run.
+func OracleDifferential(opt OracleOptions) (*OracleReport, error) {
+	if opt.Kernels < 1 {
+		return nil, fmt.Errorf("oracle: kernel count must be at least 1 (got %d)", opt.Kernels)
+	}
+	shapeRng := rand.New(rand.NewSource(opt.Seed))
+	rep := &OracleReport{}
+	for i := 0; i < opt.Kernels; i++ {
+		spec := oracleShape(shapeRng, opt.Seed+int64(i))
+		k, err := workloads.Generate(spec)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: seed %d: %w", spec.Seed, err)
+		}
+		rep.Kernels++
+		for _, cfg := range oracleMachines() {
+			where := fmt.Sprintf("kernel %s (seed %d) on %s", k.Name, spec.Seed, cfg.Name)
+			ex, st, err := exact.Schedule(k, cfg, exact.Options{})
+			if err != nil {
+				if errors.Is(err, exact.ErrBudget) || errors.Is(err, exact.ErrTooLarge) {
+					return rep, fmt.Errorf("oracle: %s: exact scheduler gave up: %w", where, err)
+				}
+				// Genuinely unschedulable: the heuristic must agree.
+				for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+					if h, herr := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: 1.0}); herr == nil {
+						return rep, fmt.Errorf("oracle: %s: exact found no schedule (%v) but %v scheduled at II=%d", where, err, pol, h.II)
+					}
+				}
+				continue
+			}
+			rep.Exact++
+			if st.Optimal() {
+				rep.BoundOptimal++
+			}
+			if err := sched.CheckInvariants(ex); err != nil {
+				return rep, fmt.Errorf("oracle: %s: exact schedule violates invariants: %w", where, err)
+			}
+			rep.InvChecks++
+			simOpt := sim.Options{MaxInnermostIters: opt.SimCap}
+			got, err := sim.Run(ex, simOpt)
+			if err != nil {
+				return rep, fmt.Errorf("oracle: %s: compiled sim: %w", where, err)
+			}
+			want, err := sim.ReferenceRun(ex, simOpt)
+			if err != nil {
+				return rep, fmt.Errorf("oracle: %s: reference sim: %w", where, err)
+			}
+			if *got != *want {
+				return rep, fmt.Errorf("oracle: %s: compiled sim diverged from reference on the exact schedule\ncompiled  %+v\nreference %+v", where, *got, *want)
+			}
+			rep.SimChecks++
+			for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+				h, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: 1.0})
+				if err != nil {
+					return rep, fmt.Errorf("oracle: %s: %v heuristic failed where the exact scheduler found II=%d: %w", where, pol, ex.II, err)
+				}
+				rep.Cells++
+				gap := exact.GapBetween(ex, h)
+				if gap.DeltaII < 0 {
+					return rep, fmt.Errorf("oracle: %s: %v heuristic II=%d beats the exact optimum II=%d — the exact search space must contain every heuristic schedule", where, pol, h.II, ex.II)
+				}
+				rep.SumDeltaII += gap.DeltaII
+				rep.SumDeltaML += gap.DeltaMaxLive
+				if gap.DeltaII == 0 {
+					rep.Optimal++
+				} else {
+					rep.GapCells++
+					if gap.DeltaII > rep.MaxDeltaII {
+						rep.MaxDeltaII = gap.DeltaII
+					}
+				}
+			}
+		}
+	}
+	return rep, nil
+}

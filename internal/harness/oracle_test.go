@@ -1,0 +1,148 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"multivliw/internal/workloads"
+)
+
+// TestOracleDifferential runs a reduced oracle corpus (CI runs the
+// 50-kernel version through the CLI): every exact schedule must pass the
+// shared invariant suite and replay identically on both simulators, and no
+// heuristic cell may beat the exact II.
+func TestOracleDifferential(t *testing.T) {
+	n := 10
+	if testing.Short() {
+		n = 3
+	}
+	rep, err := OracleDifferential(OracleOptions{Seed: 20260729, Kernels: n, SimCap: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kernels != n {
+		t.Errorf("generated %d kernels, want %d", rep.Kernels, n)
+	}
+	if rep.Exact == 0 || rep.Cells == 0 {
+		t.Errorf("oracle never compared anything: %+v", rep)
+	}
+	if rep.InvChecks != rep.Exact || rep.SimChecks != rep.Exact {
+		t.Errorf("every exact schedule must be invariant-checked and replayed: %+v", rep)
+	}
+	if rep.Optimal+rep.GapCells != rep.Cells {
+		t.Errorf("cells unaccounted for: %+v", rep)
+	}
+	if rep.SumDeltaII < rep.GapCells {
+		t.Errorf("gap cells without gaps: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "exact schedules") {
+		t.Errorf("report renders as %q", rep)
+	}
+}
+
+// TestOracleDifferentialRejectsEmptyRun pins the argument check.
+func TestOracleDifferentialRejectsEmptyRun(t *testing.T) {
+	if _, err := OracleDifferential(OracleOptions{Kernels: 0}); err == nil {
+		t.Error("accepted a zero-kernel run")
+	}
+}
+
+// gapSweepSpec is a small-kernel sweep with optimality-gap columns: three
+// generated kernels on the 2-cluster machine at two thresholds.
+const gapSweepSpec = `{
+	"name": "gap-sweep",
+	"simCap": 128,
+	"optimalityGap": true,
+	"kernels": {"generated": {"count": 3, "spec": {
+		"seed": 11, "arith": 4, "loads": 2, "stores": 1,
+		"recurrences": 1, "recurrenceDepth": 2,
+		"arrays": 2, "footprintBytes": 16384, "trip": [4, 32],
+		"mix": {"intALU": 1, "fpAdd": 4, "fpMul": 3, "fpDiv": 0}
+	}}},
+	"figures": [{
+		"title": "gap figure",
+		"thresholds": [1.0, 0.0],
+		"groups": [{"label": "NRB=2", "machine": {"ref": "2-cluster", "regBuses": 2, "regBusLat": 1, "memBuses": 1, "memBusLat": 4}}]
+	}]
+}`
+
+// TestSweepOptimalityGapColumns checks the satellite's acceptance bar: the
+// gap-enabled sweep emits the exact-oracle columns, every threshold-1.0 row
+// satisfies heurII ≥ exactII, and two runs reproduce the CSV byte for byte.
+func TestSweepOptimalityGapColumns(t *testing.T) {
+	spec, err := ParseSweepSpec([]byte(gapSweepSpec), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csv := res.RowsCSV()
+	header := strings.SplitN(csv, "\n", 2)[0]
+	if !strings.HasSuffix(header, ",exactII,heurII,deltaII,deltaMaxLive,exactKernels,exactSkipped") {
+		t.Errorf("gap-enabled CSV header missing oracle columns: %q", header)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("sweep produced no rows")
+	}
+	for _, row := range res.Rows {
+		if row.Gap == nil {
+			t.Fatalf("row %+v missing gap aggregate", row)
+		}
+		if row.Gap.Kernels == 0 {
+			t.Errorf("exact scheduler solved no kernels of row %s/%s thr %.2f (skipped %d)",
+				row.Group, row.Scheduler, row.Threshold, row.Gap.Skipped)
+			continue
+		}
+		if row.Threshold == 1.0 && row.Gap.DeltaII < 0 {
+			t.Errorf("threshold-1.0 row %s/%s: mean heuristic II %.4f below exact %.4f",
+				row.Group, row.Scheduler, row.Gap.HeurII, row.Gap.ExactII)
+		}
+		if row.Gap.HeurII-row.Gap.ExactII-row.Gap.DeltaII > 1e-9 {
+			t.Errorf("row %s/%s: ΔII %.4f inconsistent with %.4f-%.4f",
+				row.Group, row.Scheduler, row.Gap.DeltaII, row.Gap.HeurII, row.Gap.ExactII)
+		}
+	}
+
+	// Byte-identical reproduction across two full runs.
+	spec2, err := ParseSweepSpec([]byte(gapSweepSpec), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := RunSweep(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csv2 := res2.RowsCSV(); csv2 != csv {
+		t.Errorf("gap CSV not reproduced byte-identically:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", csv, csv2)
+	}
+}
+
+// TestSweepDefaultCSVUnchanged pins that a gap-less sweep keeps the
+// pre-oracle CSV schema (downstream golden diffs depend on it).
+func TestSweepDefaultCSVUnchanged(t *testing.T) {
+	spec, err := ParseSweepSpec([]byte(`{
+		"name": "plain",
+		"simCap": 64,
+		"kernels": {"benchmarks": ["`+workloads.Suite()[1].Name+`"]},
+		"figures": [{"title": "f", "thresholds": [1.0],
+			"groups": [{"label": "g", "machine": {"ref": "2-cluster", "regBuses": 2, "regBusLat": 1, "memBuses": 1, "memBusLat": 1}}]}]
+	}`), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := strings.SplitN(res.RowsCSV(), "\n", 2)[0]
+	if header != "figure,group,machine,clusters,scheduler,threshold,compute,stall,total" {
+		t.Errorf("default CSV header drifted: %q", header)
+	}
+	for _, row := range res.Rows {
+		if row.Gap != nil {
+			t.Errorf("gap-less sweep attached a gap aggregate to %+v", row)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"multivliw/internal/exact"
 	"multivliw/internal/fielderr"
 	"multivliw/internal/machine"
 	"multivliw/internal/sched"
@@ -41,6 +42,15 @@ type SweepSpec struct {
 	// Parallelism is the worker-pool width (0 = all CPUs). Output is
 	// bit-identical at every width.
 	Parallelism int `json:"parallelism,omitempty"`
+
+	// OptimalityGap adds exact-scheduler columns to the per-cell rows:
+	// each row then carries the suite-averaged exact II, heuristic II,
+	// ΔII and ΔMaxLive of its cell, computed by the branch-and-bound
+	// oracle (internal/exact) and memoized per (kernel, machine). Kernels
+	// the exact scheduler refuses (op limit, budget) are skipped and
+	// counted. Off by default: the exact search only pays for itself on
+	// small-kernel sweeps.
+	OptimalityGap bool `json:"optimalityGap,omitempty"`
 
 	// Kernels selects the workload; omitted means the full synthetic
 	// SPECfp95 suite.
@@ -336,6 +346,22 @@ type SweepRow struct {
 	Compute   float64
 	Stall     float64
 	Total     float64
+
+	// Gap carries the cell's optimality-gap aggregate when the spec asked
+	// for it (SweepSpec.OptimalityGap); nil otherwise.
+	Gap *RowGap
+}
+
+// RowGap is the optimality-gap aggregate of one sweep row: suite-averaged
+// exact and heuristic IIs and their deltas, over the kernels the exact
+// scheduler solved.
+type RowGap struct {
+	ExactII      float64 // mean exact (minimum) II
+	HeurII       float64 // mean heuristic II of this cell's policy/threshold
+	DeltaII      float64 // mean HeurII − ExactII (≥ 0 at threshold 1.0)
+	DeltaMaxLive float64 // mean heuristic − exact worst-cluster MaxLive
+	Kernels      int     // kernels both schedulers solved
+	Skipped      int     // kernels skipped (op limit, budget, no schedule)
 }
 
 // SweepResult is the outcome of a sweep: aggregate figures plus the flat
@@ -344,6 +370,10 @@ type SweepResult struct {
 	Name    string
 	Figures []SweepFigure
 	Rows    []SweepRow
+
+	// GapColumns records that the spec requested optimality-gap columns;
+	// RowsCSV appends them only then, keeping default output stable.
+	GapColumns bool
 }
 
 // Text renders every figure in order, byte-identical to the hard-coded
@@ -356,14 +386,31 @@ func (res *SweepResult) Text() string {
 	return sb.String()
 }
 
-// RowsCSV renders the per-cell rows as CSV.
+// RowsCSV renders the per-cell rows as CSV. When the sweep asked for
+// optimality-gap columns, four exact-oracle aggregates plus their coverage
+// counts are appended to every row; otherwise the schema is unchanged.
 func (res *SweepResult) RowsCSV() string {
 	var sb strings.Builder
-	sb.WriteString("figure,group,machine,clusters,scheduler,threshold,compute,stall,total\n")
+	sb.WriteString("figure,group,machine,clusters,scheduler,threshold,compute,stall,total")
+	if res.GapColumns {
+		sb.WriteString(",exactII,heurII,deltaII,deltaMaxLive,exactKernels,exactSkipped")
+	}
+	sb.WriteString("\n")
 	for _, r := range res.Rows {
-		fmt.Fprintf(&sb, "%s,%s,%s,%d,%s,%.2f,%.6f,%.6f,%.6f\n",
+		fmt.Fprintf(&sb, "%s,%s,%s,%d,%s,%.2f,%.6f,%.6f,%.6f",
 			csvField(r.Figure), csvField(r.Group), csvField(r.Machine),
 			r.Clusters, r.Scheduler, r.Threshold, r.Compute, r.Stall, r.Total)
+		if res.GapColumns {
+			if g := r.Gap; g != nil && g.Kernels > 0 {
+				fmt.Fprintf(&sb, ",%.4f,%.4f,%.4f,%.4f,%d,%d",
+					g.ExactII, g.HeurII, g.DeltaII, g.DeltaMaxLive, g.Kernels, g.Skipped)
+			} else if g != nil {
+				fmt.Fprintf(&sb, ",,,,,0,%d", g.Skipped)
+			} else {
+				sb.WriteString(",,,,,,")
+			}
+		}
+		sb.WriteString("\n")
 	}
 	return sb.String()
 }
@@ -399,7 +446,12 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) {
 		}
 		return r
 	}
-	res := &SweepResult{Name: spec.Name}
+	res := &SweepResult{Name: spec.Name, GapColumns: spec.OptimalityGap}
+	// Exact results are a property of (kernel, machine) alone, so one memo
+	// serves every figure, scheduler and threshold of the sweep; heuristic
+	// IIs additionally key on (policy, threshold), and their memo spares
+	// figures that share cells from re-scheduling them.
+	memo := &gapMemo{exact: map[string]exactCell{}, heur: map[string]exactCell{}}
 	for _, fig := range spec.Figures {
 		simCap := DefaultSimCap
 		if spec.SimCap != nil {
@@ -450,25 +502,100 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) {
 		out.Bars = bars
 		res.Figures = append(res.Figures, out)
 		for _, b := range out.Unified {
-			res.Rows = append(res.Rows, SweepRow{
+			row := SweepRow{
 				Figure: fig.Title, Group: b.Label, Machine: "Unified", Clusters: b.Clusters,
 				Scheduler: b.Scheduler, Threshold: b.Threshold,
 				Compute: b.Compute, Stall: b.Stall, Total: b.Total(),
-			})
+			}
+			if spec.OptimalityGap {
+				// The Unified reference bars run the Baseline policy.
+				row.Gap = r.rowGap(machine.Unified(), sched.Baseline, b.Threshold, memo)
+			}
+			res.Rows = append(res.Rows, row)
 		}
 		// Bars are group-major (expandBars preserves construction
 		// order), so the owning group is recovered by index — labels
 		// need not be unique.
 		perGroup := len(pols) * len(thrs)
 		for i, b := range bars {
-			res.Rows = append(res.Rows, SweepRow{
+			row := SweepRow{
 				Figure: fig.Title, Group: b.Label, Machine: groups[i/perGroup].cfg.Name, Clusters: b.Clusters,
 				Scheduler: b.Scheduler, Threshold: b.Threshold,
 				Compute: b.Compute, Stall: b.Stall, Total: b.Total(),
-			})
+			}
+			if spec.OptimalityGap {
+				pol, err := parsePolicy(b.Scheduler)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", fig.Title, err)
+				}
+				row.Gap = r.rowGap(groups[i/perGroup].cfg, pol, b.Threshold, memo)
+			}
+			res.Rows = append(res.Rows, row)
 		}
 	}
 	return res, nil
+}
+
+// exactCell memoizes one scheduler outcome: II and worst-cluster MaxLive.
+type exactCell struct {
+	ii, maxLive int
+	ok          bool
+}
+
+// gapMemo caches both sides of the gap computation for one RunSweep call:
+// exact results per (kernel, machine), heuristic results additionally per
+// (policy, threshold), so figures sharing cells never re-schedule them.
+type gapMemo struct {
+	exact, heur map[string]exactCell
+}
+
+// rowGap aggregates the optimality gap of one sweep cell over the runner's
+// suite: the exact scheduler against the heuristic of the cell's policy
+// and threshold, both memoized. Kernels the exact scheduler refuses (op
+// limit, budget, genuinely unschedulable) are counted as skipped rather
+// than failing the sweep.
+func (r *Runner) rowGap(cfg machine.Config, pol sched.Policy, thr float64, memo *gapMemo) *RowGap {
+	g := &RowGap{}
+	var sumEx, sumHeur, sumD, sumDML int
+	for bi := range r.Suite {
+		for _, k := range r.Suite[bi].Kernels {
+			key := fmt.Sprintf("%p|%v", k, cfg)
+			cell, seen := memo.exact[key]
+			if !seen {
+				if s, _, err := exact.Schedule(k, cfg, exact.Options{}); err == nil {
+					cell = exactCell{ii: s.II, maxLive: s.Stats.MaxLiveMax, ok: true}
+				}
+				memo.exact[key] = cell
+			}
+			if !cell.ok {
+				g.Skipped++
+				continue
+			}
+			hkey := fmt.Sprintf("%s|%v|%g", key, pol, thr)
+			hcell, seen := memo.heur[hkey]
+			if !seen {
+				if h, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: r.analysis(k, cfg)}); err == nil {
+					hcell = exactCell{ii: h.II, maxLive: h.Stats.MaxLiveMax, ok: true}
+				}
+				memo.heur[hkey] = hcell
+			}
+			if !hcell.ok {
+				g.Skipped++
+				continue
+			}
+			g.Kernels++
+			sumEx += cell.ii
+			sumHeur += hcell.ii
+			sumD += hcell.ii - cell.ii
+			sumDML += hcell.maxLive - cell.maxLive
+		}
+	}
+	if g.Kernels > 0 {
+		n := float64(g.Kernels)
+		g.ExactII, g.HeurII = float64(sumEx)/n, float64(sumHeur)/n
+		g.DeltaII, g.DeltaMaxLive = float64(sumD)/n, float64(sumDML)/n
+	}
+	return g
 }
 
 // suite resolves the spec's kernel set.

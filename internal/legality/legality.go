@@ -1,0 +1,371 @@
+// Package legality holds the placement-legality rules a modulo schedule
+// for the clustered machine must satisfy: the dependence-window arithmetic
+// of a candidate (node, cluster) placement, the register-pressure (MaxLive)
+// accounting, and the monotone structural-feasibility bound on the
+// initiation interval. The heuristic scheduler (internal/sched) and the
+// exact branch-and-bound scheduler (internal/exact) both consume these
+// rules, so the two search strategies provably agree on what a legal
+// placement is — the property the optimality-gap oracle rests on.
+package legality
+
+import (
+	"math"
+
+	"multivliw/internal/ddg"
+	"multivliw/internal/machine"
+	"multivliw/internal/mrt"
+	"multivliw/internal/scratch"
+)
+
+// Comm is one compiler-scheduled register-bus transfer: the value produced
+// by node Producer is placed on bus Bus at kernel-flat cycle Start and
+// latched by cluster Dest's IRV at Start+Latency. Both schedulers and the
+// pressure accounting share this one representation (sched.Comm aliases
+// it).
+type Comm struct {
+	ID       int
+	Producer int
+	Dest     int
+	Bus      int
+	Start    int
+	Latency  int
+}
+
+// Arrival returns the cycle the value reaches the destination IRV.
+func (c Comm) Arrival() int { return c.Start + c.Latency }
+
+// DepWindow computes the dependence-legal cycle range for node v in cluster
+// c at initiation interval ii, given the partial placement in cluster/cycle
+// (cluster[u] < 0 marks u unplaced) and the per-node latency vector. latV
+// is the latency v would be scheduled with — usually lat[v], but the
+// heuristic probes miss-latency rebinding without mutating its latency
+// vector. es is the earliest start implied by placed predecessors, ls the
+// latest start implied by placed successors; cross-cluster register edges
+// additionally pay busLat for the transfer.
+func DepWindow(g *ddg.Graph, v, c int, cluster, cycle, lat []int, latV, ii, busLat int) (es, ls int, hasPred, hasSucc bool) {
+	es, ls = math.MinInt32, math.MaxInt32
+	for _, e := range g.In(v) {
+		u := e.From
+		if u == v || cluster[u] < 0 {
+			continue
+		}
+		var lo int
+		switch {
+		case e.Kind == ddg.MemDep:
+			lo = cycle[u] + 1 - e.Distance*ii
+		case cluster[u] == c:
+			lo = cycle[u] + lat[u] - e.Distance*ii
+		default:
+			// The value must additionally cross a register bus.
+			lo = cycle[u] + lat[u] + busLat - e.Distance*ii
+		}
+		if lo > es {
+			es = lo
+		}
+		hasPred = true
+	}
+	for _, e := range g.Out(v) {
+		w := e.To
+		if w == v || cluster[w] < 0 {
+			continue
+		}
+		var hi int
+		switch {
+		case e.Kind == ddg.MemDep:
+			hi = cycle[w] - 1 + e.Distance*ii
+		case cluster[w] == c:
+			hi = cycle[w] - latV + e.Distance*ii
+		default:
+			hi = cycle[w] - latV - busLat + e.Distance*ii
+		}
+		if hi < ls {
+			ls = hi
+		}
+		hasSucc = true
+	}
+	return es, ls, hasPred, hasSucc
+}
+
+// CeilDiv and FloorDiv are integer ceiling/floor divisions (b > 0); they
+// sit on the MaxLive hot path, so no float round-trips.
+func CeilDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && a > 0 {
+		q++
+	}
+	return q
+}
+
+// FloorDiv is the floor counterpart of CeilDiv.
+func FloorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && a < 0 {
+		q--
+	}
+	return q
+}
+
+// StageCount returns the number of pipeline stages k with
+// def ≤ r + k·ii ≤ end: how many instances of a value live over flat cycles
+// [def, end] occupy kernel row r simultaneously. Zero when the span is
+// empty or misses the row.
+func StageCount(def, end, r, ii int) int {
+	lo := CeilDiv(def-r, ii)
+	hi := FloorDiv(end-r, ii)
+	if n := hi - lo + 1; n > 0 {
+		return n
+	}
+	return 0
+}
+
+// noRead marks a cluster with no read of the value under consideration in
+// MaxLiveInto's per-node last-read scratch.
+const noRead = math.MinInt32
+
+// MaxLiveInto computes the per-cluster register pressure of a (possibly
+// partial) placement: for every placed value (a node result plus, for
+// transferred values, its copy in each destination cluster) the number of
+// simultaneously-live instances at each kernel row is accumulated; MaxLive
+// is the row maximum. Unplaced nodes (cluster[v] < 0) and reads by unplaced
+// consumers are ignored, which makes the partial result a monotone lower
+// bound of the final pressure — placing further nodes only adds values and
+// extends lifetimes. Values follow EQ (equals) semantics, as in the
+// TMS320C6000 family the paper cites: a result is written exactly at
+// issue+latency and the destination register is occupied from write-back to
+// last read; the producer cluster additionally keeps the value until every
+// bus transfer has read it.
+//
+// dst, rows and last are scratch buffers reused across calls (pass nil to
+// allocate fresh ones); all three are returned for the caller to keep.
+func MaxLiveInto(dst []int, g *ddg.Graph, ii, clusters int, cluster, cycle, lat []int, comms []Comm, rows, last []int) (out, rowsOut, lastOut []int) {
+	rows = scratch.Fill(rows, clusters*ii, 0)
+	last = scratch.Fill(last, clusters, 0)
+	// Per-row counting: a value live over flat cycles [def, end] has, at
+	// kernel row r, one copy per pipeline stage k with def ≤ r+k·ii ≤ end.
+	count := func(c, def, end int) {
+		if end < def {
+			return
+		}
+		base := c * ii
+		for r := 0; r < ii; r++ {
+			if n := StageCount(def, end, r, ii); n > 0 {
+				rows[base+r] += n
+			}
+		}
+	}
+
+	for v := 0; v < g.NumNodes(); v++ {
+		if cluster[v] < 0 {
+			continue
+		}
+		n := g.Node(v)
+		if !n.Class.HasResult() {
+			continue
+		}
+		def := cycle[v] + lat[v]
+		for c := range last {
+			last[c] = noRead // consumer cluster -> last read cycle
+		}
+		for _, e := range g.Out(v) {
+			if e.Kind != ddg.RegDep {
+				continue
+			}
+			cc := cluster[e.To]
+			if cc < 0 {
+				continue
+			}
+			read := cycle[e.To] + e.Distance*ii
+			if read > last[cc] {
+				last[cc] = read
+			}
+		}
+		// The producer cluster keeps the value until its last local
+		// read and until every bus transfer has read it.
+		prodEnd := -1
+		if l := last[cluster[v]]; l != noRead {
+			prodEnd = l
+		}
+		for _, cm := range comms {
+			if cm.Producer == v && cm.Start > prodEnd {
+				prodEnd = cm.Start
+			}
+		}
+		if prodEnd >= def {
+			count(cluster[v], def, prodEnd)
+		}
+		// Destination copies live from bus arrival to their last read.
+		for _, cm := range comms {
+			if cm.Producer != v {
+				continue
+			}
+			if l := last[cm.Dest]; l != noRead && cm.Dest != cluster[v] && l >= cm.Arrival() {
+				count(cm.Dest, cm.Arrival(), l)
+			}
+		}
+	}
+	out = scratch.Fill(dst, clusters, 0)
+	for c := 0; c < clusters; c++ {
+		for _, n := range rows[c*ii : (c+1)*ii] {
+			if n > out[c] {
+				out[c] = n
+			}
+		}
+	}
+	return out, rows, last
+}
+
+// PlaceTransfer reserves the canonical reservation-table slot for one
+// register-bus transfer whose start must fall in [lo, hi]: the earliest
+// feasible start, on the first free lane (growing unbounded pools). Both
+// schedulers place transfers through this one rule, which is half of the
+// exact scheduler's superset guarantee — the exact search need not branch
+// over transfer placements because the heuristic cannot choose differently
+// either. ok is false when no start in the window fits; the table is then
+// untouched.
+func PlaceTransfer(t *mrt.Table, lo, hi, busLat, id int) (bus, start int, ok bool) {
+	for b := lo; b <= hi; b++ {
+		if lane, found := t.FindBus(b, busLat); found {
+			t.PlaceBus(lane, b, busLat, id)
+			return lane, b, true
+		}
+	}
+	return 0, 0, false
+}
+
+// StructBound evaluates the monotone structural-feasibility predicate: the
+// necessary conditions any complete placement at a candidate II must
+// satisfy, beyond the recurrence/resource bounds already folded into the
+// MII. Both the heuristic's guided II search and the exact scheduler seed
+// their II escalation with it.
+type StructBound struct {
+	cfg machine.Config
+
+	// comps holds the per-FU-kind operation counts of every connected
+	// component of the undirected register-dependence graph. A component
+	// split across clusters forces at least one bus transfer, so when
+	// transfers are inexpressible every component must fit whole inside
+	// some cluster's II×units slot budget.
+	comps [][machine.NumFUKinds]int
+}
+
+// NewStructBound derives the predicate's inputs from the graph: a
+// union-find pass over the register edges, then per-component FU-kind
+// tallies.
+func NewStructBound(g *ddg.Graph, cfg machine.Config) StructBound {
+	b := StructBound{cfg: cfg}
+	n := g.NumNodes()
+	if n == 0 {
+		return b
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(v int) int {
+		for parent[v] != v {
+			parent[v] = parent[parent[v]]
+			v = parent[v]
+		}
+		return v
+	}
+	for v := 0; v < n; v++ {
+		for _, e := range g.Out(v) {
+			if e.Kind != ddg.RegDep || e.To == v {
+				continue
+			}
+			if a, c := find(v), find(e.To); a != c {
+				parent[a] = c
+			}
+		}
+	}
+	idx := make(map[int]int, 4)
+	for _, node := range g.Nodes() {
+		root := find(node.ID)
+		i, ok := idx[root]
+		if !ok {
+			i = len(b.comps)
+			idx[root] = i
+			b.comps = append(b.comps, [machine.NumFUKinds]int{})
+		}
+		b.comps[i][node.Class.FUKind()]++
+	}
+	return b
+}
+
+// transfersExpressible reports whether a register-bus transfer can exist at
+// all at the given II: at least one bus lane, and a transfer length that
+// fits the modulo schedule (mrt.FindBus rejects RegBusLat > II because the
+// bus would collide with its own next-iteration instance).
+func (b *StructBound) transfersExpressible(ii int) bool {
+	if b.cfg.RegBuses == 0 {
+		return false
+	}
+	return b.cfg.RegBusLat <= ii
+}
+
+// fitsCluster reports whether component counts fit whole inside cluster c's
+// II×units slot budget, kind by kind.
+func (b *StructBound) fitsCluster(counts [machine.NumFUKinds]int, c, ii int) bool {
+	fus := b.cfg.ClusterFUs(c)
+	for k, cnt := range counts {
+		if cnt > fus[k]*ii {
+			return false
+		}
+	}
+	return true
+}
+
+// Feasible is the monotone predicate: false only when every placement at ii
+// is provably impossible. When transfers are inexpressible (RegBusLat > II,
+// or no bus lanes), splitting any register-connected component across
+// clusters is impossible too — the crossing edge would need a transfer — so
+// every component must fit whole inside some cluster. A component too big
+// for every cluster therefore makes the II infeasible. Both clauses relax
+// monotonically as II grows: transfers become expressible at II ≥ RegBusLat
+// and components fit once II×units reaches their operation counts.
+func (b *StructBound) Feasible(ii int) bool {
+	if b.transfersExpressible(ii) {
+		return true
+	}
+	for _, counts := range b.comps {
+		fits := false
+		for c := 0; c < b.cfg.Clusters; c++ {
+			if b.fitsCluster(counts, c, ii) {
+				fits = true
+				break
+			}
+		}
+		if !fits {
+			return false
+		}
+	}
+	return true
+}
+
+// FirstFeasibleII binary-searches [mii, maxII] for the smallest
+// structurally feasible II. ok is false when no II in range passes the
+// predicate (the kernel cannot be scheduled on this machine at any
+// candidate II).
+func FirstFeasibleII(b *StructBound, mii, maxII int) (first, probes int, ok bool) {
+	probes++
+	if b.Feasible(mii) {
+		return mii, probes, true
+	}
+	probes++
+	if !b.Feasible(maxII) {
+		return 0, probes, false
+	}
+	// Invariant: !Feasible(lo-1), Feasible(hi).
+	lo, hi := mii+1, maxII
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		probes++
+		if b.Feasible(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo, probes, true
+}

@@ -19,12 +19,20 @@
 package regalloc
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"multivliw/internal/ddg"
 	"multivliw/internal/sched"
 )
+
+// ErrCapacity reports that coloring needed more physical registers than a
+// cluster provides. The scheduler's MaxLive bound guarantees the pressure
+// fits, but cyclic-interval coloring can fragment above the clique bound,
+// so callers (the differential fuzzer) treat this as a capacity outcome
+// rather than an allocator defect.
+var ErrCapacity = errors.New("regalloc: register file exceeded")
 
 // valueKey identifies one allocatable value: the copy of node Producer's
 // result that lives in cluster Cluster (the producer's own cluster or a
@@ -232,8 +240,8 @@ func Run(s *sched.Schedule) (*Allocation, error) {
 	for c := range regArcs {
 		a.PerCluster[c] = len(regArcs[c])
 		if a.PerCluster[c] > s.Config.Regs {
-			return nil, fmt.Errorf("regalloc: cluster %d needs %d registers, machine has %d (MVE unroll %d)",
-				c, a.PerCluster[c], s.Config.Regs, unroll)
+			return nil, fmt.Errorf("%w: cluster %d needs %d registers, machine has %d (MVE unroll %d)",
+				ErrCapacity, c, a.PerCluster[c], s.Config.Regs, unroll)
 		}
 	}
 	return a, nil

@@ -1,6 +1,7 @@
 package regalloc
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -181,5 +182,29 @@ func TestRandomSchedulesAllocateSound(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestCapacityErrorIsSentinel pins that an over-capacity allocation reports
+// through the ErrCapacity sentinel (the differential fuzzer distinguishes
+// capacity outcomes from allocator defects by it): a schedule whose machine
+// claims a 1-register file cannot color the chain's concurrent values.
+func TestCapacityErrorIsSentinel(t *testing.T) {
+	space := loop.NewAddressSpace(0, 64, 0)
+	a := space.Alloc("A", 8, 1<<12)
+	c := space.Alloc("C", 8, 1<<12)
+	b := loop.NewBuilder("tight", 128)
+	x := b.Load(a, loop.Aff(0, 1))
+	m := b.FMul("m", x, x)
+	b.Store(c, m, loop.Aff(0, 1))
+	k := b.MustBuild()
+	s := compile(t, k, machine.Unified(), sched.Options{Threshold: 1.0})
+	s.Config.Regs = 1 // shrink the register file under the allocator's feet
+	_, err := Run(s)
+	if err == nil {
+		t.Fatal("allocation succeeded with a 1-register file")
+	}
+	if !errors.Is(err, ErrCapacity) {
+		t.Errorf("err = %v, want errors.Is(_, ErrCapacity)", err)
 	}
 }

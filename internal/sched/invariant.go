@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"fmt"
+
+	"multivliw/internal/legality"
+	"multivliw/internal/machine"
+	"multivliw/internal/mrt"
+)
+
+// CheckInvariants asserts the full structural invariant set of a modulo
+// schedule and returns the first violation found, or nil:
+//
+//   - every dependence is satisfied by the placed cycles and the
+//     communications' timing (Verify);
+//   - every node occupies exactly one FU slot of the reservation table, in
+//     its assigned cluster, on its class's unit kind, at its cycle's row;
+//   - bus transfers stay within the machine's lane pool, never overlap on
+//     a lane, and never exceed the II;
+//   - the recorded per-cluster MaxLive matches a recomputation through the
+//     shared legality accounting and stays within the register file.
+//
+// The property tests, the differential fuzzer and the exact-scheduling
+// oracle all funnel through this one checker, so the heuristic and exact
+// schedulers are held to the identical legality rules.
+func CheckInvariants(s *Schedule) error {
+	if err := s.Verify(); err != nil {
+		return err
+	}
+	g := s.Kernel.Graph
+	seen := make([]int, g.NumNodes())
+	for c := 0; c < s.Config.Clusters; c++ {
+		for k := 0; k < machine.NumFUKinds; k++ {
+			kind := machine.FUKind(k)
+			units := s.Config.ClusterFUs(c)[k]
+			for row := 0; row < s.II; row++ {
+				for u := 0; u < units; u++ {
+					id := s.Table.OccupantFU(c, kind, row, u)
+					if id == mrt.Empty {
+						continue
+					}
+					if id < 0 || id >= g.NumNodes() {
+						return fmt.Errorf("slot C%d.%v row %d unit %d holds foreign id %d", c, kind, row, u, id)
+					}
+					seen[id]++
+					n := g.Node(id)
+					if s.Cluster[id] != c || n.Class.FUKind() != kind || ((s.Cycle[id]%s.II)+s.II)%s.II != row {
+						return fmt.Errorf("node %s booked at C%d.%v row %d but scheduled C%d cycle %d",
+							n.Name, c, kind, row, s.Cluster[id], s.Cycle[id])
+					}
+				}
+			}
+		}
+	}
+	for v, n := range seen {
+		if n != 1 {
+			return fmt.Errorf("node %s occupies %d FU slots, want exactly 1", g.Node(v).Name, n)
+		}
+	}
+
+	rows := map[int][]int{} // bus -> per-row occupant comm ID (-1 free)
+	for _, cm := range s.Comms {
+		if cm.Bus < 0 || (s.Config.RegBuses != machine.Unbounded && cm.Bus >= s.Config.RegBuses) {
+			return fmt.Errorf("comm %d on bus %d, machine has %s lanes", cm.ID, cm.Bus, busPool(s.Config.RegBuses))
+		}
+		if cm.Latency > s.II {
+			return fmt.Errorf("comm %d occupies the bus %d cycles, longer than II=%d", cm.ID, cm.Latency, s.II)
+		}
+		row := rows[cm.Bus]
+		if row == nil {
+			row = make([]int, s.II)
+			for i := range row {
+				row[i] = -1
+			}
+			rows[cm.Bus] = row
+		}
+		for i := 0; i < cm.Latency; i++ {
+			r := ((cm.Start+i)%s.II + s.II) % s.II
+			if prev := row[r]; prev != -1 {
+				return fmt.Errorf("bus %d row %d double-booked by comms %d and %d", cm.Bus, r, prev, cm.ID)
+			}
+			row[r] = cm.ID
+		}
+	}
+
+	ml, _, _ := legality.MaxLiveInto(nil, g, s.II, s.Config.Clusters, s.Cluster, s.Cycle, s.Lat, s.Comms, nil, nil)
+	for c, m := range ml {
+		if s.MaxLive != nil && s.MaxLive[c] != m {
+			return fmt.Errorf("cluster %d records MaxLive %d, shared accounting recomputes %d", c, s.MaxLive[c], m)
+		}
+		if m > s.Config.Regs {
+			return fmt.Errorf("cluster %d MaxLive %d exceeds %d registers", c, m, s.Config.Regs)
+		}
+	}
+	return nil
+}
+
+// busPool renders a lane-pool size for diagnostics.
+func busPool(n int) string {
+	if n == machine.Unbounded {
+		return "unbounded"
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -6,7 +6,6 @@ import (
 	"testing"
 
 	"multivliw/internal/machine"
-	"multivliw/internal/mrt"
 )
 
 // Invariant suite for Schedule: seeded, table-driven random DDGs are
@@ -29,86 +28,13 @@ var invariantConfigs = []machine.Config{
 	machine.FourCluster(machine.Unbounded, 4, machine.Unbounded, 2),
 }
 
-// checkNoDoubleBooking walks every FU slot of the reservation table and
-// asserts each node occupies exactly one slot, in its assigned cluster, on
-// its class's unit kind, at its cycle's row.
-func checkNoDoubleBooking(t *testing.T, s *Schedule) {
-	t.Helper()
-	g := s.Kernel.Graph
-	seen := make([]int, g.NumNodes())
-	for c := 0; c < s.Config.Clusters; c++ {
-		for k := 0; k < machine.NumFUKinds; k++ {
-			kind := machine.FUKind(k)
-			units := s.Config.ClusterFUs(c)[k]
-			for row := 0; row < s.II; row++ {
-				for u := 0; u < units; u++ {
-					id := s.Table.OccupantFU(c, kind, row, u)
-					if id == mrt.Empty {
-						continue
-					}
-					if id < 0 || id >= g.NumNodes() {
-						t.Fatalf("slot C%d.%v row %d unit %d holds foreign id %d", c, kind, row, u, id)
-					}
-					seen[id]++
-					n := g.Node(id)
-					if s.Cluster[id] != c || n.Class.FUKind() != kind || s.Cycle[id]%s.II != row {
-						t.Errorf("node %s booked at C%d.%v row %d but scheduled C%d cycle %d",
-							n.Name, c, kind, row, s.Cluster[id], s.Cycle[id])
-					}
-				}
-			}
-		}
-	}
-	for v, n := range seen {
-		if n != 1 {
-			t.Errorf("node %s occupies %d FU slots, want exactly 1", g.Node(v).Name, n)
-		}
-	}
-}
-
-// checkBusCapacity reconstructs per-bus occupancy from the schedule's
-// transfers and asserts lane indices stay within the machine's pool, no two
-// transfers overlap on a lane, and no transfer exceeds the II.
-func checkBusCapacity(t *testing.T, s *Schedule) {
-	t.Helper()
-	rows := map[int][]int{} // bus -> per-row occupant comm ID (-1 free)
-	for _, cm := range s.Comms {
-		if s.Config.RegBuses != machine.Unbounded && cm.Bus >= s.Config.RegBuses {
-			t.Errorf("comm %d on bus %d, machine has %d lanes", cm.ID, cm.Bus, s.Config.RegBuses)
-		}
-		if cm.Latency > s.II {
-			t.Errorf("comm %d occupies the bus %d cycles, longer than II=%d", cm.ID, cm.Latency, s.II)
-		}
-		row := rows[cm.Bus]
-		if row == nil {
-			row = make([]int, s.II)
-			for i := range row {
-				row[i] = -1
-			}
-			rows[cm.Bus] = row
-		}
-		for i := 0; i < cm.Latency; i++ {
-			r := ((cm.Start+i)%s.II + s.II) % s.II
-			if prev := row[r]; prev != -1 {
-				t.Errorf("bus %d row %d double-booked by comms %d and %d", cm.Bus, r, prev, cm.ID)
-			}
-			row[r] = cm.ID
-		}
-	}
-}
-
-// checkInvariants asserts the full invariant set on one schedule.
+// checkInvariants asserts the full invariant set on one schedule through
+// the exported checker (the same one the harness's oracle and fuzz modes
+// run on every schedule they produce).
 func checkInvariants(t *testing.T, s *Schedule) {
 	t.Helper()
-	if err := s.Verify(); err != nil {
-		t.Errorf("dependence violation: %v", err)
-	}
-	checkNoDoubleBooking(t, s)
-	checkBusCapacity(t, s)
-	for c, ml := range s.MaxLive {
-		if ml > s.Config.Regs {
-			t.Errorf("cluster %d MaxLive %d exceeds %d registers", c, ml, s.Config.Regs)
-		}
+	if err := CheckInvariants(s); err != nil {
+		t.Errorf("invariant violation: %v", err)
 	}
 }
 
@@ -138,5 +64,60 @@ func TestScheduleInvariants(t *testing.T) {
 				t.Errorf("guided search diverges from linear:\nguided:\n%s\nlinear:\n%s", got, want)
 			}
 		})
+	}
+}
+
+// TestUnboundedBusSpecInvariants is the satellite's dedicated legality test
+// for the spec path's "unbounded" bus pools: machines parsed from a JSON
+// spec with BusCount "unbounded" must still produce schedules whose bus
+// accounting holds — on-demand lanes never double-book, transfers never
+// exceed the II, and the materialized lane high-water mark covers every
+// transfer the schedule records.
+func TestUnboundedBusSpecInvariants(t *testing.T) {
+	spec := []byte(`{
+		"name": "unbounded-spec",
+		"clusters": 4,
+		"fus": {"int": 1, "float": 1, "mem": 1},
+		"regsPerCluster": 16,
+		"cache": {"totalBytes": 8192, "lineBytes": 64, "assoc": 1, "mshrEntries": 8},
+		"regBus": {"count": "unbounded", "latency": 2},
+		"memBus": {"count": "unbounded", "latency": 1}
+	}`)
+	cfg, err := machine.ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("parse unbounded spec: %v", err)
+	}
+	if cfg.RegBuses != machine.Unbounded {
+		t.Fatalf("spec parsed RegBuses=%d, want machine.Unbounded", cfg.RegBuses)
+	}
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(100 + seed))
+		k := randomKernel(rng)
+		s, err := Run(k, cfg, Options{Policy: Policy(seed % 2), Threshold: 0.0})
+		if err != nil {
+			t.Fatalf("seed %d: schedule failed: %v", seed, err)
+		}
+		checkInvariants(t, s)
+		// Every transfer must ride a lane the table actually materialized:
+		// the unbounded pool grows on demand and Reset demotes lanes, so a
+		// stale lane index would read freed storage.
+		for _, cm := range s.Comms {
+			if cm.Bus >= s.Table.Buses() {
+				t.Errorf("seed %d: comm %d on lane %d, table materialized only %d", seed, cm.ID, cm.Bus, s.Table.Buses())
+			}
+		}
+		if len(s.Comms) == 0 {
+			continue
+		}
+		// Occupancy must be consistent with the derived denominator
+		// (Buses()*II slots): the accounting the figures report.
+		occ := s.Table.BusOccupancy()
+		want := 0
+		for _, cm := range s.Comms {
+			want += cm.Latency
+		}
+		if got := int(occ*float64(s.Table.Buses()*s.II) + 0.5); got != want {
+			t.Errorf("seed %d: bus occupancy accounts %d busy slots, schedule's transfers occupy %d", seed, got, want)
+		}
 	}
 }

@@ -1,6 +1,9 @@
 package sched
 
-import "multivliw/internal/ddg"
+import (
+	"multivliw/internal/ddg"
+	"multivliw/internal/legality"
+)
 
 // Incremental register-pressure pruning.
 //
@@ -112,20 +115,12 @@ func (s *state) extendProd(p, end int) {
 
 // addSpan accumulates, per kernel row of cluster c, the additional live
 // stages a value defined at def gains when its last read moves from oldEnd
-// to newEnd — i.e. count(def, newEnd) − count(def, oldEnd) in maxLive's
-// per-row stage counting.
+// to newEnd — i.e. count(def, newEnd) − count(def, oldEnd) in the shared
+// per-row stage counting of legality.StageCount.
 func (s *state) addSpan(c, def, oldEnd, newEnd int) {
 	row := s.live[c]
 	for r := 0; r < s.ii; r++ {
-		lo := ceilDiv(def-r, s.ii)
-		hi2 := floorDiv(newEnd-r, s.ii)
-		if hi2 < lo {
-			continue
-		}
-		n := hi2 - lo + 1
-		if hi1 := floorDiv(oldEnd-r, s.ii); hi1 >= lo {
-			n -= hi1 - lo + 1
-		}
+		n := legality.StageCount(def, newEnd, r, s.ii) - legality.StageCount(def, oldEnd, r, s.ii)
 		if n <= 0 {
 			continue
 		}

@@ -1,9 +1,8 @@
 package sched
 
 import (
-	"math"
-
 	"multivliw/internal/ddg"
+	"multivliw/internal/legality"
 )
 
 // plan is a fully-validated tentative placement of one node: the cluster,
@@ -55,52 +54,12 @@ func (l *edgeList) forEach(f func([2]int)) {
 }
 
 // window computes the dependence-legal cycle range for node v in cluster c,
-// given the latency latV the node would be scheduled with. es is the
-// earliest start implied by scheduled predecessors, ls the latest start
-// implied by scheduled successors.
+// given the latency latV the node would be scheduled with, through the
+// shared legality.DepWindow rule. es is the earliest start implied by
+// scheduled predecessors, ls the latest start implied by scheduled
+// successors.
 func (s *state) window(v, c, latV int) (es, ls int, hasPred, hasSucc bool) {
-	es, ls = math.MinInt32, math.MaxInt32
-	busLat := s.cfg.RegBusLat
-	for _, e := range s.g.In(v) {
-		u := e.From
-		if u == v || s.cluster[u] < 0 {
-			continue
-		}
-		var lo int
-		switch {
-		case e.Kind == ddg.MemDep:
-			lo = s.cycle[u] + 1 - e.Distance*s.ii
-		case s.cluster[u] == c:
-			lo = s.cycle[u] + s.lat[u] - e.Distance*s.ii
-		default:
-			// The value must additionally cross a register bus.
-			lo = s.cycle[u] + s.lat[u] + busLat - e.Distance*s.ii
-		}
-		if lo > es {
-			es = lo
-		}
-		hasPred = true
-	}
-	for _, e := range s.g.Out(v) {
-		w := e.To
-		if w == v || s.cluster[w] < 0 {
-			continue
-		}
-		var hi int
-		switch {
-		case e.Kind == ddg.MemDep:
-			hi = s.cycle[w] - 1 + e.Distance*s.ii
-		case s.cluster[w] == c:
-			hi = s.cycle[w] - latV + e.Distance*s.ii
-		default:
-			hi = s.cycle[w] - latV - busLat + e.Distance*s.ii
-		}
-		if hi < ls {
-			ls = hi
-		}
-		hasSucc = true
-	}
-	return es, ls, hasPred, hasSucc
+	return legality.DepWindow(s.g, v, c, s.cluster, s.cycle, s.lat, latV, s.ii, s.cfg.RegBusLat)
 }
 
 // tryPlace searches cluster c for a feasible (cycle, communications)
@@ -236,22 +195,15 @@ func (s *state) tryComms(v, c, t, latV int) (plan, bool) {
 		}
 	}
 	for _, nd := range needs {
-		found := false
-		for b := nd.lo; b <= nd.hi; b++ {
-			if bus, ok := s.table.FindBus(b, busLat); ok {
-				s.table.PlaceBus(bus, b, busLat, trialCommID+placed)
-				pl.newComms = append(pl.newComms, plannedComm{
-					key: nd.key, bus: bus, start: b, lat: busLat, edges: nd.edges,
-				})
-				placed++
-				found = true
-				break
-			}
-		}
-		if !found {
+		bus, start, ok := legality.PlaceTransfer(s.table, nd.lo, nd.hi, busLat, trialCommID+placed)
+		if !ok {
 			rollback()
 			return plan{}, false
 		}
+		pl.newComms = append(pl.newComms, plannedComm{
+			key: nd.key, bus: bus, start: start, lat: busLat, edges: nd.edges,
+		})
+		placed++
 	}
 	rollback()
 	return pl, true

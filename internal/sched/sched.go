@@ -26,6 +26,7 @@ import (
 
 	"multivliw/internal/cme"
 	"multivliw/internal/ddg"
+	"multivliw/internal/legality"
 	"multivliw/internal/loop"
 	"multivliw/internal/machine"
 	"multivliw/internal/mrt"
@@ -110,18 +111,10 @@ type Options struct {
 
 // Comm is one compiler-scheduled register-bus transfer: the value produced
 // by node Producer is placed on bus Bus at kernel-flat cycle Start and
-// latched by cluster Dest's IRV at Start+Latency.
-type Comm struct {
-	ID       int
-	Producer int
-	Dest     int
-	Bus      int
-	Start    int
-	Latency  int
-}
-
-// Arrival returns the cycle the value reaches the destination IRV.
-func (c Comm) Arrival() int { return c.Start + c.Latency }
+// latched by cluster Dest's IRV at Start+Latency. It is the shared
+// legality.Comm representation, so the exact scheduler (internal/exact) and
+// the shared pressure accounting operate on the identical type.
+type Comm = legality.Comm
 
 // Stats summarizes a produced schedule.
 type Stats struct {
@@ -370,8 +363,8 @@ func Run(k *loop.Kernel, cfg machine.Config, opt Options) (*Schedule, error) {
 	// the start to the MII, as §4.1 prescribes.
 	search := SearchStats{MII: ord.MII, FirstII: ord.MII}
 	if !opt.LinearSearch {
-		bound := newStructBound(g, cfg)
-		first, probes, ok := firstFeasibleII(&bound, ord.MII, maxII)
+		bound := legality.NewStructBound(g, cfg)
+		first, probes, ok := legality.FirstFeasibleII(&bound, ord.MII, maxII)
 		search.Probes = probes
 		if !ok {
 			return nil, fmt.Errorf("sched: %s on %s: no schedule found up to II=%d", k.Name, cfg.Name, maxII)
@@ -654,113 +647,15 @@ func (s *state) missLatencyAllowed(v int) bool {
 	return rec <= s.ii
 }
 
-// noRead marks a cluster with no read of the value under consideration in
-// maxLive's per-node last-read scratch.
-const noRead = math.MinInt32
-
-// maxLive computes the per-cluster register pressure of the schedule: for
-// every value (a node result plus, for transferred values, its copy in each
-// destination cluster) the number of simultaneously-live instances at each
-// kernel row is accumulated; MaxLive is the row maximum. The accumulation
-// rows and the per-node last-read table live in state scratch; only the
-// returned per-cluster vector (handed to the Schedule) is allocated.
+// maxLive computes the per-cluster register pressure of the schedule
+// through the shared legality accounting (EQ semantics; see
+// legality.MaxLiveInto). The accumulation rows and the per-node last-read
+// table live in state scratch; only the returned per-cluster vector (handed
+// to the Schedule) is allocated.
 func (s *state) maxLive() []int {
-	cl := s.cfg.Clusters
-	s.mlLive = resetInt(s.mlLive, cl*s.ii, 0)
-	s.mlLast = resetInt(s.mlLast, cl, 0)
-	live, last := s.mlLive, s.mlLast
-	// Per-row counting: a value live over flat cycles [def, end] has, at
-	// kernel row r, one copy per pipeline stage k with def <= r+k·II <= end.
-	count := func(c, def, end int) {
-		if end < def {
-			return
-		}
-		base := c * s.ii
-		for r := 0; r < s.ii; r++ {
-			// Number of k with def <= r+k*II <= end.
-			lo := ceilDiv(def-r, s.ii)
-			hi := floorDiv(end-r, s.ii)
-			if n := hi - lo + 1; n > 0 {
-				live[base+r] += n
-			}
-		}
-	}
-
-	for v := 0; v < s.g.NumNodes(); v++ {
-		n := s.g.Node(v)
-		if !n.Class.HasResult() {
-			continue
-		}
-		// EQ (equals) semantics, as in the TMS320C6000 family the
-		// paper cites: a result is written exactly at issue+latency
-		// and the in-flight value lives in the pipeline, so the
-		// destination register is occupied from write-back to last
-		// read. Binding prefetching still raises pressure (§4.3)
-		// because consumers and the SC drift later.
-		def := s.cycle[v] + s.lat[v]
-		for c := range last {
-			last[c] = noRead // consumer cluster -> last read cycle
-		}
-		for _, e := range s.g.Out(v) {
-			if e.Kind != ddg.RegDep {
-				continue
-			}
-			read := s.cycle[e.To] + e.Distance*s.ii
-			if cc := s.cluster[e.To]; read > last[cc] {
-				last[cc] = read
-			}
-		}
-		// The producer cluster keeps the value until its last local
-		// read and until every bus transfer has read it.
-		prodEnd := -1
-		if l := last[s.cluster[v]]; l != noRead {
-			prodEnd = l
-		}
-		for _, cm := range s.comms {
-			if cm.Producer == v && cm.Start > prodEnd {
-				prodEnd = cm.Start
-			}
-		}
-		if prodEnd >= def {
-			count(s.cluster[v], def, prodEnd)
-		}
-		// Destination copies live from bus arrival to their last read.
-		for _, cm := range s.comms {
-			if cm.Producer != v {
-				continue
-			}
-			if l := last[cm.Dest]; l != noRead && cm.Dest != s.cluster[v] && l >= cm.Arrival() {
-				count(cm.Dest, cm.Arrival(), l)
-			}
-		}
-	}
-	out := make([]int, cl)
-	for c := 0; c < cl; c++ {
-		for _, n := range live[c*s.ii : (c+1)*s.ii] {
-			if n > out[c] {
-				out[c] = n
-			}
-		}
-	}
+	out, rows, last := legality.MaxLiveInto(nil, s.g, s.ii, s.cfg.Clusters, s.cluster, s.cycle, s.lat, s.comms, s.mlLive, s.mlLast)
+	s.mlLive, s.mlLast = rows, last
 	return out
-}
-
-// ceilDiv and floorDiv are integer ceiling/floor divisions (b > 0); they sit
-// on the MaxLive hot path, so no float round-trips.
-func ceilDiv(a, b int) int {
-	q := a / b
-	if a%b != 0 && a > 0 {
-		q++
-	}
-	return q
-}
-
-func floorDiv(a, b int) int {
-	q := a / b
-	if a%b != 0 && a < 0 {
-		q--
-	}
-	return q
 }
 
 // finish normalizes cycles to be non-negative and packages the schedule.
@@ -809,22 +704,7 @@ func (s *state) finish(maxLive []int) *Schedule {
 	}
 	// Dense per-edge comm index: one slot per in-edge, resolved once here so
 	// the simulator's dependence loop never touches the EdgeComm map.
-	n := s.g.NumNodes()
-	inOff := make([]int32, n+1)
-	for v := 0; v < n; v++ {
-		inOff[v+1] = inOff[v] + int32(len(s.g.In(v)))
-	}
-	commIn := make([]int32, inOff[n])
-	for v := 0; v < n; v++ {
-		base := inOff[v]
-		for j, e := range s.g.In(v) {
-			idx := int32(-1)
-			if ci, ok := s.edgeComm[[2]int{e.From, v}]; ok {
-				idx = int32(ci)
-			}
-			commIn[int(base)+j] = idx
-		}
-	}
+	inOff, commIn := buildCommIndex(s.g, s.edgeComm)
 	sched := &Schedule{
 		Kernel:   s.k,
 		Config:   s.cfg,
@@ -853,4 +733,34 @@ func (s *state) finish(maxLive []int) *Schedule {
 	s.cluster, s.cycle, s.lat, s.miss = nil, nil, nil, nil
 	s.comms, s.edgeComm, s.table = nil, nil, nil
 	return sched
+}
+
+// buildCommIndex resolves the dense per-in-edge comm index from the edge →
+// comm map: CommIn[InOff[v]+j] is the transfer serving the j-th in-edge of
+// v, or -1 when no transfer carries it.
+func buildCommIndex(g *ddg.Graph, edgeComm map[[2]int]int) (inOff, commIn []int32) {
+	n := g.NumNodes()
+	inOff = make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		inOff[v+1] = inOff[v] + int32(len(g.In(v)))
+	}
+	commIn = make([]int32, inOff[n])
+	for v := 0; v < n; v++ {
+		base := inOff[v]
+		for j, e := range g.In(v) {
+			idx := int32(-1)
+			if ci, ok := edgeComm[[2]int{e.From, v}]; ok {
+				idx = int32(ci)
+			}
+			commIn[int(base)+j] = idx
+		}
+	}
+	return inOff, commIn
+}
+
+// BuildCommIndex (re)builds the dense InOff/CommIn companion of EdgeComm.
+// Schedules assembled outside finish — the exact scheduler, tests — call it
+// so the compiled simulator's dependence loop never touches the map.
+func (s *Schedule) BuildCommIndex() {
+	s.InOff, s.CommIn = buildCommIndex(s.Kernel.Graph, s.EdgeComm)
 }

@@ -1,19 +1,15 @@
 package sched
 
-import (
-	"multivliw/internal/ddg"
-	"multivliw/internal/machine"
-)
-
 // Guided II search.
 //
 // The II-escalation loop of §4.1 is a search over a predicate that is only
 // partially monotone: the recurrence and resource bounds (folded into the
-// MII) and the bus-structural constraints below are monotone in II, while
-// full placement feasibility — the expensive part — is not (a larger II can
-// re-shuffle the heuristic's choices into a dead end). Following the II
-// bisection structure of exact modulo schedulers (Roorda's SMT formulation;
-// Tirelli et al.'s SAT mapping), the search therefore runs in two phases:
+// MII) and the bus-structural constraints of legality.StructBound are
+// monotone in II, while full placement feasibility — the expensive part —
+// is not (a larger II can re-shuffle the heuristic's choices into a dead
+// end). Following the II bisection structure of exact modulo schedulers
+// (Roorda's SMT formulation; Tirelli et al.'s SAT mapping), the search
+// therefore runs in two phases:
 //
 //  1. binary-search the monotone structural bound for the first II any
 //     placement could possibly succeed at, skipping doomed attempts without
@@ -93,138 +89,4 @@ type SearchStats struct {
 	SkippedII int // IIs in [MII, FirstII) skipped by the structural bound
 	Probes    int // structural-predicate evaluations of the binary search
 	Attempts  int // placement attempts actually run
-}
-
-// structBound evaluates the monotone structural-feasibility predicate: the
-// necessary conditions any complete placement at a candidate II must satisfy,
-// beyond the recurrence/resource bounds already folded into the MII.
-type structBound struct {
-	cfg machine.Config
-
-	// comps holds the per-FU-kind operation counts of every connected
-	// component of the undirected register-dependence graph. A component
-	// split across clusters forces at least one bus transfer, so when
-	// transfers are inexpressible every component must fit whole inside
-	// some cluster's II×units slot budget.
-	comps [][machine.NumFUKinds]int
-}
-
-// newStructBound derives the predicate's inputs from the graph: a union-find
-// pass over the register edges, then per-component FU-kind tallies.
-func newStructBound(g *ddg.Graph, cfg machine.Config) structBound {
-	b := structBound{cfg: cfg}
-	n := g.NumNodes()
-	if n == 0 {
-		return b
-	}
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(v int) int {
-		for parent[v] != v {
-			parent[v] = parent[parent[v]]
-			v = parent[v]
-		}
-		return v
-	}
-	for v := 0; v < n; v++ {
-		for _, e := range g.Out(v) {
-			if e.Kind != ddg.RegDep || e.To == v {
-				continue
-			}
-			if a, c := find(v), find(e.To); a != c {
-				parent[a] = c
-			}
-		}
-	}
-	idx := make(map[int]int, 4)
-	for _, node := range g.Nodes() {
-		root := find(node.ID)
-		i, ok := idx[root]
-		if !ok {
-			i = len(b.comps)
-			idx[root] = i
-			b.comps = append(b.comps, [machine.NumFUKinds]int{})
-		}
-		b.comps[i][node.Class.FUKind()]++
-	}
-	return b
-}
-
-// transfersExpressible reports whether a register-bus transfer can exist at
-// all at the given II: at least one bus lane, and a transfer length that
-// fits the modulo schedule (mrt.FindBus rejects RegBusLat > II because the
-// bus would collide with its own next-iteration instance).
-func (b *structBound) transfersExpressible(ii int) bool {
-	if b.cfg.RegBuses == 0 {
-		return false
-	}
-	return b.cfg.RegBusLat <= ii
-}
-
-// fitsCluster reports whether component counts fit whole inside cluster c's
-// II×units slot budget, kind by kind.
-func (b *structBound) fitsCluster(counts [machine.NumFUKinds]int, c, ii int) bool {
-	fus := b.cfg.ClusterFUs(c)
-	for k, cnt := range counts {
-		if cnt > fus[k]*ii {
-			return false
-		}
-	}
-	return true
-}
-
-// feasible is the monotone predicate: false only when every placement at ii
-// is provably impossible. When transfers are inexpressible (RegBusLat > II,
-// or no bus lanes), splitting any register-connected component across
-// clusters is impossible too — the crossing edge would need a transfer — so
-// every component must fit whole inside some cluster. A component too big
-// for every cluster therefore makes the II infeasible. Both clauses relax
-// monotonically as II grows: transfers become expressible at II ≥ RegBusLat
-// and components fit once II×units reaches their operation counts.
-func (b *structBound) feasible(ii int) bool {
-	if b.transfersExpressible(ii) {
-		return true
-	}
-	for _, counts := range b.comps {
-		fits := false
-		for c := 0; c < b.cfg.Clusters; c++ {
-			if b.fitsCluster(counts, c, ii) {
-				fits = true
-				break
-			}
-		}
-		if !fits {
-			return false
-		}
-	}
-	return true
-}
-
-// firstFeasibleII binary-searches [mii, maxII] for the smallest structurally
-// feasible II. ok is false when no II in range passes the predicate (the
-// kernel cannot be scheduled on this machine at any candidate II).
-func firstFeasibleII(b *structBound, mii, maxII int) (first, probes int, ok bool) {
-	probes++
-	if b.feasible(mii) {
-		return mii, probes, true
-	}
-	probes++
-	if !b.feasible(maxII) {
-		return 0, probes, false
-	}
-	// Invariant: !feasible(lo-1), feasible(hi).
-	lo, hi := mii+1, maxII
-	for lo < hi {
-		mid := lo + (hi-lo)/2
-		probes++
-		if b.feasible(mid) {
-			hi = mid
-		} else {
-			lo = mid + 1
-		}
-	}
-	return lo, probes, true
 }

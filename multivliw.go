@@ -41,6 +41,7 @@ package multivliw
 
 import (
 	"multivliw/internal/cme"
+	"multivliw/internal/exact"
 	"multivliw/internal/harness"
 	"multivliw/internal/loop"
 	"multivliw/internal/machine"
@@ -149,6 +150,51 @@ const (
 func Compile(k *Kernel, m Machine, opt Options) (*Schedule, error) {
 	return sched.Run(k, m, opt)
 }
+
+// Exact modulo scheduling: the branch-and-bound optimality oracle for
+// small kernels (internal/exact).
+type (
+	// ExactOptions configures an exact scheduling run (II cap, kernel
+	// size limit, search budget).
+	ExactOptions = exact.Options
+	// ExactStats summarizes an exact run: the MII seed, the first
+	// structurally feasible II, and the search-tree counters.
+	ExactStats = exact.Stats
+	// Gap quantifies a heuristic schedule's distance from the exact
+	// optimum: ΔII and ΔMaxLive with both sides' raw values.
+	Gap = exact.Gap
+)
+
+// ExactSchedule finds a minimum-II modulo schedule for kernel k on machine
+// m by branch-and-bound over time×cluster assignments, under the identical
+// legality rules the heuristic scheduler enforces. Kernels above the
+// operation limit are refused (exact.ErrTooLarge); an exhausted search
+// budget reports exact.ErrBudget. The returned schedule passes
+// CheckSchedule and replays on both simulators.
+func ExactSchedule(k *Kernel, m Machine, opt ExactOptions) (*Schedule, ExactStats, error) {
+	return exact.Schedule(k, m, opt)
+}
+
+// OptimalityGap schedules k on m with both the heuristic (under opt) and
+// the exact scheduler, and reports how far the heuristic's II and MaxLive
+// sit from the optimum. At Threshold 1.0 the two solve the identical
+// problem and DeltaII is guaranteed non-negative.
+func OptimalityGap(k *Kernel, m Machine, opt Options) (Gap, error) {
+	h, err := sched.Run(k, m, opt)
+	if err != nil {
+		return Gap{}, err
+	}
+	ex, _, err := exact.Schedule(k, m, ExactOptions{})
+	if err != nil {
+		return Gap{}, err
+	}
+	return exact.GapBetween(ex, h), nil
+}
+
+// CheckSchedule asserts the full structural invariant suite on a schedule:
+// dependences, reservation-table booking, bus capacity, and the MaxLive
+// accounting recomputed through the shared legality rules.
+func CheckSchedule(s *Schedule) error { return sched.CheckInvariants(s) }
 
 // Simulation.
 type (
@@ -275,10 +321,21 @@ func ParseSweepSpec(data []byte, baseDir string) (*SweepSpec, error) {
 func RunSweep(spec *SweepSpec) (*SweepResult, error) { return harness.RunSweep(spec) }
 
 // GeneratorDifferential drives seeded generated kernels through the paired
-// oracles (compiled-vs-reference simulation, guided-vs-linear II search) —
-// the standing differential fuzzer CI runs on every PR.
+// oracles (compiled-vs-reference simulation, guided-vs-linear II search,
+// and the instance-exact register-allocation property) — the standing
+// differential fuzzer CI runs on every PR.
 func GeneratorDifferential(seed int64, kernels, simCap int) (*harness.FuzzReport, error) {
 	return harness.GeneratorDifferential(harness.FuzzOptions{Seed: seed, Kernels: kernels, SimCap: simCap})
+}
+
+// OracleDifferential drives seeded small kernels through the exact
+// scheduler and the heuristic: it asserts the heuristic never beats the
+// exact II, validates every exact schedule through the invariant suite and
+// both simulators, and reports the optimality-gap distribution — the
+// strongest standing oracle in the differential suite (CI runs a 50-kernel
+// sweep on every PR).
+func OracleDifferential(seed int64, kernels, simCap int) (*harness.OracleReport, error) {
+	return harness.OracleDifferential(harness.OracleOptions{Seed: seed, Kernels: kernels, SimCap: simCap})
 }
 
 // MotivatingKernel returns the paper's §3 example loop for N iterations.

@@ -163,3 +163,41 @@ func TestScenarioLayerExposed(t *testing.T) {
 		t.Errorf("differential never compared a simulation: %+v", rep)
 	}
 }
+
+// TestExactOracleExposed drives the exact-scheduling facade: ExactSchedule
+// on the motivating kernel meets its MII certificate, OptimalityGap
+// reports the heuristic's distance, CheckSchedule accepts both schedules,
+// and the oracle differential runs clean.
+func TestExactOracleExposed(t *testing.T) {
+	k := multivliw.MotivatingKernel(100)
+	m := multivliw.MotivatingMachine()
+	ex, st, err := multivliw.ExactSchedule(k, m, multivliw.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.II != 3 || !st.Optimal() {
+		t.Errorf("exact II = %d (MII %d), want the certified optimum 3", ex.II, st.MII)
+	}
+	if err := multivliw.CheckSchedule(ex); err != nil {
+		t.Errorf("exact schedule fails the invariant suite: %v", err)
+	}
+
+	gap, err := multivliw.OptimalityGap(k, m, multivliw.Options{Policy: multivliw.RMCA, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap.ExactII != 3 || gap.DeltaII < 0 {
+		t.Errorf("gap = %+v, want exact II 3 and a non-negative ΔII", gap)
+	}
+	if gap.DeltaII == 0 {
+		t.Errorf("the §3 example is known to carry a gap, got %+v", gap)
+	}
+
+	rep, err := multivliw.OracleDifferential(3, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exact == 0 || rep.SimChecks != rep.Exact {
+		t.Errorf("oracle never validated an exact schedule: %+v", rep)
+	}
+}
