@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestCLIArgs pins the flag surface: unknown positional arguments and flags
+// fail with exit 2 instead of being silently ignored.
+func TestCLIArgs(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring of stderr when non-empty
+	}{
+		{name: "positional", args: []string{"serve"}, wantCode: 2, wantErr: "unexpected arguments"},
+		{name: "positional-after-flags", args: []string{"-workers", "2", "extra"}, wantCode: 2, wantErr: "unexpected arguments"},
+		{name: "unknown-flag", args: []string{"-definitely-not-a-flag"}, wantCode: 2},
+		{name: "bad-duration", args: []string{"-smoke", "soon"}, wantCode: 2},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != tc.wantCode {
+				t.Errorf("run(%q) = %d, want %d (stderr: %s)", tc.args, code, tc.wantCode, errb.String())
+			}
+			if tc.wantErr != "" && !strings.Contains(errb.String(), tc.wantErr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantErr, errb.String())
+			}
+		})
+	}
+}
+
+// TestSmokeMode runs the full in-process robustness check — server, seeded
+// load, mid-load drain — briefly, the same path CI runs for 5s under -race.
+func TestSmokeMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke mode runs real load")
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-smoke", "800ms", "-workers", "4", "-seed", "3"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("smoke exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	for _, want := range []string{
+		"mvpserve smoke: ok",
+		"dropped=0",
+		"mvpserve_requests_total",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("smoke output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/runctx"
+	"multivliw/internal/workloads"
+)
+
+// probeHeavyKernel returns a generated kernel whose exact solve runs tens
+// of thousands of probes on the 4-cluster machine (seed 9 of the default
+// family — pinned by TestProbeHeavyKernelStaysHeavy), so the solver's
+// every-4096-probes context check demonstrably fires mid-search.
+func probeHeavyKernel(t *testing.T) (*loop.Kernel, machine.Config) {
+	t.Helper()
+	k, err := workloads.Generate(workloads.DefaultGenSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, machine.FourCluster(2, 1, 1, 4)
+}
+
+// TestProbeHeavyKernelStaysHeavy pins the test fixture: if generator or
+// solver changes make seed 9 cheap, the mid-probe tests would silently stop
+// exercising the in-search check.
+func TestProbeHeavyKernelStaysHeavy(t *testing.T) {
+	k, err := workloads.Generate(workloads.DefaultGenSpec(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := Schedule(k, machine.FourCluster(2, 1, 1, 4), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Probes < 2*ctxCheckInterval {
+		t.Fatalf("fixture kernel solved in %d probes, need ≥ %d for mid-probe coverage; pick a heavier seed",
+			st.Probes, 2*ctxCheckInterval)
+	}
+}
+
+// flipErrCtx dies (Canceled) after `after` Err calls — deterministic
+// mid-search interruption without clocks.
+type flipErrCtx struct {
+	context.Context
+	calls, after int
+}
+
+func (c *flipErrCtx) Err() error {
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestScheduleCtxCancelMidProbe interrupts the branch-and-bound between two
+// probe-interval checks: the II-loop check passes once, then the dfs's
+// interval check trips. The error must classify as a cancellation (Status
+// "deadline" bucket) and carry the probes already spent.
+func TestScheduleCtxCancelMidProbe(t *testing.T) {
+	k, cfg := probeHeavyKernel(t)
+	ctx := &flipErrCtx{Context: context.Background(), after: 1}
+	s, st, err := ScheduleCtx(ctx, k, cfg, Options{})
+	if s != nil || err == nil {
+		t.Fatalf("cancel mid-probe: schedule %v, err %v", s, err)
+	}
+	if !errors.Is(err, runctx.ErrCanceled) {
+		t.Errorf("error %v does not wrap runctx.ErrCanceled", err)
+	}
+	if got := Classify(err); got != StatusDeadline {
+		t.Errorf("Classify(%v) = %q, want %q", err, got, StatusDeadline)
+	}
+	if st.Probes == 0 || st.Probes%ctxCheckInterval != 0 {
+		t.Errorf("stopped after %d probes; want a positive multiple of the %d-probe check interval",
+			st.Probes, ctxCheckInterval)
+	}
+}
+
+// TestScheduleCtxExpiredDeadline checks an expired real deadline stops the
+// search before any probes and classifies as a deadline.
+func TestScheduleCtxExpiredDeadline(t *testing.T) {
+	k, cfg := probeHeavyKernel(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	_, _, err := ScheduleCtx(ctx, k, cfg, Options{})
+	if !errors.Is(err, runctx.ErrDeadline) {
+		t.Errorf("error %v does not wrap runctx.ErrDeadline", err)
+	}
+	if got := Classify(err); got != StatusDeadline {
+		t.Errorf("Classify(%v) = %q, want %q", err, got, StatusDeadline)
+	}
+}
+
+// TestClassify pins the error→status mapping the sweep CSV and the serving
+// layer both rely on.
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Status
+	}{
+		{nil, StatusOptimal},
+		{ErrBudget, StatusBudget},
+		{ErrTooLarge, StatusTooLarge},
+		{runctx.ErrDeadline, StatusDeadline},
+		{runctx.ErrCanceled, StatusDeadline},
+		{errors.New("exact: no schedule possible"), StatusUnsat},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// TestScheduleCtxBudgetDistinctFromDeadline exhausts a tiny probe budget
+// under a live context: the result must classify as budget, never deadline —
+// the indistinguishability bug this PR fixes.
+func TestScheduleCtxBudgetDistinctFromDeadline(t *testing.T) {
+	k, cfg := probeHeavyKernel(t)
+	_, _, err := ScheduleCtx(context.Background(), k, cfg, Options{ProbeBudget: 1024})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("tiny budget: err %v, want ErrBudget", err)
+	}
+	if got := Classify(err); got != StatusBudget {
+		t.Errorf("Classify(%v) = %q, want %q", err, got, StatusBudget)
+	}
+}

@@ -35,6 +35,7 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -43,6 +44,7 @@ import (
 	"multivliw/internal/loop"
 	"multivliw/internal/machine"
 	"multivliw/internal/order"
+	"multivliw/internal/runctx"
 	"multivliw/internal/sched"
 )
 
@@ -67,6 +69,50 @@ var (
 	// rather than infeasible.
 	ErrBudget = errors.New("exact: search budget exhausted")
 )
+
+// ctxCheckInterval is how many probes the branch-and-bound runs between
+// context checks: frequent enough that a deadline stops a pathological
+// search within microseconds, rare enough that the check never shows up in
+// BenchmarkExactSchedule.
+const ctxCheckInterval = 4096
+
+// Status classifies the outcome of an exact scheduling attempt — the
+// vocabulary the sweep CSV's gapStatus column and the serving layer's gap
+// endpoint share, so a budget exhaustion, a deadline expiry and an
+// oversized kernel stay distinguishable all the way to the output.
+type Status string
+
+const (
+	// StatusOptimal: the exact scheduler returned a minimum-II schedule.
+	StatusOptimal Status = "optimal"
+	// StatusBudget: the probe budget ran out; the optimum is unknown.
+	StatusBudget Status = "budget"
+	// StatusDeadline: the context expired or was cancelled mid-search.
+	StatusDeadline Status = "deadline"
+	// StatusTooLarge: the kernel exceeds the operation limit.
+	StatusTooLarge Status = "toolarge"
+	// StatusUnsat: the search proved no schedule exists up to the II cap
+	// (or the inputs failed validation).
+	StatusUnsat Status = "unsat"
+)
+
+// Classify maps an exact-scheduling error to its Status: nil is
+// StatusOptimal, the typed giving-up errors map to their own statuses, and
+// anything else — proven infeasibility, invalid inputs — is StatusUnsat.
+func Classify(err error) Status {
+	switch {
+	case err == nil:
+		return StatusOptimal
+	case errors.Is(err, ErrBudget):
+		return StatusBudget
+	case errors.Is(err, runctx.ErrDeadline), errors.Is(err, runctx.ErrCanceled):
+		return StatusDeadline
+	case errors.Is(err, ErrTooLarge):
+		return StatusTooLarge
+	default:
+		return StatusUnsat
+	}
+}
 
 // Options configures an exact scheduling run.
 type Options struct {
@@ -103,6 +149,15 @@ func (s Stats) Optimal() bool { return s.II > 0 && s.II == s.MII }
 // returned schedule uses hit latencies for every load (the threshold-1.0
 // problem), passes sched.CheckInvariants, and replays on both simulators.
 func Schedule(k *loop.Kernel, cfg machine.Config, opt Options) (*sched.Schedule, Stats, error) {
+	return ScheduleCtx(context.Background(), k, cfg, opt)
+}
+
+// ScheduleCtx is Schedule under a context: the branch-and-bound probe loop
+// checks the context every few thousand candidates, so a deadline or
+// cancellation abandons even a pathological search promptly, with an error
+// wrapping runctx.ErrDeadline or runctx.ErrCanceled (classified as
+// StatusDeadline — distinct from an exhausted probe budget).
+func ScheduleCtx(ctx context.Context, k *loop.Kernel, cfg machine.Config, opt Options) (*sched.Schedule, Stats, error) {
 	var st Stats
 	if err := cfg.Validate(); err != nil {
 		return nil, st, err
@@ -139,15 +194,21 @@ func Schedule(k *loop.Kernel, cfg machine.Config, opt Options) (*sched.Schedule,
 	x := &solver{
 		g: g, k: k, cfg: cfg, lat: baseLat, order: ord.Order,
 		homogeneous: cfg.FUsByCluster == nil,
-		budget:      budget, stats: &st,
+		budget:      budget, stats: &st, ctx: ctx,
 	}
 	for ii := first; ii <= maxII; ii++ {
+		if cerr := runctx.Check(ctx); cerr != nil {
+			return nil, st, fmt.Errorf("exact: %s on %s: II search stopped at II=%d: %w", k.Name, cfg.Name, ii, cerr)
+		}
 		st.IIsTried++
 		if x.solve(ii) {
 			st.II = ii
 			return x.buildSchedule(ii, &st), st, nil
 		}
 		if x.aborted {
+			if x.ctxErr != nil {
+				return nil, st, fmt.Errorf("exact: %s on %s at II=%d after %d probes: %w", k.Name, cfg.Name, ii, st.Probes, x.ctxErr)
+			}
 			return nil, st, fmt.Errorf("%w: %s on %s at II=%d after %d probes", ErrBudget, k.Name, cfg.Name, ii, st.Probes)
 		}
 	}

@@ -1,11 +1,14 @@
 package exact
 
 import (
+	"context"
+
 	"multivliw/internal/ddg"
 	"multivliw/internal/legality"
 	"multivliw/internal/loop"
 	"multivliw/internal/machine"
 	"multivliw/internal/mrt"
+	"multivliw/internal/runctx"
 	"multivliw/internal/sched"
 	"multivliw/internal/scratch"
 )
@@ -59,7 +62,11 @@ type solver struct {
 	mlLast        []int
 	budget        int64
 	aborted       bool
-	stats         *Stats
+	// ctx bounds the search; ctxErr records the typed interruption when the
+	// abort came from the context rather than the probe budget.
+	ctx    context.Context
+	ctxErr error
+	stats  *Stats
 }
 
 // solve searches one candidate II exhaustively; true means the solver's
@@ -137,6 +144,13 @@ func (x *solver) dfs(pos int) bool {
 			if x.stats.Probes > x.budget {
 				x.aborted = true
 				return false
+			}
+			if x.stats.Probes%ctxCheckInterval == 0 {
+				if cerr := runctx.Check(x.ctx); cerr != nil {
+					x.ctxErr = cerr
+					x.aborted = true
+					return false
+				}
 			}
 			unit, ok := x.table.PlaceFU(c, kind, t, v)
 			if !ok {

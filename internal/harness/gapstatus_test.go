@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"multivliw/internal/exact"
+	"multivliw/internal/workloads"
+)
+
+// gapSweep builds a one-figure gap-enabled sweep over a generated corpus,
+// with the exact solver's budget and deadline knobs exposed.
+func gapSweep(t *testing.T, seed int64, count int, deadlineMs int, probeBudget int64) *SweepResult {
+	t.Helper()
+	simCap := 64
+	spec := &SweepSpec{
+		Name:             "gap-status",
+		SimCap:           &simCap,
+		OptimalityGap:    true,
+		ExactDeadlineMs:  deadlineMs,
+		ExactProbeBudget: probeBudget,
+		Kernels: &KernelSetSpec{Generated: &GeneratedSetSpec{
+			Count: count,
+			Spec:  workloads.DefaultGenSpec(seed),
+		}},
+		Figures: []FigureSpec{{
+			Title:      "gap status",
+			Schedulers: []string{"rmca"},
+			Thresholds: []float64{1.0},
+			Groups:     []GroupSpec{{Label: "4c", Machine: MachineRef{Ref: "4-cluster"}}},
+		}},
+	}
+	res, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("sweep produced no rows")
+	}
+	return res
+}
+
+// TestGapStatusBudget exhausts a tiny probe budget on a probe-heavy kernel
+// (seed 9 needs ~20k probes on the 4-cluster machine): the row must report
+// gapStatus "budget", with the skip attributed to the budget counter and
+// the heuristic columns intact.
+func TestGapStatusBudget(t *testing.T) {
+	res := gapSweep(t, 9, 1, 0, 1024)
+	g := res.Rows[0].Gap
+	if g == nil {
+		t.Fatal("row missing gap aggregate")
+	}
+	if g.Budget != 1 || g.Kernels != 0 {
+		t.Fatalf("gap %+v: want exactly one budget skip", g)
+	}
+	if got := g.Status(); got != exact.StatusBudget {
+		t.Errorf("Status() = %q, want %q", got, exact.StatusBudget)
+	}
+	if !strings.Contains(res.RowsCSV(), ",budget") {
+		t.Errorf("CSV missing gapStatus budget:\n%s", res.RowsCSV())
+	}
+}
+
+// TestGapStatusDeadline bounds the exact solve of a pathological kernel
+// (seed 25 needs ~4M probes) to 1ms: the row must report gapStatus
+// "deadline" — distinguishable from a budget exhaustion, the
+// indistinguishability this PR's satellite fixes.
+func TestGapStatusDeadline(t *testing.T) {
+	res := gapSweep(t, 25, 1, 1, 0)
+	g := res.Rows[0].Gap
+	if g == nil {
+		t.Fatal("row missing gap aggregate")
+	}
+	if g.Deadline != 1 || g.Budget != 0 {
+		t.Fatalf("gap %+v: want exactly one deadline skip and no budget skip", g)
+	}
+	if got := g.Status(); got != exact.StatusDeadline {
+		t.Errorf("Status() = %q, want %q", got, exact.StatusDeadline)
+	}
+	if !strings.Contains(res.RowsCSV(), ",deadline") {
+		t.Errorf("CSV missing gapStatus deadline:\n%s", res.RowsCSV())
+	}
+}
+
+// TestGapStatusTooLarge runs the gap over a suite benchmark with a kernel
+// above the exact scheduler's op limit (swim.calc1, 28 ops): the skip must
+// classify as toolarge.
+func TestGapStatusTooLarge(t *testing.T) {
+	simCap := 64
+	spec := &SweepSpec{
+		Name:          "gap-toolarge",
+		SimCap:        &simCap,
+		OptimalityGap: true,
+		Kernels:       &KernelSetSpec{Benchmarks: []string{"swim"}},
+		Figures: []FigureSpec{{
+			Title:      "toolarge",
+			Schedulers: []string{"rmca"},
+			Thresholds: []float64{1.0},
+			Groups:     []GroupSpec{{Label: "2c", Machine: MachineRef{Ref: "2-cluster"}}},
+		}},
+	}
+	res, err := RunSweep(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := res.Rows[0].Gap
+	if g == nil {
+		t.Fatal("row missing gap aggregate")
+	}
+	if g.TooLarge == 0 {
+		t.Fatalf("gap %+v: expected toolarge skips for suite-sized kernels", g)
+	}
+	if g.Kernels == 0 && g.Status() != exact.StatusTooLarge {
+		t.Errorf("Status() = %q, want %q when every kernel was oversized", g.Status(), exact.StatusTooLarge)
+	}
+}
+
+// TestRowGapStatusPrecedence pins the summary precedence: deadline
+// dominates budget dominates toolarge dominates unsat, and a clean row is
+// optimal.
+func TestRowGapStatusPrecedence(t *testing.T) {
+	cases := []struct {
+		g    RowGap
+		want exact.Status
+	}{
+		{RowGap{Kernels: 3}, exact.StatusOptimal},
+		{RowGap{Kernels: 2, Unsat: 1}, exact.StatusUnsat},
+		{RowGap{Kernels: 2, Unsat: 1, TooLarge: 1}, exact.StatusTooLarge},
+		{RowGap{Kernels: 2, TooLarge: 1, Budget: 1}, exact.StatusBudget},
+		{RowGap{Kernels: 2, Budget: 1, Deadline: 1}, exact.StatusDeadline},
+	}
+	for _, c := range cases {
+		if got := c.g.Status(); got != c.want {
+			t.Errorf("RowGap %+v: Status() = %q, want %q", c.g, got, c.want)
+		}
+		if c.g.Skipped() != c.g.Budget+c.g.Deadline+c.g.TooLarge+c.g.Unsat {
+			t.Errorf("RowGap %+v: Skipped() inconsistent", c.g)
+		}
+	}
+}

@@ -21,8 +21,11 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
@@ -31,6 +34,7 @@ import (
 	"multivliw/internal/cme"
 	"multivliw/internal/loop"
 	"multivliw/internal/machine"
+	"multivliw/internal/runctx"
 	"multivliw/internal/sched"
 	"multivliw/internal/sim"
 	"multivliw/internal/workloads"
@@ -109,18 +113,59 @@ func (r *Runner) workers() int {
 	return runtime.NumCPU()
 }
 
+// PanicError is a panic captured inside the worker pool, converted to a
+// per-task error so one panicking cell fails its own evaluation — with the
+// cell's identity and the panic's stack attached — instead of killing the
+// process. It participates in the deterministic error merge like any other
+// task error: the lowest-indexed failing task wins.
+type PanicError struct {
+	// Task identifies the failing cell (kernel and machine) when the
+	// fan-out site knows it; empty for anonymous task functions.
+	Task string
+	// Index is the task's position in the fan-out.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	if e.Task != "" {
+		return fmt.Sprintf("panic in %s (task %d): %v", e.Task, e.Index, e.Value)
+	}
+	return fmt.Sprintf("panic in task %d: %v", e.Index, e.Value)
+}
+
+// callTask runs one task, converting a panic into a *PanicError. This is
+// the worker pool's containment boundary: whatever a scheduler, simulator
+// or analysis does, the pool's goroutines never die.
+func callTask(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Index: i, Value: p, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
+
 // forEach runs fn(0..n-1) on the runner's worker pool. Tasks are claimed
-// from an atomic counter; when any task fails, the error of the
-// lowest-indexed failing task is returned (the one a serial run would have
-// hit first) and remaining tasks are skipped.
-func (r *Runner) forEach(n int, fn func(i int) error) error {
+// from an atomic counter; when any task fails — an error return or a
+// recovered panic — the error of the lowest-indexed failing task is
+// returned (the one a serial run would have hit first) and remaining tasks
+// are skipped. A dead context stops claiming new tasks and reports the
+// typed runctx error, unless a task error already won.
+func (r *Runner) forEach(ctx context.Context, n int, fn func(i int) error) error {
 	w := r.workers()
 	if w > n {
 		w = n
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if cerr := runctx.Check(ctx); cerr != nil {
+				return cerr
+			}
+			if err := callTask(i, fn); err != nil {
 				return err
 			}
 		}
@@ -133,6 +178,7 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 		firstIdx = n
 		firstErr error
 		wg       sync.WaitGroup
+		ctxErr   atomic.Value
 	)
 	next.Store(-1)
 	for g := 0; g < w; g++ {
@@ -147,11 +193,15 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 				if failed.Load() {
 					return
 				}
+				if cerr := runctx.Check(ctx); cerr != nil {
+					ctxErr.Store(cerr)
+					return
+				}
 				i := int(next.Add(1))
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := callTask(i, fn); err != nil {
 					failed.Store(true)
 					mu.Lock()
 					if i < firstIdx {
@@ -163,7 +213,13 @@ func (r *Runner) forEach(n int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	if cerr, ok := ctxErr.Load().(error); ok {
+		return cerr
+	}
+	return nil
 }
 
 // analysis returns the shared CME analysis for kernel k on a machine with
@@ -241,10 +297,11 @@ type kernelCounts struct {
 // index. The caller's reduction must walk the returned slice in construction
 // order; that pairing is what keeps parallel aggregation bit-identical to a
 // serial run, and this helper is the single place the fan-out side of the
-// invariant lives.
-func mapTasks[K, T any](r *Runner, tasks []K, fn func(K) (T, error)) ([]T, error) {
+// invariant lives. desc, when non-nil, names a task for panic containment:
+// a recovered worker panic surfaces as a *PanicError carrying desc(task).
+func mapTasks[K, T any](ctx context.Context, r *Runner, tasks []K, desc func(K) string, fn func(K) (T, error)) ([]T, error) {
 	out := make([]T, len(tasks))
-	err := r.forEach(len(tasks), func(i int) error {
+	err := r.forEach(ctx, len(tasks), func(i int) error {
 		v, err := fn(tasks[i])
 		if err != nil {
 			return err
@@ -253,6 +310,10 @@ func mapTasks[K, T any](r *Runner, tasks []K, fn func(K) (T, error)) ([]T, error
 		return nil
 	})
 	if err != nil {
+		var pe *PanicError
+		if errors.As(err, &pe) && pe.Task == "" && desc != nil && pe.Index < len(tasks) {
+			pe.Task = desc(tasks[pe.Index])
+		}
 		return nil, err
 	}
 	return out, nil
@@ -263,7 +324,7 @@ func mapTasks[K, T any](r *Runner, tasks []K, fn func(K) (T, error)) ([]T, error
 // cell's benchmark-averaged normalized {compute, stall}. The reduction walks
 // the results in the exact order the serial loop would, so the floating-point
 // aggregation is bit-identical regardless of Parallelism.
-func (r *Runner) evalCells(cells []cell) ([][2]float64, error) {
+func (r *Runner) evalCells(ctx context.Context, cells []cell) ([][2]float64, error) {
 	type task struct{ cell, bench, kern int }
 	var tasks []task
 	for ci := range cells {
@@ -273,7 +334,10 @@ func (r *Runner) evalCells(cells []cell) ([][2]float64, error) {
 			}
 		}
 	}
-	results, err := mapTasks(r, tasks, func(t task) (kernelCounts, error) {
+	desc := func(t task) string {
+		return fmt.Sprintf("%s on %s", r.Suite[t.bench].Kernels[t.kern].Name, cells[t.cell].cfg.Name)
+	}
+	results, err := mapTasks(ctx, r, tasks, desc, func(t task) (kernelCounts, error) {
 		k := r.Suite[t.bench].Kernels[t.kern]
 		ref, err := r.unifiedReference(k)
 		if err != nil {
@@ -315,7 +379,14 @@ func (r *Runner) evalCells(cells []cell) ([][2]float64, error) {
 // returns the benchmark-averaged normalized compute and stall components.
 // The per-kernel runs of the cell are spread over the worker pool.
 func (r *Runner) Eval(cfg machine.Config, pol sched.Policy, thr float64) (compute, stall float64, err error) {
-	out, err := r.evalCells([]cell{{cfg: cfg, pol: pol, thr: thr}})
+	return r.EvalCtx(context.Background(), cfg, pol, thr)
+}
+
+// EvalCtx is Eval under a context: a deadline or cancellation stops the
+// worker pool from claiming new kernel runs and returns the typed runctx
+// error; already-claimed runs finish first, so no goroutine is abandoned.
+func (r *Runner) EvalCtx(ctx context.Context, cfg machine.Config, pol sched.Policy, thr float64) (compute, stall float64, err error) {
+	out, err := r.evalCells(ctx, []cell{{cfg: cfg, pol: pol, thr: thr}})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -343,7 +414,7 @@ type barGroup struct {
 // fan-out, and assembles the bars in the same order the serial per-group
 // loops produced. It is the shared core of the hard-coded figures and the
 // declarative sweep engine.
-func (r *Runner) expandBars(groups []barGroup, pols []sched.Policy, thrs []float64) ([]Bar, error) {
+func (r *Runner) expandBars(ctx context.Context, groups []barGroup, pols []sched.Policy, thrs []float64) ([]Bar, error) {
 	var cells []cell
 	var out []Bar
 	for _, g := range groups {
@@ -357,7 +428,7 @@ func (r *Runner) expandBars(groups []barGroup, pols []sched.Policy, thrs []float
 			}
 		}
 	}
-	vals, err := r.evalCells(cells)
+	vals, err := r.evalCells(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -373,17 +444,23 @@ func (r *Runner) figureBars(clusters int, groups []barGroup) ([]Bar, error) {
 	for i := range groups {
 		groups[i].clusters = clusters
 	}
-	return r.expandBars(groups, []sched.Policy{sched.Baseline, sched.RMCA}, Thresholds)
+	return r.expandBars(context.Background(), groups, []sched.Policy{sched.Baseline, sched.RMCA}, Thresholds)
 }
 
 // UnifiedBars returns the reference set: the Unified machine at the four
 // thresholds (the leftmost group of every figure).
 func (r *Runner) UnifiedBars() ([]Bar, error) {
+	return r.unifiedBarsCtx(context.Background())
+}
+
+// unifiedBarsCtx is UnifiedBars under a caller-supplied context (the sweep
+// engine's path).
+func (r *Runner) unifiedBarsCtx(ctx context.Context) ([]Bar, error) {
 	var cells []cell
 	for _, thr := range Thresholds {
 		cells = append(cells, cell{cfg: machine.Unified(), pol: sched.Baseline, thr: thr})
 	}
-	vals, err := r.evalCells(cells)
+	vals, err := r.evalCells(ctx, cells)
 	if err != nil {
 		return nil, err
 	}
@@ -535,7 +612,10 @@ func (r *Runner) PerBenchmark(cfg machine.Config, thr float64) ([]BenchRow, erro
 			}
 		}
 	}
-	results, err := mapTasks(r, tasks, func(t task) (kernelCounts, error) {
+	desc := func(t task) string {
+		return fmt.Sprintf("%s on %s", r.Suite[t.bench].Kernels[t.kern].Name, cfg.Name)
+	}
+	results, err := mapTasks(context.Background(), r, tasks, desc, func(t task) (kernelCounts, error) {
 		k := r.Suite[t.bench].Kernels[t.kern]
 		den, err := r.unifiedReference(k)
 		if err != nil {
@@ -604,7 +684,10 @@ func (r *Runner) CommTable(clusters int) ([]CommRow, error) {
 			}
 		}
 	}
-	results, err := mapTasks(r, tasks, func(t task) (commCounts, error) {
+	desc := func(t task) string {
+		return fmt.Sprintf("%s on %s", r.Suite[t.bench].Kernels[t.kern].Name, cfg.Name)
+	}
+	results, err := mapTasks(context.Background(), r, tasks, desc, func(t task) (commCounts, error) {
 		k := r.Suite[t.bench].Kernels[t.kern]
 		_, _, s, res, err := r.runKernel(k, cfg, pols[t.pol], 0.0)
 		if err != nil {

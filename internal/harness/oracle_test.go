@@ -80,7 +80,7 @@ func TestSweepOptimalityGapColumns(t *testing.T) {
 	}
 	csv := res.RowsCSV()
 	header := strings.SplitN(csv, "\n", 2)[0]
-	if !strings.HasSuffix(header, ",exactII,heurII,deltaII,deltaMaxLive,exactKernels,exactSkipped") {
+	if !strings.HasSuffix(header, ",exactII,heurII,deltaII,deltaMaxLive,exactKernels,exactSkipped,skipBudget,skipDeadline,skipTooLarge,gapStatus") {
 		t.Errorf("gap-enabled CSV header missing oracle columns: %q", header)
 	}
 	if len(res.Rows) == 0 {
@@ -92,7 +92,7 @@ func TestSweepOptimalityGapColumns(t *testing.T) {
 		}
 		if row.Gap.Kernels == 0 {
 			t.Errorf("exact scheduler solved no kernels of row %s/%s thr %.2f (skipped %d)",
-				row.Group, row.Scheduler, row.Threshold, row.Gap.Skipped)
+				row.Group, row.Scheduler, row.Threshold, row.Gap.Skipped())
 			continue
 		}
 		if row.Threshold == 1.0 && row.Gap.DeltaII < 0 {

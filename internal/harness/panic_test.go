@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/sim"
+	"multivliw/internal/workloads"
+)
+
+// TestWorkerPanicIsolation injects a panic into the simulator for exactly
+// one kernel and checks the containment contract at every pool width: the
+// panic surfaces as a *PanicError naming the failing cell, the error is
+// identical at parallelism 1 and 8 (deterministic merge), no goroutine
+// dies, and the runner works again once the fault is removed.
+func TestWorkerPanicIsolation(t *testing.T) {
+	suite := workloads.Suite()
+	target := suite[0].Kernels[0].Name
+
+	old := simRun
+	t.Cleanup(func() { simRun = old })
+	simRun = func(s *sched.Schedule, opt sim.Options) (*sim.Result, error) {
+		if s.Kernel.Name == target {
+			panic(fmt.Sprintf("injected sim panic for %s", s.Kernel.Name))
+		}
+		return old(s, opt)
+	}
+
+	cfg := machine.TwoCluster(2, 1, 1, 4)
+	var errs []string
+	for _, p := range []int{1, 8} {
+		r := NewRunnerWith([]workloads.Benchmark{suite[0], suite[1]}, 64)
+		r.Parallelism = p
+		_, _, err := r.Eval(cfg, sched.RMCA, 0.25)
+		if err == nil {
+			t.Fatalf("parallelism %d: injected panic did not surface", p)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallelism %d: error %v is not a *PanicError", p, err)
+		}
+		if !strings.Contains(pe.Task, target) {
+			t.Errorf("parallelism %d: PanicError.Task %q does not name kernel %q", p, pe.Task, target)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("parallelism %d: PanicError carries no stack", p)
+		}
+		if !strings.Contains(pe.Error(), "panic in") {
+			t.Errorf("parallelism %d: Error() %q lacks panic marker", p, pe.Error())
+		}
+		errs = append(errs, pe.Error())
+	}
+	if errs[0] != errs[1] {
+		t.Errorf("panic error not deterministic across widths:\n  serial   %s\n  parallel %s", errs[0], errs[1])
+	}
+
+	// Only the poisoned cell fails: a run over benchmarks that never
+	// touch the target kernel still succeeds with the fault armed.
+	clean := NewRunnerWith([]workloads.Benchmark{suite[1]}, 64)
+	clean.Parallelism = 8
+	if _, _, err := clean.Eval(cfg, sched.RMCA, 0.25); err != nil {
+		t.Errorf("unpoisoned cells failed alongside the injected panic: %v", err)
+	}
+
+	// And the process recovers fully once the fault is gone.
+	simRun = old
+	r := NewRunnerWith([]workloads.Benchmark{suite[0]}, 64)
+	r.Parallelism = 8
+	if _, _, err := r.Eval(cfg, sched.RMCA, 0.25); err != nil {
+		t.Errorf("runner did not recover after fault removal: %v", err)
+	}
+}
+
+// TestForEachPanicAnonymous checks the pool's containment for raw task
+// functions with no descriptor: the PanicError still carries the index and
+// value, and the lowest-indexed panic wins at any width.
+func TestForEachPanicAnonymous(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		r := &Runner{Parallelism: p}
+		err := r.forEach(context.Background(), 16, func(i int) error {
+			if i == 5 || i == 11 {
+				panic(i)
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("parallelism %d: error %v is not a *PanicError", p, err)
+		}
+		if pe.Index != 5 || pe.Value != 5 {
+			t.Errorf("parallelism %d: got panic from task %d (value %v), want lowest-indexed task 5", p, pe.Index, pe.Value)
+		}
+	}
+}
+
+// TestEvalCtxCanceled checks the pool's context path: a dead context stops
+// the fan-out with the typed cancellation error.
+func TestEvalCtxCanceled(t *testing.T) {
+	r := NewRunnerWith([]workloads.Benchmark{workloads.Suite()[0]}, 64)
+	r.Parallelism = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := r.EvalCtx(ctx, machine.TwoCluster(2, 1, 1, 4), sched.RMCA, 0.25)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvalCtx under dead context: err %v, want context.Canceled", err)
+	}
+}

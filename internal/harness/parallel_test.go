@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"testing"
 
 	"multivliw/internal/machine"
@@ -129,7 +130,7 @@ func TestForEachErrorDeterminism(t *testing.T) {
 	}
 	for _, p := range []int{1, 2, 8} {
 		r.Parallelism = p
-		err := r.forEach(16, errAt)
+		err := r.forEach(context.Background(), 16, errAt)
 		if err == nil {
 			t.Fatalf("parallelism %d: no error", p)
 		}

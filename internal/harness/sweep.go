@@ -12,11 +12,13 @@ package harness
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"multivliw/internal/exact"
 	"multivliw/internal/fielderr"
@@ -47,10 +49,25 @@ type SweepSpec struct {
 	// each row then carries the suite-averaged exact II, heuristic II,
 	// ΔII and ΔMaxLive of its cell, computed by the branch-and-bound
 	// oracle (internal/exact) and memoized per (kernel, machine). Kernels
-	// the exact scheduler refuses (op limit, budget) are skipped and
-	// counted. Off by default: the exact search only pays for itself on
+	// the exact scheduler refuses are skipped and counted by reason —
+	// probe budget, deadline, op limit — and each row carries a gapStatus
+	// so a partially-covered average is never mistaken for a certified
+	// one. Off by default: the exact search only pays for itself on
 	// small-kernel sweeps.
 	OptimalityGap bool `json:"optimalityGap,omitempty"`
+
+	// ExactDeadlineMs bounds each kernel's exact solve to a wall-clock
+	// budget (0 = none): a solve that exceeds it is recorded as a
+	// deadline skip — the heuristic columns stay intact, only the gap is
+	// marked unknown. This is the graceful-degradation contract exact
+	// modulo schedulers need in production (Roorda's SMT pipeliner and
+	// SAT-MapIt both run under such budgets).
+	ExactDeadlineMs int `json:"exactDeadlineMs,omitempty"`
+
+	// ExactProbeBudget overrides the branch-and-bound probe budget
+	// (0 = exact.DefaultProbeBudget); exhausting it is a budget skip,
+	// kept distinct from deadline skips in the CSV.
+	ExactProbeBudget int64 `json:"exactProbeBudget,omitempty"`
 
 	// Kernels selects the workload; omitted means the full synthetic
 	// SPECfp95 suite.
@@ -130,6 +147,13 @@ type MachineRef struct {
 	RegBusLat *int              `json:"regBusLat,omitempty"`
 	MemBuses  *machine.BusCount `json:"memBuses,omitempty"`
 	MemBusLat *int              `json:"memBusLat,omitempty"`
+}
+
+// Resolve produces the machine configuration, applying overrides and
+// re-validating the result — the wire format the serving layer shares with
+// sweep specs (file references resolve relative to baseDir).
+func (m MachineRef) Resolve(baseDir string) (machine.Config, error) {
+	return m.resolve(baseDir)
 }
 
 // resolve produces the machine configuration, applying overrides and
@@ -231,6 +255,12 @@ func (s *SweepSpec) validate() error {
 	if s.Parallelism < 0 {
 		return fielderr.New("parallelism", "cannot be negative (got %d)", s.Parallelism)
 	}
+	if s.ExactDeadlineMs < 0 {
+		return fielderr.New("exactDeadlineMs", "cannot be negative (got %d)", s.ExactDeadlineMs)
+	}
+	if s.ExactProbeBudget < 0 {
+		return fielderr.New("exactProbeBudget", "cannot be negative (got %d)", s.ExactProbeBudget)
+	}
 	if s.Kernels != nil {
 		if err := s.Kernels.validate(); err != nil {
 			return fielderr.Prefix("kernels", err)
@@ -310,6 +340,11 @@ func (f FigureSpec) validate(baseDir string) error {
 	return nil
 }
 
+// ParsePolicy maps a spec scheduler name ("baseline" or "rmca", case
+// insensitive) to the sched policy — shared by sweep specs and the serving
+// layer's wire format.
+func ParsePolicy(name string) (sched.Policy, error) { return parsePolicy(name) }
+
 // parsePolicy maps a spec scheduler name to the sched policy.
 func parsePolicy(name string) (sched.Policy, error) {
 	switch strings.ToLower(name) {
@@ -354,14 +389,43 @@ type SweepRow struct {
 
 // RowGap is the optimality-gap aggregate of one sweep row: suite-averaged
 // exact and heuristic IIs and their deltas, over the kernels the exact
-// scheduler solved.
+// scheduler solved. Kernels the exact scheduler could not certify are
+// counted by reason, so budget exhaustion, deadline expiry and oversized
+// kernels stay distinguishable in the CSV.
 type RowGap struct {
 	ExactII      float64 // mean exact (minimum) II
 	HeurII       float64 // mean heuristic II of this cell's policy/threshold
 	DeltaII      float64 // mean HeurII − ExactII (≥ 0 at threshold 1.0)
 	DeltaMaxLive float64 // mean heuristic − exact worst-cluster MaxLive
 	Kernels      int     // kernels both schedulers solved
-	Skipped      int     // kernels skipped (op limit, budget, no schedule)
+
+	// Per-reason skip counts (exact.Classify vocabulary).
+	Budget   int // probe budget exhausted: optimum unknown
+	Deadline int // exact solve hit its deadline or was cancelled
+	TooLarge int // kernel above the exact scheduler's op limit
+	Unsat    int // exact proved no schedule exists (or heuristic failed)
+}
+
+// Skipped is the total number of kernels without a certified gap.
+func (g *RowGap) Skipped() int { return g.Budget + g.Deadline + g.TooLarge + g.Unsat }
+
+// Status summarizes the row's gap coverage: "optimal" when every kernel got
+// a certified exact II, otherwise the most urgent skip reason present —
+// deadline before budget before toolarge before unsat — so a reader can
+// tell at a glance why the gap columns are partial.
+func (g *RowGap) Status() exact.Status {
+	switch {
+	case g.Deadline > 0:
+		return exact.StatusDeadline
+	case g.Budget > 0:
+		return exact.StatusBudget
+	case g.TooLarge > 0:
+		return exact.StatusTooLarge
+	case g.Unsat > 0:
+		return exact.StatusUnsat
+	default:
+		return exact.StatusOptimal
+	}
 }
 
 // SweepResult is the outcome of a sweep: aggregate figures plus the flat
@@ -388,12 +452,15 @@ func (res *SweepResult) Text() string {
 
 // RowsCSV renders the per-cell rows as CSV. When the sweep asked for
 // optimality-gap columns, four exact-oracle aggregates plus their coverage
-// counts are appended to every row; otherwise the schema is unchanged.
+// counts and the per-reason skip breakdown are appended to every row;
+// otherwise the schema is unchanged. gapStatus keeps the columns honest:
+// "optimal" only when every kernel's gap is certified, else the dominant
+// skip reason (deadline | budget | toolarge | unsat).
 func (res *SweepResult) RowsCSV() string {
 	var sb strings.Builder
 	sb.WriteString("figure,group,machine,clusters,scheduler,threshold,compute,stall,total")
 	if res.GapColumns {
-		sb.WriteString(",exactII,heurII,deltaII,deltaMaxLive,exactKernels,exactSkipped")
+		sb.WriteString(",exactII,heurII,deltaII,deltaMaxLive,exactKernels,exactSkipped,skipBudget,skipDeadline,skipTooLarge,gapStatus")
 	}
 	sb.WriteString("\n")
 	for _, r := range res.Rows {
@@ -402,12 +469,14 @@ func (res *SweepResult) RowsCSV() string {
 			r.Clusters, r.Scheduler, r.Threshold, r.Compute, r.Stall, r.Total)
 		if res.GapColumns {
 			if g := r.Gap; g != nil && g.Kernels > 0 {
-				fmt.Fprintf(&sb, ",%.4f,%.4f,%.4f,%.4f,%d,%d",
-					g.ExactII, g.HeurII, g.DeltaII, g.DeltaMaxLive, g.Kernels, g.Skipped)
+				fmt.Fprintf(&sb, ",%.4f,%.4f,%.4f,%.4f,%d,%d,%d,%d,%d,%s",
+					g.ExactII, g.HeurII, g.DeltaII, g.DeltaMaxLive, g.Kernels, g.Skipped(),
+					g.Budget, g.Deadline, g.TooLarge, g.Status())
 			} else if g != nil {
-				fmt.Fprintf(&sb, ",,,,,0,%d", g.Skipped)
+				fmt.Fprintf(&sb, ",,,,,0,%d,%d,%d,%d,%s",
+					g.Skipped(), g.Budget, g.Deadline, g.TooLarge, g.Status())
 			} else {
-				sb.WriteString(",,,,,,")
+				sb.WriteString(strings.Repeat(",", 10))
 			}
 		}
 		sb.WriteString("\n")
@@ -427,6 +496,14 @@ func csvField(s string) string {
 // one runner (and therefore its CME memo, per-kernel references and replay
 // cache); results are deterministic and bit-identical at every parallelism.
 func RunSweep(spec *SweepSpec) (*SweepResult, error) {
+	return RunSweepCtx(context.Background(), spec)
+}
+
+// RunSweepCtx is RunSweep under a context: a deadline or cancellation stops
+// the worker pool from claiming new cells and fails the sweep with the
+// typed runctx error. Per-kernel exact-solve deadlines
+// (SweepSpec.ExactDeadlineMs) nest inside the sweep context.
+func RunSweepCtx(ctx context.Context, spec *SweepSpec) (*SweepResult, error) {
 	if !spec.validated {
 		if err := spec.validate(); err != nil {
 			return nil, fmt.Errorf("sweep spec: %w", err)
@@ -463,7 +540,7 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) {
 		r := runnerFor(simCap)
 		out := SweepFigure{Title: fig.Title}
 		if fig.IncludeUnified {
-			uni, err := r.UnifiedBars()
+			uni, err := r.unifiedBarsCtx(ctx)
 			if err != nil {
 				return nil, fmt.Errorf("%s: unified reference: %w", fig.Title, err)
 			}
@@ -495,7 +572,7 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) {
 				lrb: cfg.RegBusLat, lmb: cfg.MemBusLat, nrb: cfg.RegBuses, nmb: cfg.MemBuses,
 			})
 		}
-		bars, err := r.expandBars(groups, pols, thrs)
+		bars, err := r.expandBars(ctx, groups, pols, thrs)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", fig.Title, err)
 		}
@@ -509,7 +586,7 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) {
 			}
 			if spec.OptimalityGap {
 				// The Unified reference bars run the Baseline policy.
-				row.Gap = r.rowGap(machine.Unified(), sched.Baseline, b.Threshold, memo)
+				row.Gap = r.rowGap(ctx, machine.Unified(), sched.Baseline, b.Threshold, memo, spec)
 			}
 			res.Rows = append(res.Rows, row)
 		}
@@ -528,7 +605,7 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) {
 				if err != nil {
 					return nil, fmt.Errorf("%s: %w", fig.Title, err)
 				}
-				row.Gap = r.rowGap(groups[i/perGroup].cfg, pol, b.Threshold, memo)
+				row.Gap = r.rowGap(ctx, groups[i/perGroup].cfg, pol, b.Threshold, memo, spec)
 			}
 			res.Rows = append(res.Rows, row)
 		}
@@ -536,10 +613,12 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) {
 	return res, nil
 }
 
-// exactCell memoizes one scheduler outcome: II and worst-cluster MaxLive.
+// exactCell memoizes one scheduler outcome: II and worst-cluster MaxLive,
+// plus the exact.Classify status of the attempt.
 type exactCell struct {
 	ii, maxLive int
 	ok          bool
+	status      exact.Status
 }
 
 // gapMemo caches both sides of the gap computation for one RunSweep call:
@@ -549,12 +628,27 @@ type gapMemo struct {
 	exact, heur map[string]exactCell
 }
 
+// countSkip tallies one uncertified kernel by its classified reason.
+func (g *RowGap) countSkip(st exact.Status) {
+	switch st {
+	case exact.StatusBudget:
+		g.Budget++
+	case exact.StatusDeadline:
+		g.Deadline++
+	case exact.StatusTooLarge:
+		g.TooLarge++
+	default:
+		g.Unsat++
+	}
+}
+
 // rowGap aggregates the optimality gap of one sweep cell over the runner's
 // suite: the exact scheduler against the heuristic of the cell's policy
-// and threshold, both memoized. Kernels the exact scheduler refuses (op
-// limit, budget, genuinely unschedulable) are counted as skipped rather
-// than failing the sweep.
-func (r *Runner) rowGap(cfg machine.Config, pol sched.Policy, thr float64, memo *gapMemo) *RowGap {
+// and threshold, both memoized. Kernels the exact scheduler refuses are
+// counted as skipped by classified reason — budget, deadline, op limit —
+// rather than failing the sweep, and each exact solve runs under the
+// spec's per-kernel deadline nested in the sweep context.
+func (r *Runner) rowGap(ctx context.Context, cfg machine.Config, pol sched.Policy, thr float64, memo *gapMemo, spec *SweepSpec) *RowGap {
 	g := &RowGap{}
 	var sumEx, sumHeur, sumD, sumDML int
 	for bi := range r.Suite {
@@ -562,25 +656,35 @@ func (r *Runner) rowGap(cfg machine.Config, pol sched.Policy, thr float64, memo 
 			key := fmt.Sprintf("%p|%v", k, cfg)
 			cell, seen := memo.exact[key]
 			if !seen {
-				if s, _, err := exact.Schedule(k, cfg, exact.Options{}); err == nil {
-					cell = exactCell{ii: s.II, maxLive: s.Stats.MaxLiveMax, ok: true}
+				exCtx, cancel := ctx, context.CancelFunc(func() {})
+				if spec.ExactDeadlineMs > 0 {
+					exCtx, cancel = context.WithTimeout(ctx, time.Duration(spec.ExactDeadlineMs)*time.Millisecond)
+				}
+				s, _, err := exact.ScheduleCtx(exCtx, k, cfg, exact.Options{ProbeBudget: spec.ExactProbeBudget})
+				cancel()
+				if err == nil {
+					cell = exactCell{ii: s.II, maxLive: s.Stats.MaxLiveMax, ok: true, status: exact.StatusOptimal}
+				} else {
+					cell = exactCell{status: exact.Classify(err)}
 				}
 				memo.exact[key] = cell
 			}
 			if !cell.ok {
-				g.Skipped++
+				g.countSkip(cell.status)
 				continue
 			}
 			hkey := fmt.Sprintf("%s|%v|%g", key, pol, thr)
 			hcell, seen := memo.heur[hkey]
 			if !seen {
-				if h, err := sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: r.analysis(k, cfg)}); err == nil {
-					hcell = exactCell{ii: h.II, maxLive: h.Stats.MaxLiveMax, ok: true}
+				if h, err := sched.RunCtx(ctx, k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: r.analysis(k, cfg)}); err == nil {
+					hcell = exactCell{ii: h.II, maxLive: h.Stats.MaxLiveMax, ok: true, status: exact.StatusOptimal}
+				} else {
+					hcell = exactCell{status: exact.Classify(err)}
 				}
 				memo.heur[hkey] = hcell
 			}
 			if !hcell.ok {
-				g.Skipped++
+				g.countSkip(hcell.status)
 				continue
 			}
 			g.Kernels++

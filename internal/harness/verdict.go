@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -210,7 +211,8 @@ func (r *Runner) SearchVerdicts(clusters int) ([]Verdict, error) {
 	}
 	// The guided/linear pairs fan out over the worker pool like every
 	// other harness sweep; the tallies reduce in task order.
-	results, err := mapTasks(r, tasks, func(t task) (outcome, error) {
+	desc := func(t task) string { return fmt.Sprintf("%s on %s", t.k.Name, t.cfg.Name) }
+	results, err := mapTasks(context.Background(), r, tasks, desc, func(t task) (outcome, error) {
 		base := sched.Options{Policy: sched.RMCA, Threshold: 0, CME: r.analysis(t.k, t.cfg)}
 		g, err := sched.Run(t.k, t.cfg, base)
 		if err != nil {

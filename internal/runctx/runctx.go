@@ -1,0 +1,64 @@
+// Package runctx defines the typed interruption errors shared by every
+// cancellable computation in the module — the scheduler's II search, the
+// exact solver's probe loop, the harness worker pool and the serving layer.
+//
+// The two sentinels distinguish the only two ways a context dies: its
+// deadline expired (ErrDeadline) or it was cancelled (ErrCanceled). Both
+// unwrap to their context causes, so errors.Is works against either the
+// sentinel or the standard-library error, and every layer can classify an
+// interruption without string matching. Exact modulo schedulers need this
+// discipline — Roorda's SMT pipeliner and SAT-MapIt both run under time
+// budgets with graceful fallback — and a serving layer needs it to turn a
+// timed-out exact solve into a degraded 200 rather than a 500.
+package runctx
+
+import (
+	"context"
+	"errors"
+)
+
+// interruptError is a typed interruption: a fixed message over a context
+// cause, so errors.Is matches both the sentinel and the context error.
+type interruptError struct {
+	msg   string
+	cause error
+}
+
+func (e *interruptError) Error() string { return e.msg }
+
+// Unwrap exposes the context cause (context.DeadlineExceeded or
+// context.Canceled) to errors.Is chains.
+func (e *interruptError) Unwrap() error { return e.cause }
+
+var (
+	// ErrDeadline reports a computation abandoned because its context's
+	// deadline expired. It unwraps to context.DeadlineExceeded.
+	ErrDeadline error = &interruptError{msg: "deadline exceeded", cause: context.DeadlineExceeded}
+	// ErrCanceled reports a computation abandoned because its context was
+	// cancelled. It unwraps to context.Canceled.
+	ErrCanceled error = &interruptError{msg: "canceled", cause: context.Canceled}
+)
+
+// IsInterrupt reports whether err is (or wraps) either interruption
+// sentinel — the one-call test for "this failed because someone stopped it,
+// not because the problem is unsolvable".
+func IsInterrupt(err error) bool {
+	return errors.Is(err, ErrDeadline) || errors.Is(err, ErrCanceled)
+}
+
+// Check maps the context's state to the typed sentinels: nil while the
+// context is live, ErrDeadline after its deadline expired, ErrCanceled after
+// cancellation. A nil context is always live.
+func Check(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case err == context.DeadlineExceeded:
+		return ErrDeadline
+	default:
+		return ErrCanceled
+	}
+}

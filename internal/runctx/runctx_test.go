@@ -1,0 +1,79 @@
+package runctx
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestCheckLive(t *testing.T) {
+	if err := Check(context.Background()); err != nil {
+		t.Fatalf("live context: got %v, want nil", err)
+	}
+	if err := Check(nil); err != nil {
+		t.Fatalf("nil context: got %v, want nil", err)
+	}
+}
+
+func TestCheckDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	err := Check(ctx)
+	if !errors.Is(err, ErrDeadline) {
+		t.Fatalf("expired context: got %v, want ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ErrDeadline must unwrap to context.DeadlineExceeded")
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Fatalf("ErrDeadline must not match ErrCanceled")
+	}
+}
+
+func TestErrorStrings(t *testing.T) {
+	if got := ErrDeadline.Error(); got != "deadline exceeded" {
+		t.Errorf("ErrDeadline.Error() = %q", got)
+	}
+	if got := ErrCanceled.Error(); got != "canceled" {
+		t.Errorf("ErrCanceled.Error() = %q", got)
+	}
+}
+
+func TestIsInterrupt(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{ErrDeadline, true},
+		{ErrCanceled, true},
+		{errors.New("scheduler gave up"), false},
+	}
+	for _, c := range cases {
+		if got := IsInterrupt(c.err); got != c.want {
+			t.Errorf("IsInterrupt(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	// Wrapped interrupts still classify.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !IsInterrupt(Check(ctx)) {
+		t.Error("IsInterrupt missed a wrapped cancellation")
+	}
+}
+
+func TestCheckCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Check(ctx)
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled context: got %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ErrCanceled must unwrap to context.Canceled")
+	}
+	if errors.Is(err, ErrDeadline) {
+		t.Fatalf("ErrCanceled must not match ErrDeadline")
+	}
+}

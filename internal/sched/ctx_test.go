@@ -1,0 +1,109 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/runctx"
+	"multivliw/internal/workloads"
+)
+
+// TestRunCtxExpiredDeadline checks the II-search loop honors an already-dead
+// deadline: the error wraps both the typed sentinel and the stdlib cause,
+// and no schedule is returned.
+func TestRunCtxExpiredDeadline(t *testing.T) {
+	k := workloads.Suite()[0].Kernels[0]
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+
+	s, err := RunCtx(ctx, k, machine.TwoCluster(2, 1, 1, 4), Options{Policy: RMCA, Threshold: 1.0})
+	if s != nil || err == nil {
+		t.Fatalf("RunCtx under expired deadline: schedule %v, err %v", s, err)
+	}
+	if !errors.Is(err, runctx.ErrDeadline) {
+		t.Errorf("error %v does not wrap runctx.ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v does not wrap context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunCtxCanceled checks cancellation is classified distinctly from a
+// deadline.
+func TestRunCtxCanceled(t *testing.T) {
+	k := workloads.Suite()[0].Kernels[0]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	_, err := RunCtx(ctx, k, machine.Unified(), Options{Threshold: 1.0})
+	if !errors.Is(err, runctx.ErrCanceled) {
+		t.Errorf("error %v does not wrap runctx.ErrCanceled", err)
+	}
+	if errors.Is(err, runctx.ErrDeadline) {
+		t.Errorf("cancellation misclassified as deadline: %v", err)
+	}
+}
+
+// flipErrCtx is a context whose Err flips to Canceled after `after` calls —
+// a deterministic way to stop a search mid-flight, between two specific
+// context checks, without real clocks.
+type flipErrCtx struct {
+	context.Context
+	calls, after int
+}
+
+func (c *flipErrCtx) Err() error {
+	c.calls++
+	if c.calls > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestRunCtxStopsMidIISearch drives the II escalation with a context that
+// dies after the first check: the search must stop between II attempts
+// rather than running to completion, proving the check sits inside the loop
+// and not just at the entry.
+func TestRunCtxStopsMidIISearch(t *testing.T) {
+	k := workloads.Suite()[0].Kernels[0]
+	cfg := machine.TwoCluster(2, 1, 1, 4)
+	full, err := RunCtx(context.Background(), k, cfg, Options{Policy: RMCA, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &flipErrCtx{Context: context.Background(), after: 1}
+	s, err := RunCtx(ctx, k, cfg, Options{Policy: RMCA, Threshold: 1.0})
+	if full.Stats.Search.Attempts <= 1 {
+		// A first-try schedule leaves no mid-search window; the first
+		// check already passed, so the run must have succeeded.
+		if err != nil {
+			t.Fatalf("single-attempt search still failed: %v", err)
+		}
+		return
+	}
+	if s != nil || !errors.Is(err, runctx.ErrCanceled) {
+		t.Fatalf("mid-search cancellation: schedule %v, err %v", s, err)
+	}
+}
+
+// TestRunCtxLiveMatchesRun pins RunCtx under a live context to Run: the
+// context plumbing must not perturb the schedule.
+func TestRunCtxLiveMatchesRun(t *testing.T) {
+	k := workloads.Suite()[0].Kernels[0]
+	cfg := machine.TwoCluster(2, 1, 1, 4)
+	want, err := Run(k, cfg, Options{Policy: RMCA, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RunCtx(context.Background(), k, cfg, Options{Policy: RMCA, Threshold: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Errorf("RunCtx fingerprint %016x differs from Run %016x", got.Fingerprint(), want.Fingerprint())
+	}
+}

@@ -20,6 +20,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -31,6 +32,7 @@ import (
 	"multivliw/internal/machine"
 	"multivliw/internal/mrt"
 	"multivliw/internal/order"
+	"multivliw/internal/runctx"
 	"multivliw/internal/scratch"
 )
 
@@ -327,8 +329,18 @@ func putState(s *state) {
 	statePool.Put(s)
 }
 
-// Run schedules kernel k on cfg with the given options.
+// Run schedules kernel k on cfg with the given options. It never gives up
+// early: use RunCtx to bound the II search with a deadline or cancellation.
 func Run(k *loop.Kernel, cfg machine.Config, opt Options) (*Schedule, error) {
+	return RunCtx(context.Background(), k, cfg, opt)
+}
+
+// RunCtx schedules kernel k on cfg under a context: the II-escalation loop
+// checks the context before every placement attempt, so a deadline or
+// cancellation abandons the search promptly with an error wrapping
+// runctx.ErrDeadline or runctx.ErrCanceled. A schedule, once returned, is
+// complete and valid regardless of how close the deadline was.
+func RunCtx(ctx context.Context, k *loop.Kernel, cfg machine.Config, opt Options) (*Schedule, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -379,6 +391,9 @@ func Run(k *loop.Kernel, cfg machine.Config, opt Options) (*Schedule, error) {
 	s.k, s.cfg, s.opt, s.g, s.inRec, s.an = k, cfg, opt, g, ord.InRec, an
 	hintNode, hintCycle := -1, 0
 	for ii := search.FirstII; ii <= maxII; ii++ {
+		if cerr := runctx.Check(ctx); cerr != nil {
+			return nil, fmt.Errorf("sched: %s on %s: II search stopped at II=%d: %w", k.Name, cfg.Name, ii, cerr)
+		}
 		search.Attempts++
 		s.reset(ii, baseLat)
 		s.times = g.ComputeTimesInto(s.times, baseLat, ii)

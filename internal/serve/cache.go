@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"sync"
+
+	"multivliw/internal/sched"
+	"multivliw/internal/sim"
+)
+
+// respCache memoizes fully-successful responses by canonical request key
+// (deadline excluded — it is QoS, not content). Only certain answers are
+// stored: degraded gap responses and errors are recomputed, so one client's
+// tiny deadline can never poison the cache for everyone else.
+type respCache struct {
+	mu  sync.Mutex
+	m   map[string]any
+	cap int
+}
+
+func newRespCache(capacity int) *respCache {
+	return &respCache{m: make(map[string]any), cap: capacity}
+}
+
+func (c *respCache) get(key string) (any, bool) {
+	if key == "" {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
+// put stores a response. At capacity the cache resets rather than evicting
+// piecemeal: responses are cheap to recompute relative to the bookkeeping
+// an eviction policy would add, and a reset keeps behavior deterministic.
+func (c *respCache) put(key string, v any) {
+	if key == "" {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.m) >= c.cap {
+		c.m = make(map[string]any)
+	}
+	c.m[key] = v
+}
+
+// simFlight is the fingerprint-keyed replay cache: simulations of
+// bit-identical schedules collapse to one run, single-flight, however many
+// requests race for it. The key is the schedule's full canonical encoding
+// (injective — distinct schedules can never collide) plus the iteration
+// cap; the 64-bit fingerprint reported on the wire is a hash of the same
+// encoding.
+type simFlight struct {
+	mu sync.Mutex
+	m  map[simFlightKey]*simFlightEntry
+}
+
+type simFlightKey struct {
+	canon  string
+	simCap int
+}
+
+type simFlightEntry struct {
+	once sync.Once
+	res  *sim.Result
+	err  error
+}
+
+// do returns the replay for s at cap, running the simulation exactly once
+// per distinct (schedule, cap). The second return reports a replay hit.
+func (f *simFlight) do(s *sched.Schedule, cap int) (*sim.Result, error, bool) {
+	key := simFlightKey{canon: string(s.AppendCanonical(nil)), simCap: cap}
+	f.mu.Lock()
+	if f.m == nil {
+		f.m = make(map[simFlightKey]*simFlightEntry)
+	}
+	e := f.m[key]
+	hit := e != nil
+	if !hit {
+		e = &simFlightEntry{}
+		f.m[key] = e
+	}
+	f.mu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = sim.Run(s, sim.Options{MaxInnermostIters: cap})
+	})
+	return e.res, e.err, hit
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"multivliw/internal/runctx"
+)
+
+// Fault is one injected behavior at a named point: an added Delay, a Panic,
+// or a Cancel (the point reports the request as canceled). Count bounds how
+// many times the fault fires (0 = every time).
+type Fault struct {
+	Delay  time.Duration
+	Panic  bool
+	Cancel bool
+	Count  int
+}
+
+// FaultInjector arms faults at named points inside the server — the test
+// seam the robustness suite drives: a panic in a handler, a delay that
+// pushes a request past its deadline, a cancellation mid-search. The zero
+// value (and a nil injector) injects nothing.
+//
+// Instrumented points: "decode", "schedule", "simulate", "gap.exact",
+// "respond".
+type FaultInjector struct {
+	mu    sync.Mutex
+	rules map[string]*faultRule
+}
+
+type faultRule struct {
+	fault Fault
+	fired int
+}
+
+// Set arms a fault at a named point, replacing any previous rule there.
+func (f *FaultInjector) Set(point string, fault Fault) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.rules == nil {
+		f.rules = make(map[string]*faultRule)
+	}
+	f.rules[point] = &faultRule{fault: fault}
+}
+
+// Clear disarms the fault at a point.
+func (f *FaultInjector) Clear(point string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.rules, point)
+}
+
+// Fired reports how many times the fault at a point has fired.
+func (f *FaultInjector) Fired(point string) int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if r := f.rules[point]; r != nil {
+		return r.fired
+	}
+	return 0
+}
+
+// at fires the fault armed at point, if any: it sleeps through Delay, then
+// panics (Panic) or returns runctx.ErrCanceled (Cancel). A nil injector is
+// a no-op, so the server never branches on whether faults are configured.
+func (f *FaultInjector) at(point string) error {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	r := f.rules[point]
+	if r == nil || (r.fault.Count > 0 && r.fired >= r.fault.Count) {
+		f.mu.Unlock()
+		return nil
+	}
+	r.fired++
+	fault := r.fault
+	f.mu.Unlock()
+
+	if fault.Delay > 0 {
+		time.Sleep(fault.Delay)
+	}
+	if fault.Panic {
+		panic(fmt.Sprintf("serve: fault injected at %s", point))
+	}
+	if fault.Cancel {
+		return fmt.Errorf("serve: fault injected at %s: %w", point, runctx.ErrCanceled)
+	}
+	return nil
+}

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"multivliw/internal/harness"
+	"multivliw/internal/workloads"
+)
+
+// LoadOptions parameterizes RunLoad.
+type LoadOptions struct {
+	// Workers is the number of concurrent client goroutines (0 = 4).
+	Workers int
+	// Duration bounds the run (0 = 2s); the context can end it earlier.
+	Duration time.Duration
+	// Seed makes the traffic mix reproducible.
+	Seed int64
+	// SimCap is the per-request simulation cap (0 = 64, kept small so
+	// the generator is scheduler-bound like real traffic).
+	SimCap int
+	// DeadlineMs is attached to every request (0 = none; the server
+	// default applies).
+	DeadlineMs int
+}
+
+// LoadReport aggregates one load-generation run. The robustness contract
+// it checks: every request that reached the server got a complete response
+// (Dropped == 0, even across a drain), and the only non-2xx answers are
+// deliberate shed/validation codes.
+type LoadReport struct {
+	Sent  int64
+	Codes map[int]int64 // responses by HTTP status
+
+	// Dropped counts requests that reached the server but never got a
+	// complete response — connection reset mid-response, truncated body.
+	// A graceful drain must keep this zero.
+	Dropped int64
+	// Refused counts requests that never reached the server (connection
+	// refused after the listener closed). Expected once a drain begins;
+	// not an anomaly.
+	Refused int64
+
+	// Anomalies samples unexpected failures (5xx bodies, malformed
+	// responses, transport drops), capped at 8.
+	Anomalies []string
+
+	P50, P99 time.Duration
+}
+
+// Anomalous reports whether the run violated the robustness contract:
+// any dropped response or any server-side 5xx.
+func (r *LoadReport) Anomalous() bool {
+	if r.Dropped > 0 {
+		return true
+	}
+	for code, n := range r.Codes {
+		if code >= 500 && code != http.StatusServiceUnavailable && n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the report for logs.
+func (r *LoadReport) String() string {
+	codes := make([]int, 0, len(r.Codes))
+	for c := range r.Codes {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	var parts []string
+	for _, c := range codes {
+		parts = append(parts, fmt.Sprintf("%d:%d", c, r.Codes[c]))
+	}
+	return fmt.Sprintf("sent=%d codes=[%s] dropped=%d refused=%d p50=%s p99=%s",
+		r.Sent, strings.Join(parts, " "), r.Dropped, r.Refused,
+		r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond))
+}
+
+// loadKernels is the suite slice the generator draws from: every kernel
+// name of the synthetic SPECfp95 suite.
+func loadKernels() []string {
+	var names []string
+	for _, b := range workloads.Suite() {
+		for _, k := range b.Kernels {
+			names = append(names, k.Name)
+		}
+	}
+	return names
+}
+
+// nextRequest draws one request body from the seeded mix: suite kernels
+// over the three Table 1 machines, both schedulers, the paper's four
+// thresholds, with a sprinkle of generated kernels and gap probes.
+func nextRequest(rng *rand.Rand, kernels []string, opt LoadOptions) (path string, body any) {
+	machines := []string{"Unified", "2-cluster", "4-cluster"}
+	schedulers := []string{"rmca", "baseline"}
+	thresholds := []float64{1.0, 0.75, 0.25, 0.0}
+	thr := thresholds[rng.Intn(len(thresholds))]
+
+	kref := KernelRef{Suite: kernels[rng.Intn(len(kernels))]}
+	if rng.Intn(8) == 0 { // occasional generated kernel: exercises the generator path
+		spec := workloads.DefaultGenSpec(int64(rng.Intn(16)))
+		kref = KernelRef{Suite: "", Generated: &spec}
+	}
+	mref := harnessMachineRef(machines[rng.Intn(len(machines))])
+
+	if rng.Intn(16) == 0 { // occasional gap probe: exercises graceful degradation
+		return "/v1/gap", GapRequest{
+			Kernel:      kref,
+			Machine:     mref,
+			Scheduler:   schedulers[rng.Intn(len(schedulers))],
+			ProbeBudget: 1 << 16, // small: most suite kernels degrade to budget/toolarge
+			DeadlineMs:  opt.DeadlineMs,
+		}
+	}
+	simCap := opt.SimCap
+	if simCap == 0 {
+		simCap = 64
+	}
+	return "/v1/schedule", ScheduleRequest{
+		Kernel:     kref,
+		Machine:    mref,
+		Scheduler:  schedulers[rng.Intn(len(schedulers))],
+		Threshold:  &thr,
+		Simulate:   rng.Intn(2) == 0,
+		SimCap:     simCap,
+		DeadlineMs: opt.DeadlineMs,
+	}
+}
+
+// RunLoad drives seeded scheduling traffic at baseURL until ctx ends or
+// Duration elapses, and reports the outcome distribution. Keep-alives are
+// disabled so every request dials fresh: once the server's listener closes
+// during a drain, new requests are cleanly refused instead of racing a
+// closing idle connection — which makes "zero dropped across a drain" a
+// deterministic assertion rather than a probabilistic one.
+func RunLoad(ctx context.Context, baseURL string, opt LoadOptions) *LoadReport {
+	if opt.Workers <= 0 {
+		opt.Workers = 4
+	}
+	if opt.Duration <= 0 {
+		opt.Duration = 2 * time.Second
+	}
+	kernels := loadKernels()
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+
+	ctx, cancel := context.WithTimeout(ctx, opt.Duration)
+	defer cancel()
+
+	var mu sync.Mutex
+	report := &LoadReport{Codes: make(map[int]int64)}
+	var latencies []time.Duration
+
+	var wg sync.WaitGroup
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(w)*7919))
+			for ctx.Err() == nil {
+				path, body := nextRequest(rng, kernels, opt)
+				buf, err := json.Marshal(body)
+				if err != nil {
+					continue
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+path, bytes.NewReader(buf))
+				if err != nil {
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				start := time.Now()
+				resp, err := client.Do(req)
+				mu.Lock()
+				report.Sent++
+				if err != nil {
+					switch {
+					case ctx.Err() != nil:
+						// The run's own clock ran out mid-request;
+						// not a server failure.
+						report.Sent--
+					case strings.Contains(err.Error(), "connection refused"):
+						report.Refused++
+					default:
+						report.Dropped++
+						if len(report.Anomalies) < 8 {
+							report.Anomalies = append(report.Anomalies, fmt.Sprintf("transport: %v", err))
+						}
+					}
+					mu.Unlock()
+					continue
+				}
+				mu.Unlock()
+				bodyBytes, rerr := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				mu.Lock()
+				if rerr != nil {
+					report.Dropped++
+					if len(report.Anomalies) < 8 {
+						report.Anomalies = append(report.Anomalies, fmt.Sprintf("truncated response: %v", rerr))
+					}
+				} else {
+					report.Codes[resp.StatusCode]++
+					if resp.StatusCode >= 500 && len(report.Anomalies) < 8 {
+						report.Anomalies = append(report.Anomalies, fmt.Sprintf("%d %s: %s", resp.StatusCode, path, firstLine(bodyBytes)))
+					}
+					if resp.StatusCode < 300 {
+						latencies = append(latencies, time.Since(start))
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		report.P50 = latencies[n/2]
+		report.P99 = latencies[n*99/100]
+	}
+	return report
+}
+
+func firstLine(b []byte) string {
+	s := strings.TrimSpace(string(b))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 160 {
+		s = s[:160]
+	}
+	return s
+}
+
+// harnessMachineRef builds a builtin-name machine reference.
+func harnessMachineRef(name string) harness.MachineRef {
+	return harness.MachineRef{Ref: name}
+}

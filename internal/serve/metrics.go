@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is the server's counter set, rendered in Prometheus text format
+// at /metrics. Counters are monotone; Inflight is a gauge.
+type Metrics struct {
+	mu       sync.Mutex
+	requests map[string]int64 // "endpoint\x00code" → count
+	iiHist   map[int]int64    // II of every schedule produced
+
+	Inflight        atomic.Int64
+	Shed            atomic.Int64 // 429s from admission control
+	DeadlineExpired atomic.Int64 // requests cut off by their deadline
+	PanicsRecovered atomic.Int64 // handler panics turned into 500s
+
+	CacheHits   atomic.Int64 // response-cache hits
+	CacheMisses atomic.Int64
+	SimReplays  atomic.Int64 // simulations answered from the replay cache
+	SimRuns     atomic.Int64 // simulations actually executed
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{requests: make(map[string]int64), iiHist: make(map[int]int64)}
+}
+
+// countRequest records one finished request by endpoint and status code.
+func (m *Metrics) countRequest(endpoint string, code int) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s\x00%d", endpoint, code)]++
+	m.mu.Unlock()
+}
+
+// countII records the II of one produced schedule.
+func (m *Metrics) countII(ii int) {
+	m.mu.Lock()
+	m.iiHist[ii]++
+	m.mu.Unlock()
+}
+
+// RequestTotal returns the number of finished requests, optionally filtered
+// by status code class ("2xx", "4xx", "5xx", "" = all).
+func (m *Metrics) RequestTotal(class string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var total int64
+	for key, n := range m.requests {
+		code := key[strings.IndexByte(key, 0)+1:]
+		if class == "" || (len(code) == 3 && code[0] == class[0]) {
+			total += n
+		}
+	}
+	return total
+}
+
+// Render produces the Prometheus text exposition, deterministically sorted.
+func (m *Metrics) Render() string {
+	var b strings.Builder
+	m.mu.Lock()
+	reqKeys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		reqKeys = append(reqKeys, k)
+	}
+	sort.Strings(reqKeys)
+	b.WriteString("# TYPE mvpserve_requests_total counter\n")
+	for _, k := range reqKeys {
+		i := strings.IndexByte(k, 0)
+		fmt.Fprintf(&b, "mvpserve_requests_total{endpoint=%q,code=%q} %d\n", k[:i], k[i+1:], m.requests[k])
+	}
+	iis := make([]int, 0, len(m.iiHist))
+	for ii := range m.iiHist {
+		iis = append(iis, ii)
+	}
+	sort.Ints(iis)
+	b.WriteString("# TYPE mvpserve_schedules_total counter\n")
+	for _, ii := range iis {
+		fmt.Fprintf(&b, "mvpserve_schedules_total{ii=\"%d\"} %d\n", ii, m.iiHist[ii])
+	}
+	m.mu.Unlock()
+
+	gauge := func(name string, v int64) {
+		fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", name, name, v)
+	}
+	counter := func(name string, v int64) {
+		fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	gauge("mvpserve_inflight", m.Inflight.Load())
+	counter("mvpserve_shed_total", m.Shed.Load())
+	counter("mvpserve_deadline_expired_total", m.DeadlineExpired.Load())
+	counter("mvpserve_panics_recovered_total", m.PanicsRecovered.Load())
+	counter("mvpserve_cache_hits_total", m.CacheHits.Load())
+	counter("mvpserve_cache_misses_total", m.CacheMisses.Load())
+	counter("mvpserve_sim_replays_total", m.SimReplays.Load())
+	counter("mvpserve_sim_runs_total", m.SimRuns.Load())
+	return b.String()
+}

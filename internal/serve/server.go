@@ -1,0 +1,559 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"multivliw/internal/cme"
+	"multivliw/internal/exact"
+	"multivliw/internal/harness"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/runctx"
+	"multivliw/internal/sched"
+	"multivliw/internal/workloads"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field has
+// a production default.
+type Config struct {
+	// Concurrency is the number of requests scheduled at once (the
+	// semaphore width; 0 = runtime.NumCPU()) — the same sizing rule as
+	// harness.Runner.Parallelism, since a scheduling request saturates
+	// one core.
+	Concurrency int
+	// Queue bounds how many admitted requests may wait for a slot
+	// beyond Concurrency before new ones are shed with 429
+	// (0 = 4·Concurrency).
+	Queue int
+
+	// DefaultDeadline applies when a request names none (0 = 10s);
+	// MaxDeadline caps what a request may ask for (0 = 60s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+
+	// SimCap is the default innermost-iteration cap for simulation
+	// requests (0 = harness.DefaultSimCap).
+	SimCap int
+
+	// CacheCap bounds the response cache (entries; 0 = 4096).
+	CacheCap int
+
+	// Faults, when non-nil, arms the fault-injection seam.
+	Faults *FaultInjector
+}
+
+func (c Config) withDefaults() Config {
+	if c.Concurrency <= 0 {
+		c.Concurrency = runtime.NumCPU()
+	}
+	if c.Queue <= 0 {
+		c.Queue = 4 * c.Concurrency
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 10 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 60 * time.Second
+	}
+	if c.SimCap == 0 {
+		c.SimCap = harness.DefaultSimCap
+	}
+	if c.CacheCap <= 0 {
+		c.CacheCap = 4096
+	}
+	return c
+}
+
+// Server is the scheduling service: an http.Handler plus the shared state
+// behind it (admission control, caches, metrics, the suite index).
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	cache   *respCache
+	sims    *simFlight
+	suite   map[string]*loop.Kernel
+
+	slots    chan struct{} // admission semaphore (cap = Concurrency)
+	queued   atomic.Int64  // admitted requests waiting for a slot
+	draining atomic.Bool
+
+	cmeMu sync.Mutex
+	cme   map[*loop.Kernel]map[cme.Geometry]*cme.Analysis
+
+	mu      sync.Mutex
+	httpSrv *http.Server
+	addr    net.Addr
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		metrics: newMetrics(),
+		cache:   newRespCache(cfg.CacheCap),
+		sims:    &simFlight{},
+		suite:   make(map[string]*loop.Kernel),
+		slots:   make(chan struct{}, cfg.Concurrency),
+	}
+	for _, b := range workloads.Suite() {
+		for _, k := range b.Kernels {
+			s.suite[k.Name] = k
+		}
+	}
+	return s
+}
+
+// Metrics exposes the server's counters (for tests and the smoke driver).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the service mux: POST /v1/schedule, /v1/simulate and
+// /v1/gap, plus GET /healthz and /metrics. Every POST handler runs behind
+// admission control and panic recovery.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/schedule", s.guard("schedule", func(w http.ResponseWriter, r *http.Request) int {
+		return s.handleSchedule(w, r, false)
+	}))
+	mux.HandleFunc("POST /v1/simulate", s.guard("simulate", func(w http.ResponseWriter, r *http.Request) int {
+		return s.handleSchedule(w, r, true)
+	}))
+	mux.HandleFunc("POST /v1/gap", s.guard("gap", s.handleGap))
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, s.metrics.Render())
+	})
+	return mux
+}
+
+// Start listens on addr ("host:port"; port 0 picks a free one), serves in a
+// background goroutine and returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.httpSrv = srv
+	s.addr = ln.Addr()
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // Serve always returns ErrServerClosed after Shutdown
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound address after Start.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Shutdown drains the server: /healthz flips to "draining" (so load
+// balancers stop routing here), the listener closes, and every in-flight
+// request runs to completion before Shutdown returns — zero accepted
+// requests are dropped. ctx bounds the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Shutdown(ctx)
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// guard wraps a POST handler with panic recovery, admission control and
+// request metrics. The inner handler returns the status code it wrote.
+func (s *Server) guard(endpoint string, h func(http.ResponseWriter, *http.Request) int) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		code := http.StatusInternalServerError
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.PanicsRecovered.Add(1)
+				code = http.StatusInternalServerError
+				// The panic may have fired after a partial write;
+				// answering is best-effort, but the process always
+				// survives and the next request is unaffected.
+				writeError(w, code, fmt.Sprintf("internal error: recovered panic: %v", p), 0)
+			}
+			s.metrics.countRequest(endpoint, code)
+		}()
+
+		if !s.admit(r.Context()) {
+			s.metrics.Shed.Add(1)
+			code = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", "1")
+			writeError(w, code, "server saturated: request shed", 1)
+			return
+		}
+		defer func() { <-s.slots }()
+
+		s.metrics.Inflight.Add(1)
+		defer s.metrics.Inflight.Add(-1)
+		code = h(w, r)
+	}
+}
+
+// admit acquires a scheduling slot, waiting in the bounded queue when all
+// slots are busy. It reports false — shed — when the queue is full or the
+// client went away while waiting.
+func (s *Server) admit(ctx context.Context) bool {
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.Queue) {
+		s.queued.Add(-1)
+		return false
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// requestContext derives the per-request deadline: the request's ask,
+// clamped to MaxDeadline, defaulting to DefaultDeadline.
+func (s *Server) requestContext(r *http.Request, deadlineMs int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	if deadlineMs > 0 {
+		d = time.Duration(deadlineMs) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// analysis memoizes the CME locality analysis per (kernel, cache
+// geometry), mirroring the harness runner: suite kernels are shared
+// pointers, so repeated requests reuse one solve.
+func (s *Server) analysis(k *loop.Kernel, cfg machine.Config) *cme.Analysis {
+	geom := cme.Geometry{CapacityBytes: cfg.CacheBytesPerCluster(), LineBytes: cfg.LineBytes, Assoc: cfg.Assoc}
+	s.cmeMu.Lock()
+	defer s.cmeMu.Unlock()
+	if s.cme == nil {
+		s.cme = make(map[*loop.Kernel]map[cme.Geometry]*cme.Analysis)
+	}
+	per := s.cme[k]
+	if per == nil {
+		per = make(map[cme.Geometry]*cme.Analysis)
+		s.cme[k] = per
+	}
+	an := per[geom]
+	if an == nil {
+		an = cme.New(k, geom, cme.DefaultParams())
+		per[geom] = an
+	}
+	return an
+}
+
+// resolveKernel materializes the request's kernel.
+func (s *Server) resolveKernel(ref KernelRef) (*loop.Kernel, error) {
+	if err := ref.Validate(); err != nil {
+		return nil, err
+	}
+	if ref.Suite != "" {
+		k, ok := s.suite[ref.Suite]
+		if !ok {
+			return nil, fmt.Errorf("kernel.suite: no suite kernel %q", ref.Suite)
+		}
+		return k, nil
+	}
+	k, err := workloads.Generate(*ref.Generated)
+	if err != nil {
+		return nil, fmt.Errorf("kernel.generated: %w", err)
+	}
+	return k, nil
+}
+
+// schedOptions resolves the scheduler/threshold pair shared by the
+// schedule and gap wire formats.
+func schedOptions(scheduler string, threshold *float64, defThr float64) (sched.Policy, string, float64, error) {
+	name := scheduler
+	if name == "" {
+		name = "rmca"
+	}
+	pol, err := harness.ParsePolicy(name)
+	if err != nil {
+		return 0, "", 0, fmt.Errorf("scheduler: %w", err)
+	}
+	thr := defThr
+	if threshold != nil {
+		thr = *threshold
+	}
+	if thr < 0 || thr > 1 {
+		return 0, "", 0, fmt.Errorf("threshold: %g outside [0,1]", thr)
+	}
+	return pol, name, thr, nil
+}
+
+// simCapFor resolves a request's iteration cap against the server default
+// (-1 on the wire means the full iteration space, i.e. cap 0 downstream).
+func (s *Server) simCapFor(req int) int {
+	switch {
+	case req < 0:
+		return 0
+	case req == 0:
+		return s.cfg.SimCap
+	default:
+		return req
+	}
+}
+
+// handleSchedule serves /v1/schedule and /v1/simulate.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, forceSim bool) int {
+	var req ScheduleRequest
+	if code := s.decode(w, r, &req); code != 0 {
+		return code
+	}
+	if forceSim {
+		req.Simulate = true
+	}
+	ctx, cancel := s.requestContext(r, req.DeadlineMs)
+	defer cancel()
+
+	pol, polName, thr, err := schedOptions(req.Scheduler, req.Threshold, 0.25)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error(), 0)
+	}
+	k, err := s.resolveKernel(req.Kernel)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error(), 0)
+	}
+	cfg, err := req.Machine.Resolve(".")
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error(), 0)
+	}
+
+	keyReq := req
+	keyReq.DeadlineMs = 0 // QoS-only: different deadlines share one entry
+	key := cacheKey("schedule", struct {
+		ScheduleRequest
+		Resolved string
+	}{keyReq, fmt.Sprintf("%s|%s|%g|%v|%d", polName, cfg.Name, thr, req.Simulate, req.SimCap)})
+	if v, ok := s.cache.get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		resp := v.(ScheduleResponse)
+		resp.Cached = true
+		return writeJSON(w, http.StatusOK, resp)
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	if err := s.cfg.Faults.at("schedule"); err != nil {
+		return s.writeInterrupt(w, err)
+	}
+	cme := s.analysis(k, cfg)
+	schedule, err := sched.RunCtx(ctx, k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: cme})
+	if err != nil {
+		if runctx.IsInterrupt(err) {
+			s.metrics.DeadlineExpired.Add(1)
+			return s.writeInterrupt(w, err)
+		}
+		return writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("scheduling failed: %v", err), 0)
+	}
+	s.metrics.countII(schedule.II)
+
+	resp := ScheduleResponse{
+		Kernel:        k.Name,
+		Machine:       cfg.Name,
+		Scheduler:     polName,
+		Threshold:     thr,
+		II:            schedule.II,
+		SC:            schedule.SC,
+		Comms:         schedule.Stats.Comms,
+		MaxLiveMax:    schedule.Stats.MaxLiveMax,
+		MissScheduled: schedule.Stats.MissScheduled,
+		Fingerprint:   fmt.Sprintf("%016x", schedule.Fingerprint()),
+	}
+	if req.Simulate {
+		if err := s.cfg.Faults.at("simulate"); err != nil {
+			return s.writeInterrupt(w, err)
+		}
+		cap := s.simCapFor(req.SimCap)
+		res, err, replayed := s.sims.do(schedule, cap)
+		if err != nil {
+			return writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("simulation failed: %v", err), 0)
+		}
+		if replayed {
+			s.metrics.SimReplays.Add(1)
+		} else {
+			s.metrics.SimRuns.Add(1)
+		}
+		resp.Sim = &SimSummary{
+			Compute:       res.Compute,
+			Stall:         res.Stall,
+			Total:         res.Total,
+			CyclesPerIter: res.CyclesPerIter(),
+			SimCap:        cap,
+			Replayed:      replayed,
+		}
+	}
+	if err := s.cfg.Faults.at("respond"); err != nil {
+		return s.writeInterrupt(w, err)
+	}
+	s.cache.put(key, resp)
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// handleGap serves /v1/gap: heuristic vs exact, degrading gracefully — an
+// exact solve stopped by its probe budget, the request deadline or the
+// kernel-size limit still answers 200, with the heuristic columns intact
+// and gapStatus naming why the gap is unknown.
+func (s *Server) handleGap(w http.ResponseWriter, r *http.Request) int {
+	var req GapRequest
+	if code := s.decode(w, r, &req); code != 0 {
+		return code
+	}
+	ctx, cancel := s.requestContext(r, req.DeadlineMs)
+	defer cancel()
+
+	pol, polName, thr, err := schedOptions(req.Scheduler, req.Threshold, 1.0)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error(), 0)
+	}
+	k, err := s.resolveKernel(req.Kernel)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error(), 0)
+	}
+	cfg, err := req.Machine.Resolve(".")
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error(), 0)
+	}
+
+	key := cacheKey("gap", struct {
+		Kernel    KernelRef
+		Machine   string
+		Scheduler string
+		Threshold float64
+		Budget    int64
+	}{req.Kernel, cfg.Name, polName, thr, req.ProbeBudget})
+	if v, ok := s.cache.get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		resp := v.(GapResponse)
+		resp.Cached = true
+		return writeJSON(w, http.StatusOK, resp)
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	h, err := sched.RunCtx(ctx, k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: s.analysis(k, cfg)})
+	if err != nil {
+		if runctx.IsInterrupt(err) {
+			s.metrics.DeadlineExpired.Add(1)
+			return s.writeInterrupt(w, err)
+		}
+		return writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("heuristic scheduling failed: %v", err), 0)
+	}
+	s.metrics.countII(h.II)
+
+	resp := GapResponse{
+		Kernel:      k.Name,
+		Machine:     cfg.Name,
+		Scheduler:   polName,
+		Threshold:   thr,
+		HeurII:      h.II,
+		HeurMaxLive: h.Stats.MaxLiveMax,
+	}
+	if err := s.cfg.Faults.at("gap.exact"); err != nil {
+		// A fault-injected cancellation mid-exact degrades exactly
+		// like a real one: heuristic answer, gap unknown.
+		err = fmt.Errorf("exact: %w", err)
+		resp.GapStatus, resp.Detail = exact.Classify(err), err.Error()
+		if resp.GapStatus == exact.StatusDeadline {
+			s.metrics.DeadlineExpired.Add(1)
+		}
+		return writeJSON(w, http.StatusOK, resp)
+	}
+	ex, st, err := exact.ScheduleCtx(ctx, k, cfg, exact.Options{ProbeBudget: req.ProbeBudget})
+	resp.Probes = st.Probes
+	resp.GapStatus = exact.Classify(err)
+	if err != nil {
+		// Graceful degradation: the heuristic schedule stands; only
+		// the optimality certificate is missing. Never a 500.
+		resp.Detail = err.Error()
+		if resp.GapStatus == exact.StatusDeadline {
+			s.metrics.DeadlineExpired.Add(1)
+		}
+		return writeJSON(w, http.StatusOK, resp)
+	}
+	gap := exact.GapBetween(ex, h)
+	resp.ExactII = gap.ExactII
+	resp.ExactMaxLive = gap.ExactMaxLive
+	resp.DeltaII = gap.DeltaII
+	resp.DeltaMaxLive = gap.DeltaMaxLive
+	s.cache.put(key, resp)
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// handleHealth serves /healthz: 200 "ok" normally, 503 "draining" once
+// Shutdown has begun (so load balancers stop routing new work here while
+// in-flight requests finish).
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Status:   "ok",
+		Inflight: s.metrics.Inflight.Load(),
+		Requests: s.metrics.RequestTotal(""),
+	}
+	code := http.StatusOK
+	if s.draining.Load() {
+		resp.Status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
+}
+
+// decode parses a JSON request body strictly; returns 0 on success or the
+// error status it wrote.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, dst any) int {
+	if err := s.cfg.Faults.at("decode"); err != nil {
+		return s.writeInterrupt(w, err)
+	}
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return writeError(w, http.StatusBadRequest, fmt.Sprintf("request body: %v", err), 0)
+	}
+	return 0
+}
+
+// writeInterrupt maps a deadline/cancellation error to its status: 504 for
+// an expired deadline, 499-style 408 for a client cancellation.
+func (s *Server) writeInterrupt(w http.ResponseWriter, err error) int {
+	code := http.StatusGatewayTimeout
+	if errors.Is(err, runctx.ErrCanceled) {
+		code = http.StatusRequestTimeout
+	}
+	return writeError(w, code, err.Error(), 0)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) int {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+	return code
+}
+
+func writeError(w http.ResponseWriter, code int, msg string, retryAfterSec int) int {
+	return writeJSON(w, code, ErrorResponse{Error: msg, Status: code, RetryAfterSec: retryAfterSec})
+}

@@ -1,0 +1,196 @@
+// Package serve exposes the scheduler, simulator and exact oracle as an
+// HTTP/JSON service over the declarative wire formats the sweep engine
+// already speaks: machine.Spec (or a builtin Table 1 name) for machines and
+// workloads.GenSpec (or a suite kernel name) for kernels.
+//
+// The service is built around a robustness contract:
+//
+//   - every request runs under a context deadline that the scheduler's
+//     II-search loop and the exact solver's probe loop actually observe;
+//   - an exact solve that exceeds its budget or deadline degrades to the
+//     heuristic answer with the gap marked unknown (gapStatus
+//     budget/deadline) at HTTP 200 — never a 500;
+//   - handler panics are recovered into a per-request 500 and counted; the
+//     process survives;
+//   - admission control sheds load with 429 + Retry-After once the bounded
+//     queue behind the scheduling semaphore is full;
+//   - Shutdown drains in-flight requests before returning, so a rolling
+//     restart drops zero accepted requests.
+//
+// Repeated identical requests are answered from a response cache, and
+// simulation replays are deduplicated by schedule fingerprint.
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"multivliw/internal/exact"
+	"multivliw/internal/harness"
+	"multivliw/internal/workloads"
+)
+
+// KernelRef names the kernel of a request: exactly one of Suite (a
+// fully-qualified suite kernel name such as "tomcatv.stencil") or Generated
+// (a seeded generator spec — identical specs always yield identical
+// kernels, so a request body is a permanent reproducer).
+type KernelRef struct {
+	Suite     string             `json:"suite,omitempty"`
+	Generated *workloads.GenSpec `json:"generated,omitempty"`
+}
+
+// Validate checks that exactly one selector is set.
+func (k KernelRef) Validate() error {
+	set := 0
+	if k.Suite != "" {
+		set++
+	}
+	if k.Generated != nil {
+		set++
+	}
+	if set != 1 {
+		return fmt.Errorf("kernel: exactly one of suite or generated must be set (got %d)", set)
+	}
+	return nil
+}
+
+// ScheduleRequest asks for a modulo schedule of one kernel on one machine.
+// It is also the body of /v1/simulate, which forces Simulate on.
+type ScheduleRequest struct {
+	Kernel  KernelRef          `json:"kernel"`
+	Machine harness.MachineRef `json:"machine"`
+
+	// Scheduler is "baseline" or "rmca" (default "rmca").
+	Scheduler string `json:"scheduler,omitempty"`
+	// Threshold is the cache-miss probability threshold in [0,1]
+	// (default 0.25, the paper's best operating point).
+	Threshold *float64 `json:"threshold,omitempty"`
+
+	// Simulate additionally replays the schedule on the distributed
+	// memory system and reports the cycle accounting.
+	Simulate bool `json:"simulate,omitempty"`
+	// SimCap caps the simulated innermost iterations (0 = the server's
+	// default; -1 = the kernel's full iteration space).
+	SimCap int `json:"simCap,omitempty"`
+
+	// DeadlineMs bounds the whole request (0 = the server default,
+	// capped at the server maximum). Deadlines are honored inside the
+	// II-search loop, not just between phases.
+	DeadlineMs int `json:"deadlineMs,omitempty"`
+}
+
+// ScheduleResponse is the outcome of one schedule (or simulate) request.
+type ScheduleResponse struct {
+	Kernel    string  `json:"kernel"`
+	Machine   string  `json:"machine"`
+	Scheduler string  `json:"scheduler"`
+	Threshold float64 `json:"threshold"`
+
+	II            int `json:"ii"`
+	SC            int `json:"sc"`
+	Comms         int `json:"comms"`
+	MaxLiveMax    int `json:"maxLiveMax"`
+	MissScheduled int `json:"missScheduled"`
+
+	// Fingerprint is the schedule's 64-bit canonical-encoding hash,
+	// rendered as 16 hex digits — the replay-cache key and a cheap
+	// cross-run identity check.
+	Fingerprint string `json:"fingerprint"`
+
+	// Cached reports that the response was answered from the response
+	// cache rather than recomputed.
+	Cached bool `json:"cached"`
+
+	Sim *SimSummary `json:"sim,omitempty"`
+}
+
+// SimSummary is the simulator's cycle accounting for one schedule.
+type SimSummary struct {
+	Compute       int64   `json:"compute"`
+	Stall         int64   `json:"stall"`
+	Total         int64   `json:"total"`
+	CyclesPerIter float64 `json:"cyclesPerIter"`
+	SimCap        int     `json:"simCap"`
+	// Replayed reports that the simulation itself came from the
+	// fingerprint-keyed replay cache.
+	Replayed bool `json:"replayed"`
+}
+
+// GapRequest asks how far the heuristic schedule of a kernel sits from the
+// exact branch-and-bound optimum.
+type GapRequest struct {
+	Kernel  KernelRef          `json:"kernel"`
+	Machine harness.MachineRef `json:"machine"`
+
+	// Scheduler/Threshold configure the heuristic side (defaults
+	// "rmca" / 1.0 — the threshold at which the two solve the identical
+	// problem and deltaII is guaranteed non-negative).
+	Scheduler string   `json:"scheduler,omitempty"`
+	Threshold *float64 `json:"threshold,omitempty"`
+
+	// ProbeBudget overrides the branch-and-bound probe budget
+	// (0 = exact.DefaultProbeBudget).
+	ProbeBudget int64 `json:"probeBudget,omitempty"`
+
+	// DeadlineMs bounds the whole request, exact solve included. An
+	// exact solve cut off by it degrades to gapStatus "deadline" at
+	// HTTP 200 with the heuristic columns intact.
+	DeadlineMs int `json:"deadlineMs,omitempty"`
+}
+
+// GapResponse reports the optimality gap, or — when the exact side gave up —
+// the heuristic answer with the gap marked unknown. GapStatus is the same
+// vocabulary the sweep CSV's gapStatus column uses: optimal, budget,
+// deadline, toolarge, unsat.
+type GapResponse struct {
+	Kernel    string  `json:"kernel"`
+	Machine   string  `json:"machine"`
+	Scheduler string  `json:"scheduler"`
+	Threshold float64 `json:"threshold"`
+
+	GapStatus exact.Status `json:"gapStatus"`
+
+	HeurII      int `json:"heurII"`
+	HeurMaxLive int `json:"heurMaxLive"`
+
+	// Exact columns — present only when GapStatus is "optimal".
+	ExactII      int `json:"exactII,omitempty"`
+	ExactMaxLive int `json:"exactMaxLive,omitempty"`
+	DeltaII      int `json:"deltaII,omitempty"`
+	DeltaMaxLive int `json:"deltaMaxLive,omitempty"`
+
+	Probes int64 `json:"probes"`
+	Cached bool  `json:"cached"`
+
+	// Detail carries the exact scheduler's giving-up message when the
+	// gap is unknown.
+	Detail string `json:"detail,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx answer.
+type ErrorResponse struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+	// RetryAfterSec accompanies 429 shed responses.
+	RetryAfterSec int `json:"retryAfterSec,omitempty"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Inflight int64  `json:"inflight"`
+	Requests int64  `json:"requests"`
+}
+
+// cacheKey canonicalizes a request for the response cache: the parsed
+// struct is re-marshaled (deterministic field order), with the QoS-only
+// deadline zeroed so clients with different deadlines share entries.
+func cacheKey(endpoint string, req any) string {
+	b, err := json.Marshal(req)
+	if err != nil {
+		// Requests that decoded cannot fail to re-encode; treat an
+		// impossible failure as uncacheable rather than panicking.
+		return ""
+	}
+	return endpoint + "\x00" + string(b)
+}

@@ -40,12 +40,16 @@
 package multivliw
 
 import (
+	"context"
+
 	"multivliw/internal/cme"
 	"multivliw/internal/exact"
 	"multivliw/internal/harness"
 	"multivliw/internal/loop"
 	"multivliw/internal/machine"
+	"multivliw/internal/runctx"
 	"multivliw/internal/sched"
+	"multivliw/internal/serve"
 	"multivliw/internal/sim"
 	"multivliw/internal/vliw"
 	"multivliw/internal/workloads"
@@ -151,6 +155,25 @@ func Compile(k *Kernel, m Machine, opt Options) (*Schedule, error) {
 	return sched.Run(k, m, opt)
 }
 
+// CompileContext is Compile under a context: the II-escalation loop checks
+// the context before every attempt, so a deadline or cancellation stops
+// even a long escalation promptly. The returned error wraps ErrDeadline or
+// ErrCanceled, distinguishable with errors.Is.
+func CompileContext(ctx context.Context, k *Kernel, m Machine, opt Options) (*Schedule, error) {
+	return sched.RunCtx(ctx, k, m, opt)
+}
+
+// Typed interruption sentinels: every cancellable computation in the module
+// (Compile, ExactSchedule, RunSweep, the serving layer) reports a context
+// death by wrapping one of these. They also match the standard-library
+// context errors under errors.Is.
+var (
+	// ErrDeadline reports a computation stopped by an expired deadline.
+	ErrDeadline = runctx.ErrDeadline
+	// ErrCanceled reports a computation stopped by cancellation.
+	ErrCanceled = runctx.ErrCanceled
+)
+
 // Exact modulo scheduling: the branch-and-bound optimality oracle for
 // small kernels (internal/exact).
 type (
@@ -163,6 +186,9 @@ type (
 	// Gap quantifies a heuristic schedule's distance from the exact
 	// optimum: ΔII and ΔMaxLive with both sides' raw values.
 	Gap = exact.Gap
+	// ExactStatus classifies an exact-scheduling outcome: optimal,
+	// budget, deadline, toolarge or unsat.
+	ExactStatus = exact.Status
 )
 
 // ExactSchedule finds a minimum-II modulo schedule for kernel k on machine
@@ -174,6 +200,19 @@ type (
 func ExactSchedule(k *Kernel, m Machine, opt ExactOptions) (*Schedule, ExactStats, error) {
 	return exact.Schedule(k, m, opt)
 }
+
+// ExactScheduleContext is ExactSchedule under a context: the
+// branch-and-bound probe loop checks the context every few thousand
+// candidates, so a deadline abandons even a pathological search promptly
+// (the error wraps ErrDeadline or ErrCanceled).
+func ExactScheduleContext(ctx context.Context, k *Kernel, m Machine, opt ExactOptions) (*Schedule, ExactStats, error) {
+	return exact.ScheduleCtx(ctx, k, m, opt)
+}
+
+// ClassifyExact maps an exact-scheduling error to its ExactStatus — the
+// vocabulary the sweep CSV's gapStatus column and the service's /v1/gap
+// endpoint share ("optimal", "budget", "deadline", "toolarge", "unsat").
+func ClassifyExact(err error) ExactStatus { return exact.Classify(err) }
 
 // OptimalityGap schedules k on m with both the heuristic (under opt) and
 // the exact scheduler, and reports how far the heuristic's II and MaxLive
@@ -319,6 +358,41 @@ func ParseSweepSpec(data []byte, baseDir string) (*SweepSpec, error) {
 // parallelism, and a spec re-expressing a paper figure reproduces its bars
 // byte-identically.
 func RunSweep(spec *SweepSpec) (*SweepResult, error) { return harness.RunSweep(spec) }
+
+// RunSweepContext is RunSweep under a context: the worker pool stops
+// claiming cells once the context dies, and per-kernel exact solves run
+// under the spec's exactDeadlineMs nested inside it.
+func RunSweepContext(ctx context.Context, spec *SweepSpec) (*SweepResult, error) {
+	return harness.RunSweepCtx(ctx, spec)
+}
+
+// Scheduling as a service: the HTTP/JSON server of internal/serve, with
+// admission control, per-request deadlines honored inside the search loops,
+// panic isolation, graceful drain and a fingerprint-keyed replay cache.
+type (
+	// ServeConfig parameterizes a scheduling server (concurrency, queue
+	// bound, deadlines, cache size, fault injection).
+	ServeConfig = serve.Config
+	// SchedulingServer is the HTTP service; use Handler for embedding,
+	// Start/Shutdown for a managed listener with graceful drain.
+	SchedulingServer = serve.Server
+	// ServeFaultInjector arms delays, panics and cancellations at named
+	// points inside the server — the robustness-test seam.
+	ServeFaultInjector = serve.FaultInjector
+	// LoadOptions parameterizes the built-in load generator.
+	LoadOptions = serve.LoadOptions
+	// LoadReport is a load-generation outcome distribution.
+	LoadReport = serve.LoadReport
+)
+
+// NewSchedulingServer builds the HTTP scheduling service.
+func NewSchedulingServer(cfg ServeConfig) *SchedulingServer { return serve.New(cfg) }
+
+// RunLoad drives seeded scheduling traffic at a server and reports the
+// outcome distribution (drops, shed, latency percentiles).
+func RunLoad(ctx context.Context, baseURL string, opt LoadOptions) *LoadReport {
+	return serve.RunLoad(ctx, baseURL, opt)
+}
 
 // GeneratorDifferential drives seeded generated kernels through the paired
 // oracles (compiled-vs-reference simulation, guided-vs-linear II search,
