@@ -11,15 +11,28 @@
 //	mvpexperiments -spec examples/sweep/fig5.json
 //	mvpexperiments -spec examples/sweep/generated.json -rows -
 //	mvpexperiments -genfuzz 100 -genseed 1
+//
+// Sweep fabric — shard a sweep across processes and merge the fragments
+// back into the byte-identical single-process artifact, optionally through
+// a durable content-addressed result store:
+//
+//	mvpexperiments -spec sweep.json -shard 0/4 -frag shards/0.json -store .mvstore
+//	mvpexperiments -spec sweep.json -merge shards -rows rows.csv
+//	mvpexperiments -spec sweep.json -store .mvstore -storestats
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"multivliw/internal/harness"
 	"multivliw/internal/machine"
+	"multivliw/internal/store"
 	"multivliw/internal/vliw"
 )
 
@@ -41,6 +54,11 @@ func main() {
 		nocache  = flag.Bool("nosimcache", false, "disable the schedule-keyed replay cache (identical output, more wall-clock time)")
 		specPath = flag.String("spec", "", "run a declarative experiment-spec file (see examples/sweep) instead of the hard-coded figures")
 		rowsOut  = flag.String("rows", "", "with -spec: also write the per-cell CSV rows to this file ('-' = stdout)")
+		shard    = flag.String("shard", "", "with -spec: evaluate only shard i/n of the sweep grid (format \"i/n\") and emit a fragment instead of figures")
+		fragOut  = flag.String("frag", "", "with -shard: write the fragment JSON to this file ('' or '-' = stdout)")
+		mergeIn  = flag.String("merge", "", "with -spec: merge shard fragments (a directory of *.json, or a comma-separated file list) into the full sweep output instead of evaluating")
+		storeDir = flag.String("store", "", "durable content-addressed result store directory, shared across runs and shards ('' = none)")
+		stStats  = flag.Bool("storestats", false, "with -store: print the store's hit/miss/put counters after the run")
 		genfuzz  = flag.Int("genfuzz", 0, "run N seeded generated kernels through the compiled-vs-reference and guided-vs-linear differential checks")
 		genseed  = flag.Int64("genseed", 1, "seed of the -genfuzz (or -oracle) corpus")
 		oracle   = flag.Int("oracle", 0, "run N seeded small kernels through the exact-scheduling oracle: assert heuristic II ≥ exact II, invariant-check and replay every exact schedule, report the gap distribution")
@@ -50,9 +68,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mvpexperiments: unexpected positional arguments: %q (every option is a -flag; see -h)\n", flag.Args())
 		os.Exit(2)
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir); err != nil {
+			fail(err)
+		}
+	} else if *stStats {
+		fail(fmt.Errorf("-storestats requires -store"))
+	}
+	printStoreStats := func() {
+		if *stStats {
+			fmt.Println(st.Stats())
+		}
+	}
 	if *specPath != "" {
-		runSpec(*specPath, *rowsOut, *simCap, *jobs)
+		runSpec(*specPath, *rowsOut, *simCap, *jobs, *shard, *fragOut, *mergeIn, st)
+		printStoreStats()
 		return
+	}
+	if *shard != "" || *mergeIn != "" {
+		fail(fmt.Errorf("-shard and -merge require -spec"))
 	}
 	if *genfuzz > 0 {
 		rep, err := harness.GeneratorDifferential(harness.FuzzOptions{Seed: *genseed, Kernels: *genfuzz, SimCap: *simCap})
@@ -79,6 +115,8 @@ func main() {
 	r.SimCap = *simCap
 	r.Parallelism = *jobs
 	r.DisableSimCache = *nocache
+	r.Store = st
+	defer printStoreStats()
 
 	if *all || *table1 {
 		fmt.Println(machine.Table1())
@@ -178,11 +216,15 @@ func main() {
 	}
 }
 
-// runSpec runs a declarative experiment-spec file. Explicitly-passed
-// -simcap/-j flags override the spec's own settings; the flag defaults do
-// not, so `-spec examples/sweep/fig5.json` alone reproduces the hard-coded
-// `-fig5` output byte-identically.
-func runSpec(path, rowsOut string, simCap, jobs int) {
+// runSpec runs a declarative experiment-spec file — whole, as one shard of
+// an n-way split, or as the merge of previously-emitted fragments.
+// Explicitly-passed -simcap/-j flags override the spec's own settings; the
+// flag defaults do not, so `-spec examples/sweep/fig5.json` alone
+// reproduces the hard-coded `-fig5` output byte-identically.
+func runSpec(path, rowsOut string, simCap, jobs int, shard, fragOut, mergeIn string, st *store.Store) {
+	if shard != "" && mergeIn != "" {
+		fail(fmt.Errorf("-shard and -merge are mutually exclusive"))
+	}
 	spec, err := harness.LoadSweepSpec(path)
 	if err != nil {
 		fail(err)
@@ -198,9 +240,35 @@ func runSpec(path, rowsOut string, simCap, jobs int) {
 			spec.Parallelism = jobs
 		}
 	})
-	res, err := harness.RunSweep(spec)
-	if err != nil {
-		fail(err)
+	spec.Store = st
+
+	if shard != "" {
+		var i, n int
+		if c, err := fmt.Sscanf(shard, "%d/%d", &i, &n); err != nil || c != 2 {
+			fail(fmt.Errorf("-shard %q: want \"i/n\" (e.g. 0/4)", shard))
+		}
+		frag, err := harness.RunSweepShard(context.Background(), spec, i, n)
+		if err != nil {
+			fail(err)
+		}
+		data, err := frag.Marshal()
+		if err != nil {
+			fail(err)
+		}
+		data = append(data, '\n')
+		if fragOut == "" || fragOut == "-" {
+			fmt.Print(string(data))
+		} else if err := os.WriteFile(fragOut, data, 0o644); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	var res *harness.SweepResult
+	if mergeIn != "" {
+		res = must(harness.MergeShards(spec, loadFragments(mergeIn)))
+	} else {
+		res = must(harness.RunSweep(spec))
 	}
 	fmt.Print(res.Text())
 	switch rowsOut {
@@ -212,6 +280,32 @@ func runSpec(path, rowsOut string, simCap, jobs int) {
 			fail(err)
 		}
 	}
+}
+
+// loadFragments reads shard fragments named by arg: a directory (every
+// *.json inside, sorted) or a comma-separated list of files.
+func loadFragments(arg string) []*harness.ShardResult {
+	var paths []string
+	if fi, err := os.Stat(arg); err == nil && fi.IsDir() {
+		paths = must(filepath.Glob(filepath.Join(arg, "*.json")))
+		sort.Strings(paths)
+		if len(paths) == 0 {
+			fail(fmt.Errorf("-merge %s: no *.json fragments found", arg))
+		}
+	} else {
+		paths = strings.Split(arg, ",")
+	}
+	frags := make([]*harness.ShardResult, len(paths))
+	for i, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			fail(err)
+		}
+		if frags[i], err = harness.ParseShardResult(data); err != nil {
+			fail(fmt.Errorf("%s: %w", p, err))
+		}
+	}
+	return frags
 }
 
 // clusterCfg is the per-benchmark table's configuration: 2 register buses

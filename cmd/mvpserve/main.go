@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"multivliw/internal/serve"
+	"multivliw/internal/store"
 )
 
 func main() {
@@ -41,6 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		maxDeadline = fs.Duration("maxdeadline", 60*time.Second, "cap on client-requested deadlines")
 		drain       = fs.Duration("drain", 30*time.Second, "shutdown drain budget")
 		simCap      = fs.Int("simcap", 0, "default simulated innermost iterations (0 = 1024)")
+		storeDir    = fs.String("store", "", "durable content-addressed result store directory for /v1/sweep shards ('' = none)")
 
 		loadgen = fs.String("loadgen", "", "drive load at this base URL instead of serving")
 		smoke   = fs.Duration("smoke", 0, "run the in-process smoke check for this long instead of serving")
@@ -63,6 +65,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		SimCap:          *simCap,
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(stderr, "mvpserve: %v\n", err)
+			return 1
+		}
+		cfg.Store = st
 	}
 	opt := serve.LoadOptions{Workers: *workers, Duration: *dur, Seed: *seed}
 

@@ -37,6 +37,7 @@ import (
 	"multivliw/internal/runctx"
 	"multivliw/internal/sched"
 	"multivliw/internal/sim"
+	"multivliw/internal/store"
 	"multivliw/internal/workloads"
 )
 
@@ -77,8 +78,16 @@ type Runner struct {
 	// -nosimcache escape hatch): every cell then simulates its own
 	// schedule even when another threshold already produced a
 	// bit-identical one. Output is identical either way; only wall-clock
-	// time changes.
+	// time changes. It also disables the durable Store tier below.
 	DisableSimCache bool
+
+	// Store, when non-nil, is the durable content-addressed tier under
+	// the in-memory caches: an in-memory replay-cache miss consults it
+	// before simulating, fresh simulations are published back, and the
+	// sweep engine's exact-gap memo persists certified optima through
+	// it. Output is bit-identical with or without a store — a corrupt or
+	// stale entry reads as a miss and is recomputed.
+	Store *store.Store
 
 	mu   sync.Mutex
 	cme  map[*loop.Kernel]map[cme.Geometry]*cme.Analysis

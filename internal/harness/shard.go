@@ -1,0 +1,374 @@
+// Sweep sharding: a SweepSpec grid split into deterministic, index-addressed
+// work units that independent processes (or hosts) evaluate and a merge step
+// recombines into one byte-stable artifact.
+//
+// The whole fabric rests on one property the PR 1 engine already proved:
+// every unit's value — a cell's suite-averaged normalized {compute, stall},
+// plus its optional optimality-gap aggregate — is computed by a reduction
+// that walks kernels in fixed order and touches nothing outside its own
+// cell. Values are therefore bit-identical whether units run in one process,
+// across N shards, or on another machine, and the merge is pure assembly:
+// MergeShards(spec, fragments) renders the same bytes as RunSweep(spec).
+//
+// planSweep enumerates the units of a spec in the canonical order (figure
+// by figure, unified reference bars first, then grid bars group-major);
+// shard i of n owns the units with index ≡ i (mod n), a round-robin deal
+// that balances expensive figures across shards. A fragment names the plan
+// it was cut from by fingerprint, so merging fragments of a different spec,
+// kernel set or shard count fails loudly instead of producing plausible
+// garbage.
+package harness
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+)
+
+// planUnit is one index-addressed work unit of a sweep: a single bar/row
+// cell with all metadata resolved, values pending.
+type planUnit struct {
+	fig         int  // index into spec.Figures
+	unified     bool // a Unified reference bar, not a grid bar
+	bar         Bar  // metadata only; Compute/Stall zero until evaluated
+	cl          cell // machine config, policy, threshold
+	simCap      int
+	machineName string // CSV Machine column ("Unified" or the config name)
+}
+
+// sweepPlan is the deterministic expansion of a validated spec.
+type sweepPlan struct {
+	spec  *SweepSpec
+	units []planUnit
+}
+
+// planSweep expands spec into its unit list. The order is the one RunSweep
+// has always emitted: figures in spec order; within a figure the unified
+// reference bars (global threshold set, Baseline on the Unified machine),
+// then the grid bars group-major over (group × scheduler × threshold).
+func planSweep(spec *SweepSpec) (*sweepPlan, error) {
+	if !spec.validated {
+		if err := spec.validate(); err != nil {
+			return nil, fmt.Errorf("sweep spec: %w", err)
+		}
+	}
+	p := &sweepPlan{spec: spec}
+	for fi, fig := range spec.Figures {
+		simCap := DefaultSimCap
+		if spec.SimCap != nil {
+			simCap = *spec.SimCap
+		}
+		if fig.SimCap != nil {
+			simCap = *fig.SimCap
+		}
+		if fig.IncludeUnified {
+			for _, thr := range Thresholds {
+				p.units = append(p.units, planUnit{
+					fig: fi, unified: true,
+					bar:    Bar{Label: "Unified", Clusters: 1, Scheduler: "Unified", Threshold: thr},
+					cl:     cell{cfg: machine.Unified(), pol: sched.Baseline, thr: thr},
+					simCap: simCap, machineName: "Unified",
+				})
+			}
+		}
+		pols := []sched.Policy{sched.Baseline, sched.RMCA}
+		if len(fig.Schedulers) > 0 {
+			pols = pols[:0]
+			for _, name := range fig.Schedulers {
+				pol, err := parsePolicy(name)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", fig.Title, err)
+				}
+				pols = append(pols, pol)
+			}
+		}
+		thrs := Thresholds
+		if len(fig.Thresholds) > 0 {
+			thrs = fig.Thresholds
+		}
+		for _, g := range fig.Groups {
+			cfg, err := g.Machine.resolve(spec.baseDir)
+			if err != nil {
+				return nil, fmt.Errorf("%s, group %q: %w", fig.Title, g.Label, err)
+			}
+			for _, pol := range pols {
+				for _, thr := range thrs {
+					p.units = append(p.units, planUnit{
+						fig: fi,
+						bar: Bar{
+							Label: g.Label, Clusters: cfg.Clusters, Scheduler: pol.String(),
+							Threshold: thr, LRB: cfg.RegBusLat, LMB: cfg.MemBusLat,
+							NRB: cfg.RegBuses, NMB: cfg.MemBuses,
+						},
+						cl:     cell{cfg: cfg, pol: pol, thr: thr},
+						simCap: simCap, machineName: cfg.Name,
+					})
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// Fingerprint identifies everything that determines a unit's meaning: the
+// sweep name, the resolved kernel set, every unit's metadata and cell
+// identity, and the gap configuration. Fragments carry it so a merge can
+// refuse inputs cut from a different plan.
+func (p *sweepPlan) fingerprint() (string, error) {
+	h := fnv.New64a()
+	w := func(s string) { h.Write([]byte(s)); h.Write([]byte{0}) }
+	w(p.spec.Name)
+	suite, err := p.spec.suite()
+	if err != nil {
+		return "", err
+	}
+	for _, b := range suite {
+		w(b.Name)
+		for _, k := range b.Kernels {
+			h.Write(k.AppendCanonical(nil))
+		}
+	}
+	w(fmt.Sprintf("gap=%v dl=%d budget=%d", p.spec.OptimalityGap, p.spec.ExactDeadlineMs, p.spec.ExactProbeBudget))
+	for _, u := range p.units {
+		w(fmt.Sprintf("%d|%v|%+v|%s|%v|%g|%d|%s",
+			u.fig, u.unified, u.bar, configKey(u.cl.cfg), u.cl.pol, u.cl.thr, u.simCap, u.machineName))
+	}
+	return fmt.Sprintf("%016x", h.Sum64()), nil
+}
+
+// UnitValue is the evaluated outcome of one plan unit — the only data a
+// shard ships to the merge. Compute/Stall round-trip JSON exactly
+// (encoding/json emits the shortest representation that parses back to the
+// same float64), so a merged artifact is byte-identical to a local run.
+type UnitValue struct {
+	Index   int     `json:"index"`
+	Compute float64 `json:"compute"`
+	Stall   float64 `json:"stall"`
+	Gap     *RowGap `json:"gap,omitempty"`
+}
+
+// evaluate computes the values of the units named by indices (which must be
+// sorted ascending). Units sharing a SimCap share one runner — and through
+// it the CME memo, the replay cache and the durable store — and are fanned
+// out in one worker-pool pass per runner.
+func (p *sweepPlan) evaluate(ctx context.Context, indices []int) ([]UnitValue, error) {
+	spec := p.spec
+	suite, err := spec.suite()
+	if err != nil {
+		return nil, err
+	}
+	runners := make(map[int]*Runner)
+	runnerFor := func(simCap int) *Runner {
+		r := runners[simCap]
+		if r == nil {
+			r = NewRunnerWith(suite, simCap)
+			r.Parallelism = spec.Parallelism
+			r.Store = spec.Store
+			runners[simCap] = r
+		}
+		return r
+	}
+	// Group the requested units by runner, preserving index order.
+	byCap := make(map[int][]int)
+	var caps []int
+	for _, i := range indices {
+		if i < 0 || i >= len(p.units) {
+			return nil, fmt.Errorf("sweep shard: unit index %d out of range (plan has %d)", i, len(p.units))
+		}
+		c := p.units[i].simCap
+		if _, seen := byCap[c]; !seen {
+			caps = append(caps, c)
+		}
+		byCap[c] = append(byCap[c], i)
+	}
+	out := make([]UnitValue, 0, len(indices))
+	vals := make(map[int][2]float64, len(indices))
+	for _, c := range caps {
+		r := runnerFor(c)
+		cells := make([]cell, len(byCap[c]))
+		for j, i := range byCap[c] {
+			cells[j] = p.units[i].cl
+		}
+		cellVals, err := r.evalCells(ctx, cells)
+		if err != nil {
+			return nil, fmt.Errorf("sweep %s: %w", spec.Name, err)
+		}
+		for j, i := range byCap[c] {
+			vals[i] = cellVals[j]
+		}
+	}
+	// Gap aggregates ride the same memoization regardless of sharding:
+	// each unit's RowGap is a pure function of (kernel set, machine,
+	// policy, threshold), so shard boundaries cannot change it.
+	memo := &gapMemo{exact: map[string]exactCell{}, heur: map[string]exactCell{}}
+	for _, i := range indices {
+		u := p.units[i]
+		v := UnitValue{Index: i, Compute: vals[i][0], Stall: vals[i][1]}
+		if spec.OptimalityGap {
+			v.Gap = runnerFor(u.simCap).rowGap(ctx, u.cl.cfg, u.cl.pol, u.cl.thr, memo, spec)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// assemble renders a full value set (one UnitValue per plan unit, any
+// order) into the SweepResult a single-process run would produce.
+func (p *sweepPlan) assemble(vals []UnitValue) (*SweepResult, error) {
+	if len(vals) != len(p.units) {
+		return nil, fmt.Errorf("sweep %s: %d unit values for %d units", p.spec.Name, len(vals), len(p.units))
+	}
+	byIndex := make([]*UnitValue, len(p.units))
+	for i := range vals {
+		v := &vals[i]
+		if v.Index < 0 || v.Index >= len(p.units) {
+			return nil, fmt.Errorf("sweep %s: unit index %d out of range", p.spec.Name, v.Index)
+		}
+		if byIndex[v.Index] != nil {
+			return nil, fmt.Errorf("sweep %s: unit %d supplied twice", p.spec.Name, v.Index)
+		}
+		byIndex[v.Index] = v
+	}
+	res := &SweepResult{Name: p.spec.Name, GapColumns: p.spec.OptimalityGap}
+	for fi, fig := range p.spec.Figures {
+		out := SweepFigure{Title: fig.Title}
+		for i, u := range p.units {
+			if u.fig != fi {
+				continue
+			}
+			bar := u.bar
+			bar.Compute, bar.Stall = byIndex[i].Compute, byIndex[i].Stall
+			if u.unified {
+				out.Unified = append(out.Unified, bar)
+			} else {
+				out.Bars = append(out.Bars, bar)
+			}
+			res.Rows = append(res.Rows, SweepRow{
+				Figure: fig.Title, Group: bar.Label, Machine: u.machineName,
+				Clusters: bar.Clusters, Scheduler: bar.Scheduler, Threshold: bar.Threshold,
+				Compute: bar.Compute, Stall: bar.Stall, Total: bar.Total(),
+				Gap: byIndex[i].Gap,
+			})
+		}
+		res.Figures = append(res.Figures, out)
+	}
+	return res, nil
+}
+
+// ShardResult is one shard's fragment: the evaluated values of the plan
+// units it owns, tagged with the plan identity the merge validates.
+type ShardResult struct {
+	Sweep string `json:"sweep"`
+	Shard int    `json:"shard"`
+	Of    int    `json:"of"`
+	// Plan fingerprints the expanded unit list and kernel set; fragments
+	// only merge with fragments (and a spec) of the same fingerprint.
+	Plan  string      `json:"plan"`
+	Units []UnitValue `json:"units"`
+}
+
+// Marshal renders the fragment as indented JSON (the on-disk artifact the
+// CLIs and the /v1/sweep endpoint exchange).
+func (s *ShardResult) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// ParseShardResult parses a fragment produced by Marshal.
+func ParseShardResult(data []byte) (*ShardResult, error) {
+	var s ShardResult
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("shard fragment: %w", err)
+	}
+	return &s, nil
+}
+
+// checkShard validates a shard coordinate.
+func checkShard(shard, of int) error {
+	if of < 1 {
+		return fmt.Errorf("sweep shard: shard count %d (want >= 1)", of)
+	}
+	if shard < 0 || shard >= of {
+		return fmt.Errorf("sweep shard: index %d outside [0,%d)", shard, of)
+	}
+	return nil
+}
+
+// RunSweepShard evaluates shard (shard of of) of the spec's grid: the units
+// with index ≡ shard (mod of). The fragment it returns is deterministic —
+// the same spec and coordinate always produce the same values on any host.
+func RunSweepShard(ctx context.Context, spec *SweepSpec, shard, of int) (*ShardResult, error) {
+	if err := checkShard(shard, of); err != nil {
+		return nil, err
+	}
+	plan, err := planSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := plan.fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	var indices []int
+	for i := shard; i < len(plan.units); i += of {
+		indices = append(indices, i)
+	}
+	vals, err := plan.evaluate(ctx, indices)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardResult{Sweep: spec.Name, Shard: shard, Of: of, Plan: fp, Units: vals}, nil
+}
+
+// MergeShards recombines a complete fragment set (any order) into the
+// SweepResult a single-process RunSweep of the same spec would return,
+// byte-identical in both Text and RowsCSV renderings. It fails loudly on a
+// missing or duplicate shard, a fragment from a different plan, or a
+// fragment claiming units its coordinate does not own.
+func MergeShards(spec *SweepSpec, frags []*ShardResult) (*SweepResult, error) {
+	if len(frags) == 0 {
+		return nil, fmt.Errorf("sweep merge: no fragments")
+	}
+	plan, err := planSweep(spec)
+	if err != nil {
+		return nil, err
+	}
+	fp, err := plan.fingerprint()
+	if err != nil {
+		return nil, err
+	}
+	of := frags[0].Of
+	if len(frags) != of {
+		return nil, fmt.Errorf("sweep merge: %d fragments for a %d-shard run", len(frags), of)
+	}
+	seen := make([]bool, of)
+	var vals []UnitValue
+	for _, f := range frags {
+		if f.Sweep != spec.Name {
+			return nil, fmt.Errorf("sweep merge: fragment of sweep %q, want %q", f.Sweep, spec.Name)
+		}
+		if f.Of != of {
+			return nil, fmt.Errorf("sweep merge: fragment shard %d/%d mixed into a /%d run", f.Shard, f.Of, of)
+		}
+		if err := checkShard(f.Shard, of); err != nil {
+			return nil, err
+		}
+		if seen[f.Shard] {
+			return nil, fmt.Errorf("sweep merge: shard %d/%d supplied twice", f.Shard, of)
+		}
+		seen[f.Shard] = true
+		if f.Plan != fp {
+			return nil, fmt.Errorf("sweep merge: fragment %d/%d was cut from plan %s, this spec expands to %s", f.Shard, of, f.Plan, fp)
+		}
+		for _, v := range f.Units {
+			if v.Index%of != f.Shard {
+				return nil, fmt.Errorf("sweep merge: fragment %d/%d carries unit %d it does not own", f.Shard, of, v.Index)
+			}
+			vals = append(vals, v)
+		}
+	}
+	return plan.assemble(vals)
+}

@@ -1,0 +1,214 @@
+package harness
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// shardSpec is the shard tests' sweep: small enough to evaluate repeatedly,
+// rich enough to cover unified reference bars, a threshold override and two
+// machine columns.
+func shardSpec(t *testing.T) *SweepSpec {
+	t.Helper()
+	return storeSpec(t, nil, false)
+}
+
+// runShards evaluates every shard of an n-way split, round-tripping each
+// fragment through its JSON wire form (the process boundary the fabric
+// actually crosses).
+func runShards(t *testing.T, spec *SweepSpec, n int) []*ShardResult {
+	t.Helper()
+	frags := make([]*ShardResult, n)
+	for i := 0; i < n; i++ {
+		f, err := RunSweepShard(context.Background(), spec, i, n)
+		if err != nil {
+			t.Fatalf("shard %d/%d: %v", i, n, err)
+		}
+		data, err := f.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frags[i], err = ParseShardResult(data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return frags
+}
+
+// The fabric's core guarantee: a 4-shard run merged back together renders
+// the very bytes the single-process run produces, in both artifacts.
+func TestShardedSweepMergesByteIdentical(t *testing.T) {
+	whole, err := RunSweep(shardSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 4, 5} {
+		frags := runShards(t, shardSpec(t), n)
+		// Merge order must not matter: feed the fragments backwards.
+		for i, j := 0, len(frags)-1; i < j; i, j = i+1, j-1 {
+			frags[i], frags[j] = frags[j], frags[i]
+		}
+		merged, err := MergeShards(shardSpec(t), frags)
+		if err != nil {
+			t.Fatalf("merge %d-way: %v", n, err)
+		}
+		if merged.Text() != whole.Text() {
+			t.Errorf("%d-way merged figures differ from the single-process run", n)
+		}
+		if merged.RowsCSV() != whole.RowsCSV() {
+			t.Errorf("%d-way merged CSV differs from the single-process run", n)
+		}
+	}
+}
+
+// Shards partition the plan: every unit is owned by exactly one shard and
+// the owner is index mod shard-count.
+func TestShardsPartitionThePlan(t *testing.T) {
+	plan, err := planSweep(shardSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 3
+	seen := make(map[int]int)
+	for _, f := range runShards(t, shardSpec(t), n) {
+		for _, u := range f.Units {
+			if u.Index%n != f.Shard {
+				t.Errorf("shard %d owns unit %d", f.Shard, u.Index)
+			}
+			seen[u.Index]++
+		}
+	}
+	if len(seen) != len(plan.units) {
+		t.Fatalf("shards cover %d of %d units", len(seen), len(plan.units))
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Errorf("unit %d evaluated %d times", i, c)
+		}
+	}
+}
+
+// Optimality-gap aggregates survive sharding: each shard certifies its own
+// rows, and the merged CSV matches the single-process gap run.
+func TestShardedSweepWithGapColumns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact sweep")
+	}
+	gapSpec := func() *SweepSpec { return storeSpec(t, nil, true) }
+	whole, err := RunSweep(gapSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeShards(gapSpec(), runShards(t, gapSpec(), 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.RowsCSV() != whole.RowsCSV() {
+		t.Error("sharded gap CSV differs from the single-process run")
+	}
+}
+
+func TestRunSweepShardRejectsBadCoordinates(t *testing.T) {
+	for _, c := range []struct{ shard, of int }{{0, 0}, {-1, 4}, {4, 4}, {2, -1}} {
+		if _, err := RunSweepShard(context.Background(), shardSpec(t), c.shard, c.of); err == nil {
+			t.Errorf("shard %d/%d accepted", c.shard, c.of)
+		}
+	}
+}
+
+func TestMergeShardsRejectsBrokenFragmentSets(t *testing.T) {
+	spec := shardSpec(t)
+	frags := runShards(t, spec, 2)
+
+	clone := func(f *ShardResult) *ShardResult {
+		c := *f
+		c.Units = append([]UnitValue(nil), f.Units...)
+		return &c
+	}
+	cases := []struct {
+		name string
+		mut  func() []*ShardResult
+		want string
+	}{
+		{"empty set", func() []*ShardResult { return nil }, "no fragments"},
+		{"missing shard", func() []*ShardResult {
+			f := clone(frags[0])
+			f.Of = 1 // claims completeness so the count check passes
+			return []*ShardResult{f}
+		}, "unit values for 12 units"},
+		{"wrong count", func() []*ShardResult { return frags[:1] }, "1 fragments for a 2-shard run"},
+		{"duplicate shard", func() []*ShardResult { return []*ShardResult{frags[0], frags[0]} }, "supplied twice"},
+		{"mixed shard counts", func() []*ShardResult {
+			f := clone(frags[1])
+			f.Of = 3
+			return []*ShardResult{frags[0], f}
+		}, "mixed into"},
+		{"wrong sweep", func() []*ShardResult {
+			f := clone(frags[1])
+			f.Sweep = "someone-else"
+			return []*ShardResult{frags[0], f}
+		}, `sweep "someone-else"`},
+		{"foreign plan", func() []*ShardResult {
+			f := clone(frags[1])
+			f.Plan = "0123456789abcdef"
+			return []*ShardResult{frags[0], f}
+		}, "was cut from plan"},
+		{"stolen unit", func() []*ShardResult {
+			f := clone(frags[1])
+			f.Units[0].Index = 0 // shard 1 cannot own an even index in a 2-way split
+			return []*ShardResult{frags[0], f}
+		}, "does not own"},
+		{"out-of-range unit", func() []*ShardResult {
+			f := clone(frags[1])
+			f.Units[0].Index = 10001
+			return []*ShardResult{frags[0], f}
+		}, "out of range"},
+		{"duplicate unit", func() []*ShardResult {
+			f := clone(frags[1])
+			f.Units = append(f.Units, f.Units[0])
+			return []*ShardResult{frags[0], f}
+		}, "unit values for 12 units"},
+	}
+	for _, c := range cases {
+		if _, err := MergeShards(spec, c.mut()); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: err = %v, want %q", c.name, err, c.want)
+		}
+	}
+}
+
+// A spec change as small as one bus-latency override changes the plan
+// fingerprint, so stale fragments cannot sneak into a merge.
+func TestPlanFingerprintTracksSpecIdentity(t *testing.T) {
+	fp := func(s *SweepSpec) string {
+		t.Helper()
+		p, err := planSweep(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := p.fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	base := fp(shardSpec(t))
+	if base != fp(shardSpec(t)) {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	mutants := map[string]func(*SweepSpec){
+		"name":      func(s *SweepSpec) { s.Name = "other" },
+		"kernels":   func(s *SweepSpec) { s.Kernels.Generated.Spec.Seed++ },
+		"simCap":    func(s *SweepSpec) { v := 128; s.SimCap = &v },
+		"threshold": func(s *SweepSpec) { s.Figures[0].Thresholds = []float64{0.5} },
+		"machine":   func(s *SweepSpec) { v := 9; s.Figures[0].Groups[1].Machine.MemBusLat = &v },
+		"gap":       func(s *SweepSpec) { s.OptimalityGap = true },
+	}
+	for name, mutate := range mutants {
+		s := shardSpec(t)
+		mutate(s)
+		if fp(s) == base {
+			t.Errorf("fingerprint ignores a %s change", name)
+		}
+	}
+}

@@ -56,11 +56,14 @@ type simCache struct {
 }
 
 // do returns the cached Result for key, running f exactly once per key. The
-// first few hits are audited: f runs anyway and its Result must match the
-// cached one exactly. The cached Result is returned either way, keeping the
-// output bit-identical at any worker count; a mismatch trips the divergence
-// counter that SimCacheVerdict reports.
-func (c *simCache) do(key simKey, f func() (*sim.Result, error)) (*sim.Result, error) {
+// first few hits are audited: audit (a guaranteed-fresh simulation, never a
+// cache tier) runs anyway and its Result must match the cached one exactly.
+// The cached Result is returned either way, keeping the output bit-identical
+// at any worker count; a mismatch trips the divergence counter that
+// SimCacheVerdict reports. When f itself is backed by the durable store,
+// the audit therefore also cross-checks disk-served results against a real
+// replay — the integrity net for stale store semantics.
+func (c *simCache) do(key simKey, f, audit func() (*sim.Result, error)) (*sim.Result, error) {
 	c.mu.Lock()
 	if c.m == nil {
 		c.m = make(map[simKey]*simEntry)
@@ -78,7 +81,7 @@ func (c *simCache) do(key simKey, f func() (*sim.Result, error)) (*sim.Result, e
 	e.once.Do(func() { e.res, e.err = f() })
 	if hit && e.err == nil && c.verified.Load() < simCacheVerifyBudget {
 		c.verified.Add(1)
-		if fresh, err := f(); err != nil || *fresh != *e.res {
+		if fresh, err := audit(); err != nil || *fresh != *e.res {
 			c.divergent.Add(1)
 		}
 	}
@@ -118,7 +121,10 @@ func (c *simCache) stats() SimCacheStats {
 func (r *Runner) SimCacheStats() SimCacheStats { return r.simc.stats() }
 
 // simulate replays a schedule through the replay cache (or directly when the
-// cache is disabled).
+// cache is disabled). With a Store attached, an in-memory miss consults the
+// durable tier before simulating and publishes what it computes; the audit
+// path always re-simulates for real, so disk-served results are held to the
+// same bit-identity bar as in-memory ones.
 func (r *Runner) simulate(k *loop.Kernel, cfg machine.Config, s *sched.Schedule) (*sim.Result, error) {
 	opt := sim.Options{MaxInnermostIters: r.SimCap}
 	if r.DisableSimCache {
@@ -130,7 +136,26 @@ func (r *Runner) simulate(k *loop.Kernel, cfg machine.Config, s *sched.Schedule)
 		simCap: r.SimCap,
 		sched:  string(s.AppendCanonical(nil)),
 	}
-	return r.simc.do(key, func() (*sim.Result, error) { return simRun(s, opt) })
+	fresh := func() (*sim.Result, error) { return simRun(s, opt) }
+	compute := fresh
+	if r.Store != nil {
+		dk := simStoreKey(k, key.cfg, key.simCap, key.sched)
+		compute = func() (*sim.Result, error) {
+			if data, ok := r.Store.Get(dk); ok {
+				if res, ok := decodeSimResult(data); ok {
+					return res, nil
+				}
+			}
+			res, err := fresh()
+			if err == nil {
+				// Publishing is best-effort: a full disk degrades the
+				// store to a smaller cache, never the run to a failure.
+				_ = r.Store.Put(dk, encodeSimResult(res))
+			}
+			return res, err
+		}
+	}
+	return r.simc.do(key, compute, fresh)
 }
 
 // configKey is the canonical machine identity of a cache key. %+v prints

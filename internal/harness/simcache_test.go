@@ -170,11 +170,13 @@ func TestSimCacheVerdictCatchesDivergence(t *testing.T) {
 	key := simKey{kernel: r.Suite[0].Kernels[0], cfg: "poisoned", simCap: 1, sched: "x"}
 	resA := &sim.Result{Total: 1}
 	resB := &sim.Result{Total: 2}
-	if _, err := r.simc.do(key, func() (*sim.Result, error) { return resA, nil }); err != nil {
+	fA := func() (*sim.Result, error) { return resA, nil }
+	fB := func() (*sim.Result, error) { return resB, nil }
+	if _, err := r.simc.do(key, fA, fA); err != nil {
 		t.Fatal(err)
 	}
 	// Same key, different outcome: as if two distinct schedules collided.
-	if _, err := r.simc.do(key, func() (*sim.Result, error) { return resB, nil }); err != nil {
+	if _, err := r.simc.do(key, fB, fB); err != nil {
 		t.Fatal(err)
 	}
 	if st := r.SimCacheStats(); st.Divergent == 0 {

@@ -1,0 +1,126 @@
+// Durable tier of the harness caches. When a Runner carries a store.Store,
+// the in-memory single-flight replay cache and the sweep engine's exact-gap
+// memo both fall through to it: an in-memory miss consults the on-disk
+// content-addressed store before computing, and every fresh computation is
+// published back. Keys are full canonical encodings — kernel, machine,
+// SimCap and (for replays) the schedule — never hashes of this layer's
+// making, so the injectivity argument of the in-memory cache carries over
+// verbatim; the store itself adds the schema-version byte and per-entry
+// checksums that make stale or torn entries read as misses.
+package harness
+
+import (
+	"encoding/binary"
+
+	"multivliw/internal/exact"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/sim"
+)
+
+// Store-key domain tags. Distinct result spaces must never alias even if
+// their payload encodings were to collide in shape.
+const (
+	simStoreDomain   = "sim\x00"
+	exactStoreDomain = "exact\x00"
+)
+
+// simStoreKey builds the durable replay-store key: the same identity as the
+// in-memory simKey, with the kernel pointer replaced by the kernel's full
+// canonical encoding (pointers don't survive a process).
+func simStoreKey(k *loop.Kernel, cfgKey string, simCap int, schedEnc string) []byte {
+	dst := make([]byte, 0, 256+len(schedEnc))
+	dst = append(dst, simStoreDomain...)
+	dst = k.AppendCanonical(dst)
+	dst = appendLenPrefixed(dst, cfgKey)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(int64(simCap)))
+	dst = appendLenPrefixed(dst, schedEnc)
+	return dst
+}
+
+// exactStoreKey is the durable identity of one exact-scheduler outcome: a
+// property of (kernel, machine) alone, like the sweep engine's memo.
+func exactStoreKey(k *loop.Kernel, cfg machine.Config) []byte {
+	dst := make([]byte, 0, 256)
+	dst = append(dst, exactStoreDomain...)
+	dst = k.AppendCanonical(dst)
+	dst = appendLenPrefixed(dst, configKey(cfg))
+	return dst
+}
+
+func appendLenPrefixed(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// simResultFields is the number of int64 fields in the sim.Result payload
+// encoding; the decoder rejects any other length.
+const simResultFields = 21
+
+// encodeSimResult flattens a sim.Result into fixed-width little-endian
+// int64s in fixed order. Every field of the struct (including the memsys
+// breakdown) is covered, so a cached replay is indistinguishable from a
+// fresh one to every consumer in the module.
+func encodeSimResult(r *sim.Result) []byte {
+	vals := [simResultFields]int64{
+		r.Compute, r.Stall, r.Total,
+		int64(r.SimExecutions), int64(r.Executions), r.IterSpace,
+		r.StallOperand, r.StallComm,
+		r.Mem.Accesses, r.Mem.LocalHits, r.Mem.MergedMisses, r.Mem.RemoteHits,
+		r.Mem.MemoryServed, r.Mem.Upgrades, r.Mem.Invalidations, r.Mem.Writebacks,
+		r.Mem.WaitEntry, r.Mem.WaitBus,
+		r.BusTx, r.BusBusy, r.BusWait,
+	}
+	out := make([]byte, 0, simResultFields*8)
+	for _, v := range vals {
+		out = binary.LittleEndian.AppendUint64(out, uint64(v))
+	}
+	return out
+}
+
+// decodeSimResult is the inverse of encodeSimResult; a payload of any other
+// shape reports false (treated as a store miss).
+func decodeSimResult(data []byte) (*sim.Result, bool) {
+	if len(data) != simResultFields*8 {
+		return nil, false
+	}
+	var vals [simResultFields]int64
+	for i := range vals {
+		vals[i] = int64(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	r := &sim.Result{
+		Compute: vals[0], Stall: vals[1], Total: vals[2],
+		SimExecutions: int(vals[3]), Executions: int(vals[4]), IterSpace: vals[5],
+		StallOperand: vals[6], StallComm: vals[7],
+		BusTx: vals[18], BusBusy: vals[19], BusWait: vals[20],
+	}
+	r.Mem.Accesses, r.Mem.LocalHits, r.Mem.MergedMisses, r.Mem.RemoteHits = vals[8], vals[9], vals[10], vals[11]
+	r.Mem.MemoryServed, r.Mem.Upgrades, r.Mem.Invalidations, r.Mem.Writebacks = vals[12], vals[13], vals[14], vals[15]
+	r.Mem.WaitEntry, r.Mem.WaitBus = vals[16], vals[17]
+	return r, true
+}
+
+// exactCellPayload is the stored form of one certified-optimal exact solve:
+// II and worst-cluster MaxLive. Only certified optima are persisted —
+// budget- or deadline-limited refusals depend on the run's environment and
+// must be retried, never replayed.
+const exactCellFields = 2
+
+func encodeExactCell(c exactCell) []byte {
+	out := make([]byte, 0, exactCellFields*8)
+	out = binary.LittleEndian.AppendUint64(out, uint64(int64(c.ii)))
+	out = binary.LittleEndian.AppendUint64(out, uint64(int64(c.maxLive)))
+	return out
+}
+
+func decodeExactCell(data []byte) (exactCell, bool) {
+	if len(data) != exactCellFields*8 {
+		return exactCell{}, false
+	}
+	return exactCell{
+		ii:      int(int64(binary.LittleEndian.Uint64(data[0:]))),
+		maxLive: int(int64(binary.LittleEndian.Uint64(data[8:]))),
+		ok:      true,
+		status:  exact.StatusOptimal,
+	}, true
+}

@@ -1,0 +1,249 @@
+package harness
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/sim"
+	"multivliw/internal/store"
+	"multivliw/internal/workloads"
+)
+
+// storeSpec is a small two-benchmark sweep used by the durable-store tests.
+func storeSpec(t *testing.T, st *store.Store, gap bool) *SweepSpec {
+	t.Helper()
+	spec, err := ParseSweepSpec([]byte(`{
+		"name": "store-test",
+		"simCap": 96,
+		"kernels": {"generated": {"count": 3, "spec": {
+			"seed": 7, "arith": 4, "loads": 2, "stores": 1,
+			"arrays": 2, "footprintBytes": 32768, "trip": [4, 64]
+		}}},
+		"figures": [{
+			"title": "store test",
+			"includeUnified": true,
+			"thresholds": [1.0, 0.0],
+			"groups": [
+				{"label": "2cl", "machine": {"ref": "2-cluster"}},
+				{"label": "4cl", "machine": {"ref": "4-cluster", "memBusLat": 4}}
+			]
+		}]
+	}`), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Store = st
+	spec.OptimalityGap = gap
+	return spec
+}
+
+func openStore(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// The acceptance property of the fabric: a sweep against a populated store
+// is byte-identical to the cold run, and the warm run's disk lookups all
+// hit — the near-free replay ISSUE 9 targets.
+func TestStoreBackedSweepWarmRunIdenticalAndAllHits(t *testing.T) {
+	dir := t.TempDir()
+
+	cold := openStore(t, dir)
+	res1, err := RunSweep(storeSpec(t, cold, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := cold.Stats()
+	if cs.Puts == 0 {
+		t.Fatal("cold run published nothing")
+	}
+	if cs.Hits != 0 {
+		t.Fatalf("cold run hit a fresh store: %+v", cs)
+	}
+
+	warm := openStore(t, dir) // fresh handle, same directory: a new process
+	res2, err := RunSweep(storeSpec(t, warm, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Text() != res2.Text() {
+		t.Error("warm figures differ from cold figures")
+	}
+	if res1.RowsCSV() != res2.RowsCSV() {
+		t.Error("warm CSV differs from cold CSV")
+	}
+	ws := warm.Stats()
+	if ws.Misses != 0 || ws.Hits == 0 {
+		t.Fatalf("warm run missed the store: %+v", ws)
+	}
+	if ws.Puts != 0 {
+		t.Fatalf("warm run re-published %d entries", ws.Puts)
+	}
+	if rate := ws.HitRate(); rate < 0.9 {
+		t.Fatalf("warm hit rate %.2f below the CI floor", rate)
+	}
+}
+
+// A store full of corrupt entries degrades to recomputation, never to wrong
+// results: output stays byte-identical and every entry reads as a miss.
+func TestStoreCorruptionRecomputesIdentically(t *testing.T) {
+	dir := t.TempDir()
+	res1, err := RunSweep(storeSpec(t, openStore(t, dir), false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload bit in every entry on disk.
+	n := 0
+	err = filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		data[len(data)-1] ^= 0x40
+		n++
+		return os.WriteFile(path, data, 0o644)
+	})
+	if err != nil || n == 0 {
+		t.Fatalf("corrupting store: n=%d err=%v", n, err)
+	}
+	poisoned := openStore(t, dir)
+	res2, err := RunSweep(storeSpec(t, poisoned, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Text() != res2.Text() || res1.RowsCSV() != res2.RowsCSV() {
+		t.Error("output over a corrupt store differs from the clean run")
+	}
+	ps := poisoned.Stats()
+	if ps.Hits != 0 || ps.Corrupt == 0 {
+		t.Fatalf("corrupt entries served as hits: %+v", ps)
+	}
+	if ps.Puts == 0 {
+		t.Fatal("corrupt entries were not repaired by re-publication")
+	}
+}
+
+// Certified exact optima persist across processes; refusals do not.
+func TestStoreBackedExactGapMemo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact sweep")
+	}
+	dir := t.TempDir()
+	cold := openStore(t, dir)
+	res1, err := RunSweep(storeSpec(t, cold, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := openStore(t, dir)
+	res2, err := RunSweep(storeSpec(t, warm, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.RowsCSV() != res2.RowsCSV() {
+		t.Error("gap columns differ across store-backed runs")
+	}
+	if ws := warm.Stats(); ws.Misses != 0 {
+		t.Fatalf("warm gap run missed the store: %+v", ws)
+	}
+	// The gap rows actually certified something (the memo wasn't empty).
+	certified := 0
+	for _, row := range res2.Rows {
+		if row.Gap != nil {
+			certified += row.Gap.Kernels
+		}
+	}
+	if certified == 0 {
+		t.Fatal("no kernel was certified; the exact-memo store path was never exercised")
+	}
+}
+
+// DisableSimCache turns the durable tier off with the in-memory one.
+func TestDisableSimCacheBypassesStore(t *testing.T) {
+	st := openStore(t, t.TempDir())
+	r := NewRunnerWith(workloads.Suite()[:1], 64)
+	r.DisableSimCache = true
+	r.Store = st
+	if _, _, err := r.Eval(machine.TwoCluster(2, 1, 1, 4), 0, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	if s := st.Stats(); s.Hits+s.Misses+s.Puts != 0 {
+		t.Fatalf("disabled cache still touched the store: %+v", s)
+	}
+}
+
+func TestSimResultCodecRoundTrip(t *testing.T) {
+	r := &sim.Result{
+		Compute: 1, Stall: 2, Total: 3,
+		SimExecutions: 4, Executions: 5, IterSpace: 6,
+		StallOperand: 7, StallComm: 8,
+		BusTx: 18, BusBusy: 19, BusWait: -20,
+	}
+	r.Mem.Accesses, r.Mem.LocalHits, r.Mem.MergedMisses, r.Mem.RemoteHits = 9, 10, 11, 12
+	r.Mem.MemoryServed, r.Mem.Upgrades, r.Mem.Invalidations, r.Mem.Writebacks = 13, 14, 15, 16
+	r.Mem.WaitEntry, r.Mem.WaitBus = 17, -1
+	got, ok := decodeSimResult(encodeSimResult(r))
+	if !ok {
+		t.Fatal("decode rejected its own encoding")
+	}
+	if *got != *r {
+		t.Fatalf("round trip lost fields:\n got %+v\nwant %+v", got, r)
+	}
+	for _, bad := range [][]byte{nil, {1}, make([]byte, simResultFields*8-1), make([]byte, simResultFields*8+8)} {
+		if _, ok := decodeSimResult(bad); ok {
+			t.Fatalf("decode accepted a %d-byte payload", len(bad))
+		}
+	}
+}
+
+func TestExactCellCodecRoundTrip(t *testing.T) {
+	c := exactCell{ii: 7, maxLive: 13}
+	got, ok := decodeExactCell(encodeExactCell(c))
+	if !ok || got.ii != 7 || got.maxLive != 13 || !got.ok {
+		t.Fatalf("round trip = %+v, %v", got, ok)
+	}
+	if _, ok := decodeExactCell(make([]byte, 7)); ok {
+		t.Fatal("decode accepted a short payload")
+	}
+}
+
+// Store keys are content-addressed: two kernels built identically share a
+// key (cross-process reuse), and any semantic difference splits it.
+func TestSimStoreKeyContentAddressed(t *testing.T) {
+	gen := func(seed int64) *workloads.Benchmark {
+		spec := workloads.GenSpec{Seed: seed, Arith: 4, Loads: 2, Stores: 1, Arrays: 2, FootprintBytes: 32768, Trip: []int{4, 64}}
+		b, err := workloads.GenerateSuite(spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &b[0]
+	}
+	k1, k2, k3 := gen(1).Kernels[0], gen(1).Kernels[0], gen(2).Kernels[0]
+	cfg := configKey(machine.TwoCluster(2, 1, 1, 4))
+	a := simStoreKey(k1, cfg, 128, "sched")
+	b := simStoreKey(k2, cfg, 128, "sched")
+	if string(a) != string(b) {
+		t.Error("identical kernels from different processes would not share entries")
+	}
+	variants := map[string][]byte{
+		"kernel": simStoreKey(k3, cfg, 128, "sched"),
+		"config": simStoreKey(k1, configKey(machine.FourCluster(2, 1, 1, 4)), 128, "sched"),
+		"simCap": simStoreKey(k1, cfg, 256, "sched"),
+		"sched":  simStoreKey(k1, cfg, 128, "sched2"),
+		"domain": exactStoreKey(k1, machine.TwoCluster(2, 1, 1, 4)),
+	}
+	for name, v := range variants {
+		if string(a) == string(v) {
+			t.Errorf("key ignores the %s component", name)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"multivliw/internal/fielderr"
 	"multivliw/internal/machine"
 	"multivliw/internal/sched"
+	"multivliw/internal/store"
 	"multivliw/internal/workloads"
 )
 
@@ -74,6 +75,12 @@ type SweepSpec struct {
 	Kernels *KernelSetSpec `json:"kernels,omitempty"`
 
 	Figures []FigureSpec `json:"figures"`
+
+	// Store, when non-nil, is the durable content-addressed result store
+	// the sweep's runners read through and publish to (simulation
+	// replays and certified exact optima). Not part of the wire format:
+	// processes choose their own store location (-store / Config.Store).
+	Store *store.Store `json:"-"`
 
 	// baseDir resolves relative machine-spec file references; set by
 	// LoadSweepSpec.
@@ -503,114 +510,25 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) {
 // the worker pool from claiming new cells and fails the sweep with the
 // typed runctx error. Per-kernel exact-solve deadlines
 // (SweepSpec.ExactDeadlineMs) nest inside the sweep context.
+//
+// A single-process run is the degenerate case of the sharded fabric: the
+// spec expands to its unit plan, every unit index is evaluated locally, and
+// the assembly is the same code path MergeShards takes — which is why a
+// merged multi-shard run is byte-identical to this one.
 func RunSweepCtx(ctx context.Context, spec *SweepSpec) (*SweepResult, error) {
-	if !spec.validated {
-		if err := spec.validate(); err != nil {
-			return nil, fmt.Errorf("sweep spec: %w", err)
-		}
-	}
-	suite, err := spec.suite()
+	plan, err := planSweep(spec)
 	if err != nil {
 		return nil, err
 	}
-	runners := make(map[int]*Runner)
-	runnerFor := func(simCap int) *Runner {
-		r := runners[simCap]
-		if r == nil {
-			r = NewRunnerWith(suite, simCap)
-			r.Parallelism = spec.Parallelism
-			runners[simCap] = r
-		}
-		return r
+	indices := make([]int, len(plan.units))
+	for i := range indices {
+		indices[i] = i
 	}
-	res := &SweepResult{Name: spec.Name, GapColumns: spec.OptimalityGap}
-	// Exact results are a property of (kernel, machine) alone, so one memo
-	// serves every figure, scheduler and threshold of the sweep; heuristic
-	// IIs additionally key on (policy, threshold), and their memo spares
-	// figures that share cells from re-scheduling them.
-	memo := &gapMemo{exact: map[string]exactCell{}, heur: map[string]exactCell{}}
-	for _, fig := range spec.Figures {
-		simCap := DefaultSimCap
-		if spec.SimCap != nil {
-			simCap = *spec.SimCap
-		}
-		if fig.SimCap != nil {
-			simCap = *fig.SimCap
-		}
-		r := runnerFor(simCap)
-		out := SweepFigure{Title: fig.Title}
-		if fig.IncludeUnified {
-			uni, err := r.unifiedBarsCtx(ctx)
-			if err != nil {
-				return nil, fmt.Errorf("%s: unified reference: %w", fig.Title, err)
-			}
-			out.Unified = uni
-		}
-		pols := []sched.Policy{sched.Baseline, sched.RMCA}
-		if len(fig.Schedulers) > 0 {
-			pols = pols[:0]
-			for _, name := range fig.Schedulers {
-				pol, err := parsePolicy(name)
-				if err != nil {
-					return nil, err
-				}
-				pols = append(pols, pol)
-			}
-		}
-		thrs := Thresholds
-		if len(fig.Thresholds) > 0 {
-			thrs = fig.Thresholds
-		}
-		var groups []barGroup
-		for _, g := range fig.Groups {
-			cfg, err := g.Machine.resolve(spec.baseDir)
-			if err != nil {
-				return nil, fmt.Errorf("%s, group %q: %w", fig.Title, g.Label, err)
-			}
-			groups = append(groups, barGroup{
-				cfg: cfg, label: g.Label, clusters: cfg.Clusters,
-				lrb: cfg.RegBusLat, lmb: cfg.MemBusLat, nrb: cfg.RegBuses, nmb: cfg.MemBuses,
-			})
-		}
-		bars, err := r.expandBars(ctx, groups, pols, thrs)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", fig.Title, err)
-		}
-		out.Bars = bars
-		res.Figures = append(res.Figures, out)
-		for _, b := range out.Unified {
-			row := SweepRow{
-				Figure: fig.Title, Group: b.Label, Machine: "Unified", Clusters: b.Clusters,
-				Scheduler: b.Scheduler, Threshold: b.Threshold,
-				Compute: b.Compute, Stall: b.Stall, Total: b.Total(),
-			}
-			if spec.OptimalityGap {
-				// The Unified reference bars run the Baseline policy.
-				row.Gap = r.rowGap(ctx, machine.Unified(), sched.Baseline, b.Threshold, memo, spec)
-			}
-			res.Rows = append(res.Rows, row)
-		}
-		// Bars are group-major (expandBars preserves construction
-		// order), so the owning group is recovered by index — labels
-		// need not be unique.
-		perGroup := len(pols) * len(thrs)
-		for i, b := range bars {
-			row := SweepRow{
-				Figure: fig.Title, Group: b.Label, Machine: groups[i/perGroup].cfg.Name, Clusters: b.Clusters,
-				Scheduler: b.Scheduler, Threshold: b.Threshold,
-				Compute: b.Compute, Stall: b.Stall, Total: b.Total(),
-			}
-			if spec.OptimalityGap {
-				pol, err := parsePolicy(b.Scheduler)
-				if err != nil {
-					return nil, fmt.Errorf("%s: %w", fig.Title, err)
-				}
-				row.Gap = r.rowGap(ctx, groups[i/perGroup].cfg, pol, b.Threshold, memo, spec)
-			}
-			res.Rows = append(res.Rows, row)
-		}
+	vals, err := plan.evaluate(ctx, indices)
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return plan.assemble(vals)
 }
 
 // exactCell memoizes one scheduler outcome: II and worst-cluster MaxLive,
@@ -655,6 +573,17 @@ func (r *Runner) rowGap(ctx context.Context, cfg machine.Config, pol sched.Polic
 		for _, k := range r.Suite[bi].Kernels {
 			key := fmt.Sprintf("%p|%v", k, cfg)
 			cell, seen := memo.exact[key]
+			if !seen && r.Store != nil {
+				// Durable tier: a certified optimum is a property of
+				// (kernel, machine) alone, so any process that solved
+				// this cell before already paid for it.
+				if data, ok := r.Store.Get(exactStoreKey(k, cfg)); ok {
+					if c, ok := decodeExactCell(data); ok {
+						cell, seen = c, true
+						memo.exact[key] = c
+					}
+				}
+			}
 			if !seen {
 				exCtx, cancel := ctx, context.CancelFunc(func() {})
 				if spec.ExactDeadlineMs > 0 {
@@ -664,6 +593,12 @@ func (r *Runner) rowGap(ctx context.Context, cfg machine.Config, pol sched.Polic
 				cancel()
 				if err == nil {
 					cell = exactCell{ii: s.II, maxLive: s.Stats.MaxLiveMax, ok: true, status: exact.StatusOptimal}
+					if r.Store != nil {
+						// Only certified optima persist: a budget or
+						// deadline refusal is a fact about this run's
+						// limits, not about the kernel.
+						_ = r.Store.Put(exactStoreKey(k, cfg), encodeExactCell(cell))
+					}
 				} else {
 					cell = exactCell{status: exact.Classify(err)}
 				}

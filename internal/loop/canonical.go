@@ -1,0 +1,89 @@
+package loop
+
+// AppendCanonical appends an injective binary encoding of everything that
+// determines how a kernel schedules and simulates: the iteration space, the
+// dependence graph (node classes, reference bindings, every edge with kind
+// and distance), and the affine reference table with each array's placement
+// geometry. Together with the machine configuration, the SimCap and the
+// schedule's own canonical encoding it forms the durable replay-store key:
+// two kernels with equal encodings are interchangeable in every scheduler,
+// analysis and simulator of this module.
+//
+// The encoding is length-prefixed fixed-width records in fixed order, so
+// distinct kernels can never collide. Node and array names are included:
+// they do not affect simulation, but they do appear in rendered output and
+// error messages, and excluding them would make the key lie about what a
+// cached artifact can stand in for.
+func (k *Kernel) AppendCanonical(dst []byte) []byte {
+	dst = appendString(dst, k.Name)
+	dst = appendUvarint(dst, len(k.Trip))
+	for _, t := range k.Trip {
+		dst = appendInt64(dst, int64(t))
+	}
+	nodes := k.Graph.Nodes()
+	dst = appendUvarint(dst, len(nodes))
+	for _, n := range nodes {
+		dst = appendString(dst, n.Name)
+		dst = appendInt64(dst, int64(n.Class))
+		dst = appendInt64(dst, int64(n.Ref))
+	}
+	// Edges in (source node, insertion order) — the order AddEdge fixed.
+	dst = appendUvarint(dst, k.Graph.NumEdges())
+	for id := range nodes {
+		for _, e := range k.Graph.Out(id) {
+			dst = appendInt64(dst, int64(e.From))
+			dst = appendInt64(dst, int64(e.To))
+			dst = appendInt64(dst, int64(e.Kind))
+			dst = appendInt64(dst, int64(e.Distance))
+		}
+	}
+	dst = appendUvarint(dst, len(k.Refs))
+	for _, r := range k.Refs {
+		dst = appendString(dst, r.Array.Name)
+		dst = appendInt64(dst, int64(r.Array.Base))
+		dst = appendInt64(dst, int64(r.Array.ElemBytes))
+		dst = appendUvarint(dst, len(r.Array.Dims))
+		for _, d := range r.Array.Dims {
+			dst = appendInt64(dst, int64(d))
+		}
+		if r.Store {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		dst = appendUvarint(dst, len(r.Index))
+		for _, ix := range r.Index {
+			dst = appendInt64(dst, int64(ix.Off))
+			dst = appendUvarint(dst, len(ix.Coef))
+			for _, c := range ix.Coef {
+				dst = appendInt64(dst, int64(c))
+			}
+		}
+	}
+	return dst
+}
+
+// appendString appends a length-prefixed string (the prefix keeps the
+// encoding injective under concatenation).
+func appendString(dst []byte, s string) []byte {
+	dst = appendUvarint(dst, len(s))
+	return append(dst, s...)
+}
+
+// appendUvarint appends a non-negative count in a compact fixed-safe form:
+// little-endian base-128 with a continuation bit.
+func appendUvarint(dst []byte, n int) []byte {
+	u := uint64(n)
+	for u >= 0x80 {
+		dst = append(dst, byte(u)|0x80)
+		u >>= 7
+	}
+	return append(dst, byte(u))
+}
+
+// appendInt64 appends a fixed-width little-endian int64.
+func appendInt64(dst []byte, x int64) []byte {
+	return append(dst,
+		byte(x), byte(x>>8), byte(x>>16), byte(x>>24),
+		byte(x>>32), byte(x>>40), byte(x>>48), byte(x>>56))
+}

@@ -1,0 +1,102 @@
+package loop
+
+import (
+	"bytes"
+	"testing"
+)
+
+// sample builds a small kernel with every encodable feature: multi-level
+// trips, arithmetic, loads, a store, a carried recurrence and a memory
+// dependence.
+func sample(name string, tweak func(b *Builder, arr *Array)) *Kernel {
+	as := NewAddressSpace(0, 64, 128)
+	a := as.Alloc("A", 8, 32, 16)
+	b := NewBuilder(name, 4, 128)
+	x := b.Load(a, Aff(0, 1, 0), Aff(1, 0, 2))
+	y := b.FMul("y", x, x)
+	acc := b.FAdd("acc", y)
+	b.Carried(acc, acc, 1)
+	st := b.Store(a, acc, Aff(0, 1, 0), Aff(0, 0, 1))
+	b.MemDep(st, st, 1)
+	if tweak != nil {
+		tweak(b, a)
+	}
+	return b.MustBuild()
+}
+
+func TestCanonicalDeterministic(t *testing.T) {
+	k1 := sample("k", nil)
+	k2 := sample("k", nil)
+	e1 := k1.AppendCanonical(nil)
+	e2 := k2.AppendCanonical(nil)
+	if !bytes.Equal(e1, e2) {
+		t.Fatal("identically-built kernels encode differently")
+	}
+	if !bytes.Equal(e1, k1.AppendCanonical(nil)) {
+		t.Fatal("re-encoding the same kernel differs")
+	}
+	if len(e1) == 0 {
+		t.Fatal("empty encoding")
+	}
+	// Appends to the existing buffer rather than replacing it.
+	pre := []byte("prefix")
+	out := k1.AppendCanonical(append([]byte(nil), pre...))
+	if !bytes.HasPrefix(out, pre) || !bytes.Equal(out[len(pre):], e1) {
+		t.Fatal("AppendCanonical does not append")
+	}
+}
+
+// Any semantically-relevant difference must change the encoding.
+func TestCanonicalInjective(t *testing.T) {
+	base := sample("k", nil)
+	variants := map[string]*Kernel{
+		"name":      sample("k2", nil),
+		"extra-op":  sample("k", func(b *Builder, _ *Array) { b.FAdd("z") }),
+		"extra-dep": sample("k", func(b *Builder, _ *Array) { b.Carried(1, 2, 3) }),
+		"extra-ref": sample("k", func(b *Builder, a *Array) { b.Load(a, Aff(5, 1)) }),
+	}
+	// Trip-count change.
+	as := NewAddressSpace(0, 64, 128)
+	arr := as.Alloc("A", 8, 32, 16)
+	tb := NewBuilder("k", 4, 256)
+	x := tb.Load(arr, Aff(0, 1, 0), Aff(1, 0, 2))
+	y := tb.FMul("y", x, x)
+	acc := tb.FAdd("acc", y)
+	tb.Carried(acc, acc, 1)
+	st := tb.Store(arr, acc, Aff(0, 1, 0), Aff(0, 0, 1))
+	tb.MemDep(st, st, 1)
+	variants["trip"] = tb.MustBuild()
+	// Array placement change (same shape, different base): the CME and
+	// the memory system see different cache behavior.
+	as2 := NewAddressSpace(4096, 64, 128)
+	arr2 := as2.Alloc("A", 8, 32, 16)
+	pb := NewBuilder("k", 4, 128)
+	x2 := pb.Load(arr2, Aff(0, 1, 0), Aff(1, 0, 2))
+	y2 := pb.FMul("y", x2, x2)
+	acc2 := pb.FAdd("acc", y2)
+	pb.Carried(acc2, acc2, 1)
+	st2 := pb.Store(arr2, acc2, Aff(0, 1, 0), Aff(0, 0, 1))
+	pb.MemDep(st2, st2, 1)
+	variants["array-base"] = pb.MustBuild()
+
+	enc := base.AppendCanonical(nil)
+	for name, v := range variants {
+		if bytes.Equal(enc, v.AppendCanonical(nil)) {
+			t.Errorf("variant %q encodes identically to the base kernel", name)
+		}
+	}
+}
+
+// The length prefixes keep field boundaries unambiguous: a name ending in
+// material that could be mistaken for the next field must not collide.
+func TestCanonicalLengthPrefixing(t *testing.T) {
+	a := sample("ab", nil)
+	b := sample("a", nil)
+	ea, eb := a.AppendCanonical(nil), b.AppendCanonical(nil)
+	if bytes.Equal(ea, eb) {
+		t.Fatal("name length not captured")
+	}
+	if bytes.HasPrefix(ea, eb) || bytes.HasPrefix(eb, ea) {
+		t.Fatal("one encoding is a prefix of the other; concatenation ambiguity")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"multivliw/internal/machine"
 	"multivliw/internal/runctx"
 	"multivliw/internal/sched"
+	"multivliw/internal/store"
 	"multivliw/internal/workloads"
 )
 
@@ -46,6 +47,13 @@ type Config struct {
 
 	// CacheCap bounds the response cache (entries; 0 = 4096).
 	CacheCap int
+
+	// Store, when non-nil, is the durable content-addressed result store
+	// behind /v1/sweep shard evaluations: simulation replays and
+	// certified exact optima persist across restarts, and the store's
+	// counters join the /metrics exposition. Nil serves without a
+	// durable tier.
+	Store *store.Store
 
 	// Faults, when non-nil, arms the fault-injection seam.
 	Faults *FaultInjector
@@ -128,10 +136,14 @@ func (s *Server) Handler() http.Handler {
 		return s.handleSchedule(w, r, true)
 	}))
 	mux.HandleFunc("POST /v1/gap", s.guard("gap", s.handleGap))
+	mux.HandleFunc("POST /v1/sweep", s.guard("sweep", s.handleSweep))
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 		fmt.Fprint(w, s.metrics.Render())
+		if s.cfg.Store != nil {
+			fmt.Fprint(w, renderStoreMetrics(s.cfg.Store))
+		}
 	})
 	return mux
 }

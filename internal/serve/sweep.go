@@ -1,0 +1,121 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"multivliw/internal/harness"
+	"multivliw/internal/runctx"
+	"multivliw/internal/store"
+)
+
+// SweepRequest runs one shard of a declarative sweep — the fabric's remote
+// work unit. Spec is a full SweepSpec document (the same wire format
+// mvpexperiments -spec reads); Shard/Of name the slice of its grid this
+// server should evaluate. Of 0 (or 1) evaluates the whole sweep as a
+// single fragment. The response fragment merges with the other shards'
+// fragments via MergeShards (or `mvpexperiments -merge`) into output
+// byte-identical to a single-process run.
+type SweepRequest struct {
+	Spec  json.RawMessage `json:"spec"`
+	Shard int             `json:"shard,omitempty"`
+	Of    int             `json:"of,omitempty"`
+
+	// DeadlineMs bounds the whole shard evaluation (0 = the server
+	// default, capped at the server maximum).
+	DeadlineMs int `json:"deadlineMs,omitempty"`
+}
+
+// SweepResponse carries one evaluated shard fragment.
+type SweepResponse struct {
+	Fragment *harness.ShardResult `json:"fragment"`
+	Cached   bool                 `json:"cached"`
+}
+
+// handleSweep serves /v1/sweep. The shard evaluation runs under the
+// request deadline and reads through the server's durable store when one
+// is configured, so a re-requested shard is answered from cached
+// simulation results even after a restart.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) int {
+	var req SweepRequest
+	if code := s.decode(w, r, &req); code != 0 {
+		return code
+	}
+	ctx, cancel := s.requestContext(r, req.DeadlineMs)
+	defer cancel()
+
+	of := req.Of
+	if of == 0 {
+		of = 1
+	}
+	if of < 1 || req.Shard < 0 || req.Shard >= of {
+		return writeError(w, http.StatusBadRequest, fmt.Sprintf("shard: %d/%d is not a valid coordinate", req.Shard, of), 0)
+	}
+	if len(req.Spec) == 0 {
+		return writeError(w, http.StatusBadRequest, "spec: must carry a sweep-spec document", 0)
+	}
+	spec, err := harness.ParseSweepSpec(req.Spec, ".")
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err.Error(), 0)
+	}
+	spec.Store = s.cfg.Store
+
+	// The raw spec text keys the cache: two textually-identical requests
+	// share an entry, reformatted ones recompute (and still agree, by the
+	// fabric's determinism guarantee).
+	key := cacheKey("sweep", struct {
+		Spec      string
+		Shard, Of int
+	}{string(req.Spec), req.Shard, of})
+	if v, ok := s.cache.get(key); ok {
+		s.metrics.CacheHits.Add(1)
+		resp := v.(SweepResponse)
+		resp.Cached = true
+		return writeJSON(w, http.StatusOK, resp)
+	}
+	s.metrics.CacheMisses.Add(1)
+
+	if err := s.cfg.Faults.at("sweep"); err != nil {
+		return s.writeInterrupt(w, err)
+	}
+	frag, err := harness.RunSweepShard(ctx, spec, req.Shard, of)
+	if err != nil {
+		if runctx.IsInterrupt(err) {
+			s.metrics.DeadlineExpired.Add(1)
+			return s.writeInterrupt(w, err)
+		}
+		return writeError(w, http.StatusUnprocessableEntity, fmt.Sprintf("sweep shard failed: %v", err), 0)
+	}
+	resp := SweepResponse{Fragment: frag}
+	s.cache.put(key, resp)
+	return writeJSON(w, http.StatusOK, resp)
+}
+
+// renderStoreMetrics appends the durable store's counters to the /metrics
+// exposition: cumulative hit/miss/put/corruption activity of this process,
+// plus the store's current entry count and byte size (gauges, walked at
+// scrape time).
+func renderStoreMetrics(st *store.Store) string {
+	stats := st.Stats()
+	var b []byte
+	counter := func(name string, v int64) {
+		b = fmt.Appendf(b, "# TYPE %s counter\n%s %d\n", name, name, v)
+	}
+	counter("mvpserve_store_hits_total", stats.Hits)
+	counter("mvpserve_store_misses_total", stats.Misses)
+	counter("mvpserve_store_puts_total", stats.Puts)
+	counter("mvpserve_store_put_errors_total", stats.PutErrors)
+	counter("mvpserve_store_corrupt_total", stats.Corrupt)
+	counter("mvpserve_store_evicted_total", stats.Evicted)
+	gauge := func(name string, v int64) {
+		b = fmt.Appendf(b, "# TYPE %s gauge\n%s %d\n", name, name, v)
+	}
+	if n, err := st.Len(); err == nil {
+		gauge("mvpserve_store_entries", int64(n))
+	}
+	if sz, err := st.SizeBytes(); err == nil {
+		gauge("mvpserve_store_bytes", sz)
+	}
+	return string(b)
+}

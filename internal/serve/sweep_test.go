@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"multivliw/internal/harness"
+	"multivliw/internal/store"
+)
+
+// sweepSpecJSON is the shard tests' sweep document: a seeded generated
+// corpus over two machine columns, small enough for request-scale latency.
+const sweepSpecJSON = `{
+	"name": "serve-sweep",
+	"simCap": 96,
+	"kernels": {"generated": {"count": 2, "spec": {
+		"seed": 11, "arith": 4, "loads": 2, "stores": 1,
+		"arrays": 2, "footprintBytes": 32768, "trip": [4, 64]
+	}}},
+	"figures": [{
+		"title": "serve sweep",
+		"thresholds": [1.0, 0.0],
+		"groups": [
+			{"label": "2cl", "machine": {"ref": "2-cluster"}},
+			{"label": "4cl", "machine": {"ref": "4-cluster"}}
+		]
+	}]
+}`
+
+func sweepReq(shard, of int) SweepRequest {
+	return SweepRequest{Spec: json.RawMessage(sweepSpecJSON), Shard: shard, Of: of}
+}
+
+// Two shards fetched over HTTP merge into exactly what a local
+// single-process run of the same spec produces.
+func TestSweepEndpointShardsMergeToLocalRun(t *testing.T) {
+	s := New(Config{Concurrency: 2})
+	h := s.Handler()
+
+	var frags []*harness.ShardResult
+	for i := 0; i < 2; i++ {
+		var resp SweepResponse
+		code, _ := post(t, h, "/v1/sweep", sweepReq(i, 2), &resp)
+		if code != http.StatusOK {
+			t.Fatalf("sweep shard %d: status %d", i, code)
+		}
+		if resp.Fragment == nil || resp.Cached {
+			t.Fatalf("sweep shard %d: implausible response %+v", i, resp)
+		}
+		frags = append(frags, resp.Fragment)
+	}
+
+	spec, err := harness.ParseSweepSpec([]byte(sweepSpecJSON), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := harness.MergeShards(spec, frags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := harness.ParseSweepSpec([]byte(sweepSpecJSON), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := harness.RunSweep(spec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Text() != local.Text() || merged.RowsCSV() != local.RowsCSV() {
+		t.Error("merged remote shards differ from the local run")
+	}
+
+	// A repeated shard request is answered from the response cache.
+	var again SweepResponse
+	if code, _ := post(t, h, "/v1/sweep", sweepReq(0, 2), &again); code != http.StatusOK || !again.Cached {
+		t.Fatalf("repeat shard: status %d cached %v", code, again.Cached)
+	}
+}
+
+func TestSweepEndpointRejectsBadRequests(t *testing.T) {
+	s := New(Config{Concurrency: 2})
+	h := s.Handler()
+	cases := []struct {
+		name string
+		req  SweepRequest
+	}{
+		{"bad coordinate", sweepReq(3, 2)},
+		{"negative shard", sweepReq(-1, 2)},
+		{"missing spec", SweepRequest{Of: 1}},
+		{"invalid spec", SweepRequest{Spec: json.RawMessage(`{"name":""}`), Of: 1}},
+	}
+	for _, c := range cases {
+		if code, _ := post(t, h, "/v1/sweep", c.req, nil); code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, code)
+		}
+	}
+}
+
+// With a store configured, a second server process re-serving the same
+// shard reads every simulation from disk, and /metrics exposes the store
+// counters.
+func TestSweepEndpointUsesDurableStore(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *store.Store {
+		st, err := store.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	cold := open()
+	s1 := New(Config{Concurrency: 2, Store: cold})
+	var first SweepResponse
+	if code, _ := post(t, s1.Handler(), "/v1/sweep", sweepReq(0, 1), &first); code != http.StatusOK {
+		t.Fatalf("cold sweep: status %d", code)
+	}
+	if st := cold.Stats(); st.Puts == 0 {
+		t.Fatalf("cold sweep published nothing: %+v", st)
+	}
+
+	warm := open()
+	s2 := New(Config{Concurrency: 2, Store: warm})
+	var second SweepResponse
+	if code, _ := post(t, s2.Handler(), "/v1/sweep", sweepReq(0, 1), &second); code != http.StatusOK {
+		t.Fatalf("warm sweep: status %d", code)
+	}
+	if st := warm.Stats(); st.Misses != 0 || st.Hits == 0 {
+		t.Fatalf("warm server missed the store: %+v", st)
+	}
+	a, _ := first.Fragment.Marshal()
+	b, _ := second.Fragment.Marshal()
+	if string(a) != string(b) {
+		t.Error("fragments diverge across processes sharing a store")
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s2.Handler().ServeHTTP(rec, req)
+	body := rec.Body.String()
+	for _, want := range []string{
+		"mvpserve_store_hits_total", "mvpserve_store_misses_total 0",
+		"mvpserve_store_entries", "mvpserve_store_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// Without a store the exposition carries no store series at all — the
+// scrape schema only grows when the durable tier is actually on.
+func TestMetricsOmitStoreSeriesWithoutStore(t *testing.T) {
+	s := New(Config{Concurrency: 1})
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if strings.Contains(rec.Body.String(), "mvpserve_store_") {
+		t.Error("store series rendered without a configured store")
+	}
+}

@@ -1,0 +1,297 @@
+// Package store is a durable content-addressed result store: the on-disk
+// tier under the harness's in-memory replay cache and exact-gap memo, so
+// re-running an unchanged grid region is near-free across processes and
+// hosts.
+//
+// Keys are arbitrary canonical encodings (the PR 3 schedule/kernel/machine
+// encodings); the address of an entry is the SHA-256 of a schema-version
+// byte followed by the key bytes, fanned out over 256 subdirectories. The
+// store never trusts its own bytes:
+//
+//   - writes publish atomically (write to a temporary file in the entry's
+//     directory, fsync-free rename), so readers and concurrent writers can
+//     race freely — a Get sees either nothing or one complete entry, and
+//     the last writer of a key wins with an identical payload;
+//   - every entry carries a header (magic, schema version, payload length,
+//     FNV-64a payload checksum) checked on every read. A truncated file, a
+//     flipped bit, a stale schema version or a short header all read as a
+//     clean miss — never a wrong hit — and the corrupt entry is deleted so
+//     the next Put repairs it.
+//
+// The schema version participates in the address AND the header: bumping
+// SchemaVersion orphans old entries (address change) and refuses any that
+// collide anyway (header check). Eviction is explicit: Prune removes
+// oldest-first until the store fits a byte budget, counting evictions.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync/atomic"
+)
+
+// SchemaVersion is the current entry-format version. Bump it whenever the
+// meaning of any stored payload changes (a simulator fix, a new Result
+// field): old entries then become unaddressable and unreadable, which is
+// exactly a miss.
+const SchemaVersion = 1
+
+// magic marks a store entry file.
+var magic = [4]byte{'M', 'V', 'S', 'T'}
+
+// headerSize is magic + version byte + 8-byte payload length + 8-byte
+// FNV-64a payload checksum.
+const headerSize = 4 + 1 + 8 + 8
+
+// Store is a content-addressed on-disk cache rooted at one directory. All
+// methods are safe for concurrent use by any number of goroutines and
+// processes sharing the directory.
+type Store struct {
+	dir     string
+	version byte
+
+	hits    atomic.Int64
+	misses  atomic.Int64
+	puts    atomic.Int64
+	putErrs atomic.Int64
+	corrupt atomic.Int64
+	evicted atomic.Int64
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir, version: SchemaVersion}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// path maps a key to its entry file: sha256(version ‖ key), hex, fanned out
+// over the first byte so no directory grows unbounded.
+func (s *Store) path(key []byte) string {
+	h := sha256.New()
+	h.Write([]byte{s.version})
+	h.Write(key)
+	sum := hex.EncodeToString(h.Sum(nil))
+	return filepath.Join(s.dir, sum[:2], sum[2:])
+}
+
+// Get returns the payload stored under key. Any defect — absent entry,
+// truncated file, checksum mismatch, stale schema version — is a miss; a
+// defective entry is also deleted (best-effort) so a later Put repairs it.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	p := s.path(key)
+	data, err := os.ReadFile(p)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := s.decode(data)
+	if !ok {
+		s.corrupt.Add(1)
+		s.misses.Add(1)
+		os.Remove(p) // corrupt entries never get a second chance
+		return nil, false
+	}
+	s.hits.Add(1)
+	return payload, true
+}
+
+// decode validates an entry file and extracts its payload.
+func (s *Store) decode(data []byte) ([]byte, bool) {
+	if len(data) < headerSize {
+		return nil, false
+	}
+	if [4]byte(data[:4]) != magic || data[4] != s.version {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(data[5:13])
+	want := binary.LittleEndian.Uint64(data[13:21])
+	payload := data[headerSize:]
+	if uint64(len(payload)) != n {
+		return nil, false
+	}
+	h := fnv.New64a()
+	h.Write(payload)
+	if h.Sum64() != want {
+		return nil, false
+	}
+	return payload, true
+}
+
+// encode frames a payload with the entry header.
+func (s *Store) encode(payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out, magic[:])
+	out[4] = s.version
+	binary.LittleEndian.PutUint64(out[5:13], uint64(len(payload)))
+	h := fnv.New64a()
+	h.Write(payload)
+	binary.LittleEndian.PutUint64(out[13:21], h.Sum64())
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// Put publishes payload under key atomically: the entry is written to a
+// private temporary file in the destination directory and renamed into
+// place, so a concurrent Get never observes a partial entry and concurrent
+// writers of one key simply race to install equally-valid copies.
+func (s *Store) Put(key, payload []byte) error {
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		s.putErrs.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), filepath.Base(p)+".tmp*")
+	if err != nil {
+		s.putErrs.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := tmp.Write(s.encode(payload))
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		s.putErrs.Add(1)
+		if werr == nil {
+			werr = cerr
+		}
+		return fmt.Errorf("store: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		s.putErrs.Add(1)
+		return fmt.Errorf("store: %w", err)
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+// entryInfo is one on-disk entry during a walk.
+type entryInfo struct {
+	path  string
+	size  int64
+	mtime int64
+}
+
+// walk enumerates the store's entry files (temporary files excluded).
+func (s *Store) walk() ([]entryInfo, error) {
+	var out []entryInfo
+	err := filepath.WalkDir(s.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if len(d.Name()) != 62 { // 64 hex digits minus the 2-digit fanout dir
+			return nil // a .tmp file mid-publish, or foreign debris
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil // racing eviction/publish; skip
+		}
+		out = append(out, entryInfo{path: path, size: info.Size(), mtime: info.ModTime().UnixNano()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return out, nil
+}
+
+// Len returns the number of complete entries on disk.
+func (s *Store) Len() (int, error) {
+	es, err := s.walk()
+	return len(es), err
+}
+
+// SizeBytes returns the total on-disk payload+header bytes of all entries.
+func (s *Store) SizeBytes() (int64, error) {
+	es, err := s.walk()
+	var n int64
+	for _, e := range es {
+		n += e.size
+	}
+	return n, err
+}
+
+// Prune evicts oldest entries (by modification time, ties broken by path
+// for determinism) until the store's total size fits maxBytes. It returns
+// how many entries were evicted; the count also lands in Stats.Evicted.
+func (s *Store) Prune(maxBytes int64) (int, error) {
+	es, err := s.walk()
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range es {
+		total += e.size
+	}
+	if total <= maxBytes {
+		return 0, nil
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].mtime != es[j].mtime {
+			return es[i].mtime < es[j].mtime
+		}
+		return es[i].path < es[j].path
+	})
+	n := 0
+	for _, e := range es {
+		if total <= maxBytes {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			n++
+			s.evicted.Add(1)
+		}
+	}
+	return n, nil
+}
+
+// Stats is a snapshot of the store's counters. Hits and Misses count Get
+// outcomes (a corrupt entry is a miss that also increments Corrupt); Puts
+// counts successful publishes, PutErrors failed ones; Evicted counts
+// entries removed by Prune.
+type Stats struct {
+	Hits, Misses int64
+	Puts         int64
+	PutErrors    int64
+	Corrupt      int64
+	Evicted      int64
+}
+
+// HitRate returns the fraction of lookups answered from disk.
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// String renders the stats as the single storestats line the CI warm-cache
+// gate parses: stable "k=v" fields, hitrate last, in percent.
+func (s Stats) String() string {
+	return fmt.Sprintf("storestats: hits=%d misses=%d puts=%d puterrors=%d corrupt=%d evicted=%d hitrate=%.1f%%",
+		s.Hits, s.Misses, s.Puts, s.PutErrors, s.Corrupt, s.Evicted, 100*s.HitRate())
+}
+
+// Stats returns a snapshot of the store's counters.
+func (s *Store) Stats() Stats {
+	return Stats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Puts:      s.puts.Load(),
+		PutErrors: s.putErrs.Load(),
+		Corrupt:   s.corrupt.Load(),
+		Evicted:   s.evicted.Load(),
+	}
+}

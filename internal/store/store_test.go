@@ -1,0 +1,317 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return s
+}
+
+// entryFile returns the single on-disk entry of a one-entry store.
+func entryFile(t *testing.T, s *Store) string {
+	t.Helper()
+	es, err := s.walk()
+	if err != nil {
+		t.Fatalf("walk: %v", err)
+	}
+	if len(es) != 1 {
+		t.Fatalf("want exactly 1 entry on disk, have %d", len(es))
+	}
+	return es[0].path
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	key := []byte("kernel|machine|cap|schedule")
+	payload := []byte{0, 1, 2, 254, 255, 42}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("Get on an empty store hit")
+	}
+	if err := s.Put(key, payload); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %v, %v; want %v, true", got, ok, payload)
+	}
+	// A different key misses even with one entry present.
+	if _, ok := s.Get([]byte("other")); ok {
+		t.Fatal("distinct key hit")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Puts != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats = %+v; want 1 hit, 2 misses, 1 put, 0 corrupt", st)
+	}
+	if got := st.HitRate(); got != 1.0/3 {
+		t.Fatalf("HitRate = %g", got)
+	}
+}
+
+func TestEmptyPayloadRoundTrip(t *testing.T) {
+	s := open(t)
+	if err := s.Put([]byte("k"), nil); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, ok := s.Get([]byte("k"))
+	if !ok || len(got) != 0 {
+		t.Fatalf("Get = %v, %v; want empty, true", got, ok)
+	}
+}
+
+// Every way an entry can rot must read as a clean miss, bump the corrupt
+// counter, and delete the entry so a later Put repairs it.
+func TestCorruptionIsMiss(t *testing.T) {
+	key := []byte("key")
+	payload := []byte("the cached simulation result payload")
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, path string)
+	}{
+		{"truncated-mid-payload", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			writeFile(t, path, data[:len(data)-7])
+		}},
+		{"truncated-mid-header", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			writeFile(t, path, data[:headerSize-3])
+		}},
+		{"empty-file", func(t *testing.T, path string) {
+			writeFile(t, path, nil)
+		}},
+		{"bit-flipped-payload", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			data[headerSize+5] ^= 0x10
+			writeFile(t, path, data)
+		}},
+		{"bit-flipped-checksum", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			data[14] ^= 0x01
+			writeFile(t, path, data)
+		}},
+		{"stale-schema-version", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			data[4] = SchemaVersion + 1
+			writeFile(t, path, data)
+		}},
+		{"wrong-magic", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			data[0] = 'X'
+			writeFile(t, path, data)
+		}},
+		{"length-overstates-payload", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			data[5]++ // claims one more payload byte than present
+			writeFile(t, path, data)
+		}},
+		{"appended-trailing-garbage", func(t *testing.T, path string) {
+			data := readFile(t, path)
+			writeFile(t, path, append(data, 0xde, 0xad))
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := open(t)
+			if err := s.Put(key, payload); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			path := entryFile(t, s)
+			tc.corrupt(t, path)
+			if got, ok := s.Get(key); ok {
+				t.Fatalf("corrupt entry hit with payload %q", got)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Fatalf("corrupt counter = %d, want 1", st.Corrupt)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Fatalf("corrupt entry not deleted (stat err %v)", err)
+			}
+			// The store self-heals: a fresh Put serves hits again.
+			if err := s.Put(key, payload); err != nil {
+				t.Fatalf("repair Put: %v", err)
+			}
+			if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Fatalf("after repair Get = %v, %v", got, ok)
+			}
+		})
+	}
+}
+
+// A schema bump orphans old entries via the address, never serving them.
+func TestSchemaVersionChangesAddress(t *testing.T) {
+	dir := t.TempDir()
+	old, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old.version = SchemaVersion - 1
+	if err := old.Put([]byte("k"), []byte("old-format payload")); err != nil {
+		t.Fatal(err)
+	}
+	cur, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Get([]byte("k")); ok {
+		t.Fatal("entry written under an older schema version served as a hit")
+	}
+	// The old entry is unaddressable, not corrupt: it still exists.
+	if st := cur.Stats(); st.Corrupt != 0 {
+		t.Fatalf("corrupt = %d, want 0", st.Corrupt)
+	}
+}
+
+// Concurrent writers on one key and concurrent readers race freely: every
+// Get sees either a miss or one complete, checksum-valid payload.
+func TestConcurrentWritersSameKey(t *testing.T) {
+	s := open(t)
+	key := []byte("contended")
+	payload := bytes.Repeat([]byte("abcdefgh"), 512) // 4 KiB
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := s.Put(key, payload); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got, ok := s.Get(key); ok && !bytes.Equal(got, payload) {
+					t.Errorf("torn read: %d bytes", len(got))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got, ok := s.Get(key); !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("final Get = %v bytes, %v", len(got), ok)
+	}
+	if st := s.Stats(); st.Corrupt != 0 || st.PutErrors != 0 {
+		t.Fatalf("stats = %+v; want no corruption, no put errors", st)
+	}
+	// No temporary debris left behind.
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+func TestPruneEvictsOldestFirst(t *testing.T) {
+	s := open(t)
+	// Three entries with distinct, widely-spaced mtimes.
+	for i := 0; i < 3; i++ {
+		key := []byte{byte(i)}
+		if err := s.Put(key, bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+		old := time.Now().Add(time.Duration(i-3) * time.Hour)
+		if err := os.Chtimes(s.path(key), old, old); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size, err := s.SizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := size / 3
+	evicted, err := s.Prune(size - per) // must drop exactly one
+	if err != nil || evicted != 1 {
+		t.Fatalf("Prune = %d, %v; want 1 eviction", evicted, err)
+	}
+	if _, ok := s.Get([]byte{0}); ok {
+		t.Fatal("oldest entry survived eviction")
+	}
+	for i := 1; i < 3; i++ {
+		if _, ok := s.Get([]byte{byte(i)}); !ok {
+			t.Fatalf("newer entry %d evicted", i)
+		}
+	}
+	if st := s.Stats(); st.Evicted != 1 {
+		t.Fatalf("Evicted = %d, want 1", st.Evicted)
+	}
+	// Already under budget: no-op.
+	if n, err := s.Prune(1 << 30); err != nil || n != 0 {
+		t.Fatalf("no-op Prune = %d, %v", n, err)
+	}
+}
+
+func TestStatsStringParsesForCI(t *testing.T) {
+	s := open(t)
+	_ = s.Put([]byte("k"), []byte("v"))
+	s.Get([]byte("k"))
+	s.Get([]byte("missing"))
+	got := s.Stats().String()
+	want := "storestats: hits=1 misses=1 puts=1 puterrors=0 corrupt=0 evicted=0 hitrate=50.0%"
+	if got != want {
+		t.Fatalf("Stats.String() = %q, want %q", got, want)
+	}
+}
+
+func TestLenAndSizeSkipTempFiles(t *testing.T) {
+	s := open(t)
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crashed writer's leftover temporary file.
+	dir := filepath.Dir(s.path([]byte("k")))
+	writeFile(t, filepath.Join(dir, "deadbeef.tmp12345"), []byte("partial"))
+	if n, err := s.Len(); err != nil || n != 1 {
+		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkStoreGet measures the warm hit path — one Get of a ~200-byte
+// entry (a framed sim.Result) — the operation a warm sweep re-run performs
+// once per cell. Gated by perf_budgets.json.
+func BenchmarkStoreGet(b *testing.B) {
+	dir := b.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := []byte("bench|kernel|machine|1024|schedule-canonical-encoding")
+	payload := bytes.Repeat([]byte{7}, 200)
+	if err := s.Put(key, payload); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Get(key); !ok {
+			b.Fatal("miss on warm hit path")
+		}
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"multivliw/internal/sched"
 	"multivliw/internal/serve"
 	"multivliw/internal/sim"
+	"multivliw/internal/store"
 	"multivliw/internal/vliw"
 	"multivliw/internal/workloads"
 )
@@ -365,6 +366,46 @@ func RunSweep(spec *SweepSpec) (*SweepResult, error) { return harness.RunSweep(s
 func RunSweepContext(ctx context.Context, spec *SweepSpec) (*SweepResult, error) {
 	return harness.RunSweepCtx(ctx, spec)
 }
+
+// Sweep fabric: sweeps split into deterministic index-addressed shards
+// whose fragments merge back into output byte-identical to a
+// single-process run, optionally through a durable content-addressed
+// result store shared across processes and hosts.
+type (
+	// ResultStore is the on-disk content-addressed store: corrupt or
+	// stale entries read as misses and are recomputed, writes publish
+	// atomically, and concurrent writers are safe.
+	ResultStore = store.Store
+	// ResultStoreStats carries a store's hit/miss/put/corruption
+	// counters.
+	ResultStoreStats = store.Stats
+	// SweepShard is one shard's evaluated fragment, tagged with the plan
+	// fingerprint the merge validates.
+	SweepShard = harness.ShardResult
+)
+
+// OpenResultStore opens (or creates) a durable result store rooted at dir;
+// assign it to SweepSpec.Store to make sweeps read through and publish to
+// it.
+func OpenResultStore(dir string) (*ResultStore, error) { return store.Open(dir) }
+
+// RunSweepShard evaluates shard (shard of of) of the spec's unit grid —
+// the units with index ≡ shard (mod of). Identical specs and coordinates
+// produce identical fragments on any host.
+func RunSweepShard(ctx context.Context, spec *SweepSpec, shard, of int) (*SweepShard, error) {
+	return harness.RunSweepShard(ctx, spec, shard, of)
+}
+
+// MergeSweepShards recombines a complete fragment set into the
+// SweepResult a single-process run of the same spec would return,
+// byte-identical in both renderings; it fails loudly on missing,
+// duplicate, or foreign-plan fragments.
+func MergeSweepShards(spec *SweepSpec, frags []*SweepShard) (*SweepResult, error) {
+	return harness.MergeShards(spec, frags)
+}
+
+// ParseSweepShard parses a fragment produced by SweepShard.Marshal.
+func ParseSweepShard(data []byte) (*SweepShard, error) { return harness.ParseShardResult(data) }
 
 // Scheduling as a service: the HTTP/JSON server of internal/serve, with
 // admission control, per-request deadlines honored inside the search loops,
