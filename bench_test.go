@@ -312,6 +312,36 @@ func BenchmarkSweepRun(b *testing.B) {
 	b.ReportMetric(float64(rows), "rows")
 }
 
+// BenchmarkSweepRunWarmArtifacts is BenchmarkSweepRun against a persistent
+// compiled-artifact cache: every iteration parses the spec and builds a
+// fresh runner (and replay cache), but the per-(kernel, machine) scheduling
+// analyses and compiled replay programs are shared across iterations. The
+// delta against BenchmarkSweepRun is the per-cell recompute the artifact
+// layer eliminates.
+func BenchmarkSweepRunWarmArtifacts(b *testing.B) {
+	arts := multivliw.NewArtifactCache()
+	run := func() int {
+		spec, err := multivliw.ParseSweepSpec([]byte(sweepFig6Spec), ".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec.Artifacts = arts
+		res, err := multivliw.RunSweep(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return len(res.Rows)
+	}
+	run() // warm the artifact cache
+	b.ReportAllocs()
+	b.ResetTimer()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = run()
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
 // BenchmarkSchedulerRMCA measures scheduling throughput on a representative
 // kernel (mgrid.resid: 13 nodes, 7 memory references, 4 clusters).
 func BenchmarkSchedulerRMCA(b *testing.B) {

@@ -52,6 +52,7 @@ func main() {
 		simCap   = flag.Int("simcap", 1024, "simulated innermost iterations per kernel (0 = full)")
 		jobs     = flag.Int("j", 0, "parallel workers for figure sweeps (0 = all CPUs, 1 = serial; output is identical at any width)")
 		nocache  = flag.Bool("nosimcache", false, "disable the schedule-keyed replay cache (identical output, more wall-clock time)")
+		noarts   = flag.Bool("noartifacts", false, "disable the compiled-kernel artifact layer: recompute scheduling analyses and recompile replays per cell (identical output, more wall-clock time)")
 		specPath = flag.String("spec", "", "run a declarative experiment-spec file (see examples/sweep) instead of the hard-coded figures")
 		rowsOut  = flag.String("rows", "", "with -spec: also write the per-cell CSV rows to this file ('-' = stdout)")
 		shard    = flag.String("shard", "", "with -spec: evaluate only shard i/n of the sweep grid (format \"i/n\") and emit a fragment instead of figures")
@@ -83,7 +84,7 @@ func main() {
 		}
 	}
 	if *specPath != "" {
-		runSpec(*specPath, *rowsOut, *simCap, *jobs, *shard, *fragOut, *mergeIn, st)
+		runSpec(*specPath, *rowsOut, *simCap, *jobs, *shard, *fragOut, *mergeIn, st, *noarts)
 		printStoreStats()
 		return
 	}
@@ -115,6 +116,7 @@ func main() {
 	r.SimCap = *simCap
 	r.Parallelism = *jobs
 	r.DisableSimCache = *nocache
+	r.DisableArtifacts = *noarts
 	r.Store = st
 	defer printStoreStats()
 
@@ -221,13 +223,16 @@ func main() {
 // Explicitly-passed -simcap/-j flags override the spec's own settings; the
 // flag defaults do not, so `-spec examples/sweep/fig5.json` alone
 // reproduces the hard-coded `-fig5` output byte-identically.
-func runSpec(path, rowsOut string, simCap, jobs int, shard, fragOut, mergeIn string, st *store.Store) {
+func runSpec(path, rowsOut string, simCap, jobs int, shard, fragOut, mergeIn string, st *store.Store, noArtifacts bool) {
 	if shard != "" && mergeIn != "" {
 		fail(fmt.Errorf("-shard and -merge are mutually exclusive"))
 	}
 	spec, err := harness.LoadSweepSpec(path)
 	if err != nil {
 		fail(err)
+	}
+	if noArtifacts {
+		spec.NoArtifacts = true
 	}
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {

@@ -1,0 +1,245 @@
+// Compiled-kernel artifacts: the immutable products of analyzing one kernel
+// — DDG base latencies, the SMS order/SCC result, the guided-search
+// feasibility outcome (together a sched.Prepared), the CME analysis handle
+// per cache geometry, the kernel's canonical encoding, and the compiled
+// sim.Program per schedule fingerprint — built once per (kernel, machine)
+// and shared read-only across every grid cell, the parallel worker pool,
+// sweep shards and the serve handlers. The artifact layer never changes an
+// answer: everything it caches is a pure function of its key, and the
+// -noartifacts escape hatch recomputes per cell to prove it.
+package harness
+
+import (
+	"fmt"
+	"sync"
+
+	"multivliw/internal/cme"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/sim"
+)
+
+// machineEntry is the per-(kernel, machine) slice of a kernel artifact,
+// built exactly once however many workers race for it.
+type machineEntry struct {
+	once sync.Once
+	pre  *sched.Prepared
+	an   *cme.Analysis
+	err  error
+}
+
+// progEntry is a single-flight compiled-program slot. On success the entry
+// stays; a compile error or panic removes it so the slot is never poisoned
+// (the same discipline as the sim-replay cache).
+type progEntry struct {
+	done chan struct{}
+	prog *sim.Program
+	err  error
+}
+
+// KernelArtifact is the compiled artifact of one kernel: every analysis
+// product that depends only on the kernel (× machine where required), plus
+// the compiled replay program per (machine, schedule encoding). All methods
+// are safe for concurrent use; everything returned is immutable.
+type KernelArtifact struct {
+	kernel *loop.Kernel
+
+	mu       sync.Mutex
+	machines map[string]*machineEntry       // by configKey
+	cmes     map[cme.Geometry]*cme.Analysis // shared across same-geometry machines
+	progs    map[[2]string]*progEntry       // by (configKey, schedule encoding)
+	canon    []byte                         // kernel canonical encoding
+}
+
+// Kernel returns the kernel the artifact was compiled from.
+func (a *KernelArtifact) Kernel() *loop.Kernel { return a.kernel }
+
+// Canonical returns the kernel's canonical encoding (the store-key prefix),
+// computed once.
+func (a *KernelArtifact) Canonical() []byte {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.canon == nil {
+		a.canon = a.kernel.AppendCanonical(nil)
+	}
+	return a.canon
+}
+
+// machine returns the built per-machine entry for cfg (keyed by cfgKey,
+// cfg's canonical configKey string). The scheduling analyses are computed
+// once; the CME analysis is shared across machines with the same cache
+// geometry, exactly as Runner.analysis shares it.
+func (a *KernelArtifact) machine(cfgKey string, cfg machine.Config) *machineEntry {
+	a.mu.Lock()
+	e := a.machines[cfgKey]
+	if e == nil {
+		if a.machines == nil {
+			a.machines = make(map[string]*machineEntry)
+		}
+		e = &machineEntry{}
+		a.machines[cfgKey] = e
+	}
+	a.mu.Unlock()
+	e.once.Do(func() {
+		e.pre, e.err = sched.Prepare(a.kernel, cfg)
+		if e.err == nil {
+			e.an = a.analysis(cfg)
+		}
+	})
+	return e
+}
+
+// Machine returns the prepared scheduling artifact and the shared CME
+// analysis for cfg, building them on first use (exported for the serve
+// layer, which keys its own requests).
+func (a *KernelArtifact) Machine(cfg machine.Config) (*sched.Prepared, *cme.Analysis, error) {
+	e := a.machine(configKey(cfg), cfg)
+	return e.pre, e.an, e.err
+}
+
+// analysis returns the kernel's CME analysis for cfg's cache geometry,
+// shared across every machine with that geometry.
+func (a *KernelArtifact) analysis(cfg machine.Config) *cme.Analysis {
+	geom := cme.Geometry{CapacityBytes: cfg.CacheBytesPerCluster(), LineBytes: cfg.LineBytes, Assoc: cfg.Assoc}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	an := a.cmes[geom]
+	if an == nil {
+		if a.cmes == nil {
+			a.cmes = make(map[cme.Geometry]*cme.Analysis)
+		}
+		an = cme.New(a.kernel, geom, cme.DefaultParams())
+		a.cmes[geom] = an
+	}
+	return an
+}
+
+// program returns the compiled replay program for schedule s (whose
+// canonical encoding is enc) on the machine identified by cfgKey, compiling
+// at most once per distinct (machine, schedule) however many cells race for
+// it. A compile failure is returned to every racer and the slot is removed,
+// so a later (necessarily different) schedule with the same encoding can
+// never be served a stale error.
+func (a *KernelArtifact) program(cfgKey, enc string, s *sched.Schedule) (*sim.Program, error) {
+	key := [2]string{cfgKey, enc}
+	for {
+		a.mu.Lock()
+		if a.progs == nil {
+			a.progs = make(map[[2]string]*progEntry)
+		}
+		if e, ok := a.progs[key]; ok {
+			a.mu.Unlock()
+			<-e.done
+			if e.err != nil {
+				return nil, e.err
+			}
+			return e.prog, nil
+		}
+		e := &progEntry{done: make(chan struct{})}
+		a.progs[key] = e
+		a.mu.Unlock()
+
+		run := func() {
+			defer func() {
+				if e.err != nil || e.prog == nil {
+					if e.err == nil {
+						e.err = fmt.Errorf("sim: program compile panicked")
+					}
+					a.mu.Lock()
+					if a.progs[key] == e {
+						delete(a.progs, key)
+					}
+					a.mu.Unlock()
+				}
+				close(e.done)
+			}()
+			e.prog, e.err = sim.Compile(s)
+		}
+		run()
+		return e.prog, e.err
+	}
+}
+
+// ArtifactCache holds the kernel artifacts of a process or sweep: one
+// KernelArtifact per kernel, shared read-only by every runner attached to
+// it. The zero value is not ready; use NewArtifactCache. Kernels are keyed
+// by identity — the workload registry and the spec loaders hand out stable
+// pointers, and two structurally equal kernels merely build two artifacts.
+type ArtifactCache struct {
+	mu      sync.Mutex
+	kernels map[*loop.Kernel]*KernelArtifact
+}
+
+// NewArtifactCache returns an empty artifact cache.
+func NewArtifactCache() *ArtifactCache {
+	return &ArtifactCache{kernels: make(map[*loop.Kernel]*KernelArtifact)}
+}
+
+// maxArtifactKernels bounds an artifact cache's footprint: generator-driven
+// differential runs mint a fresh kernel pointer per corpus entry, and the
+// pointer-keyed map would pin every one of them forever. Overflow resets the
+// whole map — artifacts are pure memoization, so eviction only costs a
+// rebuild, never an answer.
+const maxArtifactKernels = 1024
+
+// Kernel returns k's artifact, creating an empty one on first use.
+func (c *ArtifactCache) Kernel(k *loop.Kernel) *KernelArtifact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := c.kernels[k]
+	if a == nil {
+		if len(c.kernels) >= maxArtifactKernels {
+			c.kernels = make(map[*loop.Kernel]*KernelArtifact)
+		}
+		a = &KernelArtifact{kernel: k}
+		c.kernels[k] = a
+	}
+	return a
+}
+
+// Kernels reports how many kernel artifacts the cache holds.
+func (c *ArtifactCache) Kernels() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.kernels)
+}
+
+// defaultArtifacts is the process-wide artifact cache every runner without
+// an explicit cache shares. The workload registry hands out stable kernel
+// pointers, so figure runners, sweeps and benchmarks in one process reuse
+// each other's compiled kernels; generated kernels churn through the
+// overflow reset above without pinning memory.
+var defaultArtifacts = NewArtifactCache()
+
+// artifacts returns the runner's artifact cache — the attached one, the
+// process-wide default when none was attached, or nil when the layer is
+// disabled.
+func (r *Runner) artifacts() *ArtifactCache {
+	if r.DisableArtifacts {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.Artifacts == nil {
+		r.Artifacts = defaultArtifacts
+	}
+	return r.Artifacts
+}
+
+// artifactFor returns the built (kernel × machine) artifact slice for a
+// cell, or nil when the layer is disabled or the build failed (the caller
+// then recomputes per cell, which reproduces the identical error or
+// schedule).
+func (r *Runner) artifactFor(k *loop.Kernel, cfgKey string, cfg machine.Config) (*KernelArtifact, *machineEntry) {
+	arts := r.artifacts()
+	if arts == nil {
+		return nil, nil
+	}
+	ka := arts.Kernel(k)
+	me := ka.machine(cfgKey, cfg)
+	if me.err != nil {
+		return ka, nil
+	}
+	return ka, me
+}

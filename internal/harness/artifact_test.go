@@ -1,0 +1,285 @@
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+	"multivliw/internal/sim"
+	"multivliw/internal/workloads"
+)
+
+// TestNoArtifactsEquivalence locks the artifact layer's escape hatch: figure
+// bars computed with every per-cell analysis recomputed from scratch are
+// bit-identical to bars served from shared compiled artifacts.
+func TestNoArtifactsEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	shared := smallRunner()
+	fresh := smallRunner()
+	fresh.DisableArtifacts = true
+	a, err := shared.Figure6(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.Figure6(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("bar counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("bar %d differs:\nartifacts %+v\nfresh     %+v", i, a[i], b[i])
+		}
+	}
+	if shared.Artifacts == nil || shared.Artifacts.Kernels() == 0 {
+		t.Error("artifact-enabled run built no kernel artifacts")
+	}
+	if fresh.Artifacts != nil {
+		t.Error("disabled run attached an artifact cache")
+	}
+}
+
+// TestArtifactAnalysisKeyedByGeometry pins the CME memo's key, in both the
+// runner memo and the artifact layer: two machines with different cache
+// geometry must never share a cached analysis, while two machines differing
+// only in bus provisioning (same geometry) must share one.
+func TestArtifactAnalysisKeyedByGeometry(t *testing.T) {
+	k := workloads.Suite()[0].Kernels[0]
+	small := machine.TwoCluster(2, 1, 1, 4)
+	big := machine.TwoCluster(2, 1, 1, 4)
+	big.TotalCacheBytes *= 2
+	big.Name += "/2xcache"
+	buses := machine.TwoCluster(4, 2, 2, 8) // same cache, different buses
+
+	r := NewRunnerWith(workloads.Suite()[:1], 64)
+	if r.analysis(k, small) == r.analysis(k, big) {
+		t.Error("runner memo shared one analysis across different cache geometries")
+	}
+	if r.analysis(k, small) != r.analysis(k, buses) {
+		t.Error("runner memo did not share the analysis across same-geometry machines")
+	}
+
+	ka := NewArtifactCache().Kernel(k)
+	_, anSmall, err := ka.Machine(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, anBig, err := ka.Machine(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, anBuses, err := ka.Machine(buses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if anSmall == anBig {
+		t.Error("artifact layer shared one analysis across different cache geometries")
+	}
+	if anSmall != anBuses {
+		t.Error("artifact layer did not share the analysis across same-geometry machines")
+	}
+}
+
+// TestArtifactPreparedMatchesPlainRun locks the artifact layer's correctness
+// bar at the schedule level: a run consuming a Prepared produces the same
+// schedule bytes and the same search statistics as a from-scratch run, and a
+// Prepared built for one machine is ignored (not misapplied) on another.
+func TestArtifactPreparedMatchesPlainRun(t *testing.T) {
+	cfgA := machine.TwoCluster(2, 1, 1, 4)
+	cfgB := machine.FourCluster(2, 1, 1, 4)
+	for _, b := range workloads.Suite()[:2] {
+		for _, k := range b.Kernels {
+			pre, err := sched.Prepare(k, cfgA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pol := range []sched.Policy{sched.Baseline, sched.RMCA} {
+				plain, err1 := sched.Run(k, cfgA, sched.Options{Policy: pol, Threshold: 0.25})
+				prep, err2 := sched.Run(k, cfgA, sched.Options{Policy: pol, Threshold: 0.25, Prepared: pre})
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("%s/%v: error mismatch: %v vs %v", k.Name, pol, err1, err2)
+				}
+				if err1 != nil {
+					continue
+				}
+				if string(plain.AppendCanonical(nil)) != string(prep.AppendCanonical(nil)) {
+					t.Errorf("%s/%v: prepared run changed the schedule", k.Name, pol)
+				}
+				if plain.Stats != prep.Stats {
+					t.Errorf("%s/%v: prepared run changed search stats: %+v vs %+v", k.Name, pol, plain.Stats, prep.Stats)
+				}
+				// Wrong-machine Prepared: must be ignored, never misapplied.
+				cross, err := sched.Run(k, cfgB, sched.Options{Policy: pol, Threshold: 0.25, Prepared: pre})
+				want, werr := sched.Run(k, cfgB, sched.Options{Policy: pol, Threshold: 0.25})
+				if (err == nil) != (werr == nil) {
+					t.Fatalf("%s/%v: cross-machine error mismatch: %v vs %v", k.Name, pol, err, werr)
+				}
+				if err == nil && string(cross.AppendCanonical(nil)) != string(want.AppendCanonical(nil)) {
+					t.Errorf("%s/%v: stale Prepared changed a schedule on another machine", k.Name, pol)
+				}
+			}
+		}
+	}
+}
+
+// TestSimCacheErrorDoesNotPoisonSlot is the regression test for the
+// single-flight failure path: an erroring computation must neither wedge the
+// waiters that joined its flight nor leave a poisoned slot behind — the next
+// lookup of the same key recomputes and succeeds.
+func TestSimCacheErrorDoesNotPoisonSlot(t *testing.T) {
+	c := &simCache{}
+	key := simKey{cfg: "cfg", simCap: 1, sched: "s"}
+	good := &sim.Result{Total: 42}
+	fOK := func() (*sim.Result, error) { return good, nil }
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fErr := func() (*sim.Result, error) {
+		close(started)
+		<-release
+		return nil, errors.New("injected sim error")
+	}
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := c.do(key, fErr, fErr)
+		ownerErr <- err
+	}()
+	<-started
+
+	// Waiters join (or just miss) the failing flight; none may wedge, and
+	// every one must end up with the good result once a retry recomputes.
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := c.do(key, fOK, fOK)
+			if err != nil || res != good {
+				t.Errorf("waiter got (%v, %v), want the recomputed result", res, err)
+			}
+		}()
+	}
+	close(release)
+	if err := <-ownerErr; err == nil {
+		t.Error("owner's error was swallowed")
+	}
+	wg.Wait()
+
+	if res, err := c.do(key, fOK, fOK); err != nil || res != good {
+		t.Fatalf("slot poisoned after error: (%v, %v)", res, err)
+	}
+}
+
+// TestSimCachePanicDoesNotWedgeWaiters is the same regression for the panic
+// path: a panicking computation re-panics in its owner (where the worker
+// pool's containment catches it), releases every waiter, and leaves no
+// poisoned slot.
+func TestSimCachePanicDoesNotWedgeWaiters(t *testing.T) {
+	c := &simCache{}
+	key := simKey{cfg: "cfg", simCap: 1, sched: "s"}
+	good := &sim.Result{Total: 7}
+	fOK := func() (*sim.Result, error) { return good, nil }
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fPanic := func() (*sim.Result, error) {
+		close(started)
+		<-release
+		panic("injected sim panic")
+	}
+	ownerPanicked := make(chan bool, 1)
+	go func() {
+		defer func() { ownerPanicked <- recover() != nil }()
+		c.do(key, fPanic, fPanic)
+	}()
+	<-started
+
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := c.do(key, fOK, fOK)
+			if err != nil || res != good {
+				t.Errorf("waiter got (%v, %v), want the recomputed result", res, err)
+			}
+		}()
+	}
+	close(release)
+	if !<-ownerPanicked {
+		t.Error("owner's panic did not propagate")
+	}
+	wg.Wait()
+
+	if res, err := c.do(key, fOK, fOK); err != nil || res != good {
+		t.Fatalf("slot poisoned after panic: (%v, %v)", res, err)
+	}
+}
+
+// TestRunnerRecoversFromTransientSimError drives the same property end to
+// end: a simulator error on one evaluation must not poison the runner — the
+// identical evaluation succeeds once the fault clears.
+func TestRunnerRecoversFromTransientSimError(t *testing.T) {
+	suite := workloads.Suite()
+	target := suite[0].Kernels[0].Name
+	old, oldProg := simRun, progRun
+	t.Cleanup(func() { simRun, progRun = old, oldProg })
+	simRun = func(s *sched.Schedule, opt sim.Options) (*sim.Result, error) {
+		if s.Kernel.Name == target {
+			return nil, fmt.Errorf("injected transient error for %s", s.Kernel.Name)
+		}
+		return old(s, opt)
+	}
+	progRun = func(p *sim.Program, opt sim.Options) (*sim.Result, error) {
+		if p.Schedule().Kernel.Name == target {
+			return nil, fmt.Errorf("injected transient error for %s", p.Schedule().Kernel.Name)
+		}
+		return oldProg(p, opt)
+	}
+
+	cfg := machine.TwoCluster(2, 1, 1, 4)
+	r := NewRunnerWith(suite[:1], 64)
+	r.Parallelism = 4
+	if _, _, err := r.Eval(cfg, sched.RMCA, 0.25); err == nil {
+		t.Fatal("injected error did not surface")
+	}
+	simRun, progRun = old, oldProg
+	if _, _, err := r.Eval(cfg, sched.RMCA, 0.25); err != nil {
+		t.Fatalf("runner did not recover after the fault cleared: %v", err)
+	}
+}
+
+// TestShardedSweepArtifactsByteIdentity crosses the two axes the artifact
+// layer must not bend: a sharded-and-merged sweep with shared artifacts
+// renders the same bytes as a single-process run with the layer disabled
+// entirely.
+func TestShardedSweepArtifactsByteIdentity(t *testing.T) {
+	off := shardSpec(t)
+	off.NoArtifacts = true
+	whole, err := RunSweep(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := shardSpec(t)
+	spec.Artifacts = NewArtifactCache() // one cache shared by all three shards
+	merged, err := MergeShards(shardSpec(t), runShards(t, spec, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Text() != whole.Text() {
+		t.Error("artifact-backed sharded sweep differs from the artifact-free single-process run")
+	}
+	if merged.RowsCSV() != whole.RowsCSV() {
+		t.Error("artifact-backed sharded CSV differs from the artifact-free single-process run")
+	}
+	if spec.Artifacts.Kernels() == 0 {
+		t.Error("shared artifact cache was never populated")
+	}
+}

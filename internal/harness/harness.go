@@ -89,16 +89,33 @@ type Runner struct {
 	// stale entry reads as a miss and is recomputed.
 	Store *store.Store
 
+	// DisableArtifacts turns off the compiled-kernel artifact layer (the
+	// -noartifacts escape hatch): every cell then recomputes the DDG/SMS
+	// analyses, the guided-search feasibility probe and the compiled
+	// replay program from scratch. Output is byte-identical either way;
+	// only wall-clock time and allocation volume change.
+	DisableArtifacts bool
+
+	// Artifacts, when non-nil, is the shared compiled-kernel artifact
+	// cache; the sweep fabric attaches one cache to every runner of a
+	// sweep so (kernel × machine) analyses are built exactly once per
+	// process. When nil (and artifacts are enabled) the runner lazily
+	// creates a private cache on first use.
+	Artifacts *ArtifactCache
+
 	mu   sync.Mutex
 	cme  map[*loop.Kernel]map[cme.Geometry]*cme.Analysis
 	base map[*loop.Kernel]*baseRef
 	simc simCache
 }
 
-// baseRef lazily computes one kernel's normalization denominator exactly
-// once, however many workers request it concurrently.
+// baseRef is a single-flight slot for one kernel's normalization
+// denominator: the owner that created it computes and closes done; waiters
+// block on done. Only successful computations stay in the map — the same
+// failure discipline as the replay cache — so a transient simulator fault is
+// never frozen in as the kernel's permanent reference.
 type baseRef struct {
-	once  sync.Once
+	done  chan struct{}
 	total int64
 	err   error
 }
@@ -254,14 +271,28 @@ func (r *Runner) analysis(k *loop.Kernel, cfg machine.Config) *cme.Analysis {
 }
 
 // runKernel schedules and simulates one kernel, returning raw cycle counts.
-// The simulation goes through the replay cache: cells whose schedules encode
-// identically share one sim.Result per (kernel, config, SimCap).
-func (r *Runner) runKernel(k *loop.Kernel, cfg machine.Config, pol sched.Policy, thr float64) (compute, stall int64, s *sched.Schedule, res *sim.Result, err error) {
-	s, err = sched.Run(k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: r.analysis(k, cfg)})
+// cfgKey is cfg's canonical configKey string, computed once per cell column
+// by the caller ("" recomputes it here). Scheduling consumes the kernel's
+// compiled artifact (prepared analyses + shared CME handle) when the layer
+// is enabled, and the simulation goes through the replay cache: cells whose
+// schedules encode identically share one sim.Result per (kernel, config,
+// SimCap).
+func (r *Runner) runKernel(k *loop.Kernel, cfg machine.Config, cfgKey string, pol sched.Policy, thr float64) (compute, stall int64, s *sched.Schedule, res *sim.Result, err error) {
+	if cfgKey == "" {
+		cfgKey = configKey(cfg)
+	}
+	opt := sched.Options{Policy: pol, Threshold: thr}
+	ka, me := r.artifactFor(k, cfgKey, cfg)
+	if me != nil {
+		opt.Prepared, opt.CME = me.pre, me.an
+	} else {
+		opt.CME = r.analysis(k, cfg)
+	}
+	s, err = sched.Run(k, cfg, opt)
 	if err != nil {
 		return 0, 0, nil, nil, fmt.Errorf("%s on %s: %w", k.Name, cfg.Name, err)
 	}
-	res, err = r.simulate(k, cfg, s)
+	res, err = r.simulate(k, cfg, cfgKey, ka, s)
 	if err != nil {
 		return 0, 0, nil, nil, fmt.Errorf("%s on %s: %w", k.Name, cfg.Name, err)
 	}
@@ -269,24 +300,52 @@ func (r *Runner) runKernel(k *loop.Kernel, cfg machine.Config, pol sched.Policy,
 }
 
 // unifiedReference returns the per-kernel total of the Unified machine at
-// threshold 1.00 (the normalization denominator), computed lazily exactly
-// once per kernel however many workers race for it.
+// threshold 1.00 (the normalization denominator), computed lazily once per
+// kernel on the success path however many workers race for it. A failing or
+// panicking computation removes its slot before waking waiters, so the
+// reference can never be poisoned by a transient fault: waiters retry, and
+// a deterministic failure is simply reproduced by the new owner.
 func (r *Runner) unifiedReference(k *loop.Kernel) (int64, error) {
-	r.mu.Lock()
-	if r.base == nil {
-		r.base = make(map[*loop.Kernel]*baseRef)
-	}
-	ref := r.base[k]
-	if ref == nil {
-		ref = &baseRef{}
+	for {
+		r.mu.Lock()
+		if r.base == nil {
+			r.base = make(map[*loop.Kernel]*baseRef)
+		}
+		if ref, ok := r.base[k]; ok {
+			r.mu.Unlock()
+			<-ref.done
+			if ref.err != nil {
+				continue
+			}
+			return ref.total, nil
+		}
+		ref := &baseRef{done: make(chan struct{})}
 		r.base[k] = ref
+		r.mu.Unlock()
+		finished := false
+		func() {
+			defer func() {
+				if !finished || ref.err != nil {
+					r.mu.Lock()
+					if r.base[k] == ref {
+						delete(r.base, k)
+					}
+					r.mu.Unlock()
+					if ref.err == nil {
+						// Panicked before assigning: mark the flight failed
+						// so waiters retry instead of reading a zero total;
+						// the panic itself propagates to the worker pool.
+						ref.err = fmt.Errorf("harness: unified reference computation panicked")
+					}
+				}
+				close(ref.done)
+			}()
+			c, st, _, _, err := r.runKernel(k, machine.Unified(), unifiedConfigKey(), sched.Baseline, 1.0)
+			ref.total, ref.err = c+st, err
+			finished = true
+		}()
+		return ref.total, ref.err
 	}
-	r.mu.Unlock()
-	ref.once.Do(func() {
-		c, st, _, _, err := r.runKernel(k, machine.Unified(), sched.Baseline, 1.0)
-		ref.total, ref.err = c+st, err
-	})
-	return ref.total, ref.err
 }
 
 // cell is one (configuration, scheduler, threshold) evaluation unit of a
@@ -346,6 +405,13 @@ func (r *Runner) evalCells(ctx context.Context, cells []cell) ([][2]float64, err
 	desc := func(t task) string {
 		return fmt.Sprintf("%s on %s", r.Suite[t.bench].Kernels[t.kern].Name, cells[t.cell].cfg.Name)
 	}
+	// One configKey per cell column, not per (cell × kernel) run: the
+	// canonical machine identity is the key of every artifact and replay
+	// lookup below.
+	keys := make([]string, len(cells))
+	for i := range cells {
+		keys[i] = configKey(cells[i].cfg)
+	}
 	results, err := mapTasks(ctx, r, tasks, desc, func(t task) (kernelCounts, error) {
 		k := r.Suite[t.bench].Kernels[t.kern]
 		ref, err := r.unifiedReference(k)
@@ -353,7 +419,7 @@ func (r *Runner) evalCells(ctx context.Context, cells []cell) ([][2]float64, err
 			return kernelCounts{}, err
 		}
 		cl := cells[t.cell]
-		c, st, _, _, err := r.runKernel(k, cl.cfg, cl.pol, cl.thr)
+		c, st, _, _, err := r.runKernel(k, cl.cfg, keys[t.cell], cl.pol, cl.thr)
 		if err != nil {
 			return kernelCounts{}, err
 		}
@@ -624,13 +690,14 @@ func (r *Runner) PerBenchmark(cfg machine.Config, thr float64) ([]BenchRow, erro
 	desc := func(t task) string {
 		return fmt.Sprintf("%s on %s", r.Suite[t.bench].Kernels[t.kern].Name, cfg.Name)
 	}
+	cfgKey := configKey(cfg)
 	results, err := mapTasks(context.Background(), r, tasks, desc, func(t task) (kernelCounts, error) {
 		k := r.Suite[t.bench].Kernels[t.kern]
 		den, err := r.unifiedReference(k)
 		if err != nil {
 			return kernelCounts{}, err
 		}
-		c, st, _, _, err := r.runKernel(k, cfg, pols[t.pol], thr)
+		c, st, _, _, err := r.runKernel(k, cfg, cfgKey, pols[t.pol], thr)
 		if err != nil {
 			return kernelCounts{}, err
 		}
@@ -696,9 +763,10 @@ func (r *Runner) CommTable(clusters int) ([]CommRow, error) {
 	desc := func(t task) string {
 		return fmt.Sprintf("%s on %s", r.Suite[t.bench].Kernels[t.kern].Name, cfg.Name)
 	}
+	cfgKey := configKey(cfg)
 	results, err := mapTasks(context.Background(), r, tasks, desc, func(t task) (commCounts, error) {
 		k := r.Suite[t.bench].Kernels[t.kern]
-		_, _, s, res, err := r.runKernel(k, cfg, pols[t.pol], 0.0)
+		_, _, s, res, err := r.runKernel(k, cfg, cfgKey, pols[t.pol], 0.0)
 		if err != nil {
 			return commCounts{}, err
 		}

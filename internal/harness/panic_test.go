@@ -23,12 +23,21 @@ func TestWorkerPanicIsolation(t *testing.T) {
 	target := suite[0].Kernels[0].Name
 
 	old := simRun
-	t.Cleanup(func() { simRun = old })
+	oldProg := progRun
+	t.Cleanup(func() { simRun, progRun = old, oldProg })
 	simRun = func(s *sched.Schedule, opt sim.Options) (*sim.Result, error) {
 		if s.Kernel.Name == target {
 			panic(fmt.Sprintf("injected sim panic for %s", s.Kernel.Name))
 		}
 		return old(s, opt)
+	}
+	// The artifact layer replays compiled programs through progRun, not
+	// simRun — containment must hold on that path too.
+	progRun = func(p *sim.Program, opt sim.Options) (*sim.Result, error) {
+		if p.Schedule().Kernel.Name == target {
+			panic(fmt.Sprintf("injected sim panic for %s", p.Schedule().Kernel.Name))
+		}
+		return oldProg(p, opt)
 	}
 
 	cfg := machine.TwoCluster(2, 1, 1, 4)
@@ -68,7 +77,7 @@ func TestWorkerPanicIsolation(t *testing.T) {
 	}
 
 	// And the process recovers fully once the fault is gone.
-	simRun = old
+	simRun, progRun = old, oldProg
 	r := NewRunnerWith([]workloads.Benchmark{suite[0]}, 64)
 	r.Parallelism = 8
 	if _, _, err := r.Eval(cfg, sched.RMCA, 0.25); err != nil {

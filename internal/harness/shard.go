@@ -153,8 +153,10 @@ type UnitValue struct {
 
 // evaluate computes the values of the units named by indices (which must be
 // sorted ascending). Units sharing a SimCap share one runner — and through
-// it the CME memo, the replay cache and the durable store — and are fanned
-// out in one worker-pool pass per runner.
+// it the CME memo, the replay cache and the durable store — and all runners
+// of the pass share one compiled-artifact cache (scheduling analyses and
+// replay programs are SimCap-independent, so figures at different caps reuse
+// them); units are fanned out in one worker-pool pass per runner.
 func (p *sweepPlan) evaluate(ctx context.Context, indices []int) ([]UnitValue, error) {
 	spec := p.spec
 	suite, err := spec.suite()
@@ -168,6 +170,11 @@ func (p *sweepPlan) evaluate(ctx context.Context, indices []int) ([]UnitValue, e
 			r = NewRunnerWith(suite, simCap)
 			r.Parallelism = spec.Parallelism
 			r.Store = spec.Store
+			r.DisableArtifacts = spec.NoArtifacts
+			// A nil spec cache falls through to the process-wide default
+			// inside the runner, so every shard of a sweep — and every
+			// sweep of a process — shares one compiled-artifact set.
+			r.Artifacts = spec.Artifacts
 			runners[simCap] = r
 		}
 		return r

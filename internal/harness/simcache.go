@@ -11,10 +11,16 @@ import (
 	"multivliw/internal/sim"
 )
 
-// simRun is the simulator entry the runner uses for every cell; the
-// differential figure tests swap in sim.ReferenceRun to prove the whole
-// harness output is byte-identical on the retained interpreter.
+// simRun is the simulator entry the runner uses for every uncompiled cell
+// and for every cache audit; the differential figure tests swap in
+// sim.ReferenceRun to prove the whole harness output is byte-identical on
+// the retained interpreter.
 var simRun = sim.Run
+
+// progRun replays a compiled program (the artifact-layer path). It is a
+// hook for the same reason simRun is: fault-injection tests intercept it to
+// prove the worker pool contains panics on the compiled path too.
+var progRun = func(p *sim.Program, opt sim.Options) (*sim.Result, error) { return p.Run(opt) }
 
 // simKey identifies one simulation outcome: the kernel, the machine, the
 // sampling cap and the schedule's canonical encoding. Distinct thresholds
@@ -29,10 +35,14 @@ type simKey struct {
 	sched  string
 }
 
-// simEntry is a single-flight cache slot: however many workers race for the
-// same key, exactly one simulates and the rest share its Result.
+// simEntry is a single-flight cache slot. The owner that created it runs
+// the simulation and closes done; waiters block on done and read res/err.
+// Only successful results stay in the map: an erroring or panicking owner
+// removes the entry before closing done, so the slot can neither serve a
+// permanently cached failure nor wedge waiters on a computation that will
+// never finish.
 type simEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  *sim.Result
 	err  error
 }
@@ -55,41 +65,72 @@ type simCache struct {
 	divergent atomic.Int64 // audited hits whose re-simulation differed
 }
 
-// do returns the cached Result for key, running f exactly once per key. The
-// first few hits are audited: audit (a guaranteed-fresh simulation, never a
-// cache tier) runs anyway and its Result must match the cached one exactly.
-// The cached Result is returned either way, keeping the output bit-identical
-// at any worker count; a mismatch trips the divergence counter that
-// SimCacheVerdict reports. When f itself is backed by the durable store,
-// the audit therefore also cross-checks disk-served results against a real
-// replay — the integrity net for stale store semantics.
+// do returns the cached Result for key, running f once per key on the
+// success path. The first few hits are audited: audit (a guaranteed-fresh
+// simulation, never a cache tier) runs anyway and its Result must match the
+// cached one exactly. The cached Result is returned either way, keeping the
+// output bit-identical at any worker count; a mismatch trips the divergence
+// counter that SimCacheVerdict reports. When f itself is backed by the
+// durable store, the audit therefore also cross-checks disk-served results
+// against a real replay — the integrity net for stale store semantics.
+//
+// Failure discipline: an f that errors or panics removes its in-flight
+// entry before waking waiters, so the slot is never poisoned — waiters
+// retry (one becomes the new owner) and later lookups recompute. The
+// owner's own panic propagates to its caller, where the worker pool's
+// containment converts it to a *PanicError.
 func (c *simCache) do(key simKey, f, audit func() (*sim.Result, error)) (*sim.Result, error) {
-	c.mu.Lock()
-	if c.m == nil {
-		c.m = make(map[simKey]*simEntry)
-	}
-	e := c.m[key]
-	hit := e != nil
-	if !hit {
-		e = &simEntry{}
-		c.m[key] = e
-		c.misses.Add(1)
-	} else {
-		c.hits.Add(1)
-	}
-	c.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = f() })
-	if hit && e.err == nil && c.verified.Load() < simCacheVerifyBudget {
-		c.verified.Add(1)
-		if fresh, err := audit(); err != nil || *fresh != *e.res {
-			c.divergent.Add(1)
+	for {
+		c.mu.Lock()
+		if c.m == nil {
+			c.m = make(map[simKey]*simEntry)
 		}
+		if e, ok := c.m[key]; ok {
+			c.mu.Unlock()
+			<-e.done
+			if e.err != nil || e.res == nil {
+				// The flight we joined failed and removed itself;
+				// retry — the next round either joins a successful
+				// flight or computes for real.
+				continue
+			}
+			c.hits.Add(1)
+			if c.verified.Load() < simCacheVerifyBudget {
+				c.verified.Add(1)
+				if fresh, err := audit(); err != nil || *fresh != *e.res {
+					c.divergent.Add(1)
+				}
+			}
+			return e.res, nil
+		}
+		e := &simEntry{done: make(chan struct{})}
+		c.m[key] = e
+		c.mu.Unlock()
+		c.misses.Add(1)
+
+		run := func() {
+			defer func() {
+				if e.err != nil || e.res == nil {
+					c.mu.Lock()
+					if c.m[key] == e {
+						delete(c.m, key)
+					}
+					c.mu.Unlock()
+					if e.err == nil {
+						e.err = fmt.Errorf("sim: concurrent simulation panicked")
+					}
+				}
+				close(e.done)
+			}()
+			e.res, e.err = f()
+		}
+		run()
+		return e.res, e.err
 	}
-	return e.res, e.err
 }
 
 // SimCacheStats reports the replay cache's activity: Hits are lookups served
-// from an existing entry, Misses are lookups that created one (and simulated),
+// from an existing entry, Misses are lookups that simulated (or tried to),
 // Entries is the number of distinct (kernel, config, cap, schedule) outcomes
 // held. Verified counts the audited hits (re-simulated and compared);
 // Divergent counts audited hits whose re-simulation did not match the cached
@@ -121,24 +162,40 @@ func (c *simCache) stats() SimCacheStats {
 func (r *Runner) SimCacheStats() SimCacheStats { return r.simc.stats() }
 
 // simulate replays a schedule through the replay cache (or directly when the
-// cache is disabled). With a Store attached, an in-memory miss consults the
-// durable tier before simulating and publishes what it computes; the audit
-// path always re-simulates for real, so disk-served results are held to the
-// same bit-identity bar as in-memory ones.
-func (r *Runner) simulate(k *loop.Kernel, cfg machine.Config, s *sched.Schedule) (*sim.Result, error) {
+// cache is disabled). With the artifact layer enabled, the cache-miss
+// computation replays the compiled program held by the kernel artifact
+// (compiled once per distinct schedule per machine); the audit path always
+// re-simulates via a fresh compile, so compiled-and-cached programs are held
+// to the same bit-identity bar. With a Store attached, an in-memory miss
+// consults the durable tier before simulating and publishes what it
+// computes.
+func (r *Runner) simulate(k *loop.Kernel, cfg machine.Config, cfgKey string, ka *KernelArtifact, s *sched.Schedule) (*sim.Result, error) {
 	opt := sim.Options{MaxInnermostIters: r.SimCap}
 	if r.DisableSimCache {
 		return simRun(s, opt)
 	}
+	if cfgKey == "" {
+		cfgKey = configKey(cfg)
+	}
 	key := simKey{
 		kernel: k,
-		cfg:    configKey(cfg),
+		cfg:    cfgKey,
 		simCap: r.SimCap,
 		sched:  string(s.AppendCanonical(nil)),
 	}
 	fresh := func() (*sim.Result, error) { return simRun(s, opt) }
 	compute := fresh
+	if ka != nil {
+		compute = func() (*sim.Result, error) {
+			p, err := ka.program(cfgKey, key.sched, s)
+			if err != nil {
+				return nil, err
+			}
+			return progRun(p, opt)
+		}
+	}
 	if r.Store != nil {
+		mem := compute
 		dk := simStoreKey(k, key.cfg, key.simCap, key.sched)
 		compute = func() (*sim.Result, error) {
 			if data, ok := r.Store.Get(dk); ok {
@@ -146,7 +203,7 @@ func (r *Runner) simulate(k *loop.Kernel, cfg machine.Config, s *sched.Schedule)
 					return res, nil
 				}
 			}
-			res, err := fresh()
+			res, err := mem()
 			if err == nil {
 				// Publishing is best-effort: a full disk degrades the
 				// store to a smaller cache, never the run to a failure.
@@ -163,3 +220,15 @@ func (r *Runner) simulate(k *loop.Kernel, cfg machine.Config, s *sched.Schedule)
 // overrides) deterministically, so two configs share a key only when every
 // parameter matches.
 func configKey(cfg machine.Config) string { return fmt.Sprintf("%+v", cfg) }
+
+// unifiedConfigKey returns the configKey of the Unified reference machine,
+// computed once per process (it anchors every kernel's normalization run).
+func unifiedConfigKey() string {
+	unifiedKeyOnce.Do(func() { unifiedKey = configKey(machine.Unified()) })
+	return unifiedKey
+}
+
+var (
+	unifiedKeyOnce sync.Once
+	unifiedKey     string
+)

@@ -217,6 +217,7 @@ func TestFiguresByteIdenticalOnReference(t *testing.T) {
 	defer func() { simRun = orig }()
 	ref := smallRunner()
 	ref.DisableSimCache = true
+	ref.DisableArtifacts = true
 	want := render(ref)
 
 	if got != want {

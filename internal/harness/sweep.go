@@ -82,6 +82,19 @@ type SweepSpec struct {
 	// processes choose their own store location (-store / Config.Store).
 	Store *store.Store `json:"-"`
 
+	// Artifacts, when non-nil, is the compiled-kernel artifact cache every
+	// runner of the sweep shares: per-(kernel, machine) scheduling analyses
+	// and per-schedule compiled replay programs, built once and reused
+	// across figures, simulation caps and shards. Not part of the wire
+	// format; RunSweep creates one per sweep when unset.
+	Artifacts *ArtifactCache `json:"-"`
+
+	// NoArtifacts disables the compiled-artifact layer for the whole
+	// sweep — every cell recomputes its analyses and recompiles its replay
+	// from scratch (the byte-identity escape hatch, like -nosimcache for
+	// the replay cache).
+	NoArtifacts bool `json:"noArtifacts,omitempty"`
+
 	// baseDir resolves relative machine-spec file references; set by
 	// LoadSweepSpec.
 	baseDir string
@@ -568,6 +581,7 @@ func (g *RowGap) countSkip(st exact.Status) {
 // spec's per-kernel deadline nested in the sweep context.
 func (r *Runner) rowGap(ctx context.Context, cfg machine.Config, pol sched.Policy, thr float64, memo *gapMemo, spec *SweepSpec) *RowGap {
 	g := &RowGap{}
+	cfgKey := configKey(cfg)
 	var sumEx, sumHeur, sumD, sumDML int
 	for bi := range r.Suite {
 		for _, k := range r.Suite[bi].Kernels {
@@ -611,7 +625,13 @@ func (r *Runner) rowGap(ctx context.Context, cfg machine.Config, pol sched.Polic
 			hkey := fmt.Sprintf("%s|%v|%g", key, pol, thr)
 			hcell, seen := memo.heur[hkey]
 			if !seen {
-				if h, err := sched.RunCtx(ctx, k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: r.analysis(k, cfg)}); err == nil {
+				hopt := sched.Options{Policy: pol, Threshold: thr}
+				if _, me := r.artifactFor(k, cfgKey, cfg); me != nil {
+					hopt.Prepared, hopt.CME = me.pre, me.an
+				} else {
+					hopt.CME = r.analysis(k, cfg)
+				}
+				if h, err := sched.RunCtx(ctx, k, cfg, hopt); err == nil {
 					hcell = exactCell{ii: h.II, maxLive: h.Stats.MaxLiveMax, ok: true, status: exact.StatusOptimal}
 				} else {
 					hcell = exactCell{status: exact.Classify(err)}

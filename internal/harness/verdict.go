@@ -453,15 +453,16 @@ func (r *Runner) AssocAblation(clusters int) ([]AssocRow, error) {
 		row.BaselineTot = bc + bs
 		row.RMCATot = rc + rs
 		row.Gap = (row.BaselineTot - row.RMCATot) / row.BaselineTot
+		cfgKey := configKey(cfg)
 		for _, b := range r.Suite {
 			for _, k := range b.Kernels {
-				_, _, _, res, err := r.runKernel(k, cfg, sched.Baseline, 0.0)
+				_, _, _, res, err := r.runKernel(k, cfg, cfgKey, sched.Baseline, 0.0)
 				if err != nil {
 					return nil, err
 				}
 				missB += res.Mem.RemoteHits + res.Mem.MemoryServed
 				accB += res.Mem.Accesses
-				_, _, _, res, err = r.runKernel(k, cfg, sched.RMCA, 0.0)
+				_, _, _, res, err = r.runKernel(k, cfg, cfgKey, sched.RMCA, 0.0)
 				if err != nil {
 					return nil, err
 				}

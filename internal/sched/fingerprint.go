@@ -10,6 +10,11 @@ import "hash/fnv"
 // The encoding is injective over those fields (fixed-width records in fixed
 // order), so distinct schedules can never collide.
 func (s *Schedule) AppendCanonical(dst []byte) []byte {
+	if need := 12 + 8*len(s.Cycle) + 20*len(s.Comms); cap(dst)-len(dst) < need {
+		grown := make([]byte, len(dst), len(dst)+need)
+		copy(grown, dst)
+		dst = grown
+	}
 	dst = appendInt32(dst, int32(s.II))
 	dst = appendInt32(dst, int32(s.SC))
 	dst = appendInt32(dst, int32(len(s.Cycle)))

@@ -14,7 +14,14 @@ type plan struct {
 	latUsed int
 
 	newComms []plannedComm
-	reuse    map[[2]int]int // edge -> existing comm index
+	reuse    []reusePair // edges resolved by existing transfers
+}
+
+// reusePair records one dependence edge served by an already-committed
+// transfer (by index into s.comms).
+type reusePair struct {
+	edge [2]int
+	idx  int
 }
 
 // plannedComm is one new register-bus transfer of a plan.
@@ -42,15 +49,6 @@ func (l *edgeList) add(e [2]int) {
 		l.rest = append(l.rest, e)
 	}
 	l.n++
-}
-
-func (l *edgeList) forEach(f func([2]int)) {
-	if l.n > 0 {
-		f(l.first)
-	}
-	for _, e := range l.rest {
-		f(e)
-	}
 }
 
 // window computes the dependence-legal cycle range for node v in cluster c,
@@ -110,44 +108,56 @@ type commNeed struct {
 	edges  edgeList
 }
 
+// tightenNeed merges one transfer requirement into the needs scratch,
+// intersecting the window of an existing need for the same (producer, dest)
+// when transfer reuse is on, and reports whether the merged window is still
+// non-empty. A method rather than a closure so probing never heap-allocates.
+func (s *state) tightenNeed(key commKey, lo, hi int, edge [2]int) bool {
+	if hi < lo {
+		return false
+	}
+	if !s.opt.NoCommReuse {
+		needs := s.needScratch
+		for i := range needs {
+			if needs[i].key == key {
+				if lo > needs[i].lo {
+					needs[i].lo = lo
+				}
+				if hi < needs[i].hi {
+					needs[i].hi = hi
+				}
+				if needs[i].hi < needs[i].lo {
+					return false
+				}
+				needs[i].edges.add(edge)
+				return true
+			}
+		}
+	}
+	need := commNeed{key: key, lo: lo, hi: hi}
+	need.edges.add(edge)
+	s.needScratch = append(s.needScratch, need)
+	return true
+}
+
+// rollbackComms removes the trial bus placements accumulated in planScratch,
+// leaving the reservation table exactly as tryComms found it.
+func (s *state) rollbackComms() {
+	for _, pc := range s.planScratch {
+		s.table.RemoveBus(pc.bus, pc.start, pc.lat)
+	}
+}
+
 // tryComms validates (transactionally, leaving the table untouched) that all
-// register transfers required by placing v at (c, t) fit on the buses. The
-// reuse map is built lazily and the needs list reuses state scratch, so the
-// common no-transfer probe does not allocate.
+// register transfers required by placing v at (c, t) fit on the buses. Needs,
+// reuses and trial placements accumulate in state scratch and only a
+// successful plan copies out, so failed probes — the overwhelming majority —
+// allocate nothing.
 func (s *state) tryComms(v, c, t, latV int) (plan, bool) {
 	busLat := s.cfg.RegBusLat
 	var pl plan
-	needs := s.needScratch[:0]
-	// Keep the grown scratch whichever way the probe exits (needs itself
-	// never escapes; only the per-need edges slices flow into the plan).
-	defer func() { s.needScratch = needs[:0] }()
-
-	tighten := func(key commKey, lo, hi int, edge [2]int) bool {
-		if hi < lo {
-			return false
-		}
-		if !s.opt.NoCommReuse {
-			for i := range needs {
-				if needs[i].key == key {
-					if lo > needs[i].lo {
-						needs[i].lo = lo
-					}
-					if hi < needs[i].hi {
-						needs[i].hi = hi
-					}
-					if needs[i].hi < needs[i].lo {
-						return false
-					}
-					needs[i].edges.add(edge)
-					return true
-				}
-			}
-		}
-		need := commNeed{key: key, lo: lo, hi: hi}
-		need.edges.add(edge)
-		needs = append(needs, need)
-		return true
-	}
+	s.needScratch = s.needScratch[:0]
+	s.reuseScratch = s.reuseScratch[:0]
 
 	// Values v consumes from other clusters.
 	for _, e := range s.g.In(v) {
@@ -161,15 +171,12 @@ func (s *state) tryComms(v, c, t, latV int) (plan, bool) {
 			// A transfer of u's value to c already exists; reuse it
 			// if it arrives in time.
 			if s.comms[idx].Arrival() <= deadline {
-				if pl.reuse == nil {
-					pl.reuse = make(map[[2]int]int)
-				}
-				pl.reuse[[2]int{u, v}] = idx
+				s.reuseScratch = append(s.reuseScratch, reusePair{edge: [2]int{u, v}, idx: idx})
 				continue
 			}
 			return plan{}, false
 		}
-		if !tighten(key, s.cycle[u]+s.lat[u], deadline-busLat, [2]int{u, v}) {
+		if !s.tightenNeed(key, s.cycle[u]+s.lat[u], deadline-busLat, [2]int{u, v}) {
 			return plan{}, false
 		}
 	}
@@ -181,31 +188,33 @@ func (s *state) tryComms(v, c, t, latV int) (plan, bool) {
 			continue
 		}
 		deadline := s.cycle[w] + e.Distance*s.ii
-		if !tighten(commKey{v, s.cluster[w]}, t+latV, deadline-busLat, [2]int{v, w}) {
+		if !s.tightenNeed(commKey{v, s.cluster[w]}, t+latV, deadline-busLat, [2]int{v, w}) {
 			return plan{}, false
 		}
 	}
 
 	// Place each needed transfer on a bus; roll everything back before
 	// returning (commit re-applies the plan on the identical table).
-	placed := 0
-	rollback := func() {
-		for _, pc := range pl.newComms[:placed] {
-			s.table.RemoveBus(pc.bus, pc.start, pc.lat)
-		}
-	}
-	for _, nd := range needs {
-		bus, start, ok := legality.PlaceTransfer(s.table, nd.lo, nd.hi, busLat, trialCommID+placed)
+	s.planScratch = s.planScratch[:0]
+	for _, nd := range s.needScratch {
+		bus, start, ok := legality.PlaceTransfer(s.table, nd.lo, nd.hi, busLat, trialCommID+len(s.planScratch))
 		if !ok {
-			rollback()
+			s.rollbackComms()
 			return plan{}, false
 		}
-		pl.newComms = append(pl.newComms, plannedComm{
+		s.planScratch = append(s.planScratch, plannedComm{
 			key: nd.key, bus: bus, start: start, lat: busLat, edges: nd.edges,
 		})
-		placed++
 	}
-	rollback()
+	s.rollbackComms()
+	if len(s.planScratch) > 0 {
+		pl.newComms = make([]plannedComm, len(s.planScratch))
+		copy(pl.newComms, s.planScratch)
+	}
+	if len(s.reuseScratch) > 0 {
+		pl.reuse = make([]reusePair, len(s.reuseScratch))
+		copy(pl.reuse, s.reuseScratch)
+	}
 	return pl, true
 }
 
@@ -222,8 +231,8 @@ func (s *state) commit(v int, pl plan) {
 	if _, ok := s.table.PlaceFU(pl.cluster, node.Class.FUKind(), pl.cycle, v); !ok {
 		panic("sched: committed plan lost its FU slot")
 	}
-	for edge, idx := range pl.reuse {
-		s.edgeComm[edge] = idx
+	for _, rp := range pl.reuse {
+		s.edgeComm[rp.edge] = rp.idx
 	}
 	for _, pc := range pl.newComms {
 		id := len(s.comms)
@@ -235,9 +244,12 @@ func (s *state) commit(v int, pl plan) {
 		if !s.opt.NoCommReuse {
 			s.commIdx[pc.key] = id
 		}
-		pc.edges.forEach(func(e [2]int) {
+		if pc.edges.n > 0 {
+			s.edgeComm[pc.edges.first] = id
+		}
+		for _, e := range pc.edges.rest {
 			s.edgeComm[e] = id
-		})
+		}
 	}
 	if node.Class.IsMemory() {
 		s.memSet[pl.cluster] = append(s.memSet[pl.cluster], node.Ref)

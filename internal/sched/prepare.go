@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"multivliw/internal/ddg"
+	"multivliw/internal/legality"
+	"multivliw/internal/loop"
+	"multivliw/internal/machine"
+	"multivliw/internal/order"
+)
+
+// Prepared holds the immutable per-(kernel, machine) products of a
+// scheduling run that do not depend on the policy or threshold: the DDG base
+// latencies, the SMS ordering (with its SCC/MII analyses), and the guided
+// search's structural feasibility result under the default II cap. A
+// Prepared is read-only after Prepare and safe to share across concurrent
+// Run calls; the harness builds one per (kernel, machine) cell column and
+// reuses it for every (scheduler, threshold) cell of a sweep grid.
+type Prepared struct {
+	kernel  *loop.Kernel
+	cfg     machine.Config
+	baseLat []int
+	ord     *order.Result
+
+	// Guided-search outcome under the default cap (64·MII+256): the first
+	// structurally feasible II, the probe count the binary search spent,
+	// and whether any feasible II exists at all. Runs with a non-default
+	// MaxII or LinearSearch recompute/skip these, so the search statistics
+	// stay bit-identical to an unprepared run.
+	maxII    int
+	firstII  int
+	probes   int
+	feasible bool
+}
+
+// Prepare computes the reusable analyses of scheduling kernel k on cfg. The
+// result reproduces, bit for bit, the base latencies, ordering and guided
+// search a plain Run would compute, so wiring it through Options.Prepared
+// never changes a schedule or its search statistics.
+func Prepare(k *loop.Kernel, cfg machine.Config) (*Prepared, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := k.Validate(); err != nil {
+		return nil, err
+	}
+	g := k.Graph
+	baseLat := ddg.DefaultLatencies(g, cfg.Lat)
+	ord := order.Compute(g, baseLat, cfg)
+	p := &Prepared{
+		kernel:  k,
+		cfg:     cfg,
+		baseLat: baseLat,
+		ord:     ord,
+		maxII:   64*ord.MII + 256,
+	}
+	bound := legality.NewStructBound(g, cfg)
+	p.firstII, p.probes, p.feasible = legality.FirstFeasibleII(&bound, ord.MII, p.maxII)
+	return p, nil
+}
+
+// MII returns the computed minimum initiation interval.
+func (p *Prepared) MII() int { return p.ord.MII }
+
+// usable reports whether p can stand in for the per-run analyses of
+// RunCtx(k, cfg, opt): the kernel and machine must be the ones p was built
+// for and the options must not select a different ordering or II cap. A
+// mismatched Prepared is ignored, never an error — the run simply recomputes.
+func (p *Prepared) usable(k *loop.Kernel, cfg machine.Config, opt Options) bool {
+	return p != nil && p.kernel == k &&
+		opt.Order == OrderSMS &&
+		(opt.MaxII == 0 || opt.MaxII == p.maxII) &&
+		sameConfig(p.cfg, cfg)
+}
+
+// sameConfig reports whether two machine configurations are identical in
+// every field: the scalar parameters, the latency table, and the optional
+// per-cluster FU override compared element-wise.
+func sameConfig(a, b machine.Config) bool {
+	if len(a.FUsByCluster) != len(b.FUsByCluster) {
+		return false
+	}
+	for i := range a.FUsByCluster {
+		if a.FUsByCluster[i] != b.FUsByCluster[i] {
+			return false
+		}
+	}
+	return a.Name == b.Name &&
+		a.Clusters == b.Clusters &&
+		a.FUs == b.FUs &&
+		a.Regs == b.Regs &&
+		a.TotalCacheBytes == b.TotalCacheBytes &&
+		a.LineBytes == b.LineBytes &&
+		a.Assoc == b.Assoc &&
+		a.MSHREntries == b.MSHREntries &&
+		a.RegBuses == b.RegBuses &&
+		a.RegBusLat == b.RegBusLat &&
+		a.MemBuses == b.MemBuses &&
+		a.MemBusLat == b.MemBusLat &&
+		a.Lat == b.Lat
+}

@@ -91,6 +91,14 @@ type Options struct {
 	// fresh analysis is built.
 	CME *cme.Analysis
 
+	// Prepared optionally injects the precomputed per-(kernel, machine)
+	// artifact of Prepare: base latencies, SMS ordering and the guided
+	// search's structural feasibility result. It is consulted only when it
+	// matches the run (same kernel, same machine, SMS order, default II
+	// cap); otherwise the run recomputes everything, so a stale or
+	// mismatched Prepared can never change a schedule.
+	Prepared *Prepared
+
 	// CMEParams tunes a freshly built analysis.
 	CMEParams cme.Params
 
@@ -217,11 +225,14 @@ type state struct {
 	// allocate. needScratch and candScratch likewise back tryComms'
 	// transfer-need list and scheduleNode's per-cluster candidates, and
 	// mlLive/mlLast back maxLive's per-row accumulation.
-	refScratch  []int
-	needScratch []commNeed
-	candScratch []candidate
-	mlLive      []int // [cluster*ii+row] scratch of maxLive
-	mlLast      []int // [cluster] last-read scratch of maxLive
+	refScratch   []int
+	needScratch  []commNeed
+	planScratch  []plannedComm
+	reuseScratch []reusePair
+	candScratch  []candidate
+	mlLive       []int // [cluster*ii+row] scratch of maxLive
+	mlLast       []int // [cluster] last-read scratch of maxLive
+	mlOut        []int // [cluster] result scratch of maxLive
 
 	// Failure diagnostics of the current attempt, consumed by the search
 	// trace: which node failed, its earliest dependence-legal cycle at
@@ -341,20 +352,32 @@ func Run(k *loop.Kernel, cfg machine.Config, opt Options) (*Schedule, error) {
 // runctx.ErrDeadline or runctx.ErrCanceled. A schedule, once returned, is
 // complete and valid regardless of how close the deadline was.
 func RunCtx(ctx context.Context, k *loop.Kernel, cfg machine.Config, opt Options) (*Schedule, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
+	pre := opt.Prepared
+	if !pre.usable(k, cfg, opt) {
+		pre = nil
 	}
-	if err := k.Validate(); err != nil {
-		return nil, err
+	if pre == nil {
+		// A usable Prepared already validated this exact (kernel, config)
+		// pair when it was built, so the checks only run on the cold path.
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		if err := k.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	g := k.Graph
-	baseLat := ddg.DefaultLatencies(g, cfg.Lat)
-
+	var baseLat []int
 	var ord *order.Result
-	if opt.Order == OrderTopological {
-		ord = order.Topological(g, baseLat, cfg)
+	if pre != nil {
+		baseLat, ord = pre.baseLat, pre.ord
 	} else {
-		ord = order.Compute(g, baseLat, cfg)
+		baseLat = ddg.DefaultLatencies(g, cfg.Lat)
+		if opt.Order == OrderTopological {
+			ord = order.Topological(g, baseLat, cfg)
+		} else {
+			ord = order.Compute(g, baseLat, cfg)
+		}
 	}
 	an := opt.CME
 	if an == nil {
@@ -372,11 +395,17 @@ func RunCtx(ctx context.Context, k *loop.Kernel, cfg machine.Config, opt Options
 
 	// Phase 1: binary-search the monotone structural bound for the first
 	// II any placement could succeed at (see search.go). Linear mode pins
-	// the start to the MII, as §4.1 prescribes.
+	// the start to the MII, as §4.1 prescribes. A usable Prepared already
+	// holds the identical search outcome for the default cap.
 	search := SearchStats{MII: ord.MII, FirstII: ord.MII}
 	if !opt.LinearSearch {
-		bound := legality.NewStructBound(g, cfg)
-		first, probes, ok := legality.FirstFeasibleII(&bound, ord.MII, maxII)
+		first, probes, ok := 0, 0, false
+		if pre != nil {
+			first, probes, ok = pre.firstII, pre.probes, pre.feasible
+		} else {
+			bound := legality.NewStructBound(g, cfg)
+			first, probes, ok = legality.FirstFeasibleII(&bound, ord.MII, maxII)
+		}
 		search.Probes = probes
 		if !ok {
 			return nil, fmt.Errorf("sched: %s on %s: no schedule found up to II=%d", k.Name, cfg.Name, maxII)
@@ -664,16 +693,22 @@ func (s *state) missLatencyAllowed(v int) bool {
 
 // maxLive computes the per-cluster register pressure of the schedule
 // through the shared legality accounting (EQ semantics; see
-// legality.MaxLiveInto). The accumulation rows and the per-node last-read
-// table live in state scratch; only the returned per-cluster vector (handed
-// to the Schedule) is allocated.
+// legality.MaxLiveInto). The accumulation rows, the per-node last-read
+// table and the returned per-cluster vector all live in state scratch;
+// finish copies the vector into the schedule's slab on success.
 func (s *state) maxLive() []int {
-	out, rows, last := legality.MaxLiveInto(nil, s.g, s.ii, s.cfg.Clusters, s.cluster, s.cycle, s.lat, s.comms, s.mlLive, s.mlLast)
-	s.mlLive, s.mlLast = rows, last
+	out, rows, last := legality.MaxLiveInto(s.mlOut, s.g, s.ii, s.cfg.Clusters, s.cluster, s.cycle, s.lat, s.comms, s.mlLive, s.mlLast)
+	s.mlOut, s.mlLive, s.mlLast = out, rows, last
 	return out
 }
 
 // finish normalizes cycles to be non-negative and packages the schedule.
+// The per-node vectors the schedule keeps are copied out of the pooled
+// scratch into one slab allocation (plus one for the bools and one for the
+// dense comm index), so a warm Run hands off a bounded handful of
+// allocations and the scratch arena stays pooled across Runs — and a cached
+// sim.Program retaining the returned Schedule can never alias a buffer the
+// pool will scribble over.
 func (s *state) finish(maxLive []int) *Schedule {
 	minC := 0
 	for v := 0; v < s.g.NumNodes(); v++ {
@@ -720,33 +755,51 @@ func (s *state) finish(maxLive []int) *Schedule {
 	// Dense per-edge comm index: one slot per in-edge, resolved once here so
 	// the simulator's dependence loop never touches the EdgeComm map.
 	inOff, commIn := buildCommIndex(s.g, s.edgeComm)
+
+	// Slab handoff: one int arena backs the per-node vectors and the
+	// per-cluster pressure; the pooled scratch keeps its buffers.
+	n := s.g.NumNodes()
+	arena := make([]int, 3*n+len(maxLive))
+	cluster := arena[0*n : 1*n : 1*n]
+	cycle := arena[1*n : 2*n : 2*n]
+	lat := arena[2*n : 3*n : 3*n]
+	ml := arena[3*n:]
+	copy(cluster, s.cluster)
+	copy(cycle, s.cycle)
+	copy(lat, s.lat)
+	copy(ml, maxLive)
+	miss := make([]bool, n)
+	copy(miss, s.miss)
+	comms := make([]Comm, len(s.comms))
+	copy(comms, s.comms)
+
 	sched := &Schedule{
 		Kernel:   s.k,
 		Config:   s.cfg,
 		Opts:     s.opt,
 		II:       s.ii,
 		SC:       sc,
-		Cluster:  s.cluster,
-		Cycle:    s.cycle,
-		Lat:      s.lat,
-		MissSch:  s.miss,
-		Comms:    s.comms,
+		Cluster:  cluster,
+		Cycle:    cycle,
+		Lat:      lat,
+		MissSch:  miss,
+		Comms:    comms,
 		EdgeComm: s.edgeComm,
 		InOff:    inOff,
 		CommIn:   commIn,
 		Table:    s.table,
-		MaxLive:  maxLive,
+		MaxLive:  ml,
 		Stats: Stats{
-			Comms:         len(s.comms),
+			Comms:         len(comms),
 			BusOccupancy:  s.table.BusOccupancy(),
 			MissScheduled: missCount,
 			MaxLiveMax:    worst,
 		},
 	}
-	// The schedule owns these buffers now; detach them so the pooled
-	// state cannot scribble over a returned schedule on its next Run.
-	s.cluster, s.cycle, s.lat, s.miss = nil, nil, nil, nil
-	s.comms, s.edgeComm, s.table = nil, nil, nil
+	// The schedule owns the edge map and the reservation table; detach them
+	// so the pooled state cannot scribble over a returned schedule on its
+	// next Run.
+	s.edgeComm, s.table = nil, nil
 	return sched
 }
 
@@ -755,11 +808,16 @@ func (s *state) finish(maxLive []int) *Schedule {
 // v, or -1 when no transfer carries it.
 func buildCommIndex(g *ddg.Graph, edgeComm map[[2]int]int) (inOff, commIn []int32) {
 	n := g.NumNodes()
-	inOff = make([]int32, n+1)
+	edges := 0
+	for v := 0; v < n; v++ {
+		edges += len(g.In(v))
+	}
+	arena := make([]int32, n+1+edges)
+	inOff = arena[: n+1 : n+1]
 	for v := 0; v < n; v++ {
 		inOff[v+1] = inOff[v] + int32(len(g.In(v)))
 	}
-	commIn = make([]int32, inOff[n])
+	commIn = arena[n+1:]
 	for v := 0; v < n; v++ {
 		base := inOff[v]
 		for j, e := range g.In(v) {

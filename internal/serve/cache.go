@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sync"
 
 	"multivliw/internal/sched"
@@ -62,29 +63,55 @@ type simFlightKey struct {
 	simCap int
 }
 
+// simFlightEntry is a single-flight slot: the owner that created it runs the
+// simulation and closes done; waiters block on done. Only successful replays
+// stay in the map — an erroring or panicking owner removes the entry before
+// waking waiters, so a slot can neither serve a permanently cached failure
+// nor leave waiters blocked on a run that died.
 type simFlightEntry struct {
-	once sync.Once
+	done chan struct{}
 	res  *sim.Result
 	err  error
 }
 
-// do returns the replay for s at cap, running the simulation exactly once
-// per distinct (schedule, cap). The second return reports a replay hit.
+// do returns the replay for s at cap, running the simulation once per
+// distinct (schedule, cap) on the success path; waiters that joined a failed
+// flight retry (one becomes the new owner and observes the error itself).
+// The second return reports a replay hit.
 func (f *simFlight) do(s *sched.Schedule, cap int) (*sim.Result, error, bool) {
 	key := simFlightKey{canon: string(s.AppendCanonical(nil)), simCap: cap}
-	f.mu.Lock()
-	if f.m == nil {
-		f.m = make(map[simFlightKey]*simFlightEntry)
-	}
-	e := f.m[key]
-	hit := e != nil
-	if !hit {
-		e = &simFlightEntry{}
+	for {
+		f.mu.Lock()
+		if f.m == nil {
+			f.m = make(map[simFlightKey]*simFlightEntry)
+		}
+		if e, ok := f.m[key]; ok {
+			f.mu.Unlock()
+			<-e.done
+			if e.err != nil || e.res == nil {
+				continue
+			}
+			return e.res, nil, true
+		}
+		e := &simFlightEntry{done: make(chan struct{})}
 		f.m[key] = e
+		f.mu.Unlock()
+		func() {
+			defer func() {
+				if e.err != nil || e.res == nil {
+					f.mu.Lock()
+					if f.m[key] == e {
+						delete(f.m, key)
+					}
+					f.mu.Unlock()
+					if e.err == nil {
+						e.err = fmt.Errorf("sim: simulation panicked")
+					}
+				}
+				close(e.done)
+			}()
+			e.res, e.err = sim.Run(s, sim.Options{MaxInnermostIters: cap})
+		}()
+		return e.res, e.err, false
 	}
-	f.mu.Unlock()
-	e.once.Do(func() {
-		e.res, e.err = sim.Run(s, sim.Options{MaxInnermostIters: cap})
-	})
-	return e.res, e.err, hit
 }

@@ -94,8 +94,10 @@ type Server struct {
 	queued   atomic.Int64  // admitted requests waiting for a slot
 	draining atomic.Bool
 
-	cmeMu sync.Mutex
-	cme   map[*loop.Kernel]map[cme.Geometry]*cme.Analysis
+	// arts holds the compiled kernel artifacts — prepared scheduling
+	// analyses and CME handles per (kernel, machine) — shared across every
+	// request the process serves (suite kernels are stable pointers).
+	arts *harness.ArtifactCache
 
 	mu      sync.Mutex
 	httpSrv *http.Server
@@ -112,6 +114,7 @@ func New(cfg Config) *Server {
 		sims:    &simFlight{},
 		suite:   make(map[string]*loop.Kernel),
 		slots:   make(chan struct{}, cfg.Concurrency),
+		arts:    harness.NewArtifactCache(),
 	}
 	for _, b := range workloads.Suite() {
 		for _, k := range b.Kernels {
@@ -256,27 +259,19 @@ func (s *Server) requestContext(r *http.Request, deadlineMs int) (context.Contex
 	return context.WithTimeout(r.Context(), d)
 }
 
-// analysis memoizes the CME locality analysis per (kernel, cache
-// geometry), mirroring the harness runner: suite kernels are shared
-// pointers, so repeated requests reuse one solve.
-func (s *Server) analysis(k *loop.Kernel, cfg machine.Config) *cme.Analysis {
-	geom := cme.Geometry{CapacityBytes: cfg.CacheBytesPerCluster(), LineBytes: cfg.LineBytes, Assoc: cfg.Assoc}
-	s.cmeMu.Lock()
-	defer s.cmeMu.Unlock()
-	if s.cme == nil {
-		s.cme = make(map[*loop.Kernel]map[cme.Geometry]*cme.Analysis)
+// prepared returns the kernel's compiled artifact slice for cfg: the
+// prepared scheduling analyses and the memoized CME handle, built once per
+// (kernel, machine) across all requests. When the artifact build fails (an
+// invalid kernel or machine), the Prepared is nil and only a fresh CME
+// analysis is returned — the handler's scheduling run then reproduces the
+// identical validation error itself.
+func (s *Server) prepared(k *loop.Kernel, cfg machine.Config) (*sched.Prepared, *cme.Analysis) {
+	pre, an, err := s.arts.Kernel(k).Machine(cfg)
+	if err != nil {
+		geom := cme.Geometry{CapacityBytes: cfg.CacheBytesPerCluster(), LineBytes: cfg.LineBytes, Assoc: cfg.Assoc}
+		return nil, cme.New(k, geom, cme.DefaultParams())
 	}
-	per := s.cme[k]
-	if per == nil {
-		per = make(map[cme.Geometry]*cme.Analysis)
-		s.cme[k] = per
-	}
-	an := per[geom]
-	if an == nil {
-		an = cme.New(k, geom, cme.DefaultParams())
-		per[geom] = an
-	}
-	return an
+	return pre, an
 }
 
 // resolveKernel materializes the request's kernel.
@@ -374,8 +369,8 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request, forceSim
 	if err := s.cfg.Faults.at("schedule"); err != nil {
 		return s.writeInterrupt(w, err)
 	}
-	cme := s.analysis(k, cfg)
-	schedule, err := sched.RunCtx(ctx, k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: cme})
+	pre, an := s.prepared(k, cfg)
+	schedule, err := sched.RunCtx(ctx, k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: an, Prepared: pre})
 	if err != nil {
 		if runctx.IsInterrupt(err) {
 			s.metrics.DeadlineExpired.Add(1)
@@ -467,7 +462,8 @@ func (s *Server) handleGap(w http.ResponseWriter, r *http.Request) int {
 	}
 	s.metrics.CacheMisses.Add(1)
 
-	h, err := sched.RunCtx(ctx, k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: s.analysis(k, cfg)})
+	pre, an := s.prepared(k, cfg)
+	h, err := sched.RunCtx(ctx, k, cfg, sched.Options{Policy: pol, Threshold: thr, CME: an, Prepared: pre})
 	if err != nil {
 		if runctx.IsInterrupt(err) {
 			s.metrics.DeadlineExpired.Add(1)

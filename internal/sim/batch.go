@@ -1,0 +1,22 @@
+package sim
+
+// RunBatch replays the compiled program under every option set in opts,
+// reusing one State — the contiguous ring/window/memory-system slab — across
+// the whole batch. Replay i is bit-identical to p.Run(opts[i]); the batch
+// simply keeps the arenas hot instead of drawing a pooled State per replay,
+// so a warm batch allocates only its Results. Grid drivers use it to replay
+// all cells that share one compiled program (e.g. the same schedule under
+// several iteration caps) in one pass.
+func (p *Program) RunBatch(opts []Options) ([]*Result, error) {
+	st := getState()
+	defer putState(st)
+	out := make([]*Result, len(opts))
+	for i, opt := range opts {
+		res, err := p.RunState(st, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"multivliw/internal/machine"
+	"multivliw/internal/sched"
+)
+
+// TestRunBatchMatchesRun locks the batched replay's contract: every Result
+// of a batch — across mixed iteration caps, over a kernel that actually
+// stalls — is identical to the one-shot Run of the same options.
+func TestRunBatchMatchesRun(t *testing.T) {
+	for _, k := range []struct {
+		name string
+		s    *sched.Schedule
+	}{
+		{"resident", mustRun(t, cacheResident(512), machine.Unified(), sched.Options{Threshold: 1.0})},
+		{"thrash", mustRun(t, thrash(512), machine.TwoCluster(2, 1, 1, 4), sched.Options{Policy: sched.RMCA})},
+	} {
+		p, err := Compile(k.s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []Options{{}, {MaxInnermostIters: 16}, {MaxInnermostIters: 64}, {MaxInnermostIters: 16}}
+		batch, err := p.RunBatch(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) != len(opts) {
+			t.Fatalf("%s: %d results for %d option sets", k.name, len(batch), len(opts))
+		}
+		for i, opt := range opts {
+			want, err := p.Run(opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if *batch[i] != *want {
+				t.Errorf("%s[%d]: batched replay differs:\nbatch %+v\nrun   %+v", k.name, i, *batch[i], *want)
+			}
+		}
+	}
+}
+
+// BenchmarkSimRunBatch measures the batched replay over the allocation-heavy
+// case batching exists for: one compiled program replayed at several caps
+// with one resident State.
+func BenchmarkSimRunBatch(b *testing.B) {
+	s, err := sched.Run(thrash(512), machine.TwoCluster(2, 1, 1, 4), sched.Options{Policy: sched.RMCA})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := Compile(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := []Options{{MaxInnermostIters: 64}, {MaxInnermostIters: 256}, {MaxInnermostIters: 1024}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RunBatch(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,7 +2,6 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"multivliw/internal/ddg"
 	"multivliw/internal/memsys"
@@ -97,16 +96,36 @@ func Compile(s *sched.Schedule) (*Program, error) {
 		busLat: int64(s.Config.RegBusLat),
 	}
 
-	rows := make([][]cevent, ii)
-	addDep := func(deps []dep, slot, dist int32) []dep {
-		for _, d := range deps {
+	// Counting pass: events per row and a dependence-arena capacity bound
+	// (every in-edge plus one wait per comm; duplicate-edge dedup at fill
+	// time only shrinks it), so the flattening below allocates each arena
+	// exactly once.
+	nNodes := g.NumNodes()
+	rowCur := make([]int32, ii)
+	depCap := len(s.Comms)
+	for v := 0; v < nNodes; v++ {
+		rowCur[s.Cycle[v]%ii]++
+		depCap += len(g.In(v))
+	}
+	for _, c := range s.Comms {
+		rowCur[c.Start%ii]++
+	}
+	for r := 0; r < ii; r++ {
+		p.rowOff[r+1] = p.rowOff[r] + rowCur[r]
+		rowCur[r] = p.rowOff[r] // becomes the fill cursor
+	}
+	p.events = make([]cevent, nNodes+len(s.Comms))
+	p.deps = make([]dep, 0, depCap)
+
+	addDep := func(dep0 int, slot, dist int32) {
+		for _, d := range p.deps[dep0:] {
 			if d.slot == slot && d.dist == dist {
-				return deps // duplicate edges wait on the same entry
+				return // duplicate edges wait on the same entry
 			}
 		}
-		return append(deps, dep{slot: slot, dist: dist})
+		p.deps = append(p.deps, dep{slot: slot, dist: dist})
 	}
-	for v := 0; v < g.NumNodes(); v++ {
+	for v := 0; v < nNodes; v++ {
 		n := g.Node(v)
 		ev := cevent{
 			offset:  int32(s.Cycle[v]),
@@ -119,7 +138,7 @@ func Compile(s *sched.Schedule) (*Program, error) {
 			store:   n.Class == ddg.Store,
 			dep0:    int32(len(p.deps)),
 		}
-		var evDeps []dep
+		dep0 := len(p.deps)
 		for j, e := range g.In(v) {
 			u := e.From
 			if u == v {
@@ -139,12 +158,13 @@ func Compile(s *sched.Schedule) (*Program, error) {
 				slot = memSlot[u]
 			}
 			if slot >= 0 {
-				evDeps = addDep(evDeps, slot, int32(e.Distance))
+				addDep(dep0, slot, int32(e.Distance))
 			}
 		}
-		p.deps = append(p.deps, evDeps...)
 		ev.depN = int32(len(p.deps))
-		rows[s.Cycle[v]%ii] = append(rows[s.Cycle[v]%ii], ev)
+		r := s.Cycle[v] % ii
+		p.events[rowCur[r]] = ev
+		rowCur[r]++
 		if s.Cycle[v] > p.maxOffset {
 			p.maxOffset = s.Cycle[v]
 		}
@@ -164,7 +184,9 @@ func Compile(s *sched.Schedule) (*Program, error) {
 			p.deps = append(p.deps, dep{slot: memSlot[c.Producer], dist: 0})
 		}
 		ev.depN = int32(len(p.deps))
-		rows[c.Start%ii] = append(rows[c.Start%ii], ev)
+		r := c.Start % ii
+		p.events[rowCur[r]] = ev
+		rowCur[r]++
 		if c.Start > p.maxOffset {
 			p.maxOffset = c.Start
 		}
@@ -173,21 +195,38 @@ func Compile(s *sched.Schedule) (*Program, error) {
 	// Fire order within a row at equal global cycles: earlier iterations
 	// (larger offsets) first, then operations before comms, then by node
 	// and comm index — the reference interpreter's comparator verbatim.
-	for r := range rows {
-		row := rows[r]
-		sort.Slice(row, func(a, b int) bool {
-			if row[a].offset != row[b].offset {
-				return row[a].offset > row[b].offset
-			}
-			if row[a].comm != row[b].comm {
-				return row[a].comm < row[b].comm
-			}
-			return row[a].node < row[b].node
-		})
-		p.rowOff[r+1] = p.rowOff[r] + int32(len(row))
-		p.events = append(p.events, row...)
+	// The comparator is a total order (no two events share offset, comm
+	// and node), so the allocation-free insertion sort reproduces exactly
+	// the row order sort.Slice produced.
+	for r := 0; r < ii; r++ {
+		sortRow(p.events[p.rowOff[r]:p.rowOff[r+1]])
 	}
 	return p, nil
+}
+
+// sortRow orders one row's events in place by the replay comparator: offset
+// descending, operations before comms, then by index.
+func sortRow(row []cevent) {
+	for i := 1; i < len(row); i++ {
+		ev := row[i]
+		j := i
+		for j > 0 && eventAfter(row[j-1], ev) {
+			row[j] = row[j-1]
+			j--
+		}
+		row[j] = ev
+	}
+}
+
+// eventAfter reports whether a fires strictly after b in the row order.
+func eventAfter(a, b cevent) bool {
+	if a.offset != b.offset {
+		return a.offset < b.offset
+	}
+	if a.comm != b.comm {
+		return a.comm > b.comm
+	}
+	return a.node > b.node
 }
 
 // Schedule returns the schedule the program was compiled from.

@@ -19,8 +19,17 @@ type State struct {
 	lo, hi []int   // per-row active event windows
 	iv     []int   // iteration vector scratch (outer levels + innermost)
 
-	mem *memsys.System
+	// mems are the resident memory systems, most recently used first. A
+	// sweep grid cycles a pooled State through many machine configurations;
+	// keeping one system per reusability class (memsys.Reusable) makes
+	// every revisit a Reset instead of a rebuild.
+	mems []*memsys.System
 }
+
+// maxResidentSystems bounds how many memory systems one State keeps warm. A
+// figure grid has at most a dozen distinct cache/bus shapes; beyond that the
+// least recently used system is dropped.
+const maxResidentSystems = 12
 
 // NewState returns an empty State; its arenas grow to fit the first program
 // it runs and are reused afterwards.
@@ -56,15 +65,27 @@ func (st *State) prepare(p *Program) {
 	}
 }
 
-// system returns a cold memory system for cfg, reusing the previous run's
-// arenas when the configuration allows.
+// system returns a cold memory system for cfg, reusing a resident system's
+// arenas when its configuration class allows, and moves the chosen system to
+// the front of the residency list.
 func (st *State) system(cfg machine.Config) *memsys.System {
-	if st.mem != nil && st.mem.Reusable(cfg) {
-		st.mem.Reset()
-		return st.mem
+	for i, m := range st.mems {
+		if m.Reusable(cfg) {
+			if i > 0 {
+				copy(st.mems[1:i+1], st.mems[:i])
+				st.mems[0] = m
+			}
+			m.Reset()
+			return m
+		}
 	}
-	st.mem = memsys.New(cfg)
-	return st.mem
+	m := memsys.New(cfg)
+	if len(st.mems) < maxResidentSystems {
+		st.mems = append(st.mems, nil)
+	}
+	copy(st.mems[1:], st.mems)
+	st.mems[0] = m
+	return m
 }
 
 // statePool recycles States across Program.Run calls.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -210,6 +211,90 @@ func TestConcurrentWritersSameKey(t *testing.T) {
 	// No temporary debris left behind.
 	if n, err := s.Len(); err != nil || n != 1 {
 		t.Fatalf("Len = %d, %v; want 1", n, err)
+	}
+}
+
+// TestStoreStatsConcurrentWriters is the regression test for the stats
+// surface under write contention: two Store handles on one directory — the
+// sweep fabric's sharded topology — putting, getting and snapshotting
+// concurrently must be race-clean, and the merged counters must add up:
+// every write is counted exactly once as a Put or a PutError (here, with no
+// injected fault, all Puts), and snapshots taken mid-run never fail.
+func TestStoreStatsConcurrentWriters(t *testing.T) {
+	dir := t.TempDir()
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const perWriter = 40
+	payload := bytes.Repeat([]byte("x"), 256)
+	var wg sync.WaitGroup
+	for _, s := range []*Store{a, b} {
+		s := s
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := s.Put([]byte{byte(i % 8)}, payload); err != nil {
+					t.Errorf("Put: %v", err)
+				}
+			}
+		}()
+		// Snapshot while the writers run: Stats must be safe to call at
+		// any moment, not only at quiescence.
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				st := s.Stats()
+				if st.Puts+st.PutErrors > perWriter || st.Corrupt != 0 {
+					t.Errorf("mid-run stats inconsistent: %+v", st)
+				}
+				s.Get([]byte{byte(i % 8)})
+			}
+		}()
+	}
+	wg.Wait()
+	sa, sb := a.Stats(), b.Stats()
+	if sa.Puts+sa.PutErrors != perWriter || sb.Puts+sb.PutErrors != perWriter {
+		t.Fatalf("writes lost or double-counted: %+v / %+v", sa, sb)
+	}
+	if sa.PutErrors != 0 || sb.PutErrors != 0 {
+		t.Fatalf("unexpected put errors: %+v / %+v", sa, sb)
+	}
+	if n, err := a.Len(); err != nil || n != 8 {
+		t.Fatalf("Len = %d, %v; want the 8 distinct keys", n, err)
+	}
+}
+
+// TestStatsStringSurfacesPutErrors pins the -storestats wire line: a failed
+// publish must appear in the puterrors field the CI gate and operators read.
+func TestStatsStringSurfacesPutErrors(t *testing.T) {
+	s := open(t)
+	if err := s.Put([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Remove the fan-out directory and replace it with a file: the next
+	// publish of this key cannot create its directory and must fail.
+	p := s.path([]byte("k"))
+	if err := os.RemoveAll(filepath.Dir(p)); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Dir(p), []byte("not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put([]byte("k"), []byte("v")); err == nil {
+		t.Fatal("Put into a blocked fan-out directory succeeded")
+	}
+	st := s.Stats()
+	if st.PutErrors != 1 {
+		t.Fatalf("PutErrors = %d, want 1", st.PutErrors)
+	}
+	if !strings.Contains(st.String(), "puterrors=1") {
+		t.Fatalf("storestats line does not surface the put error: %s", st.String())
 	}
 }
 

@@ -407,6 +407,17 @@ func MergeSweepShards(spec *SweepSpec, frags []*SweepShard) (*SweepResult, error
 // ParseSweepShard parses a fragment produced by SweepShard.Marshal.
 func ParseSweepShard(data []byte) (*SweepShard, error) { return harness.ParseShardResult(data) }
 
+// ArtifactCache holds compiled kernel artifacts — per-(kernel, machine)
+// scheduling analyses, shared CME handles, and compiled replay programs per
+// schedule fingerprint — built once and shared read-only by every runner or
+// sweep attached to it. Assign one to SweepSpec.Artifacts to persist the
+// artifacts across sweeps and shards of one process; sweeps without one
+// create their own per run.
+type ArtifactCache = harness.ArtifactCache
+
+// NewArtifactCache returns an empty compiled-kernel artifact cache.
+func NewArtifactCache() *ArtifactCache { return harness.NewArtifactCache() }
+
 // Scheduling as a service: the HTTP/JSON server of internal/serve, with
 // admission control, per-request deadlines honored inside the search loops,
 // panic isolation, graceful drain and a fingerprint-keyed replay cache.
